@@ -1,0 +1,47 @@
+//! Side-channel campaign costs: per-trace acquisition against the
+//! simulated chip (the dominant cost of E3) and the CPA distinguisher
+//! over an acquired set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use medsec_coproc::CoprocConfig;
+use medsec_ec::K163;
+use medsec_power::PowerModel;
+use medsec_sca::{acquire_cpa_traces, cpa_attack, Scenario};
+use std::hint::black_box;
+
+fn bench_acquisition(c: &mut Criterion) {
+    let model = PowerModel::paper_default();
+    let mut group = c.benchmark_group("sca");
+    group.sample_size(10);
+
+    group.bench_function("acquire_25_traces_4_iters_k163", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(acquire_cpa_traces::<K163>(
+                CoprocConfig::paper_chip(),
+                &model,
+                Scenario::Disabled,
+                25,
+                4,
+                seed,
+            ))
+        })
+    });
+
+    let set = acquire_cpa_traces::<K163>(
+        CoprocConfig::paper_chip(),
+        &model,
+        Scenario::Disabled,
+        200,
+        6,
+        42,
+    );
+    group.bench_function("cpa_distinguisher_200x6", |b| {
+        b.iter(|| black_box(cpa_attack(black_box(&set))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_acquisition);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Cycle-accurate simulator throughput: full K-163 point multiplication
+//! on the paper chip (the E1 workload), the toy-curve variant used by
+//! statistical campaigns, and the per-cycle cost with a trace recorder
+//! attached.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use medsec_coproc::{microcode, Coproc, CoprocConfig, NullObserver};
+use medsec_ec::{CurveSpec, Scalar, Toy17, K163};
+use medsec_gf2m::Element;
+use medsec_power::{PowerModel, TraceRecorder};
+use medsec_rng::SplitMix64;
+use std::hint::black_box;
+
+fn bench_full_point_mul(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(5);
+    let mut group = c.benchmark_group("coproc");
+    group.sample_size(10);
+
+    let k163 = Scalar::<K163>::random_nonzero(rng.as_fn());
+    let px163 = K163::generator().x().unwrap();
+    let mut core163 = Coproc::<K163>::new(CoprocConfig::paper_chip());
+    group.bench_function("k163_point_mul_84k_cycles", |b| {
+        b.iter(|| {
+            black_box(microcode::run_point_mul(
+                &mut core163,
+                &k163,
+                px163,
+                Element::one(),
+                &mut NullObserver,
+            ))
+        })
+    });
+
+    group.bench_function("k163_point_mul_with_power_trace", |b| {
+        b.iter(|| {
+            let mut rec = TraceRecorder::windowed(PowerModel::paper_default(), 7, 0, 0);
+            black_box(microcode::run_point_mul(
+                &mut core163,
+                &k163,
+                px163,
+                Element::one(),
+                &mut rec,
+            ));
+            black_box(rec.total_energy())
+        })
+    });
+
+    let ktoy = Scalar::<Toy17>::random_nonzero(rng.as_fn());
+    let pxtoy = Toy17::generator().x().unwrap();
+    let mut coretoy = Coproc::<Toy17>::new(CoprocConfig::paper_chip());
+    group.bench_function("toy17_point_mul", |b| {
+        b.iter(|| {
+            black_box(microcode::run_point_mul(
+                &mut coretoy,
+                &ktoy,
+                pxtoy,
+                Element::one(),
+                &mut NullObserver,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_point_mul);
+criterion_main!(benches);

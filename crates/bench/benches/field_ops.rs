@@ -1,0 +1,52 @@
+//! Microbenchmarks of the binary-field arithmetic (the substrate of
+//! everything): multiplication, squaring, inversion, and the
+//! digit-serial functional model at the paper's digit sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medsec_gf2m::{digit_serial, Element, F163, F233};
+use medsec_rng::SplitMix64;
+use std::hint::black_box;
+
+fn bench_field_ops(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(1);
+    let a = Element::<F163>::random(rng.as_fn());
+    let b = Element::<F163>::random(rng.as_fn());
+
+    c.bench_function("f163/mul", |bench| {
+        bench.iter(|| black_box(black_box(a) * black_box(b)))
+    });
+    c.bench_function("f163/square", |bench| {
+        bench.iter(|| black_box(black_box(a).square()))
+    });
+    c.bench_function("f163/inverse", |bench| {
+        bench.iter(|| black_box(black_box(a).inverse()))
+    });
+    c.bench_function("f163/trace", |bench| {
+        bench.iter(|| black_box(black_box(a).trace()))
+    });
+    c.bench_function("f163/half_trace", |bench| {
+        bench.iter(|| black_box(black_box(a).half_trace()))
+    });
+
+    let a233 = Element::<F233>::random(rng.as_fn());
+    let b233 = Element::<F233>::random(rng.as_fn());
+    c.bench_function("f233/mul", |bench| {
+        bench.iter(|| black_box(black_box(a233) * black_box(b233)))
+    });
+}
+
+fn bench_digit_serial(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(2);
+    let a = Element::<F163>::random(rng.as_fn());
+    let b = Element::<F163>::random(rng.as_fn());
+    let mut group = c.benchmark_group("digit_serial_mul");
+    for &d in digit_serial::SUPPORTED_DIGITS {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |bench, &d| {
+            bench.iter(|| black_box(digit_serial::mul_digit_serial(a, b, d)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_field_ops, bench_digit_serial);
+criterion_main!(benches);

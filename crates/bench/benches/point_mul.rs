@@ -1,0 +1,60 @@
+//! Scalar-multiplication benchmarks: the protected Montgomery ladder vs
+//! the unprotected double-and-add baseline (software), on K-163 and the
+//! toy curve — the algorithm-level choices of the paper's §4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use medsec_ec::{
+    ladder::{ladder_mul, CoordinateBlinding},
+    CurveSpec, Scalar, Toy17, K163,
+};
+use medsec_rng::SplitMix64;
+use std::hint::black_box;
+
+fn bench_k163(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(3);
+    let g = K163::generator();
+    let k = Scalar::<K163>::random_nonzero(rng.as_fn());
+
+    c.bench_function("k163/ladder_randomized_z", |b| {
+        b.iter(|| {
+            black_box(ladder_mul(
+                black_box(&k),
+                black_box(&g),
+                CoordinateBlinding::RandomZ,
+                rng.as_fn(),
+            ))
+        })
+    });
+    c.bench_function("k163/ladder_unblinded", |b| {
+        b.iter(|| {
+            black_box(ladder_mul(
+                black_box(&k),
+                black_box(&g),
+                CoordinateBlinding::Disabled,
+                rng.as_fn(),
+            ))
+        })
+    });
+    c.bench_function("k163/double_and_add", |b| {
+        b.iter(|| black_box(black_box(&g).mul_double_and_add(black_box(&k))))
+    });
+}
+
+fn bench_toy(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(4);
+    let g = Toy17::generator();
+    let k = Scalar::<Toy17>::random_nonzero(rng.as_fn());
+    c.bench_function("toy17/ladder", |b| {
+        b.iter(|| {
+            black_box(ladder_mul(
+                black_box(&k),
+                black_box(&g),
+                CoordinateBlinding::RandomZ,
+                rng.as_fn(),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_k163, bench_toy);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Symmetric-primitive throughput (software models; the hardware cost
+//! comparisons of E6 use the literature-calibrated profiles instead).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use medsec_lwc::{
+    aes_cmac, hmac_sha256, sha1, sha256, Aes128, BlockCipher, Present80, Simon64,
+};
+use std::hint::black_box;
+
+fn bench_ciphers(c: &mut Criterion) {
+    let aes = Aes128::new(&[7u8; 16]);
+    c.bench_function("aes128/block", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| {
+            aes.encrypt_block(black_box(&mut block));
+        })
+    });
+
+    let present = Present80::new(&[3u8; 10]);
+    c.bench_function("present80/block", |b| {
+        let mut block = [0u8; 8];
+        b.iter(|| {
+            present.encrypt_block(black_box(&mut block));
+        })
+    });
+
+    let simon = Simon64::new(&[9u8; 16]);
+    c.bench_function("simon64_128/block", |b| {
+        let mut block = [0u8; 8];
+        b.iter(|| {
+            simon.encrypt_block(black_box(&mut block));
+        })
+    });
+}
+
+fn bench_hashes_and_macs(c: &mut Criterion) {
+    let msg = [0x42u8; 256];
+    c.bench_function("sha1/256B", |b| b.iter(|| black_box(sha1(black_box(&msg)))));
+    c.bench_function("sha256/256B", |b| {
+        b.iter(|| black_box(sha256(black_box(&msg))))
+    });
+    c.bench_function("hmac_sha256/256B", |b| {
+        b.iter(|| black_box(hmac_sha256(b"key", black_box(&msg))))
+    });
+    c.bench_function("aes_cmac/256B", |b| {
+        b.iter(|| black_box(aes_cmac(&[1u8; 16], black_box(&msg))))
+    });
+}
+
+criterion_group!(benches, bench_ciphers, bench_hashes_and_macs);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Protocol-session costs (toy curve executes the arithmetic; the
+//! energy figures in E7/E11 use the calibrated cost models instead of
+//! wall-clock time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use medsec_ec::Toy17;
+use medsec_power::{EnergyReport, RadioModel};
+use medsec_protocols::peeters_hermans::run_session as ph_run;
+use medsec_protocols::symmetric::run_session as sym_run;
+use medsec_protocols::{EnergyLedger, PhReader, SymmetricServer};
+use medsec_rng::SplitMix64;
+use std::hint::black_box;
+
+fn ledger() -> EnergyLedger {
+    EnergyLedger::new(
+        EnergyReport::from_totals(86_000, 5.1e-6, 847_500.0),
+        RadioModel::first_order_default(),
+        2.0,
+    )
+}
+
+fn bench_sessions(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(8);
+
+    let mut reader = PhReader::<Toy17>::new(rng.as_fn());
+    let mut tag = reader.register_tag(0, rng.as_fn());
+    c.bench_function("peeters_hermans/session_toy", |b| {
+        b.iter(|| {
+            let mut l = ledger();
+            black_box(ph_run(&mut tag, &reader, &mut l, rng.as_fn()))
+        })
+    });
+
+    let mut server = SymmetricServer::new();
+    let device = server.register_device(0, rng.as_fn());
+    c.bench_function("symmetric/session", |b| {
+        b.iter(|| {
+            let mut l = ledger();
+            black_box(sym_run(&device, &server, &mut l, rng.as_fn()))
+        })
+    });
+}
+
+criterion_group!(benches, bench_sessions);
+criterion_main!(benches);

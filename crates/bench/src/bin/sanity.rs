@@ -1,0 +1,43 @@
+//! One-screen sanity check: prints the repository's headline
+//! reproduction numbers next to the paper's, for a quick smoke test
+//! after a fresh clone.
+//!
+//! ```text
+//! cargo run -p medsec-bench --release --bin sanity
+//! ```
+
+use medsec_coproc::{area, CoprocConfig};
+use medsec_core::{DesignReview, EccProcessor};
+use medsec_ec::{CurveSpec, Scalar, K163};
+use medsec_rng::SplitMix64;
+
+fn main() {
+    let mut rng = SplitMix64::new(0xDAC2013);
+    let mut chip = EccProcessor::<K163>::paper_chip(1);
+    let k = Scalar::<K163>::random_nonzero(rng.as_fn());
+    let (p, report) = chip.point_mul(&k, &K163::generator());
+
+    println!("medsec sanity — Fan et al., DAC 2013 reproduction");
+    println!("--------------------------------------------------");
+    println!("point on curve            : {}", p.is_on_curve());
+    println!(
+        "energy / point mult       : {:6.2} µJ   (paper 5.1)",
+        report.energy_j * 1e6
+    );
+    println!(
+        "average power             : {:6.1} µW   (paper 50.4)",
+        report.avg_power_w * 1e6
+    );
+    println!(
+        "throughput                : {:6.1} PM/s (paper 9.8)",
+        report.ops_per_second
+    );
+    println!(
+        "core area                 : {:6.0} GE   (paper ~12000)",
+        area(163, &CoprocConfig::paper_chip()).total()
+    );
+    println!(
+        "pyramid coverage complete : {}",
+        DesignReview::paper_chip().is_complete()
+    );
+}

@@ -1,0 +1,90 @@
+//! E10 — countermeasure ablation: "making a device secure adds an extra
+//! design dimension. A trade-off between security, power and energy
+//! needs to be made" (paper §8). Each row removes or changes one
+//! protection and reports its area/energy price and which attack class
+//! re-opens.
+
+use medsec_coproc::{ClockGating, CoprocConfig, LadderStyle, MuxEncoding};
+use medsec_core::evaluate_point;
+use medsec_ec::K163;
+use medsec_power::{LogicStyle, Technology};
+
+use crate::table::{uj, Table};
+
+/// Run E10 (analytic models; `fast` ignored).
+pub fn run(_fast: bool) -> String {
+    let tech = Technology::umc130_low_leakage();
+    let base_cfg = CoprocConfig::paper_chip();
+    let base = evaluate_point::<K163>(&base_cfg, LogicStyle::StandardCell, &tech);
+
+    let mut t = Table::new("E10: countermeasure ablation (relative to the paper chip)");
+    t.headers(&[
+        "variant",
+        "area [GE]",
+        "energy [uJ]",
+        "dArea",
+        "dEnergy",
+        "resists (T/S/D)",
+    ]);
+
+    let mut row = |name: &str, cfg: CoprocConfig, style: LogicStyle| {
+        let p = evaluate_point::<K163>(&cfg, style, &tech);
+        let s = p.security;
+        t.row(&[
+            name.into(),
+            format!("{:.0}", p.area_ge),
+            uj(p.energy_j),
+            format!("{:+.1}%", (p.area_ge / base.area_ge - 1.0) * 100.0),
+            format!("{:+.1}%", (p.energy_j / base.energy_j - 1.0) * 100.0),
+            format!(
+                "{}/{}/{}",
+                if s.timing { "y" } else { "N" },
+                if s.spa { "y" } else { "N" },
+                if s.dpa_hardened { "y" } else { "N" }
+            ),
+        ]);
+    };
+
+    row("paper chip (reference)", base_cfg, LogicStyle::StandardCell);
+
+    let mut v = base_cfg;
+    v.mux_encoding = MuxEncoding::SingleRail;
+    row("- balanced mux encoding", v, LogicStyle::StandardCell);
+
+    let mut v = base_cfg;
+    v.clock_gating = ClockGating::PerRegister;
+    row("- data-independent gating", v, LogicStyle::StandardCell);
+
+    let mut v = base_cfg;
+    v.operand_isolation = false;
+    row("- operand isolation", v, LogicStyle::StandardCell);
+
+    let mut v = base_cfg;
+    v.ladder_style = LadderStyle::BranchedMpl;
+    row("- cswap microcode (branched)", v, LogicStyle::StandardCell);
+
+    row("+ WDDL secure zone", base_cfg, LogicStyle::Wddl);
+    row("+ SABL secure zone", base_cfg, LogicStyle::Sabl);
+
+    row(
+        "fully unprotected",
+        CoprocConfig::unprotected(),
+        LogicStyle::StandardCell,
+    );
+
+    t.note("T/S/D = timing / SPA / DPA-hardened (circuit level; algorithmic blinding on top)");
+    t.note("paper §6: dual-rail styles are 'the most efficient countermeasures … however");
+    t.note("they come with high area and power cost' — visible in the WDDL/SABL rows");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ablation_shows_costs_and_holes() {
+        let r = super::run(true);
+        assert!(r.contains("paper chip (reference)"));
+        assert!(r.contains("WDDL"));
+        assert!(r.contains("N"), "some variant must lose a protection");
+    }
+}

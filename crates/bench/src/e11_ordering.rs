@@ -1,0 +1,66 @@
+//! E11 — protocol ordering (paper §4): "the protocol should be designed
+//! to minimize energy consumption due to useless computations … server
+//! authentication should be performed before other operations. As such,
+//! the protocol session stops immediately on the device when the server
+//! authentication fails."
+
+use medsec_ec::Toy17;
+use medsec_power::{EnergyReport, RadioModel};
+use medsec_protocols::mutual::{flood_energy, Device, Ordering, Pairing};
+use medsec_protocols::EnergyLedger;
+use medsec_rng::SplitMix64;
+
+use crate::table::{uj, Table};
+
+/// Run E11.
+pub fn run(fast: bool) -> String {
+    let attempts = if fast { 20 } else { 100 };
+    let mut rng = SplitMix64::new(11_000);
+    let pairing = Pairing {
+        auth_key: *b"pacemaker pairkc",
+    };
+    let ledger = || {
+        EnergyLedger::new(
+            EnergyReport::from_totals(86_000, 5.1e-6, 847_500.0),
+            RadioModel::first_order_default(),
+            2.0,
+        )
+    };
+
+    let early = Device::<Toy17>::new(pairing.clone(), Ordering::ServerFirst);
+    let late = Device::<Toy17>::new(pairing, Ordering::DeviceFirst);
+    let e_early = flood_energy(&early, attempts, rng.as_fn(), ledger);
+    let e_late = flood_energy(&late, attempts, rng.as_fn(), ledger);
+
+    let mut t = Table::new(format!(
+        "E11: device energy drained by {attempts} forged server-hello attempts"
+    ));
+    t.headers(&["ordering", "total [uJ]", "per attempt [uJ]"]);
+    t.row(&[
+        "verify server first (paper rule)".into(),
+        uj(e_early),
+        uj(e_early / attempts as f64),
+    ]);
+    t.row(&[
+        "device computes first".into(),
+        uj(e_late),
+        uj(e_late / attempts as f64),
+    ]);
+    t.note(format!(
+        "wasted computation avoided: {} uJ per bogus attempt (2 ECPM) — {}x total saving",
+        crate::table::uj((e_late - e_early) / attempts as f64),
+        (e_late / e_early).round()
+    ));
+    t.note("a battery-bound implant cannot afford useless point multiplications under flood");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn server_first_saves_energy() {
+        let r = super::run(true);
+        assert!(r.contains("verify server first"));
+        assert!(r.contains("wasted computation avoided"));
+    }
+}

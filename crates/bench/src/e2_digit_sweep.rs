@@ -1,0 +1,67 @@
+//! E2 — the digit-size design space (paper §5): "the choice of the
+//! digit-size determines the power needed for the computation, as well
+//! as the latency and area. By using a digit serial multiplication with
+//! a 163×4 modular multiplier we achieve the optimal area-energy
+//! product within the given latency constraints."
+
+use medsec_coproc::CoprocConfig;
+use medsec_core::{evaluate_point, feasible_ranked, Constraints};
+use medsec_ec::K163;
+use medsec_gf2m::digit_serial::SUPPORTED_DIGITS;
+use medsec_power::{LogicStyle, Technology};
+
+use crate::table::{ms, uj, uw, Table};
+
+/// Run E2 (the sweep is analytic; `fast` is ignored).
+pub fn run(_fast: bool) -> String {
+    let tech = Technology::umc130_low_leakage();
+    let constraints = Constraints::implant_default();
+
+    let mut t = Table::new("E2: digit-size sweep of the 163×d MALU (paper picks d = 4)");
+    t.headers(&[
+        "d", "area [GE]", "cycles", "latency [ms]", "power [uW]", "energy [uJ]", "A*E [GE*uJ]",
+        "feasible",
+    ]);
+
+    let mut points = Vec::new();
+    for &d in SUPPORTED_DIGITS {
+        let mut cfg = CoprocConfig::paper_chip();
+        cfg.digit_size = d;
+        let p = evaluate_point::<K163>(&cfg, LogicStyle::StandardCell, &tech);
+        let feasible = constraints.admits(&p);
+        t.row(&[
+            format!("{d}"),
+            format!("{:.0}", p.area_ge),
+            format!("{}", p.cycles),
+            ms(p.latency_s),
+            uw(p.power_w),
+            uj(p.energy_j),
+            format!("{:.0}", p.area_energy_product()),
+            if feasible { "yes".into() } else { "no".into() },
+        ]);
+        points.push(p);
+    }
+
+    let ranked = feasible_ranked(&points, &constraints);
+    if let Some(best) = ranked.first() {
+        t.note(format!(
+            "constraints: latency <= {} ms, power <= {} uW (implant envelope)",
+            constraints.max_latency_s * 1e3,
+            constraints.max_power_w * 1e6
+        ));
+        t.note(format!(
+            "optimal feasible area-energy product at d = {} (paper: d = 4)",
+            best.digit_size
+        ));
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sweep_reproduces_paper_choice() {
+        let r = super::run(true);
+        assert!(r.contains("optimal feasible area-energy product at d = 4"), "{r}");
+    }
+}

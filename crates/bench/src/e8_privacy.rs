@@ -1,0 +1,54 @@
+//! E8 — location privacy (paper §4, Fig. 2): "tags using the Schnorr
+//! identification protocol can be easily traced. We use the
+//! identification protocol by Peeters and Hermans … it achieves
+//! wide-forward-insider privacy."
+
+use medsec_ec::Toy17;
+use medsec_protocols::{ph_tracking_game, schnorr_tracking_game, symmetric_tracking_game};
+
+use crate::table::Table;
+
+/// Run E8.
+pub fn run(fast: bool) -> String {
+    let rounds = if fast { 100 } else { 400 };
+
+    let ph = ph_tracking_game::<Toy17>(rounds, 8001);
+    let schnorr = schnorr_tracking_game::<Toy17>(rounds.min(120), 8002);
+    let sym = symmetric_tracking_game(rounds, 8003);
+
+    let mut t = Table::new(format!(
+        "E8: tracking game — adversary advantage over {rounds} rounds"
+    ));
+    t.headers(&["protocol", "adversary strategy", "win rate", "advantage"]);
+    t.row(&[
+        "Peeters-Hermans".into(),
+        "response matching".into(),
+        format!("{:.2}", ph.win_rate),
+        format!("{:.2}", ph.advantage),
+    ]);
+    t.row(&[
+        "Schnorr identification".into(),
+        "X = e^-1(sP - R) extraction".into(),
+        format!("{:.2}", schnorr.win_rate),
+        format!("{:.2}", schnorr.advantage),
+    ]);
+    t.row(&[
+        "AES challenge-response".into(),
+        "cleartext identity".into(),
+        format!("{:.2}", sym.win_rate),
+        format!("{:.2}", sym.advantage),
+    ]);
+    t.note("paper: strong privacy requires PKC (Vaudenay), and the *right* PKC protocol;");
+    t.note("PH advantage ~0 = unlinkable; Schnorr/symmetric advantage ~1 = trackable");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ph_private_others_trackable() {
+        let r = super::run(true);
+        assert!(r.contains("Peeters-Hermans"));
+        assert!(r.contains("Schnorr"));
+    }
+}

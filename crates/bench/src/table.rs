@@ -1,0 +1,129 @@
+//! Minimal fixed-width table formatting for experiment reports.
+
+/// A text table with a title, column headers and rows.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// New table with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Set column headers.
+    pub fn headers(&mut self, h: &[&str]) -> &mut Self {
+        self.headers = h.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, r: &[String]) -> &mut Self {
+        self.rows.push(r.to_vec());
+        self
+    }
+
+    /// Append a free-text footnote.
+    pub fn note(&mut self, n: impl Into<String>) -> &mut Self {
+        self.notes.push(n.into());
+        self
+    }
+
+    /// Render the table.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                let pad = widths[i].saturating_sub(c.chars().count());
+                line.push_str(c);
+                line.push_str(&" ".repeat(pad));
+                if i + 1 != cells.len() {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        if !self.headers.is_empty() {
+            out.push_str(&fmt_row(&self.headers, &widths));
+            out.push('\n');
+            let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  * {n}\n"));
+        }
+        out
+    }
+}
+
+/// Format joules as µJ with 2 decimals.
+pub fn uj(j: f64) -> String {
+    format!("{:.2}", j * 1e6)
+}
+
+/// Format watts as µW with 1 decimal.
+pub fn uw(w: f64) -> String {
+    format!("{:.1}", w * 1e6)
+}
+
+/// Format seconds as ms with 1 decimal.
+pub fn ms(s: f64) -> String {
+    format!("{:.1}", s * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo");
+        t.headers(&["a", "long-header"]);
+        t.row(&["x".into(), "1".into()]);
+        t.row(&["longer".into(), "22".into()]);
+        t.note("a note");
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long-header"));
+        assert!(s.contains("* a note"));
+        // Column alignment: every data row has the second column at the
+        // same offset.
+        let lines: Vec<&str> = s.lines().collect();
+        let col = lines[3].find('1').unwrap();
+        assert_eq!(lines[4].find("22").unwrap(), col);
+    }
+
+    #[test]
+    fn unit_formatters() {
+        assert_eq!(uj(5.1e-6), "5.10");
+        assert_eq!(uw(50.4e-6), "50.4");
+        assert_eq!(ms(0.102), "102.0");
+    }
+}

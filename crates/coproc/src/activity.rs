@@ -1,0 +1,204 @@
+//! Per-cycle switching-activity records — the interface between the
+//! architecture simulator and the circuit-level power model.
+//!
+//! Every dynamic-power mechanism the paper's circuit level discusses (§6)
+//! appears as a separate field, so the power model can weight them with
+//! technology- and logic-style-specific energies, and the SCA crate can
+//! mount attacks against exactly the leakage channel under study.
+
+/// Number of architectural registers in the co-processor (six 163-bit
+/// registers, paper §4).
+pub const NUM_REGS: usize = 6;
+
+/// Fan-out of the key-dependent steering-select network: "these control
+/// signals usually connect to many multiplexers (164 in the presented
+/// ECC co-processor)" (§6).
+pub const MUX_FANOUT: u32 = 164;
+
+/// Switching activity observed during one clock cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleActivity {
+    /// Absolute cycle index since reset.
+    pub cycle: u64,
+    /// Hamming distance of register writes committed this cycle (the
+    /// data-dependent component DPA exploits).
+    pub reg_write_hd: u32,
+    /// Hamming weight of values written this cycle (HW leakage models).
+    pub reg_write_hw: u32,
+    /// Operand-bus transitions (driving MALU inputs).
+    pub bus_hd: u32,
+    /// MALU accumulator transitions (digit-serial datapath).
+    pub malu_hd: u32,
+    /// MALU partial-product AND-array activity this cycle (set digit
+    /// bits × multiplicand weight) — the component that grows with the
+    /// digit size d and drives the power side of the d-sweep (E2).
+    pub malu_pp: u32,
+    /// Data-average of `malu_pp` (d·m/4); the constant-switching term
+    /// dual-rail logic styles replace the observed activity with.
+    pub malu_pp_nominal: u32,
+    /// Control/steering select-line transitions, already multiplied by
+    /// the 164-multiplexer fan-out.
+    pub mux_toggles: u32,
+    /// Bit mask of physical registers receiving a clock edge.
+    pub clocked_mask: u8,
+    /// Spurious combinational transitions from missing operand isolation
+    /// (glitch proxy; zero when isolation is enabled).
+    pub glitch_hd: u32,
+}
+
+impl CycleActivity {
+    /// Number of registers clocked this cycle.
+    pub fn clocked_count(&self) -> u32 {
+        self.clocked_mask.count_ones()
+    }
+}
+
+/// A recorded window of cycle activity plus bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct ActivityTrace {
+    samples: Vec<CycleActivity>,
+}
+
+impl ActivityTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one cycle.
+    pub fn push(&mut self, a: CycleActivity) {
+        self.samples.push(a);
+    }
+
+    /// Recorded samples in cycle order.
+    pub fn samples(&self) -> &[CycleActivity] {
+        &self.samples
+    }
+
+    /// Number of recorded cycles.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total register-write Hamming distance over the window.
+    pub fn total_reg_hd(&self) -> u64 {
+        self.samples.iter().map(|s| s.reg_write_hd as u64).sum()
+    }
+
+    /// Total MALU transitions over the window.
+    pub fn total_malu_hd(&self) -> u64 {
+        self.samples.iter().map(|s| s.malu_hd as u64).sum()
+    }
+
+    /// Total mux-select toggles over the window.
+    pub fn total_mux_toggles(&self) -> u64 {
+        self.samples.iter().map(|s| s.mux_toggles as u64).sum()
+    }
+}
+
+/// Observers receive every executed cycle; implement on closures or
+/// collectors. A windowed collector keeps memory bounded during the
+/// 20 000-trace DPA campaigns.
+pub trait ActivityObserver {
+    /// Called once per executed clock cycle.
+    fn on_cycle(&mut self, activity: &CycleActivity);
+}
+
+impl<T: FnMut(&CycleActivity)> ActivityObserver for T {
+    fn on_cycle(&mut self, activity: &CycleActivity) {
+        self(activity)
+    }
+}
+
+/// Observer that discards everything (cycle counting only).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl ActivityObserver for NullObserver {
+    fn on_cycle(&mut self, _activity: &CycleActivity) {}
+}
+
+/// Observer recording only cycles in `[start, end)` — the attack window.
+#[derive(Debug, Clone)]
+pub struct WindowCollector {
+    start: u64,
+    end: u64,
+    trace: ActivityTrace,
+}
+
+impl WindowCollector {
+    /// Collect cycles with `start <= cycle < end`.
+    pub fn new(start: u64, end: u64) -> Self {
+        Self {
+            start,
+            end,
+            trace: ActivityTrace::new(),
+        }
+    }
+
+    /// The collected window.
+    pub fn into_trace(self) -> ActivityTrace {
+        self.trace
+    }
+}
+
+impl ActivityObserver for WindowCollector {
+    fn on_cycle(&mut self, activity: &CycleActivity) {
+        if activity.cycle >= self.start && activity.cycle < self.end {
+            self.trace.push(*activity);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_collector_bounds() {
+        let mut w = WindowCollector::new(2, 4);
+        for c in 0..6 {
+            w.on_cycle(&CycleActivity {
+                cycle: c,
+                reg_write_hd: 1,
+                ..Default::default()
+            });
+        }
+        let t = w.into_trace();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.samples()[0].cycle, 2);
+        assert_eq!(t.total_reg_hd(), 2);
+    }
+
+    #[test]
+    fn clocked_count_from_mask() {
+        let a = CycleActivity {
+            clocked_mask: 0b101001,
+            ..Default::default()
+        };
+        assert_eq!(a.clocked_count(), 3);
+    }
+
+    #[test]
+    fn trace_totals() {
+        let mut t = ActivityTrace::new();
+        assert!(t.is_empty());
+        t.push(CycleActivity {
+            mux_toggles: 164,
+            malu_hd: 5,
+            ..Default::default()
+        });
+        t.push(CycleActivity {
+            mux_toggles: 328,
+            malu_hd: 7,
+            ..Default::default()
+        });
+        assert_eq!(t.total_mux_toggles(), 492);
+        assert_eq!(t.total_malu_hd(), 12);
+    }
+}

@@ -1,0 +1,137 @@
+//! Gate-equivalent area model of the co-processor.
+//!
+//! Calibrated against the paper's §4 figure ("an ECC core uses about 12k
+//! gates", citing Lee et al. [10], whose architecture this simulator
+//! follows) and the usual standard-cell bookkeeping: a flip-flop ≈ 5.5
+//! GE/bit, XOR ≈ 2.5 GE, AND ≈ 1.33 GE, 2:1 mux ≈ 2.25 GE.
+
+use crate::activity::{MUX_FANOUT, NUM_REGS};
+use crate::config::{ClockGating, CoprocConfig, MuxEncoding};
+
+/// Gate-equivalent costs of standard cells (unit: 2-input NAND).
+pub mod ge {
+    /// D flip-flop per bit.
+    pub const FF: f64 = 5.5;
+    /// 2-input XOR.
+    pub const XOR: f64 = 2.5;
+    /// 2-input AND.
+    pub const AND: f64 = 1.33;
+    /// 2:1 multiplexer.
+    pub const MUX2: f64 = 2.25;
+}
+
+/// Area breakdown in gate equivalents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaReport {
+    /// Register file (six m-bit registers).
+    pub register_file: f64,
+    /// MALU: digit-parallel partial-product array, accumulator and
+    /// reduction network.
+    pub malu: f64,
+    /// Control unit, instruction sequencing, steering-select drivers.
+    pub control: f64,
+    /// Countermeasure overhead (encoding rails, isolation AND gates,
+    /// gating cells).
+    pub countermeasures: f64,
+}
+
+impl AreaReport {
+    /// Total area in gate equivalents.
+    pub fn total(&self) -> f64 {
+        self.register_file + self.malu + self.control + self.countermeasures
+    }
+}
+
+/// Estimate the co-processor area for field degree `m` under `config`.
+pub fn area(m: usize, config: &CoprocConfig) -> AreaReport {
+    let m = m as f64;
+    let d = config.digit_size as f64;
+
+    // Six m-bit registers plus the two operand latches.
+    let register_file = (NUM_REGS as f64) * m * ge::FF + 2.0 * m * ge::FF * 0.5;
+
+    // Digit-serial MALU (Sakiyama/Lee MALU structure, paper ref. [16]):
+    // d rows of m AND gates (partial products), d·m XOR accumulation,
+    // the m-bit accumulator register and the fixed sparse-reduction XORs.
+    let malu = d * m * (ge::AND + ge::XOR) + m * ge::FF + (d + 4.0) * 4.0 * ge::XOR;
+
+    // Control: FSM, program sequencing, operand-address decoding, and
+    // the steering network (MUX_FANOUT 2:1 muxes driven by the swap
+    // select).
+    let control = 900.0 + (MUX_FANOUT as f64) * ge::MUX2;
+
+    // Countermeasure cells.
+    let mut countermeasures = 0.0;
+    countermeasures += match config.mux_encoding {
+        MuxEncoding::SingleRail => 0.0,
+        // Complementary rail drivers along the select distribution.
+        MuxEncoding::DualRail => (MUX_FANOUT as f64) * 0.5,
+        // Rails + precharge devices.
+        MuxEncoding::DualRailRtz => (MUX_FANOUT as f64) * 0.9,
+    };
+    if config.operand_isolation {
+        // AND gates on both MALU operand buses.
+        countermeasures += 2.0 * m * ge::AND;
+    }
+    countermeasures += match config.clock_gating {
+        ClockGating::Ungated => 0.0,
+        ClockGating::Global => 20.0,
+        ClockGating::PerRegister => 20.0 * NUM_REGS as f64,
+    };
+
+    AreaReport {
+        register_file,
+        malu,
+        control,
+        countermeasures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_chip_lands_near_twelve_kilo_gates() {
+        let report = area(163, &CoprocConfig::paper_chip());
+        let total = report.total();
+        assert!(
+            (10_000.0..15_000.0).contains(&total),
+            "paper-config area {total:.0} GE outside the ~12 kGE band"
+        );
+    }
+
+    #[test]
+    fn area_grows_with_digit_size() {
+        let mut cfg = CoprocConfig::paper_chip();
+        let mut last = 0.0;
+        for d in [1usize, 2, 4, 8, 16, 32] {
+            cfg.digit_size = d;
+            let t = area(163, &cfg).total();
+            assert!(t > last, "area not monotone in digit size");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn countermeasures_cost_area() {
+        let protected = area(163, &CoprocConfig::paper_chip());
+        let mut naked = CoprocConfig::unprotected();
+        naked.digit_size = 4;
+        let unprotected = area(163, &naked);
+        assert!(
+            protected.total() > unprotected.total(),
+            "security must add area: {} vs {}",
+            protected.total(),
+            unprotected.total()
+        );
+    }
+
+    #[test]
+    fn register_file_dominates_at_small_digits() {
+        let mut cfg = CoprocConfig::paper_chip();
+        cfg.digit_size = 1;
+        let r = area(163, &cfg);
+        assert!(r.register_file > r.malu);
+    }
+}

@@ -1,0 +1,169 @@
+//! Co-processor configuration: the architecture- and circuit-level design
+//! choices the paper treats as security/power/area trade-offs.
+
+use serde::{Deserialize, Serialize};
+
+/// Encoding of the key-dependent multiplexer control signals (paper
+/// Fig. 3 and §6: "these signals have to be encoded in such a way that
+/// the corresponding hamming differences are constant").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum MuxEncoding {
+    /// One wire per select: transitions occur only when the select value
+    /// changes — the Hamming difference *is* the key-bit difference
+    /// (cheapest, SPA-leaky).
+    SingleRail,
+    /// Complementary wire pair (s, s̄): constant Hamming *weight*, but the
+    /// Hamming *difference* between consecutive values still depends on
+    /// the key (still leaky — a common false sense of security).
+    DualRail,
+    /// Complementary pair with return-to-zero precharge: every select
+    /// update costs exactly one falling and one rising transition
+    /// regardless of the data — constant Hamming difference, the paper's
+    /// balanced encoding. Costs one extra cycle per update.
+    #[default]
+    DualRailRtz,
+}
+
+impl MuxEncoding {
+    /// Extra cycles each control update takes (RTZ needs a precharge
+    /// phase).
+    pub fn cycles_per_update(self) -> u64 {
+        match self {
+            MuxEncoding::SingleRail | MuxEncoding::DualRail => 1,
+            MuxEncoding::DualRailRtz => 2,
+        }
+    }
+
+    /// Wire transitions caused by driving the select lines from
+    /// `prev` to `next`.
+    pub fn transitions(self, prev: bool, next: bool) -> u32 {
+        match self {
+            MuxEncoding::SingleRail => u32::from(prev != next),
+            MuxEncoding::DualRail => 2 * u32::from(prev != next),
+            // Precharge: the asserted rail falls; evaluate: one rail
+            // rises. Two transitions for every update, data-independent.
+            MuxEncoding::DualRailRtz => 2,
+        }
+    }
+}
+
+/// Clock-gating policy (paper §6: "avoid data-dependent clock-gating").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ClockGating {
+    /// Every register receives every clock edge: highest power, no
+    /// clock-tree leakage.
+    Ungated,
+    /// The whole register file is gated during MALU-internal cycles and
+    /// enabled on write cycles. Since the instruction schedule is
+    /// key-independent, this leaks nothing — the paper-recommended
+    /// compromise.
+    #[default]
+    Global,
+    /// Only the register actually written receives the edge: lowest
+    /// power, but "the mere fact that a different set of registers is
+    /// gated can be linked … directly or indirectly to the key" (§6).
+    PerRegister,
+}
+
+/// Ladder microprogram style (architecture-level choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum LadderStyle {
+    /// Fixed instruction sequence; key bits steer operands through the
+    /// multiplexer network (conditional-swap MPL). Combined with
+    /// [`MuxEncoding::DualRailRtz`] this is the paper's protected design.
+    #[default]
+    CswapMpl,
+    /// Branch on the key bit: the *same amount* of work (constant time)
+    /// but instruction register-addresses differ between the taken
+    /// branches — the control-signal pattern of Fig. 3 that enables SPA.
+    BranchedMpl,
+}
+
+/// Full co-processor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoprocConfig {
+    /// MALU digit size d (the paper's design sweep; d = 4 is the chip's
+    /// choice).
+    pub digit_size: usize,
+    /// Multiplexer-control encoding.
+    pub mux_encoding: MuxEncoding,
+    /// Clock-gating policy.
+    pub clock_gating: ClockGating,
+    /// AND-gate operand isolation at the datapath inputs (§6: "isolate
+    /// the inputs to the data-paths"). Disabling it adds data-dependent
+    /// spurious switching (glitches).
+    pub operand_isolation: bool,
+    /// Ladder microprogram style.
+    pub ladder_style: LadderStyle,
+}
+
+impl CoprocConfig {
+    /// The fabricated chip's configuration: 163×4 MALU, balanced RTZ
+    /// control encoding, global clock gating, operand isolation,
+    /// conditional-swap MPL.
+    pub fn paper_chip() -> Self {
+        Self {
+            digit_size: 4,
+            mux_encoding: MuxEncoding::DualRailRtz,
+            clock_gating: ClockGating::Global,
+            operand_isolation: true,
+            ladder_style: LadderStyle::CswapMpl,
+        }
+    }
+
+    /// A deliberately unprotected variant used as the attack baseline:
+    /// single-rail control, per-register gating, no operand isolation,
+    /// branched microcode.
+    pub fn unprotected() -> Self {
+        Self {
+            digit_size: 4,
+            mux_encoding: MuxEncoding::SingleRail,
+            clock_gating: ClockGating::PerRegister,
+            operand_isolation: false,
+            ladder_style: LadderStyle::BranchedMpl,
+        }
+    }
+}
+
+impl Default for CoprocConfig {
+    fn default() -> Self {
+        Self::paper_chip()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtz_transitions_are_constant() {
+        let e = MuxEncoding::DualRailRtz;
+        assert_eq!(e.transitions(false, false), 2);
+        assert_eq!(e.transitions(false, true), 2);
+        assert_eq!(e.transitions(true, false), 2);
+        assert_eq!(e.transitions(true, true), 2);
+    }
+
+    #[test]
+    fn single_rail_transitions_leak() {
+        let e = MuxEncoding::SingleRail;
+        assert_eq!(e.transitions(false, false), 0);
+        assert_eq!(e.transitions(false, true), 1);
+    }
+
+    #[test]
+    fn dual_rail_still_leaks_hamming_difference() {
+        let e = MuxEncoding::DualRail;
+        // Same-value updates are free, changes cost 2 — data-dependent.
+        assert_eq!(e.transitions(true, true), 0);
+        assert_eq!(e.transitions(true, false), 2);
+    }
+
+    #[test]
+    fn paper_chip_defaults() {
+        let c = CoprocConfig::paper_chip();
+        assert_eq!(c.digit_size, 4);
+        assert_eq!(c.mux_encoding, MuxEncoding::DualRailRtz);
+        assert_eq!(c, CoprocConfig::default());
+    }
+}

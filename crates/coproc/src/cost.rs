@@ -1,0 +1,160 @@
+//! Analytic cycle-cost models.
+//!
+//! Because every instruction executes in a fixed number of cycles and
+//! the microprogram schedule is key-independent, point-multiplication
+//! latency can be computed without simulation — this is what the
+//! protocol-level energy ledgers use. The unprotected double-and-add
+//! baseline, whose *schedule* depends on the key, is modeled here too
+//! (its timing is a pure schedule property), which is all the timing-
+//! attack experiment needs.
+
+use crate::config::CoprocConfig;
+use crate::isa::program_cycles;
+use crate::microcode::{affine_conversion_program, init_program, iteration_program};
+
+/// Cycle budget of a full MPL point multiplication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointMulCycles {
+    /// Initialization (load, randomize, first doubling).
+    pub init: u64,
+    /// One ladder iteration (identical for every bit by construction).
+    pub per_iteration: u64,
+    /// Number of iterations (`LADDER_BITS − 1`).
+    pub iterations: u64,
+    /// Affine conversion (two Itoh–Tsujii inversions).
+    pub conversion: u64,
+}
+
+impl PointMulCycles {
+    /// Total cycles.
+    pub fn total(&self) -> u64 {
+        self.init + self.per_iteration * self.iterations + self.conversion
+    }
+}
+
+/// Compute the MPL cycle budget for field degree `m` and a ladder of
+/// `ladder_bits` bits.
+pub fn point_mul_cycles(m: usize, ladder_bits: usize, config: &CoprocConfig) -> PointMulCycles {
+    let cswap = config.mux_encoding.cycles_per_update();
+    let d = config.digit_size;
+    let iter0 = program_cycles(&iteration_program(false, config.ladder_style), m, d, cswap);
+    let iter1 = program_cycles(&iteration_program(true, config.ladder_style), m, d, cswap);
+    debug_assert_eq!(iter0, iter1, "iteration cost must be key-independent");
+    PointMulCycles {
+        init: program_cycles(&init_program(), m, d, cswap),
+        per_iteration: iter1,
+        iterations: (ladder_bits - 1) as u64,
+        conversion: program_cycles(&affine_conversion_program(m), m, d, cswap),
+    }
+}
+
+/// Schedule-level cycle model of the unprotected affine double-and-add
+/// baseline (per key bit: one doubling; plus one addition when the bit
+/// is 1; each contains a field inversion because affine formulas divide).
+///
+/// Its running time varies with the key's Hamming weight and bit length —
+/// the timing side channel of Kocher's attack (paper §2/§7).
+pub fn double_and_add_cycles(key_bits: &[bool], m: usize, digit_size: usize) -> u64 {
+    let mul = m.div_ceil(digit_size) as u64;
+    // Itoh–Tsujii inversion: m−1 squarings + ~2·log2(m) multiplications,
+    // all on the MALU, plus the copy overhead (mirrors
+    // `affine_conversion_program` for a single leg).
+    let log2m = (usize::BITS - (m - 1).leading_zeros()) as u64;
+    let inversion = (m as u64 - 1 + 2 * log2m) * mul + log2m + 2;
+    // Affine double: λ = x + y/x → 1 inv + 2 mul + misc.
+    let double = inversion + 2 * mul + 6;
+    // Affine add: λ = (y1+y2)/(x1+x2) → 1 inv + 2 mul + misc.
+    let add = inversion + 2 * mul + 8;
+
+    let mut cycles = 0u64;
+    let mut started = false;
+    for &bit in key_bits {
+        if started {
+            cycles += double;
+        }
+        if bit {
+            if started {
+                cycles += add;
+            } else {
+                started = true; // first set bit just loads P
+                cycles += 4;
+            }
+        }
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LadderStyle, MuxEncoding};
+
+    #[test]
+    fn paper_chip_cycle_count_matches_throughput_claim() {
+        // Paper: 9.8 point multiplications per second at 847.5 kHz
+        // ⇒ ≈ 86 500 cycles per point multiplication. Our microcode
+        // must land in the same band (±20 %).
+        let c = point_mul_cycles(163, 164, &CoprocConfig::paper_chip());
+        let total = c.total() as f64;
+        assert!(
+            (69_000.0..104_000.0).contains(&total),
+            "cycle count {total} outside the paper's ~86.5k band"
+        );
+    }
+
+    #[test]
+    fn iteration_cost_scales_with_digit_size() {
+        let mut cfg = CoprocConfig::paper_chip();
+        cfg.digit_size = 1;
+        let d1 = point_mul_cycles(163, 164, &cfg).total();
+        cfg.digit_size = 8;
+        let d8 = point_mul_cycles(163, 164, &cfg).total();
+        assert!(d1 > 5 * d8, "d=1 should be far slower than d=8");
+    }
+
+    #[test]
+    fn rtz_encoding_costs_latency() {
+        let mut cfg = CoprocConfig::paper_chip();
+        cfg.mux_encoding = MuxEncoding::SingleRail;
+        let fast = point_mul_cycles(163, 164, &cfg).total();
+        cfg.mux_encoding = MuxEncoding::DualRailRtz;
+        let slow = point_mul_cycles(163, 164, &cfg).total();
+        assert!(slow > fast);
+        // ...but only marginally (two cswaps per iteration).
+        assert!(slow - fast == 2 * 163);
+    }
+
+    #[test]
+    fn branched_and_cswap_differ_only_by_cswap_cycles() {
+        let cfg = CoprocConfig::paper_chip();
+        let mut branched = cfg;
+        branched.ladder_style = LadderStyle::BranchedMpl;
+        let a = point_mul_cycles(163, 164, &cfg).per_iteration;
+        let b = point_mul_cycles(163, 164, &branched).per_iteration;
+        assert_eq!(a - b, 2 * cfg.mux_encoding.cycles_per_update());
+    }
+
+    #[test]
+    fn double_and_add_time_depends_on_hamming_weight() {
+        let m = 163;
+        let heavy: Vec<bool> = (0..163).map(|_| true).collect();
+        let light: Vec<bool> = (0..163).map(|i| i == 162).collect();
+        let t_heavy = double_and_add_cycles(&heavy, m, 4);
+        let t_light = double_and_add_cycles(&light, m, 4);
+        assert!(
+            t_heavy > t_light + 100_000,
+            "timing must separate HW extremes: {t_heavy} vs {t_light}"
+        );
+    }
+
+    #[test]
+    fn double_and_add_is_slower_than_the_ladder() {
+        // The protected design is *also* the faster one — projective
+        // coordinates avoid per-bit inversions. Security and performance
+        // align here, which is exactly why the paper's chip uses MPL.
+        let bits: Vec<bool> = (0..163).map(|i| i % 2 == 0).collect();
+        let da = double_and_add_cycles(&bits, 163, 4);
+        let mpl = point_mul_cycles(163, 164, &CoprocConfig::paper_chip()).total();
+        assert!(da > 3 * mpl, "expected D&A ≫ MPL, got {da} vs {mpl}");
+    }
+}

@@ -1,0 +1,206 @@
+//! The co-processor's instruction set.
+//!
+//! The paper's architecture level mandates that "sensitive data should
+//! appear only on the internal data-bus, and should not be available
+//! through the instruction set … a procedure that reads the secret key
+//! from the memory and sends it to the output should not be programmable
+//! with the given instructions" (§5). Accordingly: the ISA has **no**
+//! instruction that exports a register — results leave through the
+//! dedicated output latch of [`crate::Coproc::read_result`], the key
+//! never enters the register file at all (it only steers the control
+//! unit), and every instruction executes in a fixed, data-independent
+//! number of cycles.
+
+use core::fmt;
+
+/// An architectural register name (the six 163-bit registers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(pub(crate) u8);
+
+impl Reg {
+    /// X-coordinate of the ladder leg S0.
+    pub const X1: Reg = Reg(0);
+    /// Z-coordinate of the ladder leg S0.
+    pub const Z1: Reg = Reg(1);
+    /// X-coordinate of the ladder leg S1.
+    pub const X2: Reg = Reg(2);
+    /// Z-coordinate of the ladder leg S1.
+    pub const Z2: Reg = Reg(3);
+    /// Scratch register.
+    pub const T: Reg = Reg(4);
+    /// Holds the base-point x-coordinate for the whole run.
+    pub const XP: Reg = Reg(5);
+
+    /// Register index (0..6).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = ["X1", "Z1", "X2", "Z2", "T", "XP"];
+        write!(f, "{}", names.get(self.index()).unwrap_or(&"R?"))
+    }
+}
+
+/// External operand ports (input latches written by the host MCU before
+/// the run; not part of the register file).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperandSlot {
+    /// x(P), the base-point x-coordinate.
+    BaseX,
+    /// The projective-coordinate blinding value r (Algorithm 1's
+    /// randomization; supplied by the on-chip RNG).
+    Blind,
+}
+
+/// One co-processor instruction.
+///
+/// Cycle costs (at digit size d over F(2^m)):
+///
+/// | instruction | cycles |
+/// |---|---|
+/// | `Mul` | ceil(m/d) + 1 (write-back) |
+/// | `Add`, `Copy`, `Load` | 1 |
+/// | `CSwap` | 1 (2 with RTZ control encoding) |
+///
+/// The extra `Mul` cycle is the accumulator→register write-back stage;
+/// real MALUs pipeline it, and it keeps the destination write (the DPA-
+/// relevant event) in its own clock cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `dst ← a · b` in F(2^m) via the digit-serial MALU. Squaring is
+    /// `Mul` with `a == b` (the MALU has no dedicated squarer, matching
+    /// the paper's minimal-area datapath).
+    Mul {
+        /// Destination register.
+        dst: Reg,
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+    },
+    /// `dst ← a ⊕ b` (field addition is carry-free XOR).
+    Add {
+        /// Destination register.
+        dst: Reg,
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+    },
+    /// `dst ← src`.
+    Copy {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst ← port` (input latch).
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Source port.
+        slot: OperandSlot,
+    },
+    /// Conditional swap of the logical pairs (X1,X2) and (Z1,Z2) through
+    /// the steering-mux network. The select value is a key-derived wire;
+    /// its transitions are what Fig. 3's encoding discussion is about.
+    CSwap {
+        /// Select value for this update.
+        sel: bool,
+    },
+}
+
+impl Instr {
+    /// Clock cycles this instruction takes at field degree `m`, digit
+    /// size `digit`, and `cswap_cycles` per control update.
+    pub fn cycles(&self, m: usize, digit: usize, cswap_cycles: u64) -> u64 {
+        match self {
+            Instr::Mul { .. } => m.div_ceil(digit) as u64 + 1,
+            Instr::CSwap { .. } => cswap_cycles,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Mul { dst, a, b } if a == b => write!(f, "SQR  {dst} <- {a}^2"),
+            Instr::Mul { dst, a, b } => write!(f, "MUL  {dst} <- {a}*{b}"),
+            Instr::Add { dst, a, b } => write!(f, "ADD  {dst} <- {a}+{b}"),
+            Instr::Copy { dst, src } => write!(f, "MOV  {dst} <- {src}"),
+            Instr::Load { dst, slot } => write!(f, "LD   {dst} <- {slot:?}"),
+            Instr::CSwap { sel } => write!(f, "CSW  sel={}", u8::from(*sel)),
+        }
+    }
+}
+
+/// Count the cycles a program takes under a given digit size and control
+/// encoding — the analytic cost model used by the protocol-level energy
+/// ledgers (no simulation needed; the schedule is data-independent by
+/// construction).
+pub fn program_cycles(
+    program: &[Instr],
+    m: usize,
+    digit_size: usize,
+    cswap_cycles: u64,
+) -> u64 {
+    program
+        .iter()
+        .map(|i| i.cycles(m, digit_size, cswap_cycles))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_names_render() {
+        assert_eq!(format!("{}", Reg::X1), "X1");
+        assert_eq!(format!("{}", Reg::XP), "XP");
+    }
+
+    #[test]
+    fn display_distinguishes_square() {
+        let sq = Instr::Mul {
+            dst: Reg::T,
+            a: Reg::X1,
+            b: Reg::X1,
+        };
+        assert!(format!("{sq}").starts_with("SQR"));
+        let mul = Instr::Mul {
+            dst: Reg::T,
+            a: Reg::X1,
+            b: Reg::Z1,
+        };
+        assert!(format!("{mul}").starts_with("MUL"));
+    }
+
+    #[test]
+    fn cycle_counting() {
+        let prog = [
+            Instr::Load {
+                dst: Reg::XP,
+                slot: OperandSlot::BaseX,
+            },
+            Instr::Mul {
+                dst: Reg::X1,
+                a: Reg::XP,
+                b: Reg::Z1,
+            },
+            Instr::CSwap { sel: true },
+            Instr::Add {
+                dst: Reg::X1,
+                a: Reg::X1,
+                b: Reg::T,
+            },
+        ];
+        // m=163, d=4: mul = 41 + 1 write-back; cswap 2 (RTZ); 1 each
+        // for load/add.
+        assert_eq!(program_cycles(&prog, 163, 4, 2), 1 + 42 + 2 + 1);
+    }
+}

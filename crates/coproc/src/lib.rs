@@ -1,0 +1,45 @@
+//! Cycle-accurate simulator of the paper's low-energy ECC co-processor.
+//!
+//! This crate is the **architecture level** of the security pyramid
+//! (paper §5): a programmable co-processor with six 163-bit registers, a
+//! digit-serial MALU (163×d), a steering-multiplexer conditional swap,
+//! and configurable circuit-level countermeasures. It substitutes for
+//! the UMC 0.13 µm prototype chip (see DESIGN.md §2): cycle counts are
+//! exact schedule properties; switching activity (Hamming distances of
+//! registers, buses, accumulator, control wires) feeds the
+//! `medsec-power` model that converts it to power traces.
+//!
+//! # Example
+//!
+//! ```
+//! use medsec_coproc::{microcode, Coproc, CoprocConfig, NullObserver};
+//! use medsec_ec::{CurveSpec, Scalar, K163};
+//! use medsec_gf2m::Element;
+//!
+//! let mut core = Coproc::<K163>::new(CoprocConfig::paper_chip());
+//! let k = Scalar::from_u64(123456789);
+//! let px = K163::generator().x().unwrap();
+//! let res = microcode::run_point_mul(&mut core, &k, px, Element::one(), &mut NullObserver);
+//! assert!(res.cycles > 60_000); // ≈ 86.5k cycles at d = 4
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+mod area;
+mod config;
+mod core;
+mod isa;
+
+pub mod cost;
+pub mod microcode;
+
+pub use crate::core::{Coproc, FaultSpec};
+pub use activity::{
+    ActivityObserver, ActivityTrace, CycleActivity, NullObserver, WindowCollector, MUX_FANOUT,
+    NUM_REGS,
+};
+pub use area::{area, ge, AreaReport};
+pub use config::{ClockGating, CoprocConfig, LadderStyle, MuxEncoding};
+pub use isa::{program_cycles, Instr, OperandSlot, Reg};

@@ -1,0 +1,438 @@
+//! Microprograms: Algorithm 1 (MPL point multiplication) as instruction
+//! sequences, plus the Itoh–Tsujii affine conversion.
+//!
+//! Two ladder styles are generated:
+//!
+//! * [`LadderStyle::CswapMpl`] — one *fixed* madd/mdouble instruction
+//!   block per iteration; key bits only drive the steering-mux select.
+//! * [`LadderStyle::BranchedMpl`] — the same work but with the register
+//!   roles of the two ladder legs swapped textually between the `k=1`
+//!   and `k=0` bodies of Algorithm 1. Constant-time, yet the control
+//!   signals (register addresses, per-register clock enables) differ per
+//!   key bit — the SPA hazard of Fig. 3.
+
+use medsec_ec::{CurveSpec, Scalar};
+use medsec_gf2m::{Element, FieldSpec};
+
+use crate::activity::ActivityObserver;
+use crate::config::LadderStyle;
+use crate::core::Coproc;
+use crate::isa::{Instr, OperandSlot, Reg};
+
+/// Initialization: `R ← (x·r, r)` (projective randomization) and
+/// `Q ← 2·P`.
+pub fn init_program() -> Vec<Instr> {
+    let mut p = vec![
+        Instr::Load {
+            dst: Reg::XP,
+            slot: OperandSlot::BaseX,
+        },
+        Instr::Load {
+            dst: Reg::Z1,
+            slot: OperandSlot::Blind,
+        },
+        Instr::Mul {
+            dst: Reg::X1,
+            a: Reg::XP,
+            b: Reg::Z1,
+        },
+        Instr::Copy {
+            dst: Reg::X2,
+            src: Reg::X1,
+        },
+        Instr::Copy {
+            dst: Reg::Z2,
+            src: Reg::Z1,
+        },
+    ];
+    p.extend(mdouble_block(Leg::S1));
+    p
+}
+
+/// Which ladder leg a block operates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Leg {
+    S0,
+    S1,
+}
+
+fn leg_regs(leg: Leg) -> (Reg, Reg, Reg, Reg) {
+    // (X_self, Z_self, X_other, Z_other)
+    match leg {
+        Leg::S0 => (Reg::X1, Reg::Z1, Reg::X2, Reg::Z2),
+        Leg::S1 => (Reg::X2, Reg::Z2, Reg::X1, Reg::Z1),
+    }
+}
+
+/// Differential addition into `leg`: (X,Z) ← x(self + other), using the
+/// invariant that the affine difference of the legs is the base point.
+fn madd_block(leg: Leg) -> Vec<Instr> {
+    let (x, z, xo, zo) = leg_regs(leg);
+    vec![
+        Instr::Mul { dst: x, a: x, b: zo },  // A = X_self · Z_other
+        Instr::Mul { dst: z, a: xo, b: z },  // B = X_other · Z_self
+        Instr::Mul { dst: Reg::T, a: x, b: z }, // A·B
+        Instr::Add { dst: z, a: x, b: z },   // A + B
+        Instr::Mul { dst: z, a: z, b: z },   // Z' = (A+B)²
+        Instr::Mul { dst: x, a: Reg::XP, b: z }, // x·Z'
+        Instr::Add { dst: x, a: x, b: Reg::T }, // X' = x·Z' + A·B
+    ]
+}
+
+/// Projective doubling of `leg` (Koblitz b = 1):
+/// X ← X⁴ + Z⁴, Z ← X²·Z².
+fn mdouble_block(leg: Leg) -> Vec<Instr> {
+    let (x, z, _, _) = leg_regs(leg);
+    vec![
+        Instr::Mul { dst: x, a: x, b: x },      // X²
+        Instr::Mul { dst: z, a: z, b: z },      // Z²
+        Instr::Mul { dst: Reg::T, a: x, b: z }, // X²Z² = Z_new
+        Instr::Mul { dst: x, a: x, b: x },      // X⁴
+        Instr::Mul { dst: z, a: z, b: z },      // Z⁴
+        Instr::Add { dst: x, a: x, b: z },      // X⁴ + Z⁴ (b = 1)
+        Instr::Copy { dst: z, src: Reg::T },
+    ]
+}
+
+/// One ladder iteration for key bit `bit`.
+pub fn iteration_program(bit: bool, style: LadderStyle) -> Vec<Instr> {
+    match style {
+        LadderStyle::CswapMpl => {
+            // Steer so the fixed block "madd→S0, mdouble→S1" realizes
+            // the bit's data flow, then release the steering.
+            let mut p = vec![Instr::CSwap { sel: !bit }];
+            p.extend(madd_block(Leg::S0));
+            p.extend(mdouble_block(Leg::S1));
+            p.push(Instr::CSwap { sel: false });
+            p
+        }
+        LadderStyle::BranchedMpl => {
+            // Textual branches of Algorithm 1: same instruction count,
+            // different register addresses.
+            let mut p = Vec::new();
+            if bit {
+                p.extend(madd_block(Leg::S0));
+                p.extend(mdouble_block(Leg::S1));
+            } else {
+                p.extend(madd_block(Leg::S1));
+                p.extend(mdouble_block(Leg::S0));
+            }
+            p
+        }
+    }
+}
+
+/// Itoh–Tsujii inversion of register `z`, then `x ← x · z⁻¹`, using
+/// `T` and `XP` as scratch (both dead after the ladder). Emits
+/// m−1 squarings and O(log m) multiplications, all on the MALU — the
+/// hardware has no divider, exactly like the paper's chip.
+fn affine_leg_program(m: usize, x: Reg, z: Reg) -> Vec<Instr> {
+    let mut p = vec![Instr::Copy { dst: Reg::XP, src: z }]; // keep a
+    let e = m - 1;
+    let bits = usize::BITS - e.leading_zeros();
+    let mut ecov = 1usize;
+    for i in (0..bits - 1).rev() {
+        // t2 = z^(2^ecov) into T, then z ← z · t2.
+        p.push(Instr::Copy { dst: Reg::T, src: z });
+        for _ in 0..ecov {
+            p.push(Instr::Mul {
+                dst: Reg::T,
+                a: Reg::T,
+                b: Reg::T,
+            });
+        }
+        p.push(Instr::Mul { dst: z, a: z, b: Reg::T });
+        ecov *= 2;
+        if (e >> i) & 1 == 1 {
+            p.push(Instr::Mul { dst: z, a: z, b: z });
+            p.push(Instr::Mul { dst: z, a: z, b: Reg::XP });
+            ecov += 1;
+        }
+    }
+    debug_assert_eq!(ecov, e);
+    // z = a^(2^(m-1)-1); square once for the inverse, then normalize x.
+    p.push(Instr::Mul { dst: z, a: z, b: z });
+    p.push(Instr::Mul { dst: x, a: x, b: z });
+    p
+}
+
+/// Convert both projective legs to affine x-coordinates (results in
+/// X1 and X2).
+pub fn affine_conversion_program(m: usize) -> Vec<Instr> {
+    let mut p = affine_leg_program(m, Reg::X1, Reg::Z1);
+    p.extend(affine_leg_program(m, Reg::X2, Reg::Z2));
+    p
+}
+
+/// Result of a co-processor point multiplication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointMulResult<C: CurveSpec> {
+    /// Affine x(k·P).
+    pub x1: Element<C::Field>,
+    /// Affine x((k+1)·P) — needed by the host for y-recovery.
+    pub x2: Element<C::Field>,
+    /// Total clock cycles consumed.
+    pub cycles: u64,
+}
+
+/// Run a full point multiplication (init, all iterations, affine
+/// conversion) on the core.
+///
+/// `blind` is the projective randomization value r; pass
+/// `Element::one()` to model the disabled countermeasure.
+///
+/// # Panics
+///
+/// Panics if `blind` is zero (a zero Z would collapse the ladder).
+pub fn run_point_mul<C: CurveSpec>(
+    core: &mut Coproc<C>,
+    k: &Scalar<C>,
+    px: Element<C::Field>,
+    blind: Element<C::Field>,
+    observer: &mut impl ActivityObserver,
+) -> PointMulResult<C> {
+    run_point_mul_partial(core, k, px, blind, usize::MAX, true, observer)
+}
+
+/// Run only the first `max_iterations` ladder iterations (for windowed
+/// side-channel acquisition); affine conversion is performed only when
+/// `convert` is set.
+pub fn run_point_mul_partial<C: CurveSpec>(
+    core: &mut Coproc<C>,
+    k: &Scalar<C>,
+    px: Element<C::Field>,
+    blind: Element<C::Field>,
+    max_iterations: usize,
+    convert: bool,
+    observer: &mut impl ActivityObserver,
+) -> PointMulResult<C> {
+    assert!(!blind.is_zero(), "projective blinding value must be nonzero");
+    let style = core.config().ladder_style;
+    core.reset();
+    core.set_operand(OperandSlot::BaseX, px);
+    core.set_operand(OperandSlot::Blind, blind);
+    core.execute(&init_program(), observer);
+    let bits = k.ladder_bits();
+    for &bit in bits[1..].iter().take(max_iterations) {
+        core.execute(&iteration_program(bit, style), observer);
+    }
+    if convert {
+        core.execute(&affine_conversion_program(C::Field::M), observer);
+    }
+    let (x1, z1, x2, z2) = core.read_result();
+    let _ = (z1, z2);
+    PointMulResult {
+        x1,
+        x2,
+        cycles: core.cycle(),
+    }
+}
+
+/// Software register-state model of the ladder — what an attacker (or a
+/// verification test) computes to predict intermediates. Entry 0 is the
+/// post-init state; entry j is the state after iteration j.
+///
+/// This is the "model prediction" half of the paper's Fig. 4 workflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LadderRegs<F: FieldSpec> {
+    /// X1 register (logical).
+    pub x1: Element<F>,
+    /// Z1 register (logical).
+    pub z1: Element<F>,
+    /// X2 register (logical).
+    pub x2: Element<F>,
+    /// Z2 register (logical).
+    pub z2: Element<F>,
+}
+
+/// Compute the logical register states after init and after each of the
+/// first `n_iters` iterations, given the key's ladder bits (MSB-first,
+/// `bits[0]` is the implicit leading 1).
+pub fn ladder_states<F: FieldSpec>(
+    px: Element<F>,
+    blind: Element<F>,
+    bits: &[bool],
+    n_iters: usize,
+) -> Vec<LadderRegs<F>> {
+    let mut x1 = px * blind;
+    let mut z1 = blind;
+    // Q = 2P on (X2, Z2).
+    let x1sq = x1.square();
+    let z1sq = z1.square();
+    let mut x2 = x1sq.square() + z1sq.square();
+    let mut z2 = x1sq * z1sq;
+    let mut out = vec![LadderRegs { x1, z1, x2, z2 }];
+    for &bit in bits[1..].iter().take(n_iters) {
+        let (sx, sz, ox, oz) = if bit {
+            (&mut x1, &mut z1, &mut x2, &mut z2)
+        } else {
+            (&mut x2, &mut z2, &mut x1, &mut z1)
+        };
+        // madd into (sx, sz) reading (ox, oz).
+        let a = *sx * *oz;
+        let b = *ox * *sz;
+        let znew = (a + b).square();
+        *sx = px * znew + a * b;
+        *sz = znew;
+        // mdouble the other leg.
+        let xs = ox.square();
+        let zs = oz.square();
+        *ox = xs.square() + zs.square();
+        *oz = xs * zs;
+        out.push(LadderRegs { x1, z1, x2, z2 });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::NullObserver;
+    use crate::config::CoprocConfig;
+    use medsec_ec::ladder::{ladder_x_affine, ladder_x_only, CoordinateBlinding, LadderState};
+    use medsec_ec::{Toy17, K163};
+    use medsec_rng::SplitMix64;
+
+    #[test]
+    fn coproc_matches_software_ladder_toy() {
+        let mut rng = SplitMix64::new(50);
+        let mut core = Coproc::<Toy17>::new(CoprocConfig::paper_chip());
+        let g = Toy17::generator();
+        let px = g.x().unwrap();
+        for _ in 0..24 {
+            let k = Scalar::<Toy17>::random_nonzero(rng.as_fn());
+            let blind = nonzero_elem(&mut rng);
+            let res = run_point_mul(&mut core, &k, px, blind, &mut NullObserver);
+            let sw = ladder_x_only::<Toy17>(&k, px, CoordinateBlinding::Disabled, rng.as_fn());
+            let expect = ladder_x_affine(&sw).expect("nonzero z");
+            assert_eq!(res.x1, expect);
+        }
+    }
+
+    #[test]
+    fn coproc_matches_software_ladder_k163() {
+        let mut rng = SplitMix64::new(51);
+        let mut core = Coproc::<K163>::new(CoprocConfig::paper_chip());
+        let g = K163::generator();
+        let px = g.x().unwrap();
+        let k = Scalar::<K163>::random_nonzero(rng.as_fn());
+        let blind = nonzero_elem(&mut rng);
+        let res = run_point_mul(&mut core, &k, px, blind, &mut NullObserver);
+        let sw = ladder_x_only::<K163>(&k, px, CoordinateBlinding::Disabled, rng.as_fn());
+        assert_eq!(res.x1, ladder_x_affine(&sw).unwrap());
+        // x2 must be the affine x of the second leg.
+        let x2_sw = sw.x2 * sw.z2.inverse().unwrap();
+        assert_eq!(res.x2, x2_sw);
+    }
+
+    #[test]
+    fn branched_and_cswap_styles_agree() {
+        let mut rng = SplitMix64::new(52);
+        let px = Toy17::generator().x().unwrap();
+        let k = Scalar::<Toy17>::random_nonzero(rng.as_fn());
+        let blind = nonzero_elem(&mut rng);
+
+        let mut cswap_core = Coproc::<Toy17>::new(CoprocConfig::paper_chip());
+        let r1 = run_point_mul(&mut cswap_core, &k, px, blind, &mut NullObserver);
+
+        let mut branched_core = Coproc::<Toy17>::new(CoprocConfig::unprotected());
+        let r2 = run_point_mul(&mut branched_core, &k, px, blind, &mut NullObserver);
+
+        assert_eq!(r1.x1, r2.x1);
+        assert_eq!(r1.x2, r2.x2);
+    }
+
+    #[test]
+    fn blinding_does_not_change_result() {
+        let mut rng = SplitMix64::new(53);
+        let px = Toy17::generator().x().unwrap();
+        let k = Scalar::<Toy17>::random_nonzero(rng.as_fn());
+        let mut core = Coproc::<Toy17>::new(CoprocConfig::paper_chip());
+        let plain = run_point_mul(&mut core, &k, px, Element::one(), &mut NullObserver);
+        let blinded = run_point_mul(&mut core, &k, px, nonzero_elem(&mut rng), &mut NullObserver);
+        assert_eq!(plain.x1, blinded.x1);
+    }
+
+    #[test]
+    fn cycle_count_is_key_independent() {
+        let mut rng = SplitMix64::new(54);
+        let px = Toy17::generator().x().unwrap();
+        for style in [LadderStyle::CswapMpl, LadderStyle::BranchedMpl] {
+            let mut cfg = CoprocConfig::paper_chip();
+            cfg.ladder_style = style;
+            let mut core = Coproc::<Toy17>::new(cfg);
+            let mut counts = Vec::new();
+            for _ in 0..8 {
+                let k = Scalar::<Toy17>::random_nonzero(rng.as_fn());
+                let res = run_point_mul(&mut core, &k, px, Element::one(), &mut NullObserver);
+                counts.push(res.cycles);
+            }
+            assert!(
+                counts.iter().all(|&c| c == counts[0]),
+                "{style:?} cycle counts vary: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn software_model_matches_hardware_states() {
+        let mut rng = SplitMix64::new(55);
+        let px = Toy17::generator().x().unwrap();
+        let k = Scalar::<Toy17>::random_nonzero(rng.as_fn());
+        let blind = nonzero_elem(&mut rng);
+        let bits = k.ladder_bits();
+        let states = ladder_states(px, blind, &bits, 4);
+
+        let mut core = Coproc::<Toy17>::new(CoprocConfig::paper_chip());
+        for (j, expect) in states.iter().enumerate() {
+            let res = run_point_mul_partial(
+                &mut core,
+                &k,
+                px,
+                blind,
+                j,
+                false,
+                &mut NullObserver,
+            );
+            let _ = res;
+            let (x1, z1, x2, z2) = core.read_result();
+            assert_eq!(
+                (x1, z1, x2, z2),
+                (expect.x1, expect.z1, expect.x2, expect.z2),
+                "state mismatch after {j} iterations"
+            );
+        }
+    }
+
+    #[test]
+    fn software_model_reaches_correct_endpoint() {
+        let mut rng = SplitMix64::new(56);
+        let px = K163::generator().x().unwrap();
+        let k = Scalar::<K163>::random_nonzero(rng.as_fn());
+        let bits = k.ladder_bits();
+        let states = ladder_states(px, Element::one(), &bits, bits.len() - 1);
+        let last = states.last().unwrap();
+        let sw: LadderState<K163> =
+            ladder_x_only::<K163>(&k, px, CoordinateBlinding::Disabled, rng.as_fn());
+        assert_eq!(last.x1 * sw.z1, sw.x1 * last.z1, "projectively unequal");
+    }
+
+    #[test]
+    fn iteration_programs_have_equal_length_across_bits() {
+        for style in [LadderStyle::CswapMpl, LadderStyle::BranchedMpl] {
+            assert_eq!(
+                iteration_program(false, style).len(),
+                iteration_program(true, style).len()
+            );
+        }
+    }
+
+    fn nonzero_elem<F: FieldSpec>(rng: &mut SplitMix64) -> Element<F> {
+        loop {
+            let e = Element::random(rng.as_fn());
+            if !e.is_zero() {
+                return e;
+            }
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Design-space exploration: "security adds an extra design dimension".
+//!
+//! The paper's architecture level (§5) explores
+//! area × latency × power × energy × security. This module sweeps the
+//! co-processor generator over digit sizes, control encodings, gating
+//! policies, ladder styles and logic styles, evaluates every point with
+//! the calibrated models, and applies the paper's feasibility
+//! constraints:
+//!
+//! * a **latency budget** (a pacemaker session must finish promptly),
+//! * a **power envelope** (passively powered / µW-class supply — the
+//!   hard constraint of RFID-class devices),
+//!
+//! then ranks feasible points by the **area–energy product**, the §5
+//! objective. With the calibrated models, the paper's 163×4 choice
+//! falls out: d ≤ 2 misses the latency budget, d ≥ 8 blows the power
+//! envelope.
+
+use medsec_coproc::{
+    area, cost, ClockGating, CoprocConfig, LadderStyle, MuxEncoding,
+};
+use medsec_ec::CurveSpec;
+use medsec_gf2m::FieldSpec;
+use medsec_power::{nominal_cycle_energy, LogicStyle, PowerModel, Technology};
+use serde::{Deserialize, Serialize};
+
+/// Security grade of a design point against the paper's three
+/// implementation attacks (protocol-level threats are orthogonal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecurityGrade {
+    /// Resistant to timing analysis.
+    pub timing: bool,
+    /// Resistant to SPA (control-path leakage).
+    pub spa: bool,
+    /// Resistant to DPA *when coordinate randomization is active*
+    /// (circuit-level hardening: isolation / dual-rail).
+    pub dpa_hardened: bool,
+}
+
+impl SecurityGrade {
+    /// Number of attack classes resisted (0–3).
+    pub fn score(&self) -> u32 {
+        u32::from(self.timing) + u32::from(self.spa) + u32::from(self.dpa_hardened)
+    }
+}
+
+/// One evaluated point of the design space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Co-processor configuration.
+    pub digit_size: usize,
+    /// Control-signal encoding.
+    pub mux_encoding: MuxEncoding,
+    /// Clock gating policy.
+    pub clock_gating: ClockGating,
+    /// Operand isolation.
+    pub operand_isolation: bool,
+    /// Ladder microprogram style.
+    pub ladder_style: LadderStyle,
+    /// Secure-zone logic style.
+    pub logic_style: LogicStyle,
+    /// Area in gate equivalents (logic-style factored).
+    pub area_ge: f64,
+    /// Point-multiplication latency in cycles.
+    pub cycles: u64,
+    /// Latency in seconds at the technology clock.
+    pub latency_s: f64,
+    /// Average power in watts.
+    pub power_w: f64,
+    /// Energy per point multiplication in joules.
+    pub energy_j: f64,
+    /// Security grade.
+    pub security: SecurityGrade,
+}
+
+impl DesignPoint {
+    /// The §5 objective: area–energy product (GE·µJ).
+    pub fn area_energy_product(&self) -> f64 {
+        self.area_ge * self.energy_j * 1e6
+    }
+}
+
+/// Feasibility constraints of the target application.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Constraints {
+    /// Maximum point-multiplication latency in seconds.
+    pub max_latency_s: f64,
+    /// Maximum average power in watts (harvested/battery µW budget).
+    pub max_power_w: f64,
+    /// Minimum security score (0–3).
+    pub min_security: u32,
+}
+
+impl Constraints {
+    /// The implantable/RFID envelope implied by the paper's operating
+    /// point (102 ms, 50.4 µW): ~25 % headroom on both axes, and all
+    /// three implementation attacks resisted.
+    pub fn implant_default() -> Self {
+        Self {
+            max_latency_s: 0.130,
+            max_power_w: 65.0e-6,
+            min_security: 3,
+        }
+    }
+
+    /// Whether a point satisfies the constraints.
+    pub fn admits(&self, p: &DesignPoint) -> bool {
+        p.latency_s <= self.max_latency_s
+            && p.power_w <= self.max_power_w
+            && p.security.score() >= self.min_security
+    }
+}
+
+/// Evaluate one configuration into a design point.
+pub fn evaluate_point<C: CurveSpec>(
+    config: &CoprocConfig,
+    style: LogicStyle,
+    technology: &Technology,
+) -> DesignPoint {
+    let m = C::Field::M;
+    let model = PowerModel {
+        technology: technology.clone(),
+        style,
+    };
+    let cycles = cost::point_mul_cycles(m, C::LADDER_BITS, config).total();
+    let e_cycle = nominal_cycle_energy(&model, m, config.digit_size);
+    let energy_j = cycles as f64 * e_cycle;
+    let latency_s = cycles as f64 / technology.clock_hz;
+    let area_ge = area(m, config).total() * style.area_factor();
+
+    let security = SecurityGrade {
+        // MPL + constant-cycle ISA: both ladder styles are constant-time.
+        timing: true,
+        // SPA needs balanced select encoding AND no per-register gating.
+        spa: config.mux_encoding == MuxEncoding::DualRailRtz
+            && config.clock_gating != ClockGating::PerRegister
+            && config.ladder_style == LadderStyle::CswapMpl,
+        // DPA hardening at the circuit level: isolation or a dual-rail
+        // style (the algorithmic blinding is a runtime choice on top).
+        dpa_hardened: config.operand_isolation || style != LogicStyle::StandardCell,
+    };
+
+    DesignPoint {
+        digit_size: config.digit_size,
+        mux_encoding: config.mux_encoding,
+        clock_gating: config.clock_gating,
+        operand_isolation: config.operand_isolation,
+        ladder_style: config.ladder_style,
+        logic_style: style,
+        area_ge,
+        cycles,
+        latency_s,
+        power_w: energy_j / latency_s,
+        energy_j,
+        security,
+    }
+}
+
+/// Sweep the full generator space.
+pub fn sweep<C: CurveSpec>(technology: &Technology) -> Vec<DesignPoint> {
+    let mut out = Vec::new();
+    for &digit_size in medsec_gf2m::digit_serial::SUPPORTED_DIGITS {
+        for mux_encoding in [
+            MuxEncoding::SingleRail,
+            MuxEncoding::DualRail,
+            MuxEncoding::DualRailRtz,
+        ] {
+            for clock_gating in [
+                ClockGating::Ungated,
+                ClockGating::Global,
+                ClockGating::PerRegister,
+            ] {
+                for operand_isolation in [false, true] {
+                    for ladder_style in [LadderStyle::CswapMpl, LadderStyle::BranchedMpl] {
+                        for logic_style in
+                            [LogicStyle::StandardCell, LogicStyle::Wddl, LogicStyle::Sabl]
+                        {
+                            let config = CoprocConfig {
+                                digit_size,
+                                mux_encoding,
+                                clock_gating,
+                                operand_isolation,
+                                ladder_style,
+                            };
+                            out.push(evaluate_point::<C>(&config, logic_style, technology));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Restrict to feasible points and sort by the area–energy objective.
+pub fn feasible_ranked(points: &[DesignPoint], constraints: &Constraints) -> Vec<DesignPoint> {
+    let mut feasible: Vec<DesignPoint> = points
+        .iter()
+        .filter(|p| constraints.admits(p))
+        .cloned()
+        .collect();
+    feasible.sort_by(|a, b| {
+        a.area_energy_product()
+            .partial_cmp(&b.area_energy_product())
+            .expect("finite objectives")
+    });
+    feasible
+}
+
+/// Pareto front over (area, energy, −security): points not dominated in
+/// all three dimensions.
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let dominates = |a: &DesignPoint, b: &DesignPoint| {
+        let better_eq = a.area_ge <= b.area_ge
+            && a.energy_j <= b.energy_j
+            && a.security.score() >= b.security.score();
+        let strictly = a.area_ge < b.area_ge
+            || a.energy_j < b.energy_j
+            || a.security.score() > b.security.score();
+        better_eq && strictly
+    };
+    points
+        .iter()
+        .filter(|p| !points.iter().any(|q| dominates(q, p)))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsec_ec::K163;
+
+    fn tech() -> Technology {
+        Technology::umc130_low_leakage()
+    }
+
+    #[test]
+    fn sweep_covers_the_generator_space() {
+        let points = sweep::<K163>(&tech());
+        // 6 digits × 3 encodings × 3 gatings × 2 isolation × 2 styles × 3 logic.
+        assert_eq!(points.len(), 6 * 3 * 3 * 2 * 2 * 3);
+    }
+
+    #[test]
+    fn paper_choice_wins_under_implant_constraints() {
+        let points = sweep::<K163>(&tech());
+        let ranked = feasible_ranked(&points, &Constraints::implant_default());
+        assert!(!ranked.is_empty(), "constraint set infeasible");
+        let best = &ranked[0];
+        assert_eq!(
+            best.digit_size, 4,
+            "expected the paper's 163×4 multiplier, got d={} (AE {:.1})",
+            best.digit_size,
+            best.area_energy_product()
+        );
+        assert_eq!(best.mux_encoding, MuxEncoding::DualRailRtz);
+        assert_ne!(best.clock_gating, ClockGating::PerRegister);
+        assert_eq!(best.security.score(), 3);
+    }
+
+    #[test]
+    fn small_digits_miss_latency_large_digits_miss_power() {
+        let t = tech();
+        let c = Constraints::implant_default();
+        let mk = |d: usize| {
+            let mut cfg = CoprocConfig::paper_chip();
+            cfg.digit_size = d;
+            evaluate_point::<K163>(&cfg, LogicStyle::StandardCell, &t)
+        };
+        let d1 = mk(1);
+        assert!(d1.latency_s > c.max_latency_s, "d=1 latency {}", d1.latency_s);
+        let d16 = mk(16);
+        assert!(d16.power_w > c.max_power_w, "d=16 power {}", d16.power_w);
+    }
+
+    #[test]
+    fn security_costs_area_or_energy() {
+        let t = tech();
+        let protected =
+            evaluate_point::<K163>(&CoprocConfig::paper_chip(), LogicStyle::StandardCell, &t);
+        let mut naked_cfg = CoprocConfig::unprotected();
+        naked_cfg.digit_size = 4;
+        let naked = evaluate_point::<K163>(&naked_cfg, LogicStyle::StandardCell, &t);
+        assert!(protected.area_ge > naked.area_ge);
+        assert!(protected.security.score() > naked.security.score());
+    }
+
+    #[test]
+    fn wddl_buys_hardening_for_triple_energy() {
+        let t = tech();
+        let cfg = CoprocConfig::paper_chip();
+        let std = evaluate_point::<K163>(&cfg, LogicStyle::StandardCell, &t);
+        let wddl = evaluate_point::<K163>(&cfg, LogicStyle::Wddl, &t);
+        assert!(wddl.energy_j > 2.0 * std.energy_j);
+        assert!(wddl.area_ge > 2.0 * std.area_ge);
+        assert!(wddl.security.dpa_hardened);
+    }
+
+    #[test]
+    fn pareto_front_is_nonempty_and_undominated() {
+        let points = sweep::<K163>(&tech());
+        let front = pareto_front(&points);
+        assert!(!front.is_empty());
+        assert!(front.len() < points.len());
+        // No front point dominates another front point.
+        for a in &front {
+            for b in &front {
+                let dominates = a.area_ge < b.area_ge
+                    && a.energy_j < b.energy_j
+                    && a.security.score() > b.security.score();
+                assert!(!dominates);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_headline_energy_from_the_models() {
+        let t = tech();
+        let p = evaluate_point::<K163>(&CoprocConfig::paper_chip(), LogicStyle::StandardCell, &t);
+        // E ≈ 5.1 µJ, P ≈ 50.4 µW (±25 %).
+        assert!((3.8e-6..6.4e-6).contains(&p.energy_j), "E = {}", p.energy_j);
+        assert!((38.0e-6..63.0e-6).contains(&p.power_w), "P = {}", p.power_w);
+        assert!((9_000.0..16_000.0).contains(&p.area_ge), "A = {}", p.area_ge);
+    }
+}

@@ -1,0 +1,31 @@
+//! The paper's thesis as a library: **security adds an extra design
+//! dimension**.
+//!
+//! Three views of the same co-design problem:
+//!
+//! * [`pyramid`] — the security pyramid (Fig. 1): abstraction levels,
+//!   threats, countermeasures, and completeness review ("skipping a
+//!   countermeasure means opening the door for a possible attack");
+//! * [`design_space`] — quantitative exploration over digit size,
+//!   control encoding, clock gating, isolation, microprogram style and
+//!   logic style, under the implant latency/power envelope; reproduces
+//!   the 163×4 multiplier choice and the area/energy/security Pareto
+//!   front;
+//! * [`EccProcessor`] — the chip façade: protected point multiplication
+//!   with calibrated energy reports (≈50 µW / ≈5 µJ / ≈10 PM/s at the
+//!   paper's operating point).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod design_space;
+pub mod pyramid;
+
+mod processor;
+
+pub use design_space::{
+    evaluate_point, feasible_ranked, pareto_front, sweep, Constraints, DesignPoint,
+    SecurityGrade,
+};
+pub use processor::{Blinding, EccProcessor, FaultDetected};
+pub use pyramid::{catalogue, Countermeasure, DesignLevel, DesignReview, Threat};

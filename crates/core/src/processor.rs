@@ -1,0 +1,293 @@
+//! High-level façade: the co-processor as a downstream user consumes it.
+//!
+//! Ties the cycle-accurate core, the power model and the curve layer
+//! together behind the API the paper's chip exposes to its host MCU:
+//! "point multiplication with countermeasures, energy known".
+
+use medsec_coproc::{microcode, Coproc, CoprocConfig, NullObserver};
+use medsec_ec::ladder::{recover_y, LadderState};
+use medsec_ec::{CurveSpec, Point, Scalar};
+use medsec_gf2m::Element;
+use medsec_power::{EnergyReport, PowerModel, TraceRecorder};
+use medsec_rng::SplitMix64;
+
+/// A fault was detected by output validation: the (corrupt) result was
+/// suppressed before leaving the device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultDetected {
+    /// Energy spent on the aborted computation.
+    pub report: EnergyReport,
+}
+
+impl core::fmt::Display for FaultDetected {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "point-multiplication output failed curve validation")
+    }
+}
+
+impl std::error::Error for FaultDetected {}
+
+/// Whether the DPA countermeasure (random projective Z) is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Blinding {
+    /// Fresh random Z per execution (normal operation).
+    #[default]
+    Randomized,
+    /// Z = 1 (white-box evaluation mode only).
+    Disabled,
+}
+
+/// The secure ECC processor: configuration + power model + RNG.
+///
+/// # Example
+///
+/// ```
+/// use medsec_core::{Blinding, EccProcessor};
+/// use medsec_ec::{CurveSpec, Scalar, K163};
+///
+/// let mut proc = EccProcessor::<K163>::paper_chip(42);
+/// let k = Scalar::from_u64(987654321);
+/// let (point, report) = proc.point_mul(&k, &K163::generator());
+/// assert!(point.is_on_curve());
+/// assert!(report.energy_j > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EccProcessor<C: CurveSpec> {
+    core: Coproc<C>,
+    model: PowerModel,
+    blinding: Blinding,
+    rng: SplitMix64,
+}
+
+impl<C: CurveSpec> EccProcessor<C> {
+    /// The fabricated chip: paper configuration, calibrated UMC 130 nm
+    /// model, blinding on.
+    pub fn paper_chip(seed: u64) -> Self {
+        Self::new(
+            CoprocConfig::paper_chip(),
+            PowerModel::paper_default(),
+            Blinding::Randomized,
+            seed,
+        )
+    }
+
+    /// Fully custom processor.
+    pub fn new(
+        config: CoprocConfig,
+        model: PowerModel,
+        blinding: Blinding,
+        seed: u64,
+    ) -> Self {
+        Self {
+            core: Coproc::new(config),
+            model,
+            blinding,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CoprocConfig {
+        self.core.config()
+    }
+
+    /// Compute `k·P` on the simulated silicon, returning the affine
+    /// result (with y recovered on the host, as the real chip's driver
+    /// does) and the measured energy report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is the order-2 point with x = 0 (not representable
+    /// in the x-only datapath).
+    pub fn point_mul(&mut self, k: &Scalar<C>, p: &Point<C>) -> (Point<C>, EnergyReport) {
+        let (px, py) = match p {
+            Point::Infinity => {
+                return (
+                    Point::Infinity,
+                    EnergyReport::from_totals(0, 0.0, self.model.technology.clock_hz),
+                )
+            }
+            Point::Affine { x, y } => (*x, *y),
+        };
+        let blind = match self.blinding {
+            Blinding::Disabled => Element::one(),
+            Blinding::Randomized => loop {
+                let e = Element::<C::Field>::random(self.rng.as_fn());
+                if !e.is_zero() {
+                    break e;
+                }
+            },
+        };
+        let mut recorder = TraceRecorder::windowed(self.model.clone(), self.rng.next_u64(), 0, 0);
+        let result = microcode::run_point_mul(&mut self.core, k, px, blind, &mut recorder);
+        let report = EnergyReport::from_totals(
+            recorder.total_cycles(),
+            recorder.total_energy(),
+            self.model.technology.clock_hz,
+        );
+
+        // Host-side y-recovery from the affine pair (x1, x2): rebuild a
+        // projective state with Z = 1. An affine x of exactly 0 can only
+        // mean the leg was at infinity (no odd-order subgroup point has
+        // x = 0; the conversion microcode maps Z = 0 to 0), so it is
+        // translated back to a zero denominator for `recover_y`.
+        let flag = |x: Element<C::Field>| {
+            if x.is_zero() {
+                Element::zero()
+            } else {
+                Element::one()
+            }
+        };
+        let state = LadderState::<C> {
+            x1: result.x1,
+            z1: flag(result.x1),
+            x2: result.x2,
+            z2: flag(result.x2),
+        };
+        (recover_y(&state, px, py), report)
+    }
+
+    /// Fault-checked point multiplication: like
+    /// [`point_mul`](Self::point_mul) but validates the result against
+    /// the curve equation before releasing it — the standard
+    /// Biehl–Meyer–Müller countermeasure. A corrupted computation
+    /// (e.g. a register upset scheduled with
+    /// [`Coproc::schedule_fault`]) is suppressed instead of leaking a
+    /// faulty point to the attacker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultDetected`] when the output fails validation; the
+    /// energy already spent is reported inside the error (the session
+    /// still paid for the computation).
+    pub fn point_mul_checked(
+        &mut self,
+        k: &Scalar<C>,
+        p: &Point<C>,
+    ) -> Result<(Point<C>, EnergyReport), FaultDetected> {
+        let (point, report) = self.point_mul(k, p);
+        if point.is_on_curve() {
+            Ok((point, report))
+        } else {
+            Err(FaultDetected { report })
+        }
+    }
+
+    /// Dry-run cycle count for one point multiplication (no simulation).
+    pub fn latency_cycles(&self) -> u64 {
+        medsec_coproc::cost::point_mul_cycles(
+            <C::Field as medsec_gf2m::FieldSpec>::M,
+            C::LADDER_BITS,
+            self.core.config(),
+        )
+        .total()
+    }
+
+    /// Reference to the underlying cycle-accurate core.
+    pub fn core_mut(&mut self) -> &mut Coproc<C> {
+        &mut self.core
+    }
+}
+
+// NullObserver is used by doc-tests and downstream crates via re-export.
+#[allow(unused_imports)]
+use NullObserver as _;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsec_ec::{CoordinateBlinding, Toy17, K163};
+
+    #[test]
+    fn matches_software_scalar_mul() {
+        let mut proc = EccProcessor::<Toy17>::paper_chip(1);
+        let g = Toy17::generator();
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..16 {
+            let k = Scalar::<Toy17>::random_nonzero(rng.as_fn());
+            let (hw, _) = proc.point_mul(&k, &g);
+            let sw = medsec_ec::ladder::ladder_mul(
+                &k,
+                &g,
+                CoordinateBlinding::Disabled,
+                rng.as_fn(),
+            );
+            assert_eq!(hw, sw);
+        }
+    }
+
+    #[test]
+    fn k163_energy_report_matches_paper() {
+        let mut proc = EccProcessor::<K163>::paper_chip(3);
+        let k = Scalar::<K163>::from_u64(0xdeadbeef);
+        let (p, report) = proc.point_mul(&k, &K163::generator());
+        assert!(p.is_on_curve());
+        assert!((3.8e-6..6.4e-6).contains(&report.energy_j));
+        assert!((7.3..12.5).contains(&report.ops_per_second));
+    }
+
+    #[test]
+    fn infinity_input_shortcircuits() {
+        let mut proc = EccProcessor::<Toy17>::paper_chip(4);
+        let (p, report) = proc.point_mul(&Scalar::from_u64(5), &Point::Infinity);
+        assert_eq!(p, Point::Infinity);
+        assert_eq!(report.cycles, 0);
+    }
+
+    #[test]
+    fn blinding_does_not_change_results() {
+        let g = Toy17::generator();
+        let k = Scalar::<Toy17>::from_u64(31337);
+        let mut on = EccProcessor::<Toy17>::paper_chip(5);
+        let mut off = EccProcessor::<Toy17>::new(
+            CoprocConfig::paper_chip(),
+            PowerModel::paper_default(),
+            Blinding::Disabled,
+            5,
+        );
+        assert_eq!(on.point_mul(&k, &g).0, off.point_mul(&k, &g).0);
+    }
+
+    #[test]
+    fn latency_is_constant_and_matches_report() {
+        let mut proc = EccProcessor::<Toy17>::paper_chip(6);
+        let cycles = proc.latency_cycles();
+        let (_, report) = proc.point_mul(&Scalar::from_u64(99), &Toy17::generator());
+        assert_eq!(report.cycles, cycles);
+    }
+
+    #[test]
+    fn injected_fault_is_detected_by_validation() {
+        use medsec_coproc::FaultSpec;
+        let mut proc = EccProcessor::<Toy17>::paper_chip(7);
+        let g = Toy17::generator();
+        let k = Scalar::<Toy17>::from_u64(7777);
+        // Clean run passes validation.
+        assert!(proc.point_mul_checked(&k, &g).is_ok());
+        // Upset a ladder register mid-run: validation must reject.
+        proc.core_mut().schedule_fault(FaultSpec {
+            cycle: 300,
+            reg: 0,
+            bit: 5,
+        });
+        let r = proc.point_mul_checked(&k, &g);
+        assert!(r.is_err(), "fault escaped output validation: {r:?}");
+    }
+
+    #[test]
+    fn unchecked_path_leaks_faulty_points() {
+        use medsec_coproc::FaultSpec;
+        let mut proc = EccProcessor::<Toy17>::paper_chip(8);
+        let g = Toy17::generator();
+        let k = Scalar::<Toy17>::from_u64(31415);
+        proc.core_mut().schedule_fault(FaultSpec {
+            cycle: 300,
+            reg: 1,
+            bit: 3,
+        });
+        let (p, _) = proc.point_mul(&k, &g);
+        // The unvalidated output is (almost surely) off-curve — exactly
+        // the oracle Biehl–Meyer–Müller-style attacks exploit.
+        assert!(!p.is_on_curve());
+    }
+}

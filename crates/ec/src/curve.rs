@@ -1,0 +1,441 @@
+//! Curve specifications and the affine group law for binary Weierstrass
+//! curves `y² + xy = x³ + a·x² + b` over F(2^m) (paper Eq. 1).
+
+use core::fmt;
+
+use medsec_gf2m::{Element, FieldSpec};
+
+use crate::scalar::Scalar;
+
+/// Compile-time description of a named binary elliptic curve.
+///
+/// Implementors are zero-sized marker types (see [`crate::K163`],
+/// [`crate::B163`], [`crate::Toy17`]). All constants are validated by the
+/// test-suite: the generator must satisfy the curve equation and
+/// `n·G = O`.
+pub trait CurveSpec:
+    Copy + Clone + Eq + PartialEq + core::hash::Hash + fmt::Debug + Default + Send + Sync + 'static
+{
+    /// Field the curve is defined over.
+    type Field: FieldSpec;
+    /// Human-readable name, e.g. `"K-163"`.
+    const NAME: &'static str;
+    /// Order n of the prime-order base-point subgroup (little-endian limbs).
+    const ORDER: [u64; 4];
+    /// Curve cofactor h (`#E = h·n`).
+    const COFACTOR: u64;
+    /// Fixed bit-length of `k + 2n` for every `k < n`; the constant-length
+    /// Montgomery ladder runs `LADDER_BITS - 1` iterations (timing
+    /// countermeasure, paper §7).
+    const LADDER_BITS: usize;
+    /// Curve coefficient a.
+    fn a() -> Element<Self::Field>;
+    /// Curve coefficient b (must be nonzero for a non-singular curve).
+    fn b() -> Element<Self::Field>;
+    /// Base point G of order [`ORDER`](Self::ORDER).
+    fn generator() -> Point<Self>;
+}
+
+/// A point on curve `C`, affine or the point at infinity.
+///
+/// # Example
+///
+/// ```
+/// use medsec_ec::{CurveSpec, Point, K163};
+/// let g = K163::generator();
+/// assert!(g.is_on_curve());
+/// assert_eq!(g + (-g), Point::infinity());
+/// ```
+pub enum Point<C: CurveSpec> {
+    /// The neutral element of the group.
+    Infinity,
+    /// An affine point (x, y) satisfying the curve equation.
+    Affine {
+        /// x-coordinate.
+        x: Element<C::Field>,
+        /// y-coordinate.
+        y: Element<C::Field>,
+    },
+}
+
+impl<C: CurveSpec> Point<C> {
+    /// The point at infinity (group identity).
+    pub fn infinity() -> Self {
+        Point::Infinity
+    }
+
+    /// Construct an affine point without checking the curve equation.
+    /// Prefer [`Point::new`] unless the coordinates are already trusted.
+    pub fn from_xy_unchecked(x: Element<C::Field>, y: Element<C::Field>) -> Self {
+        Point::Affine { x, y }
+    }
+
+    /// Construct an affine point, verifying the curve equation.
+    pub fn new(x: Element<C::Field>, y: Element<C::Field>) -> Option<Self> {
+        let p = Point::Affine { x, y };
+        p.is_on_curve().then_some(p)
+    }
+
+    /// Whether this is the point at infinity.
+    pub fn is_infinity(&self) -> bool {
+        matches!(self, Point::Infinity)
+    }
+
+    /// x-coordinate, or `None` at infinity.
+    pub fn x(&self) -> Option<Element<C::Field>> {
+        match self {
+            Point::Infinity => None,
+            Point::Affine { x, .. } => Some(*x),
+        }
+    }
+
+    /// y-coordinate, or `None` at infinity.
+    pub fn y(&self) -> Option<Element<C::Field>> {
+        match self {
+            Point::Infinity => None,
+            Point::Affine { y, .. } => Some(*y),
+        }
+    }
+
+    /// Check `y² + xy == x³ + a·x² + b` (infinity is on every curve).
+    pub fn is_on_curve(&self) -> bool {
+        match self {
+            Point::Infinity => true,
+            Point::Affine { x, y } => {
+                let lhs = y.square() + *x * *y;
+                let x2 = x.square();
+                let rhs = x2 * *x + C::a() * x2 + C::b();
+                lhs == rhs
+            }
+        }
+    }
+
+    /// Point doubling.
+    ///
+    /// For binary curves, `2·(x, y)` with `x != 0` uses
+    /// `λ = x + y/x`, `x₃ = λ² + λ + a`, `y₃ = x² + (λ+1)·x₃`.
+    /// A point with `x = 0` is its own negative (order 2), so doubling
+    /// yields infinity.
+    pub fn double(&self) -> Self {
+        match self {
+            Point::Infinity => Point::Infinity,
+            Point::Affine { x, y } => {
+                if x.is_zero() {
+                    return Point::Infinity;
+                }
+                let lambda = *x + *y * x.inverse().expect("x nonzero");
+                let x3 = lambda.square() + lambda + C::a();
+                let y3 = x.square() + (lambda + Element::one()) * x3;
+                Point::Affine { x: x3, y: y3 }
+            }
+        }
+    }
+
+    /// Scalar multiplication by unprotected left-to-right double-and-add.
+    ///
+    /// This is the deliberately *insecure baseline* of the paper's
+    /// security analysis: the operation sequence (and running time over
+    /// varying bit-lengths) depends on the key, enabling SPA and timing
+    /// attacks. Use [`crate::ladder::ladder_mul`] for the protected path.
+    pub fn mul_double_and_add(&self, k: &Scalar<C>) -> Self {
+        let mut acc = Point::Infinity;
+        for i in (0..k.bit_len()).rev() {
+            acc = acc.double();
+            if k.bit(i) {
+                acc = acc + *self;
+            }
+        }
+        acc
+    }
+
+    /// Compressed encoding: the x-coordinate plus one bit disambiguating
+    /// y, following the standard binary-curve rule (the bit is
+    /// `Tr(y/x)`... here concretely the parity bit `z₀` of `z = y/x`).
+    /// Infinity encodes as an all-zero string with tag 0xff.
+    pub fn compress(&self) -> Vec<u8> {
+        match self {
+            Point::Infinity => {
+                let n = (C::Field::M + 7) / 8 + 1;
+                let mut v = vec![0u8; n];
+                v[0] = 0xff;
+                v
+            }
+            Point::Affine { x, y } => {
+                let mut v = Vec::with_capacity((C::Field::M + 7) / 8 + 1);
+                let tag = if x.is_zero() {
+                    0u8
+                } else {
+                    let z = *y * x.inverse().expect("x nonzero");
+                    u8::from(z.bit(0))
+                };
+                v.push(tag);
+                v.extend_from_slice(&x.to_bytes());
+                v
+            }
+        }
+    }
+
+    /// Decompress a point encoded by [`compress`](Self::compress).
+    ///
+    /// Returns `None` if the encoding is malformed or x does not
+    /// correspond to a point on the curve.
+    pub fn decompress(bytes: &[u8]) -> Option<Self> {
+        let n = (C::Field::M + 7) / 8 + 1;
+        if bytes.len() != n {
+            return None;
+        }
+        let tag = bytes[0];
+        if tag == 0xff {
+            return bytes[1..].iter().all(|&b| b == 0).then_some(Point::Infinity);
+        }
+        if tag > 1 {
+            return None;
+        }
+        let x = Element::<C::Field>::from_bytes_reduced(&bytes[1..]);
+        if x.is_zero() {
+            // y² = b → y = sqrt(b); the unique point with x = 0.
+            let y = C::b().sqrt();
+            return Some(Point::Affine { x, y });
+        }
+        // Solve y² + xy = x³ + ax² + b via z² + z = rhs/x² with y = x·z.
+        let x2 = x.square();
+        let rhs = x2 * x + C::a() * x2 + C::b();
+        let c = rhs * x2.inverse().expect("x nonzero");
+        let (z0, z1) = c.solve_quadratic()?;
+        let z = if z0.bit(0) == (tag == 1) { z0 } else { z1 };
+        Some(Point::Affine { x, y: x * z })
+    }
+}
+
+impl<C: CurveSpec> Clone for Point<C> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<C: CurveSpec> Copy for Point<C> {}
+
+impl<C: CurveSpec> PartialEq for Point<C> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Point::Infinity, Point::Infinity) => true,
+            (Point::Affine { x: x1, y: y1 }, Point::Affine { x: x2, y: y2 }) => {
+                x1 == x2 && y1 == y2
+            }
+            _ => false,
+        }
+    }
+}
+impl<C: CurveSpec> Eq for Point<C> {}
+
+impl<C: CurveSpec> core::hash::Hash for Point<C> {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Point::Infinity => 0u8.hash(state),
+            Point::Affine { x, y } => {
+                1u8.hash(state);
+                x.hash(state);
+                y.hash(state);
+            }
+        }
+    }
+}
+
+impl<C: CurveSpec> Default for Point<C> {
+    fn default() -> Self {
+        Point::Infinity
+    }
+}
+
+impl<C: CurveSpec> fmt::Debug for Point<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Point::Infinity => write!(f, "{}::O", C::NAME),
+            Point::Affine { x, y } => write!(f, "{}::({x}, {y})", C::NAME),
+        }
+    }
+}
+
+impl<C: CurveSpec> core::ops::Neg for Point<C> {
+    type Output = Self;
+    /// On binary curves, `−(x, y) = (x, x + y)`.
+    fn neg(self) -> Self {
+        match self {
+            Point::Infinity => Point::Infinity,
+            Point::Affine { x, y } => Point::Affine { x, y: x + y },
+        }
+    }
+}
+
+impl<C: CurveSpec> core::ops::Add for Point<C> {
+    type Output = Self;
+    /// Full affine addition: `λ = (y₁+y₂)/(x₁+x₂)`,
+    /// `x₃ = λ² + λ + x₁ + x₂ + a`, `y₃ = λ(x₁+x₃) + x₃ + y₁`.
+    fn add(self, rhs: Self) -> Self {
+        match (self, rhs) {
+            (Point::Infinity, q) => q,
+            (p, Point::Infinity) => p,
+            (Point::Affine { x: x1, y: y1 }, Point::Affine { x: x2, y: y2 }) => {
+                if x1 == x2 {
+                    return if y1 == y2 {
+                        self.double()
+                    } else {
+                        // x equal but y different ⇒ Q = −P.
+                        Point::Infinity
+                    };
+                }
+                let lambda = (y1 + y2) * (x1 + x2).inverse().expect("x1 != x2");
+                let x3 = lambda.square() + lambda + x1 + x2 + C::a();
+                let y3 = lambda * (x1 + x3) + x3 + y1;
+                Point::Affine { x: x3, y: y3 }
+            }
+        }
+    }
+}
+
+impl<C: CurveSpec> core::ops::AddAssign for Point<C> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<C: CurveSpec> core::ops::Sub for Point<C> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        self + (-rhs)
+    }
+}
+
+impl<C: CurveSpec> core::ops::SubAssign for Point<C> {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curves::{Toy17, B163, K163};
+
+    fn rng_from(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    fn check_group_basics<C: CurveSpec>() {
+        let g = C::generator();
+        assert!(g.is_on_curve(), "{} generator off-curve", C::NAME);
+        let g2 = g.double();
+        assert!(g2.is_on_curve());
+        assert_eq!(g + g, g2);
+        assert_eq!(g + Point::infinity(), g);
+        assert_eq!(g - g, Point::infinity());
+        let g3 = g2 + g;
+        assert!(g3.is_on_curve());
+        assert_eq!(g3 - g2, g);
+        // Associativity spot-check: (G+G)+G == G+(G+G).
+        assert_eq!(g2 + g, g + g2);
+    }
+
+    #[test]
+    fn k163_group_basics() {
+        check_group_basics::<K163>();
+    }
+
+    #[test]
+    fn b163_group_basics() {
+        check_group_basics::<B163>();
+    }
+
+    #[test]
+    fn toy_group_basics() {
+        check_group_basics::<Toy17>();
+    }
+
+    #[test]
+    fn generator_has_declared_order() {
+        // n·G = O and (n-1)·G = -G; run on the toy curve (fast) and K-163.
+        fn check<C: CurveSpec>() {
+            let g = C::generator();
+            let n_minus_1 = Scalar::<C>::zero() - Scalar::one();
+            let p = g.mul_double_and_add(&n_minus_1);
+            assert_eq!(p, -g, "(n-1)G != -G on {}", C::NAME);
+            assert_eq!(p + g, Point::infinity(), "nG != O on {}", C::NAME);
+        }
+        check::<Toy17>();
+        check::<K163>();
+        check::<B163>();
+    }
+
+    #[test]
+    fn double_and_add_matches_repeated_addition() {
+        let g = Toy17::generator();
+        let mut acc = Point::infinity();
+        for k in 0u64..32 {
+            assert_eq!(g.mul_double_and_add(&Scalar::from_u64(k)), acc);
+            acc += g;
+        }
+    }
+
+    #[test]
+    fn scalar_mul_is_additive_homomorphism() {
+        let mut r = rng_from(20);
+        let g = K163::generator();
+        for _ in 0..4 {
+            let a = Scalar::<K163>::random_nonzero(&mut r);
+            let b = Scalar::<K163>::random_nonzero(&mut r);
+            let lhs = g.mul_double_and_add(&(a + b));
+            let rhs = g.mul_double_and_add(&a) + g.mul_double_and_add(&b);
+            assert_eq!(lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn compress_round_trip() {
+        let mut r = rng_from(21);
+        let g = K163::generator();
+        for _ in 0..8 {
+            let k = Scalar::<K163>::random_nonzero(&mut r);
+            let p = g.mul_double_and_add(&k);
+            let enc = p.compress();
+            assert_eq!(enc.len(), 22);
+            let q = Point::<K163>::decompress(&enc).unwrap();
+            assert_eq!(p, q);
+        }
+        let inf_enc = Point::<K163>::infinity().compress();
+        assert_eq!(
+            Point::<K163>::decompress(&inf_enc).unwrap(),
+            Point::infinity()
+        );
+    }
+
+    #[test]
+    fn decompress_rejects_malformed() {
+        assert!(Point::<K163>::decompress(&[]).is_none());
+        assert!(Point::<K163>::decompress(&[2u8; 22]).is_none());
+        // Tag byte 0xff with nonzero payload is not canonical infinity.
+        let mut bad = vec![0xffu8; 22];
+        bad[5] = 1;
+        assert!(Point::<K163>::decompress(&bad).is_none());
+    }
+
+    #[test]
+    fn negation_involutes() {
+        let g = B163::generator();
+        assert_eq!(-(-g), g);
+        assert!((-g).is_on_curve());
+    }
+
+    #[test]
+    fn point_validation() {
+        let g = K163::generator();
+        let (x, y) = (g.x().unwrap(), g.y().unwrap());
+        assert!(Point::<K163>::new(x, y).is_some());
+        assert!(Point::<K163>::new(x, y + Element::one()).is_none());
+    }
+}

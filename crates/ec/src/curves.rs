@@ -1,0 +1,172 @@
+//! Named curve parameter sets.
+//!
+//! * [`K163`] — the paper's curve: "Our ECC chip uses a Koblitz curve
+//!   defined over F(2^163), which provides 80-bit security, equivalent to
+//!   1024-bit RSA" (§4). Parameters per FIPS 186-3 / SEC 2 (sect163k1).
+//! * [`B163`] — the pseudo-random NIST curve over the same field
+//!   (sect163r2), used to exercise the `b`-multiplication path that the
+//!   Koblitz curve (b = 1) optimizes away.
+//! * [`Toy17`] — a cofactor-2 curve over F(2^17) whose group order
+//!   (2 × 65587) was obtained by exhaustive point counting, so every
+//!   scalar-multiplication algorithm can be validated against brute
+//!   force without trusting transcribed standard constants.
+//!
+//! The integration tests check, for each curve, that the generator lies
+//! on the curve and that `n·G = O`; K-163 and B-163 constants are
+//! additionally cross-checked between the compressed/decompressed forms.
+
+use medsec_gf2m::{Element, F163, F17};
+
+use crate::curve::{CurveSpec, Point};
+use crate::scalar::parse_hex_limbs;
+
+/// NIST K-163 / SEC 2 sect163k1: `y² + xy = x³ + x² + 1` over F(2^163).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct K163;
+
+impl K163 {
+    const GX: &'static str = "2fe13c0537bbc11acaa07d793de4e6d5e5c94eee8";
+    const GY: &'static str = "289070fb05d38ff58321f2e800536d538ccdaa3d9";
+}
+
+impl CurveSpec for K163 {
+    type Field = F163;
+    const NAME: &'static str = "K-163";
+    const ORDER: [u64; 4] = parse_hex_limbs("4000000000000000000020108a2e0cc0d99f8a5ef");
+    const COFACTOR: u64 = 2;
+    const LADDER_BITS: usize = 164;
+
+    fn a() -> Element<F163> {
+        Element::one()
+    }
+
+    fn b() -> Element<F163> {
+        Element::one()
+    }
+
+    fn generator() -> Point<Self> {
+        Point::from_xy_unchecked(
+            Element::from_hex(Self::GX).expect("static constant"),
+            Element::from_hex(Self::GY).expect("static constant"),
+        )
+    }
+}
+
+/// NIST B-163 / SEC 2 sect163r2: `y² + xy = x³ + x² + b` over F(2^163).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct B163;
+
+impl B163 {
+    const B: &'static str = "20a601907b8c953ca1481eb10512f78744a3205fd";
+    const GX: &'static str = "3f0eba16286a2d57ea0991168d4994637e8343e36";
+    const GY: &'static str = "0d51fbc6c71a0094fa2cdd545b11c5c0c797324f1";
+}
+
+impl CurveSpec for B163 {
+    type Field = F163;
+    const NAME: &'static str = "B-163";
+    const ORDER: [u64; 4] = parse_hex_limbs("40000000000000000000292fe77e70c12a4234c33");
+    const COFACTOR: u64 = 2;
+    const LADDER_BITS: usize = 164;
+
+    fn a() -> Element<F163> {
+        Element::one()
+    }
+
+    fn b() -> Element<F163> {
+        Element::from_hex(Self::B).expect("static constant")
+    }
+
+    fn generator() -> Point<Self> {
+        Point::from_xy_unchecked(
+            Element::from_hex(Self::GX).expect("static constant"),
+            Element::from_hex(Self::GY).expect("static constant"),
+        )
+    }
+}
+
+/// Brute-force-verified toy curve: `y² + xy = x³ + x² + 1` over F(2^17),
+/// `#E = 2 × 65587`, generator of the prime-order subgroup
+/// G = (0xaaad, 0x5b2b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Toy17;
+
+impl CurveSpec for Toy17 {
+    type Field = F17;
+    const NAME: &'static str = "Toy-17";
+    const ORDER: [u64; 4] = [65587, 0, 0, 0]; // prime, counted exhaustively
+    const COFACTOR: u64 = 2;
+    const LADDER_BITS: usize = 18; // bitlen(k + 2·65587) for all k < n
+
+    fn a() -> Element<F17> {
+        Element::one()
+    }
+
+    fn b() -> Element<F17> {
+        Element::one()
+    }
+
+    fn generator() -> Point<Self> {
+        Point::from_xy_unchecked(Element::from_u64(0xaaad), Element::from_u64(0x5b2b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::Scalar;
+
+    #[test]
+    fn order_constants_have_plausible_bit_lengths() {
+        // Both 163-bit curves have cofactor 2, so n ≈ 2^162.
+        fn msb(l: &[u64; 4]) -> usize {
+            for (i, &w) in l.iter().enumerate().rev() {
+                if w != 0 {
+                    return 64 * i + 64 - w.leading_zeros() as usize;
+                }
+            }
+            0
+        }
+        assert_eq!(msb(&K163::ORDER), 163);
+        assert_eq!(msb(&B163::ORDER), 163);
+        assert_eq!(msb(&Toy17::ORDER), 17);
+    }
+
+    #[test]
+    fn generators_lie_on_their_curves() {
+        assert!(K163::generator().is_on_curve());
+        assert!(B163::generator().is_on_curve());
+        assert!(Toy17::generator().is_on_curve());
+    }
+
+    #[test]
+    fn toy_order_is_prime() {
+        let n = Toy17::ORDER[0];
+        let mut d = 2;
+        while d * d <= n {
+            assert_ne!(n % d, 0, "toy order not prime");
+            d += 1;
+        }
+    }
+
+    #[test]
+    fn toy_ladder_bits_bound_holds_for_every_scalar() {
+        // k + 2n must have exactly LADDER_BITS bits for all k < n.
+        let n = Toy17::ORDER[0];
+        for k in [0, 1, n / 2, n - 2, n - 1] {
+            let kpp = k + 2 * n;
+            assert_eq!(64 - kpp.leading_zeros() as usize, Toy17::LADDER_BITS);
+        }
+    }
+
+    #[test]
+    fn cofactor_clears_to_subgroup() {
+        // 2·P lands in the prime-order subgroup for a random curve point.
+        let g = Toy17::generator();
+        let p = g.mul_double_and_add(&Scalar::from_u64(12345));
+        assert!(p.is_on_curve());
+        let order = Scalar::<Toy17>::from_limbs_mod_order(Toy17::ORDER);
+        // order ≡ 0 mod n, so order·anything in subgroup is O.
+        assert!(order.is_zero());
+    }
+}

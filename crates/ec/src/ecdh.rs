@@ -1,0 +1,154 @@
+//! Key generation and elliptic-curve Diffie–Hellman.
+//!
+//! Used by the protocol layer: the Peeters–Hermans reader holds a
+//! long-term key pair (y, Y = y·P) and every tag holds (x, X = x·P); the
+//! shared-x computation `xcoord(r·Y) = xcoord(y·R)` *is* an unauthenticated
+//! ECDH exchange embedded in the identification protocol (paper Fig. 2).
+
+use medsec_gf2m::Element;
+
+use crate::curve::{CurveSpec, Point};
+use crate::ladder::{ladder_mul, ladder_x_affine, ladder_x_only, CoordinateBlinding};
+use crate::scalar::Scalar;
+
+/// A private/public key pair on curve `C`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyPair<C: CurveSpec> {
+    secret: Scalar<C>,
+    public: Point<C>,
+}
+
+impl<C: CurveSpec> KeyPair<C> {
+    /// Generate a fresh key pair: `sk ← Z*_n`, `PK = sk·G`, computed with
+    /// the protected ladder.
+    pub fn generate(mut next_u64: impl FnMut() -> u64) -> Self {
+        let secret = Scalar::random_nonzero(&mut next_u64);
+        let public = ladder_mul(
+            &secret,
+            &C::generator(),
+            CoordinateBlinding::RandomZ,
+            &mut next_u64,
+        );
+        Self { secret, public }
+    }
+
+    /// Build a key pair from an existing secret.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secret` is zero.
+    pub fn from_secret(secret: Scalar<C>, mut next_u64: impl FnMut() -> u64) -> Self {
+        assert!(!secret.is_zero(), "secret key must be nonzero");
+        let public = ladder_mul(
+            &secret,
+            &C::generator(),
+            CoordinateBlinding::RandomZ,
+            &mut next_u64,
+        );
+        Self { secret, public }
+    }
+
+    /// The private scalar.
+    pub fn secret(&self) -> &Scalar<C> {
+        &self.secret
+    }
+
+    /// The public point.
+    pub fn public(&self) -> &Point<C> {
+        &self.public
+    }
+
+    /// ECDH: the x-coordinate of `sk · PK_peer`, or `None` if the result
+    /// is the point at infinity (invalid peer key).
+    pub fn shared_x(
+        &self,
+        peer: &Point<C>,
+        mut next_u64: impl FnMut() -> u64,
+    ) -> Option<Element<C::Field>> {
+        match peer {
+            Point::Infinity => None,
+            Point::Affine { x, .. } => {
+                let st = ladder_x_only::<C>(&self.secret, *x, CoordinateBlinding::RandomZ, {
+                    &mut next_u64
+                });
+                ladder_x_affine(&st)
+            }
+        }
+    }
+}
+
+/// Interpret a field element (e.g. an x-coordinate) as a scalar mod n —
+/// the `d = xcoord(r·Y)` conversion of the Peeters–Hermans protocol.
+pub fn xcoord_to_scalar<C: CurveSpec>(x: &Element<C::Field>) -> Scalar<C> {
+    Scalar::from_bytes_mod_order(&x.to_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curves::{Toy17, K163};
+
+    fn rng_from(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn ecdh_agreement_k163() {
+        let mut r = rng_from(41);
+        let alice = KeyPair::<K163>::generate(&mut r);
+        let bob = KeyPair::<K163>::generate(&mut r);
+        let s1 = alice.shared_x(bob.public(), &mut r).unwrap();
+        let s2 = bob.shared_x(alice.public(), &mut r).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn ecdh_agreement_many_toy() {
+        let mut r = rng_from(42);
+        for _ in 0..32 {
+            let a = KeyPair::<Toy17>::generate(&mut r);
+            let b = KeyPair::<Toy17>::generate(&mut r);
+            assert_eq!(
+                a.shared_x(b.public(), &mut r),
+                b.shared_x(a.public(), &mut r)
+            );
+        }
+    }
+
+    #[test]
+    fn shared_x_rejects_infinity() {
+        let mut r = rng_from(43);
+        let a = KeyPair::<Toy17>::generate(&mut r);
+        assert_eq!(a.shared_x(&Point::infinity(), &mut r), None);
+    }
+
+    #[test]
+    fn public_key_is_on_curve_and_nontrivial() {
+        let mut r = rng_from(44);
+        let kp = KeyPair::<K163>::generate(&mut r);
+        assert!(kp.public().is_on_curve());
+        assert!(!kp.public().is_infinity());
+    }
+
+    #[test]
+    fn xcoord_to_scalar_is_deterministic() {
+        let mut r = rng_from(45);
+        let kp = KeyPair::<K163>::generate(&mut r);
+        let x = kp.public().x().unwrap();
+        assert_eq!(xcoord_to_scalar::<K163>(&x), xcoord_to_scalar::<K163>(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn from_secret_rejects_zero() {
+        let mut r = rng_from(46);
+        let _ = KeyPair::<K163>::from_secret(Scalar::zero(), &mut r);
+    }
+}

@@ -1,0 +1,107 @@
+//! The Frobenius endomorphism on Koblitz curves.
+//!
+//! The paper picks "a Koblitz curve defined over F(2^163)" (§4). What
+//! makes a curve *Koblitz* (a, b ∈ {0, 1}) is that the field's Frobenius
+//! map lifts to a curve endomorphism
+//!
+//! ```text
+//! τ(x, y) = (x², y²),     τ² + 2 = μ·τ   with   μ = (−1)^(1−a)
+//! ```
+//!
+//! — squaring is almost free in F(2^m) hardware, so τ costs two cycles
+//! where a doubling costs hundreds. Solinas' τ-adic expansions exploit
+//! this for unprotected scalar multiplication; the paper's chip opts for
+//! the Montgomery ladder instead (constant flow beats raw speed when
+//! SPA is in the threat model), but the endomorphism is part of the
+//! curve's identity and is verified here.
+
+use crate::curve::{CurveSpec, Point};
+
+/// Apply the Frobenius endomorphism τ(x, y) = (x², y²).
+pub fn frobenius_point<C: CurveSpec>(p: &Point<C>) -> Point<C> {
+    match p {
+        Point::Infinity => Point::Infinity,
+        Point::Affine { x, y } => Point::Affine {
+            x: x.square(),
+            y: y.square(),
+        },
+    }
+}
+
+/// The trace of Frobenius sign μ = (−1)^(1−a): +1 for a = 1 (K-163),
+/// −1 for a = 0.
+pub fn frobenius_mu<C: CurveSpec>() -> i32 {
+    if C::a() == medsec_gf2m::Element::one() {
+        1
+    } else {
+        -1
+    }
+}
+
+/// Verify the characteristic equation τ²(P) + 2·P = μ·τ(P) for a point.
+pub fn satisfies_characteristic_equation<C: CurveSpec>(p: &Point<C>) -> bool {
+    let tau_p = frobenius_point(p);
+    let tau2_p = frobenius_point(&tau_p);
+    let two_p = p.double();
+    let mu_tau_p = if frobenius_mu::<C>() == 1 {
+        tau_p
+    } else {
+        -tau_p
+    };
+    tau2_p + two_p == mu_tau_p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curves::{Toy17, K163};
+    use crate::scalar::Scalar;
+
+    #[test]
+    fn tau_maps_curve_points_to_curve_points() {
+        let g = K163::generator();
+        let tg = frobenius_point(&g);
+        assert!(tg.is_on_curve());
+        assert_ne!(tg, g);
+        assert_eq!(frobenius_point(&Point::<K163>::infinity()), Point::Infinity);
+    }
+
+    #[test]
+    fn tau_is_a_group_homomorphism() {
+        let g = Toy17::generator();
+        let p = g.mul_double_and_add(&Scalar::from_u64(123));
+        let q = g.mul_double_and_add(&Scalar::from_u64(456));
+        assert_eq!(
+            frobenius_point(&(p + q)),
+            frobenius_point(&p) + frobenius_point(&q)
+        );
+    }
+
+    #[test]
+    fn characteristic_equation_k163() {
+        assert_eq!(frobenius_mu::<K163>(), 1); // a = 1
+        let g = K163::generator();
+        assert!(satisfies_characteristic_equation(&g));
+        assert!(satisfies_characteristic_equation(&g.double()));
+    }
+
+    #[test]
+    fn characteristic_equation_toy_many_points() {
+        let g = Toy17::generator();
+        for k in [1u64, 2, 3, 1000, 65586] {
+            let p = g.mul_double_and_add(&Scalar::from_u64(k));
+            assert!(satisfies_characteristic_equation(&p), "failed at k={k}");
+        }
+    }
+
+    #[test]
+    fn tau_iterated_m_times_is_identity() {
+        // τ^m = Frobenius^m = identity on F(2^m)-rational points.
+        let g = Toy17::generator();
+        let mut p = g;
+        for _ in 0..17 {
+            p = frobenius_point(&p);
+        }
+        assert_eq!(p, g);
+    }
+}

@@ -1,0 +1,478 @@
+//! Montgomery Powering Ladder with x-only López–Dahab coordinates —
+//! the paper's Algorithm 1.
+//!
+//! Algorithm-level decisions reproduced from §4:
+//!
+//! * **MPL** executes one point addition and one point doubling per key
+//!   bit in a key-independent order, which "is resistant against Timing
+//!   and Simple Power Analysis attacks";
+//! * **x-only representation**: "MPL also allows us to use only the x
+//!   coordinate to represent a point. One coordinate requires 163 bits of
+//!   memory. Our ECC chip uses six 163-bit registers for the whole point
+//!   multiplication" — see [`crate::ladder::REGISTERS_USED`];
+//! * **Randomized projective coordinates** (`R ← (x·r, r)`) prevent DPA:
+//!   "the chip randomizes the internal points representation by using a
+//!   random Z coordinate in each execution" (§7).
+
+use medsec_gf2m::Element;
+
+use crate::curve::{CurveSpec, Point};
+use crate::scalar::Scalar;
+
+/// Number of field-element registers the ladder needs, including the
+/// fixed x(P) operand and one temporary: X1, Z1, X2, Z2, T, x — the
+/// paper's six 163-bit registers (§4). The best prime-field co-Z method
+/// needs eight (Hutter–Joye–Sierra, cited as [6]).
+pub const REGISTERS_USED: usize = 6;
+
+/// Configuration of the ladder's DPA countermeasure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoordinateBlinding {
+    /// Fresh random projective Z on every execution (the paper's default).
+    #[default]
+    RandomZ,
+    /// Deterministic Z = 1 — the *insecure* configuration used in the
+    /// white-box DPA evaluation ("when the countermeasure is disabled, a
+    /// DPA attack succeeds with as low as 200 traces", §7).
+    Disabled,
+    /// Z blinded with a value known to the evaluator (white-box scenario:
+    /// "when the countermeasure is enabled, but the randomness is known,
+    /// the attack also succeeds", §7).
+    KnownZ(u64),
+}
+
+/// x-only ladder state: two projective x-coordinates (X1 : Z1), (X2 : Z2)
+/// whose affine difference is the ladder input point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LadderState<C: CurveSpec> {
+    /// X of the "R" leg (accumulates k·P).
+    pub x1: Element<C::Field>,
+    /// Z of the "R" leg.
+    pub z1: Element<C::Field>,
+    /// X of the "Q" leg (always R + P).
+    pub x2: Element<C::Field>,
+    /// Z of the "Q" leg.
+    pub z2: Element<C::Field>,
+}
+
+/// Mixed differential addition: given x(A) = (X1:Z1), x(B) = (X2:Z2) and
+/// the affine difference x = x(A−B), returns x(A+B).
+///
+/// López–Dahab: `Z' = (X1·Z2 + X2·Z1)²`, `X' = x·Z' + (X1·Z2)·(X2·Z1)`.
+pub fn madd<C: CurveSpec>(
+    x1: Element<C::Field>,
+    z1: Element<C::Field>,
+    x2: Element<C::Field>,
+    z2: Element<C::Field>,
+    x_diff: Element<C::Field>,
+) -> (Element<C::Field>, Element<C::Field>) {
+    let a = x1 * z2;
+    let b = x2 * z1;
+    let z = (a + b).square();
+    let x = x_diff * z + a * b;
+    (x, z)
+}
+
+/// Projective doubling: `X' = X⁴ + b·Z⁴`, `Z' = X²·Z²`.
+pub fn mdouble<C: CurveSpec>(
+    x: Element<C::Field>,
+    z: Element<C::Field>,
+) -> (Element<C::Field>, Element<C::Field>) {
+    let x2 = x.square();
+    let z2 = z.square();
+    (x2.square() + C::b() * z2.square(), x2 * z2)
+}
+
+/// Scalar multiplication `k·P` by the constant-length Montgomery ladder,
+/// with y-recovery.
+///
+/// The ladder always executes [`CurveSpec::LADDER_BITS`]` − 1` iterations
+/// (it processes `k + 2n`), so its trace of field operations is
+/// key-independent. `blinding` selects the projective-coordinate
+/// randomization mode; `next_u64` supplies randomness for
+/// [`CoordinateBlinding::RandomZ`].
+///
+/// # Panics
+///
+/// Panics if `p` is the order-2 point with `x = 0`, which cannot be
+/// represented in the x-only ladder (no subgroup point has x = 0).
+pub fn ladder_mul<C: CurveSpec>(
+    k: &Scalar<C>,
+    p: &Point<C>,
+    blinding: CoordinateBlinding,
+    mut next_u64: impl FnMut() -> u64,
+) -> Point<C> {
+    let (px, py) = match p {
+        Point::Infinity => return Point::Infinity,
+        Point::Affine { x, y } => (*x, *y),
+    };
+    assert!(!px.is_zero(), "x-only ladder cannot process the x = 0 point");
+
+    let state = ladder_x_only::<C>(k, px, blinding, &mut next_u64);
+    recover_y::<C>(&state, px, py)
+}
+
+/// The x-only core of the ladder: returns the final projective state.
+///
+/// Used directly when only `xcoord(k·P)` is needed — exactly what the
+/// tag computes for `d = xcoord(r·Y)` in the Peeters–Hermans protocol —
+/// saving the y-recovery and one field inversion.
+pub fn ladder_x_only<C: CurveSpec>(
+    k: &Scalar<C>,
+    px: Element<C::Field>,
+    blinding: CoordinateBlinding,
+    mut next_u64: impl FnMut() -> u64,
+) -> LadderState<C> {
+    ladder_x_only_bits::<C>(&k.ladder_bits(), px, blinding, &mut next_u64)
+}
+
+/// Ladder core over an explicit MSB-first bit pattern whose leading bit
+/// is 1 (used by both the fixed-length and the scalar-blinded paths).
+///
+/// # Panics
+///
+/// Panics if `px` is zero or `bits` is empty / does not start with 1.
+pub fn ladder_x_only_bits<C: CurveSpec>(
+    bits: &[bool],
+    px: Element<C::Field>,
+    blinding: CoordinateBlinding,
+    mut next_u64: impl FnMut() -> u64,
+) -> LadderState<C> {
+    assert!(!px.is_zero(), "x-only ladder cannot process the x = 0 point");
+    assert!(
+        bits.first() == Some(&true),
+        "ladder bits must start with the leading 1"
+    );
+
+    // Projective coordinate randomization: R ← (x·r, r)   (Algorithm 1).
+    let r = match blinding {
+        CoordinateBlinding::RandomZ => loop {
+            let c = Element::<C::Field>::random(&mut next_u64);
+            if !c.is_zero() {
+                break c;
+            }
+        },
+        CoordinateBlinding::Disabled => Element::one(),
+        CoordinateBlinding::KnownZ(seed) => {
+            let mut s = seed | 1;
+            let e = Element::<C::Field>::random(move || {
+                s = s.wrapping_mul(0x2545_f491_4f6c_dd1d).rotate_left(17) | 1;
+                s
+            });
+            if e.is_zero() {
+                Element::one()
+            } else {
+                e
+            }
+        }
+    };
+
+    let mut x1 = px * r;
+    let mut z1 = r;
+    // Q ← 2·P.
+    let (mut x2, mut z2) = mdouble::<C>(x1, z1);
+
+    for &bit in bits[1..].iter() {
+        // Exceptional cases (a ladder leg at infinity) only occur when a
+        // scalar prefix hits 0 or −1 mod n — negligible on 163-bit curves
+        // but reachable on the toy curve's exhaustive small-scalar tests.
+        if z1.is_zero() {
+            // R = O (so Q = P by the ladder invariant).
+            if bit {
+                // R ← R+Q = Q;  Q ← 2Q.
+                (x1, z1) = (x2, z2);
+                (x2, z2) = mdouble::<C>(x1, z1);
+            }
+            // else: Q ← Q+O = Q and R ← 2O = O — nothing changes.
+            continue;
+        }
+        if z2.is_zero() {
+            // Q = O (so R = −P; x-only cannot see the sign).
+            if !bit {
+                // Q ← Q+R = R;  R ← 2R.
+                (x2, z2) = (x1, z1);
+                (x1, z1) = mdouble::<C>(x2, z2);
+            }
+            // else: R ← R+O = R and Q ← 2O = O — nothing changes.
+            continue;
+        }
+        if bit {
+            let (ax, az) = madd::<C>(x1, z1, x2, z2, px);
+            let (dx, dz) = mdouble::<C>(x2, z2);
+            (x1, z1, x2, z2) = (ax, az, dx, dz);
+        } else {
+            let (ax, az) = madd::<C>(x2, z2, x1, z1, px);
+            let (dx, dz) = mdouble::<C>(x1, z1);
+            (x2, z2, x1, z1) = (ax, az, dx, dz);
+        }
+    }
+
+    LadderState { x1, z1, x2, z2 }
+}
+
+/// Scalar-blinded scalar multiplication: computes `k·P` through the
+/// randomized representative `k + (2 + extra)·n` (Coron's scalar
+/// blinding), with `extra` drawn from `next_u64`. Combines with the
+/// projective-coordinate blinding for defence in depth; note the ladder
+/// length now varies with `extra` (the constant-latency property is
+/// traded away — an explicit design-dimension choice).
+pub fn ladder_mul_scalar_blinded<C: CurveSpec>(
+    k: &Scalar<C>,
+    p: &Point<C>,
+    blinding: CoordinateBlinding,
+    mut next_u64: impl FnMut() -> u64,
+) -> Point<C> {
+    let (px, py) = match p {
+        Point::Infinity => return Point::Infinity,
+        Point::Affine { x, y } => (*x, *y),
+    };
+    assert!(!px.is_zero(), "x-only ladder cannot process the x = 0 point");
+    let extra = (next_u64() & 0xff) as u32;
+    let bits = k.blinded_ladder_bits(extra);
+    let state = ladder_x_only_bits::<C>(&bits, px, blinding, &mut next_u64);
+    recover_y::<C>(&state, px, py)
+}
+
+/// Recover the affine result (with y) from the final ladder state —
+/// `RecoverY(P, R)` in Algorithm 1.
+///
+/// Uses the standard binary-curve formula
+/// `y₁ = (x₁ + x)·[(x₁ + x)(x₂ + x) + x² + y]/x + y`.
+pub fn recover_y<C: CurveSpec>(
+    state: &LadderState<C>,
+    px: Element<C::Field>,
+    py: Element<C::Field>,
+) -> Point<C> {
+    if state.z1.is_zero() {
+        return Point::Infinity;
+    }
+    if state.z2.is_zero() {
+        // Q = O ⇒ R = −P.
+        return Point::Affine {
+            x: px,
+            y: px + py,
+        };
+    }
+    let x1 = state.x1 * state.z1.inverse().expect("z1 nonzero");
+    let x2 = state.x2 * state.z2.inverse().expect("z2 nonzero");
+    let t = (x1 + px) * (x2 + px) + px.square() + py;
+    let y1 = (x1 + px) * t * px.inverse().expect("px nonzero") + py;
+    Point::Affine { x: x1, y: y1 }
+}
+
+/// Affine x-coordinate of the ladder result.
+pub fn ladder_x_affine<C: CurveSpec>(state: &LadderState<C>) -> Option<Element<C::Field>> {
+    state
+        .z1
+        .inverse()
+        .map(|zi| state.x1 * zi)
+}
+
+/// Field-operation budget of one combined ladder iteration, used by the
+/// cycle-cost models: multiplications and squarings for
+/// `Madd` (3M + 1S, plus the x·Z mixed multiplication) and `Mdouble`
+/// (1M + 4S, plus the b·Z⁴ multiplication on curves with b ≠ 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterationCost {
+    /// General field multiplications per iteration.
+    pub muls: usize,
+    /// Field squarings per iteration.
+    pub squarings: usize,
+    /// Field additions (XOR) per iteration.
+    pub additions: usize,
+}
+
+/// Cost of one ladder iteration; `b_is_one` skips the `b·Z⁴` product
+/// (Koblitz curves).
+pub fn iteration_cost(b_is_one: bool) -> IterationCost {
+    IterationCost {
+        muls: if b_is_one { 5 } else { 6 },
+        squarings: 5,
+        additions: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curves::{Toy17, B163, K163};
+
+    fn rng_from(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn ladder_matches_double_and_add_toy_exhaustive_small() {
+        let g = Toy17::generator();
+        let mut r = rng_from(31);
+        for k in 0u64..200 {
+            let s = Scalar::<Toy17>::from_u64(k);
+            let expect = g.mul_double_and_add(&s);
+            let got = ladder_mul(&s, &g, CoordinateBlinding::RandomZ, &mut r);
+            assert_eq!(got, expect, "mismatch at k={k}");
+        }
+    }
+
+    #[test]
+    fn ladder_matches_double_and_add_toy_random() {
+        let g = Toy17::generator();
+        let mut r = rng_from(32);
+        for _ in 0..200 {
+            let s = Scalar::<Toy17>::random_nonzero(&mut r);
+            let expect = g.mul_double_and_add(&s);
+            let got = ladder_mul(&s, &g, CoordinateBlinding::RandomZ, &mut r);
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn ladder_matches_double_and_add_k163() {
+        let g = K163::generator();
+        let mut r = rng_from(33);
+        for _ in 0..6 {
+            let s = Scalar::<K163>::random_nonzero(&mut r);
+            let expect = g.mul_double_and_add(&s);
+            let got = ladder_mul(&s, &g, CoordinateBlinding::RandomZ, &mut r);
+            assert_eq!(got, expect);
+            assert!(got.is_on_curve());
+        }
+    }
+
+    #[test]
+    fn ladder_matches_double_and_add_b163() {
+        // Exercises the b·Z⁴ multiplication path (b ≠ 1).
+        let g = B163::generator();
+        let mut r = rng_from(34);
+        for _ in 0..4 {
+            let s = Scalar::<B163>::random_nonzero(&mut r);
+            assert_eq!(
+                ladder_mul(&s, &g, CoordinateBlinding::RandomZ, &mut r),
+                g.mul_double_and_add(&s)
+            );
+        }
+    }
+
+    #[test]
+    fn blinding_modes_agree_on_result() {
+        let g = K163::generator();
+        let mut r = rng_from(35);
+        let s = Scalar::<K163>::random_nonzero(&mut r);
+        let reference = ladder_mul(&s, &g, CoordinateBlinding::Disabled, &mut r);
+        assert_eq!(
+            ladder_mul(&s, &g, CoordinateBlinding::RandomZ, &mut r),
+            reference
+        );
+        assert_eq!(
+            ladder_mul(&s, &g, CoordinateBlinding::KnownZ(42), &mut r),
+            reference
+        );
+    }
+
+    #[test]
+    fn randomized_z_changes_internal_state_not_result() {
+        let g = K163::generator();
+        let mut r = rng_from(36);
+        let s = Scalar::<K163>::random_nonzero(&mut r);
+        let st1 = ladder_x_only::<K163>(&s, g.x().unwrap(), CoordinateBlinding::RandomZ, &mut r);
+        let st2 = ladder_x_only::<K163>(&s, g.x().unwrap(), CoordinateBlinding::RandomZ, &mut r);
+        // Different projective representatives...
+        assert_ne!((st1.x1, st1.z1), (st2.x1, st2.z1));
+        // ...same affine x.
+        assert_eq!(ladder_x_affine(&st1), ladder_x_affine(&st2));
+    }
+
+    #[test]
+    fn ladder_handles_identity_scalars() {
+        let g = Toy17::generator();
+        let mut r = rng_from(37);
+        assert_eq!(
+            ladder_mul(&Scalar::zero(), &g, CoordinateBlinding::RandomZ, &mut r),
+            Point::Infinity
+        );
+        let n_minus_1 = Scalar::<Toy17>::zero() - Scalar::one();
+        assert_eq!(
+            ladder_mul(&n_minus_1, &g, CoordinateBlinding::RandomZ, &mut r),
+            -g
+        );
+    }
+
+    #[test]
+    fn ladder_on_infinity_is_infinity() {
+        let mut r = rng_from(38);
+        let s = Scalar::<K163>::from_u64(5);
+        assert_eq!(
+            ladder_mul(&s, &Point::infinity(), CoordinateBlinding::RandomZ, &mut r),
+            Point::Infinity
+        );
+    }
+
+    #[test]
+    fn iteration_cost_shapes() {
+        assert_eq!(iteration_cost(true).muls, 5); // Koblitz: b=1
+        assert_eq!(iteration_cost(false).muls, 6);
+        assert_eq!(iteration_cost(true).squarings, 5);
+    }
+
+    #[test]
+    fn registers_used_matches_paper() {
+        assert_eq!(REGISTERS_USED, 6);
+    }
+
+    #[test]
+    fn scalar_blinding_preserves_results_toy() {
+        let g = Toy17::generator();
+        let mut r = rng_from(40);
+        for _ in 0..64 {
+            let k = Scalar::<Toy17>::random_nonzero(&mut r);
+            let expect = g.mul_double_and_add(&k);
+            let got = ladder_mul_scalar_blinded(&k, &g, CoordinateBlinding::RandomZ, &mut r);
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn scalar_blinding_preserves_results_k163() {
+        let g = K163::generator();
+        let mut r = rng_from(41);
+        let k = Scalar::<K163>::random_nonzero(&mut r);
+        let expect = ladder_mul(&k, &g, CoordinateBlinding::Disabled, &mut r);
+        for _ in 0..3 {
+            assert_eq!(
+                ladder_mul_scalar_blinded(&k, &g, CoordinateBlinding::RandomZ, &mut r),
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn blinded_bit_patterns_differ_across_runs() {
+        let mut r = rng_from(42);
+        let k = Scalar::<K163>::random_nonzero(&mut r);
+        let b1 = k.blinded_ladder_bits(17);
+        let b2 = k.blinded_ladder_bits(203);
+        assert_ne!(b1, b2, "different masks must change the representation");
+        // Lengths stay within the 8-extra-bit envelope.
+        assert!(b1.len() >= K163::LADDER_BITS && b1.len() <= K163::LADDER_BITS + 8);
+    }
+
+    #[test]
+    fn blinded_edge_scalars() {
+        let g = Toy17::generator();
+        let mut r = rng_from(43);
+        assert_eq!(
+            ladder_mul_scalar_blinded(&Scalar::zero(), &g, CoordinateBlinding::RandomZ, &mut r),
+            Point::Infinity
+        );
+        assert_eq!(
+            ladder_mul_scalar_blinded(&Scalar::one(), &g, CoordinateBlinding::RandomZ, &mut r),
+            g
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Elliptic curves over binary fields for the medsec DAC'13 reproduction.
+//!
+//! Implements the paper's algorithm level (§4): binary Weierstrass
+//! curves `y² + xy = x³ + a·x² + b` over F(2^m), the Montgomery Powering
+//! Ladder (Algorithm 1) with x-only López–Dahab coordinates, randomized
+//! projective coordinates as the DPA countermeasure, y-recovery, and the
+//! scalar ring Z_n needed by the Peeters–Hermans protocol.
+//!
+//! The deliberately unprotected [`Point::mul_double_and_add`] baseline is
+//! kept alongside the protected [`ladder::ladder_mul`] so the evaluation
+//! crates can demonstrate the timing/SPA gap the paper discusses.
+//!
+//! # Example
+//!
+//! ```
+//! use medsec_ec::{ladder, CoordinateBlinding, CurveSpec, Scalar, K163};
+//!
+//! let mut seed = 1u64;
+//! let mut rng = move || { seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1); seed };
+//! let k = Scalar::<K163>::random_nonzero(&mut rng);
+//! let p = ladder::ladder_mul(&k, &K163::generator(), CoordinateBlinding::RandomZ, &mut rng);
+//! assert!(p.is_on_curve());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod curve;
+mod curves;
+mod ecdh;
+pub mod frobenius;
+pub mod ladder;
+mod scalar;
+
+pub use curve::{CurveSpec, Point};
+pub use curves::{Toy17, B163, K163};
+pub use ecdh::{xcoord_to_scalar, KeyPair};
+pub use frobenius::{frobenius_mu, frobenius_point, satisfies_characteristic_equation};
+pub use ladder::CoordinateBlinding;
+pub use scalar::{parse_hex_limbs, Scalar, SCALAR_LIMBS};

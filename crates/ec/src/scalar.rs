@@ -1,0 +1,557 @@
+//! Arithmetic in the scalar ring Z_n, where n is the (prime) order of the
+//! base-point subgroup.
+//!
+//! The Peeters–Hermans protocol (paper Fig. 2) computes `s = d + x + e·r
+//! (mod ℓ)` on the tag, so the tag needs modular addition and one modular
+//! multiplication next to the two point multiplications; the reader
+//! additionally inverts challenges. Values are kept in four 64-bit limbs
+//! (256 bits), comfortably above the 163-bit orders used here.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::marker::PhantomData;
+
+use crate::curve::CurveSpec;
+
+/// Number of limbs in a scalar.
+pub const SCALAR_LIMBS: usize = 4;
+
+/// Parse a hex string into little-endian limbs at compile time.
+///
+/// # Panics
+///
+/// Panics (at compile time when used in a `const`) on non-hex characters
+/// or on overflow of the `N`-limb width.
+pub const fn parse_hex_limbs<const N: usize>(s: &str) -> [u64; N] {
+    let b = s.as_bytes();
+    let mut out = [0u64; N];
+    let mut nib = 0usize;
+    let mut pos = b.len();
+    while pos > 0 {
+        pos -= 1;
+        let c = b[pos];
+        let v = match c {
+            b'0'..=b'9' => c - b'0',
+            b'a'..=b'f' => c - b'a' + 10,
+            b'A'..=b'F' => c - b'A' + 10,
+            _ => panic!("invalid hex digit in constant"),
+        } as u64;
+        if nib >= N * 16 {
+            if v != 0 {
+                panic!("hex constant overflows limb width");
+            }
+        } else {
+            out[nib / 16] |= v << (4 * (nib % 16));
+        }
+        nib += 1;
+    }
+    out
+}
+
+// ---- raw limb helpers (little-endian [u64; 4]) ----
+
+fn add_raw(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], bool) {
+    let mut out = [0u64; 4];
+    let mut carry = false;
+    for i in 0..4 {
+        let (s, c1) = a[i].overflowing_add(b[i]);
+        let (s, c2) = s.overflowing_add(carry as u64);
+        out[i] = s;
+        carry = c1 | c2;
+    }
+    (out, carry)
+}
+
+fn sub_raw(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], bool) {
+    let mut out = [0u64; 4];
+    let mut borrow = false;
+    for i in 0..4 {
+        let (d, b1) = a[i].overflowing_sub(b[i]);
+        let (d, b2) = d.overflowing_sub(borrow as u64);
+        out[i] = d;
+        borrow = b1 | b2;
+    }
+    (out, borrow)
+}
+
+fn cmp_raw(a: &[u64; 4], b: &[u64; 4]) -> Ordering {
+    for i in (0..4).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+fn is_zero_raw(a: &[u64; 4]) -> bool {
+    a.iter().all(|&w| w == 0)
+}
+
+fn bit_raw(a: &[u64], i: usize) -> bool {
+    (a[i / 64] >> (i % 64)) & 1 == 1
+}
+
+fn bitlen_raw(a: &[u64]) -> usize {
+    for (i, &w) in a.iter().enumerate().rev() {
+        if w != 0 {
+            return 64 * i + 64 - w.leading_zeros() as usize;
+        }
+    }
+    0
+}
+
+/// Schoolbook 4×4 → 8 limb multiplication.
+fn mul_wide(a: &[u64; 4], b: &[u64; 4]) -> [u64; 8] {
+    let mut out = [0u64; 8];
+    for i in 0..4 {
+        let mut carry = 0u128;
+        for j in 0..4 {
+            let t = out[i + j] as u128 + a[i] as u128 * b[j] as u128 + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        out[i + 4] = carry as u64;
+    }
+    out
+}
+
+/// Binary modular reduction of an arbitrary-width value: shifts in one bit
+/// at a time, keeping the remainder below n. O(bits) but only used outside
+/// hot loops.
+fn mod_wide(value: &[u64], n: &[u64; 4]) -> [u64; 4] {
+    let bits = bitlen_raw(value);
+    let mut r = [0u64; 4];
+    for i in (0..bits).rev() {
+        // r = (r << 1) | value_bit(i); r stays < 2n < 2^192, no overflow.
+        let mut carry = bit_raw(value, i) as u64;
+        for w in r.iter_mut() {
+            let nc = *w >> 63;
+            *w = (*w << 1) | carry;
+            carry = nc;
+        }
+        debug_assert_eq!(carry, 0);
+        if cmp_raw(&r, n) != Ordering::Less {
+            r = sub_raw(&r, n).0;
+        }
+    }
+    r
+}
+
+/// An integer modulo the subgroup order `n` of curve `C`.
+///
+/// # Example
+///
+/// ```
+/// use medsec_ec::{Scalar, K163};
+/// let a = Scalar::<K163>::from_u64(7);
+/// let b = Scalar::<K163>::from_u64(11);
+/// assert_eq!(a * b, Scalar::from_u64(77));
+/// assert_eq!(a - a, Scalar::zero());
+/// ```
+pub struct Scalar<C: CurveSpec> {
+    limbs: [u64; 4],
+    _curve: PhantomData<C>,
+}
+
+impl<C: CurveSpec> Scalar<C> {
+    /// The additive identity.
+    pub fn zero() -> Self {
+        Self::from_raw([0; 4])
+    }
+
+    /// The multiplicative identity.
+    pub fn one() -> Self {
+        Self::from_u64(1)
+    }
+
+    fn from_raw(limbs: [u64; 4]) -> Self {
+        Self {
+            limbs,
+            _curve: PhantomData,
+        }
+    }
+
+    /// The subgroup order as raw limbs.
+    pub fn order_limbs() -> [u64; 4] {
+        C::ORDER
+    }
+
+    /// Scalar from a small integer.
+    pub fn from_u64(v: u64) -> Self {
+        Self::from_raw(mod_wide(&[v, 0, 0, 0], &C::ORDER))
+    }
+
+    /// Scalar from raw limbs, reduced modulo n.
+    pub fn from_limbs_mod_order(l: [u64; 4]) -> Self {
+        Self::from_raw(mod_wide(&l, &C::ORDER))
+    }
+
+    /// Scalar from big-endian bytes, reduced modulo n. Accepts any length
+    /// up to 64 bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 bytes are supplied.
+    pub fn from_bytes_mod_order(bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= 64, "scalar encoding too long");
+        let mut wide = [0u64; 8];
+        for (i, &b) in bytes.iter().rev().enumerate() {
+            wide[i / 8] |= (b as u64) << (8 * (i % 8));
+        }
+        Self::from_raw(mod_wide(&wide, &C::ORDER))
+    }
+
+    /// Fixed-width big-endian encoding (`ceil(bitlen(n)/8)` bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let nbytes = (bitlen_raw(&C::ORDER) + 7) / 8;
+        let mut out = vec![0u8; nbytes];
+        for (i, b) in out.iter_mut().rev().enumerate() {
+            *b = (self.limbs[i / 8] >> (8 * (i % 8))) as u8;
+        }
+        out
+    }
+
+    /// Raw little-endian limbs of the canonical representative.
+    pub fn limbs(&self) -> &[u64; 4] {
+        &self.limbs
+    }
+
+    /// Whether this is zero mod n.
+    pub fn is_zero(&self) -> bool {
+        is_zero_raw(&self.limbs)
+    }
+
+    /// Bit `i` of the canonical representative.
+    pub fn bit(&self, i: usize) -> bool {
+        i < 256 && bit_raw(&self.limbs, i)
+    }
+
+    /// Bit length of the canonical representative.
+    pub fn bit_len(&self) -> usize {
+        bitlen_raw(&self.limbs)
+    }
+
+    /// Uniformly random nonzero scalar (rejection sampling).
+    pub fn random_nonzero(mut next_u64: impl FnMut() -> u64) -> Self {
+        let nbits = bitlen_raw(&C::ORDER);
+        loop {
+            let mut l = [0u64; 4];
+            for (i, w) in l.iter_mut().enumerate() {
+                if i * 64 < nbits {
+                    *w = next_u64();
+                }
+            }
+            let top = nbits % 64;
+            let words = (nbits + 63) / 64;
+            if top != 0 {
+                l[words - 1] &= (1u64 << top) - 1;
+            }
+            if !is_zero_raw(&l) && cmp_raw(&l, &C::ORDER) == Ordering::Less {
+                return Self::from_raw(l);
+            }
+        }
+    }
+
+    /// Modular exponentiation `self^e` where `e` is given as raw limbs.
+    pub fn pow_limbs(&self, e: &[u64; 4]) -> Self {
+        let mut acc = Self::one();
+        for i in (0..bitlen_raw(e)).rev() {
+            acc = acc * acc;
+            if bit_raw(e, i) {
+                acc = acc * *self;
+            }
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat (requires n prime, which holds
+    /// for every curve in this crate). Returns `None` for zero.
+    pub fn inverse(&self) -> Option<Self> {
+        if self.is_zero() {
+            return None;
+        }
+        let (nm2, borrow) = sub_raw(&C::ORDER, &[2, 0, 0, 0]);
+        debug_assert!(!borrow);
+        let inv = self.pow_limbs(&nm2);
+        debug_assert_eq!(inv * *self, Self::one());
+        Some(inv)
+    }
+
+    /// The fixed-length bit pattern `k'' = k + 2n` used by the constant-
+    /// length Montgomery ladder: `k''·P = k·P` and `k''` always has
+    /// exactly [`CurveSpec::LADDER_BITS`] bits, so the ladder executes
+    /// the same number of iterations for every key — the paper's
+    /// algorithm-level timing countermeasure (§7).
+    ///
+    /// Returned most-significant bit first; `bits[0]` is always `true`.
+    pub fn ladder_bits(&self) -> Vec<bool> {
+        let (two_n, c0) = add_raw(&C::ORDER, &C::ORDER);
+        debug_assert!(!c0);
+        let (kpp, c1) = add_raw(&self.limbs, &two_n);
+        debug_assert!(!c1);
+        let t = C::LADDER_BITS;
+        debug_assert_eq!(
+            bitlen_raw(&kpp),
+            t,
+            "LADDER_BITS inconsistent with curve order"
+        );
+        (0..t).rev().map(|i| bit_raw(&kpp, i)).collect()
+    }
+
+    /// Scalar-blinded ladder bits: `k'' = k + (2 + extra)·n` with a
+    /// random `extra` drawn per execution. Every representative computes
+    /// the same point `k·P`, but the bit pattern — and hence every
+    /// key-dependent intermediate — changes from run to run: an
+    /// *algorithm-level* DPA countermeasure complementary to the random
+    /// projective Z (Coron's first countermeasure). The price is a
+    /// variable bit-length (up to 8 extra iterations for `extra < 256`),
+    /// i.e. it trades the constant-latency property away.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra` ≥ 2^32 (the blinded scalar must stay within
+    /// the 256-bit working width).
+    pub fn blinded_ladder_bits(&self, extra: u32) -> Vec<bool> {
+        // (2 + extra)·n via schoolbook single-word multiplication.
+        let factor = [2u64 + extra as u64, 0, 0, 0];
+        let wide = mul_wide(&C::ORDER, &factor);
+        debug_assert!(wide[4..].iter().all(|&w| w == 0), "blinded scalar overflow");
+        let mut shift = [0u64; 4];
+        shift.copy_from_slice(&wide[..4]);
+        let (kpp, carry) = add_raw(&self.limbs, &shift);
+        assert!(!carry, "blinded scalar overflow");
+        let t = bitlen_raw(&kpp);
+        (0..t).rev().map(|i| bit_raw(&kpp, i)).collect()
+    }
+}
+
+impl<C: CurveSpec> Clone for Scalar<C> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<C: CurveSpec> Copy for Scalar<C> {}
+
+impl<C: CurveSpec> PartialEq for Scalar<C> {
+    fn eq(&self, other: &Self) -> bool {
+        self.limbs == other.limbs
+    }
+}
+impl<C: CurveSpec> Eq for Scalar<C> {}
+
+impl<C: CurveSpec> core::hash::Hash for Scalar<C> {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.limbs.hash(state);
+    }
+}
+
+impl<C: CurveSpec> Default for Scalar<C> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<C: CurveSpec> PartialOrd for Scalar<C> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<C: CurveSpec> Ord for Scalar<C> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        cmp_raw(&self.limbs, &other.limbs)
+    }
+}
+
+impl<C: CurveSpec> fmt::Debug for Scalar<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Scalar<{}>(", C::NAME)?;
+        fmt::Display::fmt(self, f)?;
+        write!(f, ")")
+    }
+}
+
+impl<C: CurveSpec> fmt::Display for Scalar<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut started = false;
+        write!(f, "0x")?;
+        for nib in (0..64).rev() {
+            let v = (self.limbs[nib / 16] >> (4 * (nib % 16))) & 0xf;
+            if v != 0 || started || nib == 0 {
+                started = true;
+                write!(f, "{v:x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<C: CurveSpec> core::ops::Add for Scalar<C> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        let (sum, carry) = add_raw(&self.limbs, &rhs.limbs);
+        debug_assert!(!carry, "operands exceed 255 bits");
+        if cmp_raw(&sum, &C::ORDER) != Ordering::Less {
+            Self::from_raw(sub_raw(&sum, &C::ORDER).0)
+        } else {
+            Self::from_raw(sum)
+        }
+    }
+}
+
+impl<C: CurveSpec> core::ops::AddAssign for Scalar<C> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<C: CurveSpec> core::ops::Sub for Scalar<C> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        let (diff, borrow) = sub_raw(&self.limbs, &rhs.limbs);
+        if borrow {
+            Self::from_raw(add_raw(&diff, &C::ORDER).0)
+        } else {
+            Self::from_raw(diff)
+        }
+    }
+}
+
+impl<C: CurveSpec> core::ops::SubAssign for Scalar<C> {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<C: CurveSpec> core::ops::Neg for Scalar<C> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::zero() - self
+    }
+}
+
+impl<C: CurveSpec> core::ops::Mul for Scalar<C> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        let wide = mul_wide(&self.limbs, &rhs.limbs);
+        Self::from_raw(mod_wide(&wide, &C::ORDER))
+    }
+}
+
+impl<C: CurveSpec> core::ops::MulAssign for Scalar<C> {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curves::K163;
+
+    fn rng_from(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn parse_hex_limbs_basic() {
+        assert_eq!(parse_hex_limbs::<4>("ff"), [0xff, 0, 0, 0]);
+        assert_eq!(
+            parse_hex_limbs::<4>("10000000000000000"),
+            [0, 1, 0, 0] // 2^64
+        );
+        assert_eq!(
+            parse_hex_limbs::<4>("4000000000000000000020108A2E0CC0D99F8A5EF"),
+            [0xA2E0_CC0D_99F8_A5EF, 0x0000_0000_0002_0108, 0x4_0000_0000, 0]
+        );
+    }
+
+    #[test]
+    fn small_integer_ring_ops() {
+        type S = Scalar<K163>;
+        assert_eq!(S::from_u64(3) + S::from_u64(4), S::from_u64(7));
+        assert_eq!(S::from_u64(10) - S::from_u64(4), S::from_u64(6));
+        assert_eq!(S::from_u64(6) * S::from_u64(7), S::from_u64(42));
+        assert_eq!(S::from_u64(5) - S::from_u64(5), S::zero());
+        // Wraparound: (n - 1) + 2 == 1.
+        let n_minus_1 = S::zero() - S::one();
+        assert_eq!(n_minus_1 + S::from_u64(2), S::one());
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        let mut r = rng_from(1);
+        for _ in 0..16 {
+            let a = Scalar::<K163>::random_nonzero(&mut r);
+            assert_eq!(a + (-a), Scalar::zero());
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let mut r = rng_from(2);
+        for _ in 0..8 {
+            let a = Scalar::<K163>::random_nonzero(&mut r);
+            let inv = a.inverse().unwrap();
+            assert_eq!(a * inv, Scalar::one());
+        }
+        assert_eq!(Scalar::<K163>::zero().inverse(), None);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut r = rng_from(3);
+        for _ in 0..16 {
+            let a = Scalar::<K163>::random_nonzero(&mut r);
+            let bytes = a.to_bytes();
+            assert_eq!(bytes.len(), 21); // ceil(163/8)
+            assert_eq!(Scalar::<K163>::from_bytes_mod_order(&bytes), a);
+        }
+    }
+
+    #[test]
+    fn from_bytes_reduces() {
+        // 64 bytes of 0xff is far beyond n and must reduce without panic.
+        let big = [0xffu8; 64];
+        let s = Scalar::<K163>::from_bytes_mod_order(&big);
+        assert!(s.bit_len() <= 163);
+    }
+
+    #[test]
+    fn ladder_bits_constant_length_and_msb_set() {
+        let mut r = rng_from(4);
+        for _ in 0..32 {
+            let a = Scalar::<K163>::random_nonzero(&mut r);
+            let bits = a.ladder_bits();
+            assert_eq!(bits.len(), K163::LADDER_BITS);
+            assert!(bits[0], "ladder MSB must always be 1");
+        }
+        // Including the all-zero scalar (k'' = 2n).
+        let bits = Scalar::<K163>::zero().ladder_bits();
+        assert_eq!(bits.len(), K163::LADDER_BITS);
+        assert!(bits[0]);
+    }
+
+    #[test]
+    fn random_scalars_are_below_order() {
+        let mut r = rng_from(5);
+        for _ in 0..64 {
+            let a = Scalar::<K163>::random_nonzero(&mut r);
+            assert!(!a.is_zero());
+            assert!(cmp_raw(a.limbs(), &K163::ORDER) == Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn display_renders_hex() {
+        assert_eq!(format!("{}", Scalar::<K163>::from_u64(0x2a)), "0x2a");
+        assert_eq!(format!("{}", Scalar::<K163>::zero()), "0x0");
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based verification of the group law and ladder equivalence.
+//!
+//! The toy curve (order counted by brute force) carries the heavy
+//! generators; K-163 gets a smaller number of cases because each ladder
+//! run costs ~160 field multiplications.
+
+use medsec_ec::{
+    ladder::{self, CoordinateBlinding},
+    xcoord_to_scalar, CurveSpec, KeyPair, Point, Scalar, Toy17, K163,
+};
+use proptest::prelude::*;
+
+fn rng_from(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed;
+    move || {
+        s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn toy_point(k: u64) -> Point<Toy17> {
+    Toy17::generator().mul_double_and_add(&Scalar::from_u64(k))
+}
+
+proptest! {
+    #[test]
+    fn toy_addition_is_commutative(a in 0u64..65587, b in 0u64..65587) {
+        let (p, q) = (toy_point(a), toy_point(b));
+        prop_assert_eq!(p + q, q + p);
+    }
+
+    #[test]
+    fn toy_addition_is_associative(a in 1u64..65587, b in 1u64..65587, c in 1u64..65587) {
+        let (p, q, r) = (toy_point(a), toy_point(b), toy_point(c));
+        prop_assert_eq!((p + q) + r, p + (q + r));
+    }
+
+    #[test]
+    fn toy_scalar_mul_is_homomorphic(a in 0u64..65587, b in 0u64..65587) {
+        let g = Toy17::generator();
+        let sum = Scalar::<Toy17>::from_u64(a) + Scalar::from_u64(b);
+        prop_assert_eq!(
+            g.mul_double_and_add(&sum),
+            toy_point(a) + toy_point(b)
+        );
+    }
+
+    #[test]
+    fn toy_ladder_equals_double_and_add(k in 0u64..131174, seed in any::<u64>()) {
+        let g = Toy17::generator();
+        let s = Scalar::<Toy17>::from_u64(k);
+        let mut r = rng_from(seed);
+        prop_assert_eq!(
+            ladder::ladder_mul(&s, &g, CoordinateBlinding::RandomZ, &mut r),
+            g.mul_double_and_add(&s)
+        );
+    }
+
+    #[test]
+    fn toy_results_stay_on_curve(k in 0u64..65587, seed in any::<u64>()) {
+        let g = Toy17::generator();
+        let mut r = rng_from(seed);
+        let p = ladder::ladder_mul(&Scalar::from_u64(k), &g, CoordinateBlinding::RandomZ, &mut r);
+        prop_assert!(p.is_on_curve());
+    }
+
+    #[test]
+    fn toy_compress_round_trip(k in 0u64..65587) {
+        let p = toy_point(k);
+        prop_assert_eq!(Point::<Toy17>::decompress(&p.compress()), Some(p));
+    }
+
+    #[test]
+    fn toy_negation_and_subtraction(a in 1u64..65587, b in 1u64..65587) {
+        let (p, q) = (toy_point(a), toy_point(b));
+        prop_assert_eq!(p - q, p + (-q));
+        prop_assert_eq!((p - q) + q, p);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn k163_ladder_equals_double_and_add(seed in any::<u64>()) {
+        let mut r = rng_from(seed);
+        let g = K163::generator();
+        let s = Scalar::<K163>::random_nonzero(&mut r);
+        prop_assert_eq!(
+            ladder::ladder_mul(&s, &g, CoordinateBlinding::RandomZ, &mut r),
+            g.mul_double_and_add(&s)
+        );
+    }
+
+    #[test]
+    fn k163_ecdh_round_trip(seed in any::<u64>()) {
+        let mut r = rng_from(seed);
+        let a = KeyPair::<K163>::generate(&mut r);
+        let b = KeyPair::<K163>::generate(&mut r);
+        prop_assert_eq!(a.shared_x(b.public(), &mut r), b.shared_x(a.public(), &mut r));
+    }
+
+    #[test]
+    fn k163_xcoord_scalar_reduction_is_canonical(seed in any::<u64>()) {
+        let mut r = rng_from(seed);
+        let kp = KeyPair::<K163>::generate(&mut r);
+        let x = kp.public().x().unwrap();
+        let s = xcoord_to_scalar::<K163>(&x);
+        // Must already be < n (reduction idempotent).
+        prop_assert_eq!(Scalar::<K163>::from_bytes_mod_order(&s.to_bytes()), s);
+    }
+}

@@ -1,0 +1,283 @@
+//! Functional model of the digit-serial modular multiplier (the MALU).
+//!
+//! The paper's architecture level (§5) picks a **163×4 digit-serial
+//! multiplier**: "the choice of the digit-size determines the power needed
+//! for the computation, as well as the latency and area. By using a digit
+//! serial multiplication with a 163×4 modular multiplier we achieve the
+//! optimal area-energy product within the given latency constraints."
+//!
+//! [`DigitSerialMul`] reproduces that datapath bit-exactly: the operand
+//! `a` is consumed `d` bits per clock cycle, most-significant digit first,
+//! and the accumulator is reduced modulo the field polynomial every cycle.
+//! The per-cycle accumulator states are exposed so the co-processor
+//! simulator can compute switching activity (Hamming distances), which is
+//! what the power model — and ultimately the DPA experiments — consume.
+
+use crate::field::{Element, FieldSpec};
+use crate::limbs;
+use crate::{LIMBS, PROD_LIMBS};
+
+/// Digit sizes supported by the MALU generator in the design-space sweep.
+pub const SUPPORTED_DIGITS: &[usize] = &[1, 2, 4, 8, 16, 32];
+
+/// Number of clock cycles a digit-serial multiplication takes:
+/// `ceil(m / d)`.
+///
+/// # Example
+///
+/// ```
+/// // The paper's 163×4 multiplier takes 41 cycles per field mult.
+/// assert_eq!(medsec_gf2m::digit_serial::cycles_per_mul(163, 4), 41);
+/// ```
+pub fn cycles_per_mul(m: usize, digit: usize) -> usize {
+    m.div_ceil(digit)
+}
+
+/// A running digit-serial multiplication, stepped one clock cycle at a
+/// time.
+///
+/// Algorithm (MSB-first digit-serial, Song–Parhi style):
+///
+/// ```text
+/// acc ← 0
+/// for each d-bit digit A_i of a, most significant first:
+///     acc ← acc·x^d + A_i·b   (mod f)
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use medsec_gf2m::{digit_serial::DigitSerialMul, Element, F163};
+/// let a = Element::<F163>::from_u64(0xdead_beef);
+/// let b = Element::<F163>::from_u64(0x1234_5678);
+/// let mut mul = DigitSerialMul::new(a, b, 4);
+/// while !mul.is_done() {
+///     mul.step();
+/// }
+/// assert_eq!(mul.result(), a * b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DigitSerialMul<F: FieldSpec> {
+    a: Element<F>,
+    b: Element<F>,
+    digit: usize,
+    acc: [u64; LIMBS],
+    cycle: usize,
+    total_cycles: usize,
+}
+
+/// Switching activity observed in the multiplier datapath during one
+/// clock cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MulStep {
+    /// Cycle index within this multiplication (0-based).
+    pub cycle: usize,
+    /// Hamming distance between the previous and new accumulator state —
+    /// the dominant dynamic-power term of the MALU.
+    pub acc_hd: u32,
+    /// Hamming weight of the new accumulator state (leakage models that
+    /// use HW instead of HD).
+    pub acc_hw: u32,
+    /// Hamming weight of the digit of `a` consumed this cycle (drives the
+    /// partial-product AND array).
+    pub digit_hw: u32,
+}
+
+impl<F: FieldSpec> DigitSerialMul<F> {
+    /// Start a multiplication `a · b` with the given digit size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digit` is 0 or larger than 64 (no real MALU in this
+    /// design space is wider).
+    pub fn new(a: Element<F>, b: Element<F>, digit: usize) -> Self {
+        assert!(digit >= 1 && digit <= 64, "digit size {digit} out of range");
+        let total_cycles = cycles_per_mul(F::M, digit);
+        Self {
+            a,
+            b,
+            digit,
+            acc: [0; LIMBS],
+            cycle: 0,
+            total_cycles,
+        }
+    }
+
+    /// Whether all digits have been consumed.
+    pub fn is_done(&self) -> bool {
+        self.cycle >= self.total_cycles
+    }
+
+    /// Total number of clock cycles this multiplication takes.
+    pub fn total_cycles(&self) -> usize {
+        self.total_cycles
+    }
+
+    /// Advance one clock cycle, returning the datapath activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`is_done`](Self::is_done) returns true.
+    pub fn step(&mut self) -> MulStep {
+        assert!(!self.is_done(), "multiplier already finished");
+        let prev = self.acc;
+        // Digit index, MSB first. The top digit may be partial.
+        let idx = self.total_cycles - 1 - self.cycle;
+        let digit_val = self.extract_digit(idx);
+
+        // acc = acc * x^d + digit * b  (mod f)
+        let mut wide = [0u64; PROD_LIMBS];
+        wide[..LIMBS].copy_from_slice(&self.acc);
+        limbs::shl_in_place(&mut wide, self.digit);
+        // Add digit * b: for each set bit t of the digit, b << t.
+        for t in 0..self.digit {
+            if (digit_val >> t) & 1 == 1 {
+                let mut shifted = [0u64; PROD_LIMBS];
+                shifted[..LIMBS].copy_from_slice(self.b.limbs());
+                limbs::shl_in_place(&mut shifted, t);
+                limbs::xor_into(&mut wide, &shifted);
+            }
+        }
+        self.acc = limbs::reduce(wide, F::REDUCTION);
+
+        let step = MulStep {
+            cycle: self.cycle,
+            acc_hd: limbs::hamming_distance(&prev, &self.acc),
+            acc_hw: limbs::hamming_weight(&self.acc),
+            digit_hw: digit_val.count_ones(),
+        };
+        self.cycle += 1;
+        step
+    }
+
+    /// Run all remaining cycles, collecting the activity of each.
+    pub fn run(&mut self) -> Vec<MulStep> {
+        let mut steps = Vec::with_capacity(self.total_cycles - self.cycle);
+        while !self.is_done() {
+            steps.push(self.step());
+        }
+        steps
+    }
+
+    /// The product; only meaningful once [`is_done`](Self::is_done).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the multiplication has not finished.
+    pub fn result(&self) -> Element<F> {
+        assert!(self.is_done(), "multiplication still in progress");
+        Element::from_limbs_reduced(self.acc)
+    }
+
+    fn extract_digit(&self, idx: usize) -> u64 {
+        let lo = idx * self.digit;
+        let mut v = 0u64;
+        for t in 0..self.digit {
+            let bit = lo + t;
+            if bit < F::M && self.a.bit(bit) {
+                v |= 1 << t;
+            }
+        }
+        v
+    }
+}
+
+/// One-shot digit-serial multiplication returning the product and the
+/// cycle count — convenience for cost models that don't need the
+/// per-cycle activity.
+pub fn mul_digit_serial<F: FieldSpec>(
+    a: Element<F>,
+    b: Element<F>,
+    digit: usize,
+) -> (Element<F>, usize) {
+    let mut m = DigitSerialMul::new(a, b, digit);
+    m.run();
+    (m.result(), m.total_cycles())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::{F163, F17, F233};
+
+    fn rng_from(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn cycle_counts_match_paper() {
+        assert_eq!(cycles_per_mul(163, 1), 163);
+        assert_eq!(cycles_per_mul(163, 4), 41); // the paper's MALU
+        assert_eq!(cycles_per_mul(163, 8), 21);
+        assert_eq!(cycles_per_mul(233, 4), 59);
+    }
+
+    #[test]
+    fn digit_serial_matches_comb_for_all_digit_sizes() {
+        let mut r = rng_from(11);
+        for &d in SUPPORTED_DIGITS {
+            for _ in 0..8 {
+                let a = Element::<F163>::random(&mut r);
+                let b = Element::<F163>::random(&mut r);
+                let (p, cycles) = mul_digit_serial(a, b, d);
+                assert_eq!(p, a * b, "digit {d} mismatch");
+                assert_eq!(cycles, cycles_per_mul(163, d));
+            }
+        }
+    }
+
+    #[test]
+    fn digit_serial_other_fields() {
+        let mut r = rng_from(12);
+        let a = Element::<F233>::random(&mut r);
+        let b = Element::<F233>::random(&mut r);
+        assert_eq!(mul_digit_serial(a, b, 4).0, a * b);
+        let a = Element::<F17>::random(&mut r);
+        let b = Element::<F17>::random(&mut r);
+        assert_eq!(mul_digit_serial(a, b, 4).0, a * b);
+    }
+
+    #[test]
+    fn step_activity_is_plausible() {
+        let mut r = rng_from(13);
+        let a = Element::<F163>::random(&mut r);
+        let b = Element::<F163>::random(&mut r);
+        let mut m = DigitSerialMul::new(a, b, 4);
+        let steps = m.run();
+        assert_eq!(steps.len(), 41);
+        // Random operands must toggle the accumulator most cycles.
+        let total_hd: u32 = steps.iter().map(|s| s.acc_hd).sum();
+        assert!(total_hd > 41, "accumulator suspiciously quiet");
+        // Digit weight can never exceed the digit size.
+        assert!(steps.iter().all(|s| s.digit_hw <= 4));
+    }
+
+    #[test]
+    fn zero_operand_keeps_accumulator_silent() {
+        let b = Element::<F163>::from_u64(0xffff);
+        let mut m = DigitSerialMul::new(Element::zero(), b, 4);
+        let steps = m.run();
+        assert!(steps.iter().all(|s| s.acc_hd == 0 && s.acc_hw == 0));
+        assert_eq!(m.result(), Element::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "digit size")]
+    fn rejects_zero_digit() {
+        let _ = DigitSerialMul::new(Element::<F163>::one(), Element::one(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "still in progress")]
+    fn result_requires_completion() {
+        let m = DigitSerialMul::new(Element::<F163>::one(), Element::one(), 4);
+        let _ = m.result();
+    }
+}

@@ -1,0 +1,105 @@
+//! Concrete field specifications.
+//!
+//! The NIST reduction polynomials are the ones fixed by FIPS 186-3
+//! (the paper's reference [1]); the toy field `F17` exists so that group
+//! orders and exhaustive properties can be brute-forced in tests.
+
+use crate::field::FieldSpec;
+
+/// NIST binary field F(2^163), reduction x^163 + x^7 + x^6 + x^3 + 1.
+///
+/// The paper's operating field: 80-bit security, "equivalent to 1024-bit
+/// RSA" (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct F163;
+
+impl FieldSpec for F163 {
+    const M: usize = 163;
+    const REDUCTION: &'static [usize] = &[163, 7, 6, 3, 0];
+    const NAME: &'static str = "F2^163";
+}
+
+/// NIST binary field F(2^233), reduction x^233 + x^74 + 1.
+///
+/// Used in the design-space sweeps as the next standard security level
+/// (112-bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct F233;
+
+impl FieldSpec for F233 {
+    const M: usize = 233;
+    const REDUCTION: &'static [usize] = &[233, 74, 0];
+    const NAME: &'static str = "F2^233";
+}
+
+/// NIST binary field F(2^283), reduction x^283 + x^12 + x^7 + x^5 + 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct F283;
+
+impl FieldSpec for F283 {
+    const M: usize = 283;
+    const REDUCTION: &'static [usize] = &[283, 12, 7, 5, 0];
+    const NAME: &'static str = "F2^283";
+}
+
+/// Toy field F(2^17), reduction x^17 + x^3 + 1 (irreducible trinomial).
+///
+/// Small enough that curve orders over it can be counted exhaustively,
+/// which lets the test-suite validate scalar-multiplication algorithms
+/// without trusting memorized standard constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct F17;
+
+impl FieldSpec for F17 {
+    const M: usize = 17;
+    const REDUCTION: &'static [usize] = &[17, 3, 0];
+    const NAME: &'static str = "F2^17";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Element;
+
+    /// The reduction polynomial of each field must actually be irreducible
+    /// for the arithmetic to form a field. A cheap witness: x^(2^m) == x
+    /// in F_2[x]/f and x^(2^k) != x for proper divisor degrees k | m.
+    fn irreducibility_witness<F: FieldSpec>() {
+        let x = Element::<F>::from_u64(2); // the polynomial "x"
+        assert_eq!(x.frobenius(F::M), x, "x^(2^m) != x for {}", F::NAME);
+        // For every proper divisor k of m, x^(2^k) must differ from x.
+        for k in 1..F::M {
+            if F::M % k == 0 {
+                assert_ne!(x.frobenius(k), x, "{} reducible witness k={k}", F::NAME);
+            }
+        }
+    }
+
+    #[test]
+    fn f163_is_a_field() {
+        irreducibility_witness::<F163>();
+    }
+
+    #[test]
+    fn f233_is_a_field() {
+        irreducibility_witness::<F233>();
+    }
+
+    #[test]
+    fn f283_is_a_field() {
+        irreducibility_witness::<F283>();
+    }
+
+    #[test]
+    fn f17_is_a_field() {
+        irreducibility_witness::<F17>();
+    }
+
+    #[test]
+    fn reduction_shapes() {
+        assert_eq!(F163::REDUCTION.len(), 5); // pentanomial
+        assert_eq!(F233::REDUCTION.len(), 3); // trinomial
+        assert_eq!(F283::REDUCTION.len(), 5);
+        assert_eq!(F17::REDUCTION.len(), 3);
+    }
+}

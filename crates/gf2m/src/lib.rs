@@ -1,0 +1,47 @@
+//! Binary extension field arithmetic for the medsec DAC'13 reproduction.
+//!
+//! The paper's co-processor computes in **F(2^163)**, chosen because
+//! "multiplication in binary extension fields is carry-free; as a result,
+//! the multiplier is smaller and faster than integer multipliers" (§4).
+//! This crate provides:
+//!
+//! * [`Element`] — a fixed-width (320-bit) polynomial-basis element of
+//!   F(2^m), generic over a [`FieldSpec`] describing the extension degree
+//!   and the sparse reduction polynomial;
+//! * the NIST fields used by the paper and its design sweeps
+//!   ([`F163`], [`F233`], [`F283`]) plus a brute-force-verifiable toy
+//!   field ([`F17`]);
+//! * a bit-exact **digit-serial multiplier** model
+//!   ([`digit_serial::DigitSerialMul`]) matching the 163×d MALU of the
+//!   paper's architecture level, exposing per-cycle accumulator states so
+//!   the co-processor simulator can derive switching activity.
+//!
+//! # Example
+//!
+//! ```
+//! use medsec_gf2m::{Element, F163};
+//!
+//! let a = Element::<F163>::from_hex("2fe13c0537bbc11acaa07d793de4e6d5e5c94eee8")?;
+//! let b = a.square();
+//! assert_eq!(b, a * a);
+//! assert_eq!(a * a.inverse().unwrap(), Element::one());
+//! # Ok::<(), medsec_gf2m::ParseElementError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod field;
+mod fields;
+mod limbs;
+
+pub mod digit_serial;
+
+pub use field::{Element, FieldSpec, ParseElementError};
+pub use fields::{F17, F163, F233, F283};
+
+/// Number of 64-bit limbs in an element (320 bits, enough for m ≤ 283).
+pub const LIMBS: usize = 5;
+
+/// Number of 64-bit limbs in an unreduced product (two operands of `LIMBS`).
+pub const PROD_LIMBS: usize = 2 * LIMBS;

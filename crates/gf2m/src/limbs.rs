@@ -1,0 +1,259 @@
+//! Raw carry-less limb arithmetic shared by the field and multiplier models.
+//!
+//! All values are little-endian arrays of `u64` words; polynomials over
+//! GF(2) are stored with bit *i* of the array representing the coefficient
+//! of x^i.
+
+use crate::{LIMBS, PROD_LIMBS};
+
+/// XOR-accumulate `src` into `dst` (polynomial addition over GF(2)).
+#[inline]
+pub fn xor_into(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// Whether every limb is zero.
+#[inline]
+pub fn is_zero(v: &[u64]) -> bool {
+    v.iter().all(|&w| w == 0)
+}
+
+/// Degree of the polynomial (index of highest set bit), or `None` for zero.
+#[inline]
+pub fn degree(v: &[u64]) -> Option<usize> {
+    for (i, &w) in v.iter().enumerate().rev() {
+        if w != 0 {
+            return Some(64 * i + 63 - w.leading_zeros() as usize);
+        }
+    }
+    None
+}
+
+/// Read bit `i`.
+#[inline]
+pub fn get_bit(v: &[u64], i: usize) -> bool {
+    (v[i / 64] >> (i % 64)) & 1 == 1
+}
+
+/// Set bit `i` to 1.
+#[cfg_attr(not(test), allow(dead_code))]
+#[inline]
+pub fn set_bit(v: &mut [u64], i: usize) {
+    v[i / 64] |= 1u64 << (i % 64);
+}
+
+/// Flip bit `i`.
+#[inline]
+pub fn flip_bit(v: &mut [u64], i: usize) {
+    v[i / 64] ^= 1u64 << (i % 64);
+}
+
+/// Shift left by `s` bits in place (`s` < total width).
+pub fn shl_in_place(v: &mut [u64], s: usize) {
+    let n = v.len();
+    let words = s / 64;
+    let bits = s % 64;
+    if words > 0 {
+        for i in (0..n).rev() {
+            v[i] = if i >= words { v[i - words] } else { 0 };
+        }
+    }
+    if bits > 0 {
+        let mut carry = 0u64;
+        for w in v.iter_mut() {
+            let nc = *w >> (64 - bits);
+            *w = (*w << bits) | carry;
+            carry = nc;
+        }
+    }
+}
+
+/// Total number of set bits (Hamming weight).
+#[inline]
+pub fn hamming_weight(v: &[u64]) -> u32 {
+    v.iter().map(|w| w.count_ones()).sum()
+}
+
+/// Hamming distance between two equal-length words arrays.
+#[inline]
+pub fn hamming_distance(a: &[u64], b: &[u64]) -> u32 {
+    a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+}
+
+/// Carry-less (polynomial) multiplication of two `LIMBS`-wide operands
+/// into a `PROD_LIMBS`-wide product, using a 4-bit windowed comb.
+pub fn clmul(a: &[u64; LIMBS], b: &[u64; LIMBS]) -> [u64; PROD_LIMBS] {
+    // Precompute v * b for all 4-bit v. table[v] has LIMBS+1 words: b may
+    // gain up to 3 bits of degree.
+    let mut table = [[0u64; LIMBS + 1]; 16];
+    for v in 1u64..16 {
+        let mut row = [0u64; LIMBS + 1];
+        for t in 0..4 {
+            if (v >> t) & 1 == 1 {
+                let mut carry = 0u64;
+                for i in 0..LIMBS {
+                    let w = b[i];
+                    row[i] ^= (w << t) | carry;
+                    carry = if t == 0 { 0 } else { w >> (64 - t) };
+                }
+                row[LIMBS] ^= carry;
+            }
+        }
+        table[v as usize] = row;
+    }
+    let mut acc = [0u64; PROD_LIMBS];
+    // Process nibbles of `a` from most significant to least significant.
+    let total_nibbles = LIMBS * 16;
+    for n in (0..total_nibbles).rev() {
+        // acc <<= 4
+        let mut carry = 0u64;
+        for w in acc.iter_mut() {
+            let nc = *w >> 60;
+            *w = (*w << 4) | carry;
+            carry = nc;
+        }
+        let v = (a[n / 16] >> (4 * (n % 16))) & 0xf;
+        if v != 0 {
+            let row = &table[v as usize];
+            for i in 0..=LIMBS {
+                acc[i] ^= row[i];
+            }
+        }
+    }
+    acc
+}
+
+/// Carry-less squaring: spreads each bit of `a` to the even positions.
+pub fn clsquare(a: &[u64; LIMBS]) -> [u64; PROD_LIMBS] {
+    #[inline]
+    fn spread(byte: u8) -> u16 {
+        let mut x = byte as u16;
+        x = (x | (x << 4)) & 0x0f0f;
+        x = (x | (x << 2)) & 0x3333;
+        x = (x | (x << 1)) & 0x5555;
+        x
+    }
+    let mut out = [0u64; PROD_LIMBS];
+    for (i, &w) in a.iter().enumerate() {
+        let mut lo = 0u64;
+        let mut hi = 0u64;
+        for b in 0..4 {
+            lo |= (spread(((w >> (8 * b)) & 0xff) as u8) as u64) << (16 * b);
+            hi |= (spread(((w >> (8 * b + 32)) & 0xff) as u8) as u64) << (16 * b);
+        }
+        out[2 * i] = lo;
+        out[2 * i + 1] = hi;
+    }
+    out
+}
+
+/// Reduce a `PROD_LIMBS`-wide polynomial modulo the sparse polynomial whose
+/// set exponents are `reduction` (descending, starting with the degree m).
+///
+/// Returns the reduced value in the low `LIMBS` words.
+pub fn reduce(mut prod: [u64; PROD_LIMBS], reduction: &[usize]) -> [u64; LIMBS] {
+    let m = reduction[0];
+    debug_assert!(reduction.windows(2).all(|w| w[0] > w[1]));
+    // Fold words from the top: every set bit at position i >= m is replaced
+    // by the lower-degree terms shifted to i - m.
+    if let Some(top) = degree(&prod) {
+        for i in (m..=top).rev() {
+            if get_bit(&prod, i) {
+                // Clearing bit i and flipping i - m + e for the tail
+                // exponents e (skipping the leading m itself, which lands
+                // exactly on the cleared bit offset).
+                flip_bit(&mut prod, i);
+                for &e in &reduction[1..] {
+                    flip_bit(&mut prod, i - m + e);
+                }
+            }
+        }
+    }
+    let mut out = [0u64; LIMBS];
+    out.copy_from_slice(&prod[..LIMBS]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shl_words_and_bits() {
+        let mut v = [1u64, 0, 0, 0, 0];
+        shl_in_place(&mut v, 64);
+        assert_eq!(v, [0, 1, 0, 0, 0]);
+        shl_in_place(&mut v, 3);
+        assert_eq!(v, [0, 8, 0, 0, 0]);
+        let mut w = [u64::MAX, 0, 0, 0, 0];
+        shl_in_place(&mut w, 1);
+        assert_eq!(w, [u64::MAX - 1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn degree_and_bits() {
+        let mut v = [0u64; 5];
+        assert_eq!(degree(&v), None);
+        set_bit(&mut v, 163);
+        assert_eq!(degree(&v), Some(163));
+        assert!(get_bit(&v, 163));
+        flip_bit(&mut v, 163);
+        assert_eq!(degree(&v), None);
+    }
+
+    #[test]
+    fn clmul_matches_schoolbook_small() {
+        // (x^2 + 1)(x + 1) = x^3 + x^2 + x + 1
+        let a = [0b101u64, 0, 0, 0, 0];
+        let b = [0b011u64, 0, 0, 0, 0];
+        let p = clmul(&a, &b);
+        assert_eq!(p[0], 0b1111);
+        assert!(p[1..].iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn clmul_commutes_and_distributes() {
+        let a = [0x0123_4567_89ab_cdef, 0xfedc_ba98, 0, 0x1, 0];
+        let b = [0xdead_beef_cafe_f00d, 0x1234, 0x5678, 0, 0];
+        let c = [0x1111_2222_3333_4444, 0, 0x9abc, 0, 0];
+        assert_eq!(clmul(&a, &b), clmul(&b, &a));
+        let mut bc = b;
+        xor_into(&mut bc, &c);
+        let mut sum = clmul(&a, &b);
+        xor_into(&mut sum, &clmul(&a, &c));
+        assert_eq!(clmul(&a, &bc), sum);
+    }
+
+    #[test]
+    fn clsquare_matches_clmul() {
+        let a = [0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210, 0xff, 0, 0x7];
+        assert_eq!(clsquare(&a), clmul(&a, &a));
+    }
+
+    #[test]
+    fn reduce_simple_field() {
+        // F(2^3) with x^3 + x + 1: x^3 ≡ x + 1.
+        let mut p = [0u64; PROD_LIMBS];
+        set_bit(&mut p, 3);
+        let r = reduce(p, &[3, 1, 0]);
+        assert_eq!(r[0], 0b011);
+    }
+
+    #[test]
+    fn reduce_leaves_low_degree_untouched() {
+        let mut p = [0u64; PROD_LIMBS];
+        p[0] = 0b101;
+        let r = reduce(p, &[163, 7, 6, 3, 0]);
+        assert_eq!(r[0], 0b101);
+    }
+
+    #[test]
+    fn hamming_helpers() {
+        let a = [0xffu64, 0, 0, 0, 0];
+        let b = [0x0fu64, 0, 0, 0, 0];
+        assert_eq!(hamming_weight(&a), 8);
+        assert_eq!(hamming_distance(&a, &b), 4);
+    }
+}

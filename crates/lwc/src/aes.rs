@@ -1,0 +1,315 @@
+//! AES-128 — the paper's reference secret-key cipher ("protocols based on
+//! secret key algorithms, like AES, are often cheaper in computation cost
+//! but not necessarily in communication cost", §4).
+//!
+//! The S-box is *derived* at compile time from its algebraic definition
+//! (multiplicative inverse in GF(2^8) followed by the affine map), so no
+//! 256-entry table had to be transcribed; the FIPS-197 known-answer tests
+//! pin the result.
+
+use crate::cipher::{BlockCipher, HwProfile};
+
+/// GF(2^8) multiplication modulo x^8 + x^4 + x^3 + x + 1 (0x11b).
+const fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+        i += 1;
+    }
+    p
+}
+
+/// GF(2^8) inverse via a^254 (a^(2^8-2)); 0 maps to 0.
+const fn gf_inv(a: u8) -> u8 {
+    // a^254 = a^2 · a^4 · a^8 · a^16 · a^32 · a^64 · a^128 · a^... using
+    // square-and-multiply over the fixed exponent 0b11111110.
+    let mut acc = 1u8;
+    let mut sq = a;
+    let mut e = 254u8;
+    while e > 0 {
+        if e & 1 != 0 {
+            acc = gf_mul(acc, sq);
+        }
+        sq = gf_mul(sq, sq);
+        e >>= 1;
+    }
+    acc
+}
+
+const fn sbox_entry(a: u8) -> u8 {
+    let b = gf_inv(a);
+    b ^ b.rotate_left(1) ^ b.rotate_left(2) ^ b.rotate_left(3) ^ b.rotate_left(4) ^ 0x63
+}
+
+const fn build_sbox() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = sbox_entry(i as u8);
+        i += 1;
+    }
+    t
+}
+
+const fn build_inv_sbox(sbox: &[u8; 256]) -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[sbox[i] as usize] = i as u8;
+        i += 1;
+    }
+    t
+}
+
+/// The AES S-box, generated from its algebraic definition.
+pub const SBOX: [u8; 256] = build_sbox();
+/// The inverse AES S-box.
+pub const INV_SBOX: [u8; 256] = build_inv_sbox(&SBOX);
+
+const ROUNDS: usize = 10;
+
+/// AES-128 block cipher with a precomputed key schedule.
+///
+/// # Example
+///
+/// ```
+/// use medsec_lwc::{Aes128, BlockCipher};
+/// let aes = Aes128::new(&[0u8; 16]);
+/// let mut block = [0u8; 16];
+/// aes.encrypt_block(&mut block);
+/// let ct = block;
+/// aes.decrypt_block(&mut block);
+/// assert_eq!(block, [0u8; 16]);
+/// assert_ne!(ct, [0u8; 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; ROUNDS + 1],
+}
+
+impl Aes128 {
+    /// Expand a 128-bit key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        let mut rcon = 1u8;
+        for i in 4..w.len() {
+            let mut t = w[i - 1];
+            if i % 4 == 0 {
+                t.rotate_left(1);
+                for b in t.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+                t[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ t[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; ROUNDS + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Self { round_keys }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk) {
+            *s ^= k;
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+    }
+
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = INV_SBOX[*b as usize];
+        }
+    }
+
+    /// State layout: byte `state[r + 4c]` is row r, column c (FIPS-197
+    /// column-major order, matching the natural byte order of the input).
+    fn shift_rows(state: &mut [u8; 16]) {
+        for r in 1..4 {
+            let mut row = [0u8; 4];
+            for c in 0..4 {
+                row[c] = state[r + 4 * ((c + r) % 4)];
+            }
+            for c in 0..4 {
+                state[r + 4 * c] = row[c];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        for r in 1..4 {
+            let mut row = [0u8; 4];
+            for c in 0..4 {
+                row[(c + r) % 4] = state[r + 4 * c];
+            }
+            for c in 0..4 {
+                state[r + 4 * c] = row[c];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col: [u8; 4] = state[4 * c..4 * c + 4].try_into().expect("4 bytes");
+            state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+            state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col: [u8; 4] = state[4 * c..4 * c + 4].try_into().expect("4 bytes");
+            state[4 * c] =
+                gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+            state[4 * c + 1] =
+                gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+            state[4 * c + 2] =
+                gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+            state[4 * c + 3] =
+                gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+        }
+    }
+}
+
+impl BlockCipher for Aes128 {
+    const BLOCK_BYTES: usize = 16;
+    const KEY_BYTES: usize = 16;
+    const NAME: &'static str = "AES-128";
+
+    fn encrypt_block(&self, block: &mut [u8]) {
+        let state: &mut [u8; 16] = block.try_into().expect("AES block is 16 bytes");
+        Self::add_round_key(state, &self.round_keys[0]);
+        for r in 1..ROUNDS {
+            Self::sub_bytes(state);
+            Self::shift_rows(state);
+            Self::mix_columns(state);
+            Self::add_round_key(state, &self.round_keys[r]);
+        }
+        Self::sub_bytes(state);
+        Self::shift_rows(state);
+        Self::add_round_key(state, &self.round_keys[ROUNDS]);
+    }
+
+    fn decrypt_block(&self, block: &mut [u8]) {
+        let state: &mut [u8; 16] = block.try_into().expect("AES block is 16 bytes");
+        Self::add_round_key(state, &self.round_keys[ROUNDS]);
+        Self::inv_shift_rows(state);
+        Self::inv_sub_bytes(state);
+        for r in (1..ROUNDS).rev() {
+            Self::add_round_key(state, &self.round_keys[r]);
+            Self::inv_mix_columns(state);
+            Self::inv_shift_rows(state);
+            Self::inv_sub_bytes(state);
+        }
+        Self::add_round_key(state, &self.round_keys[0]);
+    }
+
+    /// Feldhofer et al. serialized low-power AES core: ≈3 400 GE,
+    /// 1 032 cycles per block — the standard RFID-class reference the
+    /// paper's implementation-size argument relies on.
+    fn hw_profile() -> HwProfile {
+        HwProfile {
+            gate_equivalents: 3_400,
+            cycles_per_block: 1_032,
+            block_bits: 128,
+            source: "Feldhofer et al., CHES 2004 (serialized 8-bit datapath)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_known_entries() {
+        // Canonical spot values from FIPS-197.
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+        assert_eq!(INV_SBOX[0x63], 0x00);
+        // Inverse property for every entry.
+        for i in 0..256 {
+            assert_eq!(INV_SBOX[SBOX[i] as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let mut block: [u8; 16] = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expect: [u8; 16] = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let aes = Aes128::new(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block, expect);
+        aes.decrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0,
+                0x37, 0x07, 0x34
+            ]
+        );
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let mut block: [u8; 16] = core::array::from_fn(|i| (0x11 * i) as u8);
+        let expect: [u8; 16] = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let aes = Aes128::new(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block, expect);
+    }
+
+    #[test]
+    fn round_trip_random_blocks() {
+        let aes = Aes128::new(b"sixteen byte key");
+        for seed in 0u8..16 {
+            let mut block: [u8; 16] = core::array::from_fn(|i| seed.wrapping_mul(31) ^ i as u8);
+            let orig = block;
+            aes.encrypt_block(&mut block);
+            assert_ne!(block, orig);
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, orig);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Lightweight symmetric cryptography substrates for the medsec DAC'13
+//! reproduction.
+//!
+//! The paper's protocol level (§4) weighs secret-key primitives (cheap
+//! computation, expensive key management, no strong privacy) against the
+//! ECC co-processor. This crate supplies the secret-key side of that
+//! comparison, bit-exact and with literature-calibrated hardware cost
+//! profiles:
+//!
+//! | Primitive | GE | cycles/block | role |
+//! |---|---|---|---|
+//! | [`Aes128`] | 3 400 | 1 032 | reference cipher (§4) |
+//! | [`Present80`] | 1 570 | 32 | ultra-lightweight baseline |
+//! | [`Simon32`]/[`Simon64`] | 0.5–1 k | 32–44 | minimal-area baseline |
+//! | [`sha1`] | 5 527 | 344 | the paper's "hash functions are not cheap" example |
+//! | [`sha256`] | 10 868 | 1 128 | HMAC substrate |
+//!
+//! All ciphers and hashes are validated against published known-answer
+//! vectors (FIPS-197, FIPS-180, CHES'07 PRESENT, the SIMON spec, RFC
+//! 4231/4493).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aes;
+mod cipher;
+mod mac;
+mod modes;
+mod present;
+mod sha;
+mod simon;
+
+pub use aes::{Aes128, INV_SBOX, SBOX};
+pub use cipher::{BlockCipher, HwProfile};
+pub use mac::{aes_cmac, hmac_sha256, verify_tag};
+pub use modes::{ctr_xor, encrypt_then_mac, verify_then_decrypt};
+pub use present::{Present80, Present128};
+pub use sha::{sha1, sha1_hw_profile, sha256, sha256_hw_profile};
+pub use simon::{Simon32, Simon64};

@@ -1,0 +1,30 @@
+//! Circuit-level power, energy and radio models for the medsec DAC'13
+//! reproduction.
+//!
+//! Converts the co-processor's per-cycle switching activity into
+//! calibrated energy figures and noisy power traces (the oscilloscope of
+//! the paper's Fig. 4), models side-channel-resistant logic styles
+//! (WDDL, SABL) with their energy/area overheads and residual leakage,
+//! and provides the first-order radio model behind the protocol-level
+//! computation-vs-communication trade-off.
+//!
+//! Calibration: at the paper chip's configuration, the default
+//! technology reproduces the §6 measurement — ≈50 µW at 847.5 kHz / 1 V
+//! and ≈5 µJ per point multiplication (see `EnergyReport` tests).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod energy;
+mod model;
+mod radio;
+mod technology;
+mod trace;
+
+pub use energy::{
+    nominal_cycle_energy, point_mul_energy_estimate, point_mul_energy_report, EnergyReport,
+};
+pub use model::{LogicStyle, PowerModel};
+pub use radio::RadioModel;
+pub use technology::{ComponentEnergies, Technology};
+pub use trace::{PowerTrace, TraceRecorder};

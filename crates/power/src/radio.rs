@@ -1,0 +1,80 @@
+//! First-order radio energy model.
+//!
+//! The paper's protocol level: "the communication should be minimized
+//! since wireless communication is power-hungry" (§4), and the cited
+//! computation-vs-communication studies ([4], [5]) conclude the balance
+//! "depends on the cryptographic algorithm, the digital platform and the
+//! wireless distance". This is the standard WSN first-order model those
+//! studies use: `E_tx = k·(E_elec + ε_amp·d²)`, `E_rx = k·E_elec`.
+
+use serde::{Deserialize, Serialize};
+
+/// Radio energy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioModel {
+    /// Electronics energy per bit (TX and RX), joules.
+    pub e_elec_per_bit: f64,
+    /// Amplifier energy per bit per square meter, joules.
+    pub e_amp_per_bit_m2: f64,
+}
+
+impl RadioModel {
+    /// The classic first-order parameters: 50 nJ/bit electronics,
+    /// 100 pJ/bit/m² amplifier.
+    pub fn first_order_default() -> Self {
+        Self {
+            e_elec_per_bit: 50.0e-9,
+            e_amp_per_bit_m2: 100.0e-12,
+        }
+    }
+
+    /// Energy to transmit `bytes` over `distance_m` meters.
+    pub fn tx_energy(&self, bytes: usize, distance_m: f64) -> f64 {
+        let bits = (bytes * 8) as f64;
+        bits * (self.e_elec_per_bit + self.e_amp_per_bit_m2 * distance_m * distance_m)
+    }
+
+    /// Energy to receive `bytes`.
+    pub fn rx_energy(&self, bytes: usize) -> f64 {
+        (bytes * 8) as f64 * self.e_elec_per_bit
+    }
+}
+
+impl Default for RadioModel {
+    fn default() -> Self {
+        Self::first_order_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_grows_quadratically_with_distance() {
+        let r = RadioModel::first_order_default();
+        let near = r.tx_energy(32, 1.0);
+        let far = r.tx_energy(32, 10.0);
+        // At 10 m the amplifier term is 10 nJ/bit vs 0.1 nJ/bit at 1 m.
+        assert!(far > near);
+        let amp_near = near - r.rx_energy(32);
+        let amp_far = far - r.rx_energy(32);
+        assert!((amp_far / amp_near - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transmitting_a_point_costs_microjoules() {
+        // A compressed K-163 point is 22 bytes; at 10 m that's ~10 µJ —
+        // of the same order as the 5.1 µJ point multiplication, which is
+        // exactly the paper's computation/communication tension.
+        let r = RadioModel::first_order_default();
+        let e = r.tx_energy(22, 10.0);
+        assert!((5.0e-6..20.0e-6).contains(&e), "got {e}");
+    }
+
+    #[test]
+    fn rx_is_distance_independent() {
+        let r = RadioModel::first_order_default();
+        assert_eq!(r.rx_energy(10), 80.0 * 50.0e-9);
+    }
+}

@@ -1,0 +1,187 @@
+//! Power-trace synthesis: the oscilloscope of Fig. 4.
+//!
+//! A [`TraceRecorder`] plugs into the co-processor as an
+//! [`ActivityObserver`]; every clock cycle becomes one power sample
+//! (cycle energy ÷ cycle time) plus Gaussian measurement noise.
+
+use medsec_coproc::{ActivityObserver, CycleActivity};
+use medsec_rng::SplitMix64;
+
+use crate::model::PowerModel;
+
+/// One acquired power trace (watts per clock-cycle sample).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PowerTrace {
+    samples: Vec<f64>,
+    first_cycle: u64,
+}
+
+impl PowerTrace {
+    /// Samples in watts, one per clock cycle.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Cycle index of the first sample.
+    pub fn first_cycle(&self) -> u64 {
+        self.first_cycle
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean power over the window.
+    pub fn mean_power(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// Records a window `[start, end)` of cycles as power samples.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    model: PowerModel,
+    noise: SplitMix64,
+    start: u64,
+    end: u64,
+    trace: PowerTrace,
+    total_energy_j: f64,
+    total_cycles: u64,
+}
+
+impl TraceRecorder {
+    /// Record every cycle of the run.
+    pub fn full(model: PowerModel, noise_seed: u64) -> Self {
+        Self::windowed(model, noise_seed, 0, u64::MAX)
+    }
+
+    /// Record only cycles in `[start, end)` — bounded memory for long
+    /// campaigns; energy totals still cover the whole run.
+    pub fn windowed(model: PowerModel, noise_seed: u64, start: u64, end: u64) -> Self {
+        Self {
+            model,
+            noise: SplitMix64::new(noise_seed),
+            start,
+            end,
+            trace: PowerTrace {
+                samples: Vec::new(),
+                first_cycle: start,
+            },
+            total_energy_j: 0.0,
+            total_cycles: 0,
+        }
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &PowerTrace {
+        &self.trace
+    }
+
+    /// Consume the recorder, yielding the trace.
+    pub fn into_trace(self) -> PowerTrace {
+        self.trace
+    }
+
+    /// Total (noise-free) energy over the entire run, in joules.
+    pub fn total_energy(&self) -> f64 {
+        self.total_energy_j
+    }
+
+    /// Total cycles observed.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Average power over the entire run, in watts.
+    pub fn average_power(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.model
+            .average_power(self.total_energy_j, self.total_cycles)
+    }
+}
+
+impl ActivityObserver for TraceRecorder {
+    fn on_cycle(&mut self, activity: &CycleActivity) {
+        let energy = self.model.cycle_energy(activity);
+        self.total_energy_j += energy;
+        self.total_cycles += 1;
+        if activity.cycle >= self.start && activity.cycle < self.end {
+            let power = energy * self.model.technology.clock_hz;
+            let noisy =
+                power + self.noise.next_gaussian() * self.model.technology.noise_sigma_w;
+            if self.trace.samples.is_empty() {
+                self.trace.first_cycle = activity.cycle;
+            }
+            self.trace.samples.push(noisy);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsec_coproc::{microcode, Coproc, CoprocConfig};
+    use medsec_ec::{CurveSpec, Scalar, Toy17};
+    use medsec_gf2m::Element;
+
+    #[test]
+    fn records_window_only() {
+        let mut rec = TraceRecorder::windowed(PowerModel::paper_default(), 1, 10, 20);
+        for c in 0..30 {
+            rec.on_cycle(&CycleActivity {
+                cycle: c,
+                malu_hd: 50,
+                ..Default::default()
+            });
+        }
+        assert_eq!(rec.trace().len(), 10);
+        assert_eq!(rec.trace().first_cycle(), 10);
+        assert_eq!(rec.total_cycles(), 30);
+    }
+
+    #[test]
+    fn point_mul_power_is_in_microwatt_range() {
+        let mut core = Coproc::<Toy17>::new(CoprocConfig::paper_chip());
+        let mut rec = TraceRecorder::full(PowerModel::paper_default(), 2);
+        let k = Scalar::<Toy17>::from_u64(12345);
+        let px = Toy17::generator().x().unwrap();
+        microcode::run_point_mul(&mut core, &k, px, Element::one(), &mut rec);
+        let p = rec.average_power();
+        // Toy field is narrower than F(2^163) so power is below the
+        // paper's 50 µW, but must stay in the tens-of-µW decade.
+        assert!(
+            (10.0e-6..120.0e-6).contains(&p),
+            "implausible average power {p}"
+        );
+    }
+
+    #[test]
+    fn noise_seed_reproduces_trace() {
+        let act = CycleActivity {
+            cycle: 0,
+            malu_hd: 30,
+            ..Default::default()
+        };
+        let mut r1 = TraceRecorder::full(PowerModel::paper_default(), 7);
+        let mut r2 = TraceRecorder::full(PowerModel::paper_default(), 7);
+        r1.on_cycle(&act);
+        r2.on_cycle(&act);
+        assert_eq!(r1.trace().samples(), r2.trace().samples());
+    }
+
+    #[test]
+    fn mean_power_of_empty_trace_is_zero() {
+        assert_eq!(PowerTrace::default().mean_power(), 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! ECDSA over the binary curves — the paper's reference [1] *is*
+//! FIPS 186-3, the Digital Signature Standard, with K-163 among its
+//! named curves. The mini-server signs firmware updates and
+//! prescriptions with ECDSA; the device verifies with two point
+//! multiplications on the co-processor.
+//!
+//! Standard scheme over base point G of prime order n:
+//!
+//! * sign:   `k ←R Z*_n`, `(x₁, _) = k·G`, `r = x₁ mod n` (≠ 0),
+//!   `s = k⁻¹(H(m) + r·d) mod n` (≠ 0); signature (r, s).
+//! * verify: `w = s⁻¹`, `u₁ = H(m)·w`, `u₂ = r·w`,
+//!   `(x₁, _) = u₁·G + u₂·Q`, accept iff `x₁ mod n = r`.
+
+use medsec_ec::{
+    ladder::{ladder_mul, CoordinateBlinding},
+    xcoord_to_scalar, CurveSpec, Point, Scalar,
+};
+use medsec_lwc::sha256;
+
+use crate::energy::EnergyLedger;
+
+/// An ECDSA signature (r, s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EcdsaSignature<C: CurveSpec> {
+    /// x-coordinate of k·G reduced mod n.
+    pub r: Scalar<C>,
+    /// Response scalar.
+    pub s: Scalar<C>,
+}
+
+/// An ECDSA key pair.
+#[derive(Debug, Clone)]
+pub struct EcdsaKey<C: CurveSpec> {
+    secret: Scalar<C>,
+    public: Point<C>,
+}
+
+fn hash_to_scalar<C: CurveSpec>(message: &[u8]) -> Scalar<C> {
+    Scalar::from_bytes_mod_order(&sha256(message))
+}
+
+impl<C: CurveSpec> EcdsaKey<C> {
+    /// Generate a fresh key pair.
+    pub fn generate(mut next_u64: impl FnMut() -> u64) -> Self {
+        let secret = Scalar::random_nonzero(&mut next_u64);
+        let public = ladder_mul(
+            &secret,
+            &C::generator(),
+            CoordinateBlinding::RandomZ,
+            &mut next_u64,
+        );
+        Self { secret, public }
+    }
+
+    /// The verification key Q = d·G.
+    pub fn public(&self) -> &Point<C> {
+        &self.public
+    }
+
+    /// Sign a message. One point multiplication, booked on `ledger`.
+    pub fn sign(
+        &self,
+        message: &[u8],
+        mut next_u64: impl FnMut() -> u64,
+        ledger: &mut EnergyLedger,
+    ) -> EcdsaSignature<C> {
+        let e = hash_to_scalar::<C>(message);
+        loop {
+            let k = Scalar::random_nonzero(&mut next_u64);
+            let kg = ladder_mul(
+                &k,
+                &C::generator(),
+                CoordinateBlinding::RandomZ,
+                &mut next_u64,
+            );
+            ledger.point_mul();
+            let Some(x1) = kg.x() else { continue };
+            let r = xcoord_to_scalar::<C>(&x1);
+            if r.is_zero() {
+                continue;
+            }
+            let k_inv = k.inverse().expect("k nonzero");
+            let s = k_inv * (e + r * self.secret);
+            if s.is_zero() {
+                continue;
+            }
+            return EcdsaSignature { r, s };
+        }
+    }
+}
+
+/// Verify an ECDSA signature.
+pub fn ecdsa_verify<C: CurveSpec>(
+    public: &Point<C>,
+    message: &[u8],
+    sig: &EcdsaSignature<C>,
+    mut next_u64: impl FnMut() -> u64,
+) -> bool {
+    if sig.r.is_zero() || sig.s.is_zero() || public.is_infinity() || !public.is_on_curve() {
+        return false;
+    }
+    let Some(w) = sig.s.inverse() else {
+        return false;
+    };
+    let e = hash_to_scalar::<C>(message);
+    let u1 = e * w;
+    let u2 = sig.r * w;
+    let p1 = ladder_mul(
+        &u1,
+        &C::generator(),
+        CoordinateBlinding::RandomZ,
+        &mut next_u64,
+    );
+    let p2 = ladder_mul(&u2, public, CoordinateBlinding::RandomZ, &mut next_u64);
+    let sum = p1 + p2;
+    let Some(x1) = sum.x() else {
+        return false;
+    };
+    xcoord_to_scalar::<C>(&x1) == sig.r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsec_ec::{Toy17, K163};
+    use medsec_power::{EnergyReport, RadioModel};
+    use medsec_rng::SplitMix64;
+
+    fn ledger() -> EnergyLedger {
+        EnergyLedger::new(
+            EnergyReport::from_totals(86_000, 5.1e-6, 847_500.0),
+            RadioModel::first_order_default(),
+            2.0,
+        )
+    }
+
+    #[test]
+    fn sign_verify_round_trip_toy() {
+        let mut rng = SplitMix64::new(7101);
+        let key = EcdsaKey::<Toy17>::generate(rng.as_fn());
+        let mut l = ledger();
+        for msg in [b"rx: 0.5mg".as_slice(), b"", b"firmware v3"] {
+            let sig = key.sign(msg, rng.as_fn(), &mut l);
+            assert!(ecdsa_verify(key.public(), msg, &sig, rng.as_fn()));
+        }
+    }
+
+    #[test]
+    fn sign_verify_round_trip_k163() {
+        let mut rng = SplitMix64::new(7102);
+        let key = EcdsaKey::<K163>::generate(rng.as_fn());
+        let mut l = ledger();
+        let sig = key.sign(b"prescription", rng.as_fn(), &mut l);
+        assert!(ecdsa_verify(key.public(), b"prescription", &sig, rng.as_fn()));
+        assert!(!ecdsa_verify(key.public(), b"prescriptioN", &sig, rng.as_fn()));
+    }
+
+    #[test]
+    fn forgery_attempts_rejected() {
+        let mut rng = SplitMix64::new(7103);
+        let key = EcdsaKey::<Toy17>::generate(rng.as_fn());
+        let other = EcdsaKey::<Toy17>::generate(rng.as_fn());
+        let mut l = ledger();
+        let mut sig = key.sign(b"m", rng.as_fn(), &mut l);
+        // Wrong key.
+        assert!(!ecdsa_verify(other.public(), b"m", &sig, rng.as_fn()));
+        // Mauled r and s.
+        let good = sig;
+        sig.r = sig.r + Scalar::one();
+        assert!(!ecdsa_verify(key.public(), b"m", &sig, rng.as_fn()));
+        sig = good;
+        sig.s = sig.s + Scalar::one();
+        assert!(!ecdsa_verify(key.public(), b"m", &sig, rng.as_fn()));
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        let mut rng = SplitMix64::new(7104);
+        let key = EcdsaKey::<Toy17>::generate(rng.as_fn());
+        let zero_sig = EcdsaSignature::<Toy17> {
+            r: Scalar::zero(),
+            s: Scalar::one(),
+        };
+        assert!(!ecdsa_verify(key.public(), b"m", &zero_sig, rng.as_fn()));
+        let inf: Point<Toy17> = Point::infinity();
+        let sig = EcdsaSignature::<Toy17> {
+            r: Scalar::one(),
+            s: Scalar::one(),
+        };
+        assert!(!ecdsa_verify(&inf, b"m", &sig, rng.as_fn()));
+    }
+
+    #[test]
+    fn nonce_is_fresh_per_signature() {
+        let mut rng = SplitMix64::new(7105);
+        let key = EcdsaKey::<Toy17>::generate(rng.as_fn());
+        let mut l = ledger();
+        let s1 = key.sign(b"m", rng.as_fn(), &mut l);
+        let s2 = key.sign(b"m", rng.as_fn(), &mut l);
+        assert_ne!(s1.r, s2.r, "ECDSA nonce reuse leaks the private key");
+    }
+}

@@ -1,0 +1,313 @@
+//! Pacemaker ↔ server mutual authentication with encrypted, authenticated
+//! telemetry — the paper's motivating scenario (§2, §4).
+//!
+//! Security properties per §4: mutual authentication (prevent
+//! impersonation), encryption (privacy of vital signs) and data
+//! authentication ("a modification on the ciphertext may also lead to a
+//! corrupted therapy that endangers the patient's life").
+//!
+//! The module exposes the §4 energy rule as a first-class design choice:
+//! "server authentication should be performed before other operations.
+//! As such, the protocol session stops immediately on the device when
+//! the server authentication fails" — [`Ordering::ServerFirst`] vs the
+//! naive [`Ordering::DeviceFirst`], and [`flood_energy`] quantifies the
+//! energy a fake-server flood drains under each.
+
+use medsec_ec::{CurveSpec, KeyPair, Point};
+use medsec_lwc::{
+    aes_cmac, ctr_xor, hmac_sha256, sha256, sha256_hw_profile, verify_tag, Aes128, BlockCipher,
+};
+
+use crate::energy::EnergyLedger;
+
+/// Which side commits energy first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Ordering {
+    /// The device verifies the server's proof *before* its own expensive
+    /// operations (the paper's recommendation).
+    #[default]
+    ServerFirst,
+    /// The device performs its heavy computation before checking the
+    /// server — correct protocol, wasteful under attack.
+    DeviceFirst,
+}
+
+/// Long-term pairing material shared at implantation time.
+#[derive(Debug, Clone)]
+pub struct Pairing {
+    /// Shared 128-bit authentication key.
+    pub auth_key: [u8; 16],
+}
+
+/// Outcome of one session attempt from the device's perspective.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionOutcome {
+    /// Mutual authentication completed; a fresh session key protects the
+    /// telemetry channel.
+    Established {
+        /// Encrypted, authenticated telemetry ready for the uplink.
+        telemetry_frame: Vec<u8>,
+    },
+    /// Server authentication failed; session aborted.
+    ServerRejected,
+}
+
+/// The implanted device.
+#[derive(Debug, Clone)]
+pub struct Device<C: CurveSpec> {
+    pairing: Pairing,
+    ordering: Ordering,
+    _curve: core::marker::PhantomData<C>,
+}
+
+/// Server hello: an ephemeral ECDH share authenticated under the
+/// pairing key.
+#[derive(Debug, Clone)]
+pub struct ServerHello<C: CurveSpec> {
+    /// Server's ephemeral public point.
+    pub ephemeral: Point<C>,
+    /// CMAC over the encoded point under the pairing key.
+    pub mac: [u8; 16],
+}
+
+impl<C: CurveSpec> Device<C> {
+    /// Create a device bound to its pairing material.
+    pub fn new(pairing: Pairing, ordering: Ordering) -> Self {
+        Self {
+            pairing,
+            ordering,
+            _curve: core::marker::PhantomData,
+        }
+    }
+
+    /// Process a server hello and, on success, establish a session and
+    /// emit one encrypted telemetry frame. Every joule is booked.
+    pub fn run_session(
+        &self,
+        hello: &ServerHello<C>,
+        telemetry: &[u8],
+        mut next_u64: impl FnMut() -> u64,
+        ledger: &mut EnergyLedger,
+    ) -> SessionOutcome {
+        ledger.rx(point_len::<C>() + 16);
+
+        let verify_server = |ledger: &mut EnergyLedger| -> bool {
+            // One CMAC over the compressed point: 3 AES blocks.
+            ledger.symmetric("AES-128", &Aes128::hw_profile(), 3);
+            let expect = aes_cmac(&self.pairing.auth_key, &hello.ephemeral.compress());
+            verify_tag(&expect, &hello.mac)
+        };
+
+        let heavy_ecdh = |ledger: &mut EnergyLedger,
+                          next_u64: &mut dyn FnMut() -> u64|
+         -> Option<(KeyPair<C>, [u8; 32])> {
+            // Device ephemeral keypair (1 ECPM) + shared secret (1 ECPM).
+            let kp = KeyPair::<C>::generate(&mut *next_u64);
+            ledger.point_mul();
+            let shared = kp.shared_x(&hello.ephemeral, &mut *next_u64)?;
+            ledger.point_mul();
+            ledger.symmetric("SHA-256", &sha256_hw_profile(), 1);
+            Some((kp, sha256(&shared.to_bytes())))
+        };
+
+        match self.ordering {
+            Ordering::ServerFirst => {
+                if !verify_server(ledger) {
+                    // Abort immediately: this is the energy saving.
+                    return SessionOutcome::ServerRejected;
+                }
+                let Some((kp, session_key)) = heavy_ecdh(ledger, &mut next_u64) else {
+                    return SessionOutcome::ServerRejected;
+                };
+                SessionOutcome::Established {
+                    telemetry_frame: self.encrypt_frame(&kp, &session_key, telemetry, ledger),
+                }
+            }
+            Ordering::DeviceFirst => {
+                let heavy = heavy_ecdh(ledger, &mut next_u64);
+                if !verify_server(ledger) {
+                    return SessionOutcome::ServerRejected;
+                }
+                let Some((kp, session_key)) = heavy else {
+                    return SessionOutcome::ServerRejected;
+                };
+                SessionOutcome::Established {
+                    telemetry_frame: self.encrypt_frame(&kp, &session_key, telemetry, ledger),
+                }
+            }
+        }
+    }
+
+    fn encrypt_frame(
+        &self,
+        kp: &KeyPair<C>,
+        session_key: &[u8; 32],
+        telemetry: &[u8],
+        ledger: &mut EnergyLedger,
+    ) -> Vec<u8> {
+        let enc_key: [u8; 16] = session_key[..16].try_into().expect("16 bytes");
+        let mac_key = &session_key[16..];
+        let nonce = [0x4d, 0x45, 0x44, 0x53, 0x45, 0x43, 0, 1, 0, 0, 0, 0];
+        let aes = Aes128::new(&enc_key);
+        let mut ct = telemetry.to_vec();
+        ctr_xor(&aes, &nonce, &mut ct);
+        let blocks = (telemetry.len() as u64).div_ceil(16).max(1);
+        ledger.symmetric("AES-128", &Aes128::hw_profile(), blocks);
+        let mut mac_input = kp.public().compress();
+        mac_input.extend_from_slice(&ct);
+        let tag = hmac_sha256(mac_key, &mac_input);
+        ledger.symmetric("SHA-256", &sha256_hw_profile(), 2);
+        // Frame: device ephemeral ‖ ciphertext ‖ 16-byte truncated tag.
+        let mut frame = kp.public().compress();
+        frame.extend_from_slice(&ct);
+        frame.extend_from_slice(&tag[..16]);
+        ledger.tx(frame.len());
+        frame
+    }
+}
+
+/// Legitimate server: builds an authentic hello.
+pub fn server_hello<C: CurveSpec>(
+    pairing: &Pairing,
+    mut next_u64: impl FnMut() -> u64,
+) -> (KeyPair<C>, ServerHello<C>) {
+    let kp = KeyPair::<C>::generate(&mut next_u64);
+    let mac = aes_cmac(&pairing.auth_key, &kp.public().compress());
+    let hello = ServerHello {
+        ephemeral: *kp.public(),
+        mac,
+    };
+    (kp, hello)
+}
+
+/// Forged hello from an attacker who does not know the pairing key.
+pub fn forged_hello<C: CurveSpec>(mut next_u64: impl FnMut() -> u64) -> ServerHello<C> {
+    let kp = KeyPair::<C>::generate(&mut next_u64);
+    let mut mac = [0u8; 16];
+    for chunk in mac.chunks_mut(8) {
+        chunk.copy_from_slice(&next_u64().to_be_bytes());
+    }
+    ServerHello {
+        ephemeral: *kp.public(),
+        mac,
+    }
+}
+
+/// Device energy drained by `n` forged-hello attempts (experiment E11).
+pub fn flood_energy<C: CurveSpec>(
+    device: &Device<C>,
+    n: usize,
+    mut next_u64: impl FnMut() -> u64,
+    mut fresh_ledger: impl FnMut() -> EnergyLedger,
+) -> f64 {
+    let mut total = 0.0;
+    for _ in 0..n {
+        let hello = forged_hello::<C>(&mut next_u64);
+        let mut ledger = fresh_ledger();
+        let out = device.run_session(&hello, b"hr=62bpm", &mut next_u64, &mut ledger);
+        assert_eq!(out, SessionOutcome::ServerRejected);
+        total += ledger.total();
+    }
+    total
+}
+
+fn point_len<C: CurveSpec>() -> usize {
+    (<C::Field as medsec_gf2m::FieldSpec>::M + 7) / 8 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsec_ec::Toy17;
+    use medsec_power::{EnergyReport, RadioModel};
+    use medsec_rng::SplitMix64;
+
+    fn ledger() -> EnergyLedger {
+        EnergyLedger::new(
+            EnergyReport::from_totals(86_000, 5.1e-6, 847_500.0),
+            RadioModel::first_order_default(),
+            2.0,
+        )
+    }
+
+    fn pairing() -> Pairing {
+        Pairing {
+            auth_key: *b"pacemaker pairkc",
+        }
+    }
+
+    #[test]
+    fn legitimate_session_establishes() {
+        let mut rng = SplitMix64::new(6301);
+        let device = Device::<Toy17>::new(pairing(), Ordering::ServerFirst);
+        let (_kp, hello) = server_hello::<Toy17>(&pairing(), rng.as_fn());
+        let mut l = ledger();
+        let out = device.run_session(&hello, b"hr=62bpm", rng.as_fn(), &mut l);
+        assert!(matches!(out, SessionOutcome::Established { .. }));
+        // Two point multiplications dominate the device budget.
+        assert!(l.compute() > 2.0 * 5.0e-6);
+    }
+
+    #[test]
+    fn forged_hello_is_rejected_under_both_orderings() {
+        let mut rng = SplitMix64::new(6302);
+        for ordering in [Ordering::ServerFirst, Ordering::DeviceFirst] {
+            let device = Device::<Toy17>::new(pairing(), ordering);
+            let hello = forged_hello::<Toy17>(rng.as_fn());
+            let mut l = ledger();
+            let out = device.run_session(&hello, b"x", rng.as_fn(), &mut l);
+            assert_eq!(out, SessionOutcome::ServerRejected);
+        }
+    }
+
+    #[test]
+    fn server_first_ordering_saves_flood_energy() {
+        let mut rng = SplitMix64::new(6303);
+        let early = Device::<Toy17>::new(pairing(), Ordering::ServerFirst);
+        let late = Device::<Toy17>::new(pairing(), Ordering::DeviceFirst);
+        let e_early = flood_energy(&early, 10, rng.as_fn(), ledger);
+        let e_late = flood_energy(&late, 10, rng.as_fn(), ledger);
+        // Receiving the bogus hello costs radio energy either way; what
+        // the ordering eliminates is the *useless computation* — two
+        // point multiplications per forged attempt (≈10 µJ each time).
+        assert!(
+            e_late > 2.0 * e_early,
+            "expected ≥2× total saving, got {e_early} vs {e_late}"
+        );
+        let wasted_compute = e_late - e_early;
+        assert!(
+            (wasted_compute - 10.0 * 2.0 * 5.1e-6).abs() < 0.3 * 10.0 * 2.0 * 5.1e-6,
+            "wasted compute {wasted_compute} not ≈ 10 × 2 ECPM"
+        );
+    }
+
+    #[test]
+    fn telemetry_frame_is_bound_to_session() {
+        let mut rng = SplitMix64::new(6304);
+        let device = Device::<Toy17>::new(pairing(), Ordering::ServerFirst);
+        let (_kp, hello) = server_hello::<Toy17>(&pairing(), rng.as_fn());
+        let mut l = ledger();
+        let SessionOutcome::Established { telemetry_frame } =
+            device.run_session(&hello, b"hr=62bpm", rng.as_fn(), &mut l)
+        else {
+            panic!("session should establish");
+        };
+        // Frame = point (4 for toy) + ct (8) + tag (16).
+        assert_eq!(telemetry_frame.len(), 4 + 8 + 16);
+        // Ciphertext differs from plaintext.
+        assert_ne!(&telemetry_frame[4..12], b"hr=62bpm");
+    }
+
+    #[test]
+    fn wrong_pairing_key_cannot_impersonate_server() {
+        let mut rng = SplitMix64::new(6305);
+        let device = Device::<Toy17>::new(pairing(), Ordering::ServerFirst);
+        let wrong = Pairing {
+            auth_key: [9u8; 16],
+        };
+        let (_kp, hello) = server_hello::<Toy17>(&wrong, rng.as_fn());
+        let mut l = ledger();
+        let out = device.run_session(&hello, b"x", rng.as_fn(), &mut l);
+        assert_eq!(out, SessionOutcome::ServerRejected);
+    }
+}

@@ -1,0 +1,339 @@
+//! The Peeters–Hermans private identification protocol (paper Fig. 2).
+//!
+//! ```text
+//! Tag T (state: x, Y = y·P)                 Reader R (secrets: y; DB: {Xi = xi·P})
+//!   r ∈R Z*ℓ, R = r·P          ──R──▶
+//!                              ◀──e──       e ∈R Z*ℓ
+//!   d = xcoord(r·Y)
+//!   s = d + x + e·r            ──s──▶       ḋ = xcoord(y·R)
+//!                                           X̂ = s·P − ḋ·P − e·R  ∈? DB
+//! ```
+//!
+//! The tag-side cost is exactly what the paper's co-processor was built
+//! for: "the main operation on the tag is two point multiplications
+//! (namely r·P and r·Y), and one modular multiplication (namely e·r)"
+//! (§4). The protocol achieves wide-forward-insider privacy [14]: a
+//! transcript (R, e, s) is unlinkable without the reader's secret y.
+
+use medsec_ec::{
+    ladder::{ladder_mul, ladder_x_affine, ladder_x_only, CoordinateBlinding},
+    xcoord_to_scalar, CurveSpec, Point, Scalar,
+};
+
+use crate::energy::EnergyLedger;
+
+/// Identifier the reader's database assigns to each registered tag.
+pub type TagId = u32;
+
+/// Byte length of a compressed point for curve `C`.
+fn point_bytes<C: CurveSpec>() -> usize {
+    (<C::Field as medsec_gf2m::FieldSpec>::M + 7) / 8 + 1
+}
+
+/// Byte length of a scalar for curve `C`.
+fn scalar_bytes<C: CurveSpec>() -> usize {
+    Scalar::<C>::zero().to_bytes().len()
+}
+
+/// A protocol transcript as seen by an eavesdropper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhTranscript<C: CurveSpec> {
+    /// The tag's commitment R = r·P.
+    pub commitment: Point<C>,
+    /// The reader's challenge e.
+    pub challenge: Scalar<C>,
+    /// The tag's response s.
+    pub response: Scalar<C>,
+}
+
+/// A tag: holds its private key x and the reader's public key Y.
+#[derive(Debug, Clone)]
+pub struct PhTag<C: CurveSpec> {
+    secret: Scalar<C>,
+    reader_public: Point<C>,
+    /// Pending per-session nonce r (between commitment and response).
+    session_r: Option<Scalar<C>>,
+}
+
+impl<C: CurveSpec> PhTag<C> {
+    /// Create a tag with private key `x` and the reader's public key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is zero or the reader key is the identity.
+    pub fn new(secret: Scalar<C>, reader_public: Point<C>) -> Self {
+        assert!(!secret.is_zero(), "tag secret must be nonzero");
+        assert!(!reader_public.is_infinity(), "reader key must be valid");
+        Self {
+            secret,
+            reader_public,
+            session_r: None,
+        }
+    }
+
+    /// Round 1: generate the commitment R = r·P.
+    ///
+    /// Costs one point multiplication plus the transmission of a
+    /// compressed point, both booked on `ledger`.
+    pub fn commit(
+        &mut self,
+        mut next_u64: impl FnMut() -> u64,
+        ledger: &mut EnergyLedger,
+    ) -> Point<C> {
+        let r = Scalar::random_nonzero(&mut next_u64);
+        let commitment = ladder_mul(
+            &r,
+            &C::generator(),
+            CoordinateBlinding::RandomZ,
+            &mut next_u64,
+        );
+        self.session_r = Some(r);
+        ledger.point_mul();
+        ledger.tx(point_bytes::<C>());
+        commitment
+    }
+
+    /// Round 2: answer the challenge with s = d + x + e·r, where
+    /// d = xcoord(r·Y).
+    ///
+    /// Costs the second point multiplication (x-only — no y-recovery
+    /// needed, an algorithm-level saving), one modular multiplication,
+    /// and the response transmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`commit`](Self::commit).
+    pub fn respond(
+        &mut self,
+        challenge: &Scalar<C>,
+        mut next_u64: impl FnMut() -> u64,
+        ledger: &mut EnergyLedger,
+    ) -> Scalar<C> {
+        let r = self.session_r.take().expect("commit must precede respond");
+        ledger.rx(scalar_bytes::<C>());
+        let yx = self
+            .reader_public
+            .x()
+            .expect("reader key validated nonzero");
+        let state = ladder_x_only::<C>(&r, yx, CoordinateBlinding::RandomZ, &mut next_u64);
+        let d_elem = ladder_x_affine(&state).expect("r·Y cannot be the identity");
+        let d = xcoord_to_scalar::<C>(&d_elem);
+        let s = d + self.secret + *challenge * r;
+        ledger.point_mul();
+        ledger.tx(scalar_bytes::<C>());
+        s
+    }
+}
+
+/// The reader: holds the private key y and the tag database.
+#[derive(Debug, Clone)]
+pub struct PhReader<C: CurveSpec> {
+    secret: Scalar<C>,
+    public: Point<C>,
+    db: Vec<(TagId, Point<C>)>,
+}
+
+impl<C: CurveSpec> PhReader<C> {
+    /// Create a reader with a fresh key pair.
+    pub fn new(mut next_u64: impl FnMut() -> u64) -> Self {
+        let secret = Scalar::random_nonzero(&mut next_u64);
+        let public = ladder_mul(
+            &secret,
+            &C::generator(),
+            CoordinateBlinding::RandomZ,
+            &mut next_u64,
+        );
+        Self {
+            secret,
+            public,
+            db: Vec::new(),
+        }
+    }
+
+    /// The reader's public key Y (provisioned into tags).
+    pub fn public(&self) -> &Point<C> {
+        &self.public
+    }
+
+    /// Register a new tag: generates its key pair, stores X = x·P in the
+    /// database, and returns the tag device.
+    pub fn register_tag(
+        &mut self,
+        id: TagId,
+        mut next_u64: impl FnMut() -> u64,
+    ) -> PhTag<C> {
+        let x = Scalar::random_nonzero(&mut next_u64);
+        let public = ladder_mul(
+            &x,
+            &C::generator(),
+            CoordinateBlinding::RandomZ,
+            &mut next_u64,
+        );
+        self.db.push((id, public));
+        PhTag::new(x, self.public)
+    }
+
+    /// Generate a challenge e.
+    pub fn challenge(&self, mut next_u64: impl FnMut() -> u64) -> Scalar<C> {
+        Scalar::random_nonzero(&mut next_u64)
+    }
+
+    /// Round 3: identify the tag from (R, e, s) by computing
+    /// X̂ = s·P − ḋ·P − e·R and searching the database.
+    ///
+    /// Reader-side cost: three point multiplications plus the ḋ
+    /// computation — deliberately asymmetric, "the heaviest computation
+    /// load is for the reader" (§4).
+    pub fn identify(
+        &self,
+        transcript: &PhTranscript<C>,
+        mut next_u64: impl FnMut() -> u64,
+    ) -> Option<TagId> {
+        let rx = transcript.commitment.x()?;
+        let d_state =
+            ladder_x_only::<C>(&self.secret, rx, CoordinateBlinding::RandomZ, &mut next_u64);
+        let d_elem = ladder_x_affine(&d_state)?;
+        let d = xcoord_to_scalar::<C>(&d_elem);
+
+        let g = C::generator();
+        let sp = ladder_mul(
+            &transcript.response,
+            &g,
+            CoordinateBlinding::RandomZ,
+            &mut next_u64,
+        );
+        let dp = ladder_mul(&d, &g, CoordinateBlinding::RandomZ, &mut next_u64);
+        let er = ladder_mul(
+            &transcript.challenge,
+            &transcript.commitment,
+            CoordinateBlinding::RandomZ,
+            &mut next_u64,
+        );
+        let x_hat = sp - dp - er;
+        self.db
+            .iter()
+            .find(|(_, x)| *x == x_hat)
+            .map(|(id, _)| *id)
+    }
+}
+
+/// Run one complete identification session; returns the reader's
+/// decision and the transcript. The tag's energy is booked on `ledger`.
+pub fn run_session<C: CurveSpec>(
+    tag: &mut PhTag<C>,
+    reader: &PhReader<C>,
+    ledger: &mut EnergyLedger,
+    mut next_u64: impl FnMut() -> u64,
+) -> (Option<TagId>, PhTranscript<C>) {
+    let commitment = tag.commit(&mut next_u64, ledger);
+    let challenge = reader.challenge(&mut next_u64);
+    let response = tag.respond(&challenge, &mut next_u64, ledger);
+    let transcript = PhTranscript {
+        commitment,
+        challenge,
+        response,
+    };
+    (reader.identify(&transcript, &mut next_u64), transcript)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsec_ec::{Toy17, K163};
+    use medsec_power::{EnergyReport, RadioModel};
+    use medsec_rng::SplitMix64;
+
+    fn ledger() -> EnergyLedger {
+        EnergyLedger::new(
+            EnergyReport::from_totals(86_000, 5.1e-6, 847_500.0),
+            RadioModel::first_order_default(),
+            2.0,
+        )
+    }
+
+    #[test]
+    fn completeness_toy_many_tags() {
+        let mut rng = SplitMix64::new(6001);
+        let mut reader = PhReader::<Toy17>::new(rng.as_fn());
+        let mut tags: Vec<PhTag<Toy17>> = (0..8)
+            .map(|i| reader.register_tag(i, rng.as_fn()))
+            .collect();
+        for (i, tag) in tags.iter_mut().enumerate() {
+            for _ in 0..4 {
+                let mut l = ledger();
+                let (id, _) = run_session(tag, &reader, &mut l, rng.as_fn());
+                assert_eq!(id, Some(i as TagId));
+            }
+        }
+    }
+
+    #[test]
+    fn completeness_k163() {
+        let mut rng = SplitMix64::new(6002);
+        let mut reader = PhReader::<K163>::new(rng.as_fn());
+        let mut tag = reader.register_tag(7, rng.as_fn());
+        let mut l = ledger();
+        let (id, _) = run_session(&mut tag, &reader, &mut l, rng.as_fn());
+        assert_eq!(id, Some(7));
+    }
+
+    #[test]
+    fn unregistered_tag_is_rejected() {
+        let mut rng = SplitMix64::new(6003);
+        let mut reader_a = PhReader::<Toy17>::new(rng.as_fn());
+        let reader_b = PhReader::<Toy17>::new(rng.as_fn());
+        // Tag registered with A, presented to B (who shares no DB).
+        let mut tag = reader_a.register_tag(1, rng.as_fn());
+        let mut l = ledger();
+        let commitment = tag.commit(rng.as_fn(), &mut l);
+        let challenge = reader_b.challenge(rng.as_fn());
+        let response = tag.respond(&challenge, rng.as_fn(), &mut l);
+        let t = PhTranscript {
+            commitment,
+            challenge,
+            response,
+        };
+        assert_eq!(reader_b.identify(&t, rng.as_fn()), None);
+    }
+
+    #[test]
+    fn tampered_response_fails() {
+        let mut rng = SplitMix64::new(6004);
+        let mut reader = PhReader::<Toy17>::new(rng.as_fn());
+        let mut tag = reader.register_tag(3, rng.as_fn());
+        let mut l = ledger();
+        let commitment = tag.commit(rng.as_fn(), &mut l);
+        let challenge = reader.challenge(rng.as_fn());
+        let response = tag.respond(&challenge, rng.as_fn(), &mut l) + Scalar::one();
+        let t = PhTranscript {
+            commitment,
+            challenge,
+            response,
+        };
+        assert_eq!(reader.identify(&t, rng.as_fn()), None);
+    }
+
+    #[test]
+    fn tag_energy_accounts_two_point_muls() {
+        let mut rng = SplitMix64::new(6005);
+        let mut reader = PhReader::<Toy17>::new(rng.as_fn());
+        let mut tag = reader.register_tag(0, rng.as_fn());
+        let mut l = ledger();
+        let _ = run_session(&mut tag, &reader, &mut l, rng.as_fn());
+        // Two ECPMs at 5.1 µJ each.
+        assert!((l.compute() - 2.0 * 5.1e-6).abs() < 1e-9);
+        // R out, e in, s out: 22 + 21 + 21 bytes for K-163 sizing; toy
+        // curve uses 4-byte points/scalars (3 + 3 + 3).
+        assert!(l.bytes_on_air() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "commit must precede respond")]
+    fn respond_requires_commit() {
+        let mut rng = SplitMix64::new(6006);
+        let mut reader = PhReader::<Toy17>::new(rng.as_fn());
+        let mut tag = reader.register_tag(0, rng.as_fn());
+        let mut l = ledger();
+        let _ = tag.respond(&Scalar::one(), rng.as_fn(), &mut l);
+    }
+}

@@ -1,0 +1,213 @@
+//! Schnorr identification — the paper's example of a PKC protocol that
+//! does **not** provide privacy: "not all PKC-based protocols achieve
+//! strong privacy. For example, tags using the Schnorr identification
+//! protocol can be easily traced" (§4).
+//!
+//! The traceability is structural: from a transcript (R, e, s) anyone
+//! can compute `X = e⁻¹·(s·P − R)` — the tag's long-term public key —
+//! so two sessions of the same tag link trivially.
+
+use medsec_ec::{
+    ladder::{ladder_mul, CoordinateBlinding},
+    CurveSpec, Point, Scalar,
+};
+
+use crate::energy::EnergyLedger;
+
+/// A Schnorr transcript as seen by an eavesdropper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchnorrTranscript<C: CurveSpec> {
+    /// Commitment R = r·P.
+    pub commitment: Point<C>,
+    /// Challenge e.
+    pub challenge: Scalar<C>,
+    /// Response s = r + e·x.
+    pub response: Scalar<C>,
+}
+
+/// A Schnorr prover (tag) with long-term key pair (x, X = x·P).
+#[derive(Debug, Clone)]
+pub struct SchnorrTag<C: CurveSpec> {
+    secret: Scalar<C>,
+    public: Point<C>,
+    session_r: Option<Scalar<C>>,
+}
+
+impl<C: CurveSpec> SchnorrTag<C> {
+    /// Create a tag with a fresh key pair.
+    pub fn new(mut next_u64: impl FnMut() -> u64) -> Self {
+        let secret = Scalar::random_nonzero(&mut next_u64);
+        let public = ladder_mul(
+            &secret,
+            &C::generator(),
+            CoordinateBlinding::RandomZ,
+            &mut next_u64,
+        );
+        Self {
+            secret,
+            public,
+            session_r: None,
+        }
+    }
+
+    /// The tag's public key X (known to the verifier).
+    pub fn public(&self) -> &Point<C> {
+        &self.public
+    }
+
+    /// Round 1: commitment R = r·P.
+    pub fn commit(
+        &mut self,
+        mut next_u64: impl FnMut() -> u64,
+        ledger: &mut EnergyLedger,
+    ) -> Point<C> {
+        let r = Scalar::random_nonzero(&mut next_u64);
+        let commitment = ladder_mul(
+            &r,
+            &C::generator(),
+            CoordinateBlinding::RandomZ,
+            &mut next_u64,
+        );
+        self.session_r = Some(r);
+        ledger.point_mul();
+        ledger.tx((<C::Field as medsec_gf2m::FieldSpec>::M + 7) / 8 + 1);
+        commitment
+    }
+
+    /// Round 2: response s = r + e·x.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`commit`](Self::commit).
+    pub fn respond(&mut self, challenge: &Scalar<C>, ledger: &mut EnergyLedger) -> Scalar<C> {
+        let r = self.session_r.take().expect("commit must precede respond");
+        let s = r + *challenge * self.secret;
+        let sbytes = s.to_bytes().len();
+        ledger.rx(sbytes);
+        ledger.tx(sbytes);
+        s
+    }
+}
+
+/// Verify a Schnorr transcript against a known public key:
+/// `s·P == R + e·X`.
+pub fn schnorr_verify<C: CurveSpec>(
+    transcript: &SchnorrTranscript<C>,
+    public: &Point<C>,
+    mut next_u64: impl FnMut() -> u64,
+) -> bool {
+    let sp = ladder_mul(
+        &transcript.response,
+        &C::generator(),
+        CoordinateBlinding::RandomZ,
+        &mut next_u64,
+    );
+    let ex = ladder_mul(
+        &transcript.challenge,
+        public,
+        CoordinateBlinding::RandomZ,
+        &mut next_u64,
+    );
+    sp == transcript.commitment + ex
+}
+
+/// The tracking computation available to ANY eavesdropper:
+/// `X = e⁻¹·(s·P − R)`. Returns `None` only for a zero challenge.
+pub fn extract_public_key<C: CurveSpec>(
+    transcript: &SchnorrTranscript<C>,
+    mut next_u64: impl FnMut() -> u64,
+) -> Option<Point<C>> {
+    let e_inv = transcript.challenge.inverse()?;
+    let sp = ladder_mul(
+        &transcript.response,
+        &C::generator(),
+        CoordinateBlinding::RandomZ,
+        &mut next_u64,
+    );
+    let diff = sp - transcript.commitment;
+    Some(ladder_mul(
+        &e_inv,
+        &diff,
+        CoordinateBlinding::RandomZ,
+        &mut next_u64,
+    ))
+}
+
+/// Run one complete Schnorr session.
+pub fn run_session<C: CurveSpec>(
+    tag: &mut SchnorrTag<C>,
+    ledger: &mut EnergyLedger,
+    mut next_u64: impl FnMut() -> u64,
+) -> (bool, SchnorrTranscript<C>) {
+    let commitment = tag.commit(&mut next_u64, ledger);
+    let challenge = Scalar::random_nonzero(&mut next_u64);
+    let response = tag.respond(&challenge, ledger);
+    let transcript = SchnorrTranscript {
+        commitment,
+        challenge,
+        response,
+    };
+    let ok = schnorr_verify(&transcript, tag.public(), &mut next_u64);
+    (ok, transcript)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsec_ec::Toy17;
+    use medsec_power::{EnergyReport, RadioModel};
+    use medsec_rng::SplitMix64;
+
+    fn ledger() -> EnergyLedger {
+        EnergyLedger::new(
+            EnergyReport::from_totals(86_000, 5.1e-6, 847_500.0),
+            RadioModel::first_order_default(),
+            2.0,
+        )
+    }
+
+    #[test]
+    fn completeness() {
+        let mut rng = SplitMix64::new(6101);
+        let mut tag = SchnorrTag::<Toy17>::new(rng.as_fn());
+        for _ in 0..8 {
+            let mut l = ledger();
+            let (ok, _) = run_session(&mut tag, &mut l, rng.as_fn());
+            assert!(ok);
+        }
+    }
+
+    #[test]
+    fn soundness_wrong_key_rejected() {
+        let mut rng = SplitMix64::new(6102);
+        let mut tag = SchnorrTag::<Toy17>::new(rng.as_fn());
+        let other = SchnorrTag::<Toy17>::new(rng.as_fn());
+        let mut l = ledger();
+        let (_, t) = run_session(&mut tag, &mut l, rng.as_fn());
+        assert!(!schnorr_verify(&t, other.public(), rng.as_fn()));
+    }
+
+    #[test]
+    fn eavesdropper_extracts_public_key() {
+        // The linkability flaw: the public key falls out of every
+        // transcript.
+        let mut rng = SplitMix64::new(6103);
+        let mut tag = SchnorrTag::<Toy17>::new(rng.as_fn());
+        for _ in 0..4 {
+            let mut l = ledger();
+            let (_, t) = run_session(&mut tag, &mut l, rng.as_fn());
+            let extracted = extract_public_key(&t, rng.as_fn()).unwrap();
+            assert_eq!(extracted, *tag.public());
+        }
+    }
+
+    #[test]
+    fn schnorr_is_cheaper_for_the_tag_than_ph() {
+        // One ECPM instead of two — but at the cost of privacy.
+        let mut rng = SplitMix64::new(6104);
+        let mut tag = SchnorrTag::<Toy17>::new(rng.as_fn());
+        let mut l = ledger();
+        let _ = run_session(&mut tag, &mut l, rng.as_fn());
+        assert!((l.compute() - 5.1e-6).abs() < 1e-9);
+    }
+}

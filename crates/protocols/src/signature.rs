@@ -1,0 +1,209 @@
+//! EC-Schnorr signatures over the binary curves.
+//!
+//! The paper's reference [1] is FIPS 186-3 (the Digital Signature
+//! Standard) — signatures are how a mini-server authenticates firmware
+//! updates or how a device signs exported telemetry for the audit trail.
+//! Schnorr's scheme (also the basis of the identification protocol in
+//! §4) is used here because its signing cost — one point multiplication
+//! and one modular multiply-add — exactly matches the co-processor's
+//! profile.
+//!
+//! Scheme (BSI EC-Schnorr shape): `r ←R Z*_n`, `R = r·G`,
+//! `e = H(x(R) ‖ m) mod n` (rejecting `e = 0`), `s = r − e·d mod n`;
+//! verify `R' = s·G + e·Q`, accept iff `H(x(R') ‖ m) = e`.
+
+use medsec_ec::{
+    ladder::{ladder_mul, CoordinateBlinding},
+    CurveSpec, Point, Scalar,
+};
+use medsec_gf2m::FieldSpec;
+use medsec_lwc::sha256;
+
+use crate::energy::EnergyLedger;
+
+/// A signature (e, s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signature<C: CurveSpec> {
+    /// Challenge hash, reduced mod n.
+    pub e: Scalar<C>,
+    /// Response.
+    pub s: Scalar<C>,
+}
+
+/// A signing key pair.
+#[derive(Debug, Clone)]
+pub struct SigningKey<C: CurveSpec> {
+    secret: Scalar<C>,
+    public: Point<C>,
+}
+
+fn challenge<C: CurveSpec>(rx: &medsec_gf2m::Element<C::Field>, message: &[u8]) -> Scalar<C> {
+    let mut input = rx.to_bytes();
+    input.extend_from_slice(message);
+    Scalar::from_bytes_mod_order(&sha256(&input))
+}
+
+impl<C: CurveSpec> SigningKey<C> {
+    /// Generate a fresh signing key.
+    pub fn generate(mut next_u64: impl FnMut() -> u64) -> Self {
+        let secret = Scalar::random_nonzero(&mut next_u64);
+        let public = ladder_mul(
+            &secret,
+            &C::generator(),
+            CoordinateBlinding::RandomZ,
+            &mut next_u64,
+        );
+        Self { secret, public }
+    }
+
+    /// The verification key Q = d·G.
+    pub fn public(&self) -> &Point<C> {
+        &self.public
+    }
+
+    /// Sign a message; the point multiplication is booked on `ledger`.
+    pub fn sign(
+        &self,
+        message: &[u8],
+        mut next_u64: impl FnMut() -> u64,
+        ledger: &mut EnergyLedger,
+    ) -> Signature<C> {
+        loop {
+            let r = Scalar::random_nonzero(&mut next_u64);
+            let big_r = ladder_mul(
+                &r,
+                &C::generator(),
+                CoordinateBlinding::RandomZ,
+                &mut next_u64,
+            );
+            ledger.point_mul();
+            let rx = big_r.x().expect("r nonzero ⇒ R finite");
+            let e = challenge::<C>(&rx, message);
+            if e.is_zero() {
+                continue; // negligible probability; retry per the spec
+            }
+            let s = r - e * self.secret;
+            if s.is_zero() {
+                continue;
+            }
+            return Signature { e, s };
+        }
+    }
+}
+
+/// Verify a signature against a public key.
+pub fn verify<C: CurveSpec>(
+    public: &Point<C>,
+    message: &[u8],
+    sig: &Signature<C>,
+    mut next_u64: impl FnMut() -> u64,
+) -> bool {
+    if sig.e.is_zero() || sig.s.is_zero() || public.is_infinity() {
+        return false;
+    }
+    let sg = ladder_mul(
+        &sig.s,
+        &C::generator(),
+        CoordinateBlinding::RandomZ,
+        &mut next_u64,
+    );
+    let eq = ladder_mul(&sig.e, public, CoordinateBlinding::RandomZ, &mut next_u64);
+    let r_prime = sg + eq;
+    let Some(rx) = r_prime.x() else {
+        return false;
+    };
+    challenge::<C>(&rx, message) == sig.e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsec_ec::Toy17;
+    use medsec_power::{EnergyReport, RadioModel};
+    use medsec_rng::SplitMix64;
+
+    fn ledger() -> EnergyLedger {
+        EnergyLedger::new(
+            EnergyReport::from_totals(86_000, 5.1e-6, 847_500.0),
+            RadioModel::first_order_default(),
+            2.0,
+        )
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let mut rng = SplitMix64::new(7001);
+        let key = SigningKey::<Toy17>::generate(rng.as_fn());
+        let mut l = ledger();
+        let sig = key.sign(b"fw-update v2.1", rng.as_fn(), &mut l);
+        assert!(verify(key.public(), b"fw-update v2.1", &sig, rng.as_fn()));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let mut rng = SplitMix64::new(7002);
+        let key = SigningKey::<Toy17>::generate(rng.as_fn());
+        let mut l = ledger();
+        let sig = key.sign(b"dose=1.0", rng.as_fn(), &mut l);
+        assert!(!verify(key.public(), b"dose=9.9", &sig, rng.as_fn()));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut rng = SplitMix64::new(7003);
+        let key = SigningKey::<Toy17>::generate(rng.as_fn());
+        let other = SigningKey::<Toy17>::generate(rng.as_fn());
+        let mut l = ledger();
+        let sig = key.sign(b"msg", rng.as_fn(), &mut l);
+        assert!(!verify(other.public(), b"msg", &sig, rng.as_fn()));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let mut rng = SplitMix64::new(7004);
+        let key = SigningKey::<Toy17>::generate(rng.as_fn());
+        let mut l = ledger();
+        let mut sig = key.sign(b"msg", rng.as_fn(), &mut l);
+        sig.s = sig.s + Scalar::one();
+        assert!(!verify(key.public(), b"msg", &sig, rng.as_fn()));
+    }
+
+    #[test]
+    fn degenerate_signatures_rejected() {
+        let mut rng = SplitMix64::new(7005);
+        let key = SigningKey::<Toy17>::generate(rng.as_fn());
+        let sig = Signature::<Toy17> {
+            e: Scalar::zero(),
+            s: Scalar::one(),
+        };
+        assert!(!verify(key.public(), b"msg", &sig, rng.as_fn()));
+        assert!(!verify(
+            &medsec_ec::Point::infinity(),
+            b"msg",
+            &Signature::<Toy17> {
+                e: Scalar::one(),
+                s: Scalar::one()
+            },
+            rng.as_fn()
+        ));
+    }
+
+    #[test]
+    fn signing_cost_is_one_point_mul() {
+        let mut rng = SplitMix64::new(7006);
+        let key = SigningKey::<Toy17>::generate(rng.as_fn());
+        let mut l = ledger();
+        let _ = key.sign(b"telemetry", rng.as_fn(), &mut l);
+        assert!((l.compute() - 5.1e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn signatures_are_randomized() {
+        let mut rng = SplitMix64::new(7007);
+        let key = SigningKey::<Toy17>::generate(rng.as_fn());
+        let mut l = ledger();
+        let s1 = key.sign(b"m", rng.as_fn(), &mut l);
+        let s2 = key.sign(b"m", rng.as_fn(), &mut l);
+        assert_ne!(s1, s2, "nonce reuse!");
+    }
+}

@@ -1,0 +1,245 @@
+//! Wire format for the over-the-air protocol messages.
+//!
+//! The energy ledgers count every byte on the air (§4: "the
+//! communication should be minimized since wireless communication is
+//! power-hungry"), so the framing is deliberately tight: a 1-byte tag, a
+//! 1-byte length, and the raw field encodings — no self-describing
+//! container formats on a µW radio.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use medsec_ec::{CurveSpec, Point, Scalar};
+
+use crate::peeters_hermans::PhTranscript;
+
+/// Message type tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MsgType {
+    /// Tag → reader: commitment point R.
+    PhCommit = 0x01,
+    /// Reader → tag: challenge scalar e.
+    PhChallenge = 0x02,
+    /// Tag → reader: response scalar s.
+    PhResponse = 0x03,
+    /// Server → device: authenticated ephemeral (hello).
+    ServerHello = 0x10,
+    /// Device → server: encrypted telemetry frame.
+    Telemetry = 0x11,
+}
+
+impl MsgType {
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0x01 => MsgType::PhCommit,
+            0x02 => MsgType::PhChallenge,
+            0x03 => MsgType::PhResponse,
+            0x10 => MsgType::ServerHello,
+            0x11 => MsgType::Telemetry,
+            _ => return None,
+        })
+    }
+}
+
+/// Errors from decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes than the header promises.
+    Truncated,
+    /// Unknown message tag byte.
+    UnknownType(u8),
+    /// Payload is not a valid encoding for the expected type.
+    Malformed,
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "frame shorter than its header claims"),
+            DecodeError::UnknownType(t) => write!(f, "unknown message type 0x{t:02x}"),
+            DecodeError::Malformed => write!(f, "payload failed validation"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Frame a payload: `[type, len, payload…]`.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds 255 bytes (nothing in these protocols
+/// does; a µW radio wouldn't either).
+pub fn frame(ty: MsgType, payload: &[u8]) -> Bytes {
+    assert!(payload.len() <= 255, "payload too large for 1-byte length");
+    let mut b = BytesMut::with_capacity(2 + payload.len());
+    b.put_u8(ty as u8);
+    b.put_u8(payload.len() as u8);
+    b.put_slice(payload);
+    b.freeze()
+}
+
+/// Split a frame into its type and payload.
+pub fn deframe(bytes: &[u8]) -> Result<(MsgType, &[u8]), DecodeError> {
+    if bytes.len() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let ty = MsgType::from_u8(bytes[0]).ok_or(DecodeError::UnknownType(bytes[0]))?;
+    let len = bytes[1] as usize;
+    if bytes.len() != 2 + len {
+        return Err(DecodeError::Truncated);
+    }
+    Ok((ty, &bytes[2..]))
+}
+
+/// Encode a point message (compressed).
+pub fn encode_point<C: CurveSpec>(ty: MsgType, p: &Point<C>) -> Bytes {
+    frame(ty, &p.compress())
+}
+
+/// Decode a point message, validating curve membership.
+pub fn decode_point<C: CurveSpec>(ty: MsgType, bytes: &[u8]) -> Result<Point<C>, DecodeError> {
+    let (got, payload) = deframe(bytes)?;
+    if got != ty {
+        return Err(DecodeError::Malformed);
+    }
+    Point::<C>::decompress(payload).ok_or(DecodeError::Malformed)
+}
+
+/// Encode a scalar message.
+pub fn encode_scalar<C: CurveSpec>(ty: MsgType, s: &Scalar<C>) -> Bytes {
+    frame(ty, &s.to_bytes())
+}
+
+/// Decode a scalar message.
+pub fn decode_scalar<C: CurveSpec>(ty: MsgType, bytes: &[u8]) -> Result<Scalar<C>, DecodeError> {
+    let (got, payload) = deframe(bytes)?;
+    if got != ty {
+        return Err(DecodeError::Malformed);
+    }
+    let expect = Scalar::<C>::zero().to_bytes().len();
+    if payload.len() != expect {
+        return Err(DecodeError::Malformed);
+    }
+    Ok(Scalar::from_bytes_mod_order(payload))
+}
+
+/// Serialize a full Peeters–Hermans transcript (for logging/audit).
+pub fn encode_ph_transcript<C: CurveSpec>(t: &PhTranscript<C>) -> Bytes {
+    let mut b = BytesMut::new();
+    b.put_slice(&encode_point(MsgType::PhCommit, &t.commitment));
+    b.put_slice(&encode_scalar(MsgType::PhChallenge, &t.challenge));
+    b.put_slice(&encode_scalar(MsgType::PhResponse, &t.response));
+    b.freeze()
+}
+
+/// Parse a serialized transcript back.
+pub fn decode_ph_transcript<C: CurveSpec>(
+    mut bytes: &[u8],
+) -> Result<PhTranscript<C>, DecodeError> {
+    let mut take = |ty: MsgType| -> Result<&[u8], DecodeError> {
+        if bytes.len() < 2 {
+            return Err(DecodeError::Truncated);
+        }
+        let len = 2 + bytes[1] as usize;
+        if bytes.len() < len {
+            return Err(DecodeError::Truncated);
+        }
+        let (head, rest) = bytes.split_at(len);
+        bytes = rest;
+        let (got, _) = deframe(head)?;
+        if got != ty {
+            return Err(DecodeError::Malformed);
+        }
+        Ok(head)
+    };
+    let commitment = decode_point::<C>(MsgType::PhCommit, take(MsgType::PhCommit)?)?;
+    let challenge = decode_scalar::<C>(MsgType::PhChallenge, take(MsgType::PhChallenge)?)?;
+    let response = decode_scalar::<C>(MsgType::PhResponse, take(MsgType::PhResponse)?)?;
+    if !bytes.is_empty() {
+        return Err(DecodeError::Malformed);
+    }
+    Ok(PhTranscript {
+        commitment,
+        challenge,
+        response,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsec_ec::{ladder, CoordinateBlinding, Toy17, K163};
+    use medsec_rng::SplitMix64;
+
+    #[test]
+    fn frame_round_trip() {
+        let f = frame(MsgType::PhChallenge, b"abc");
+        let (ty, payload) = deframe(&f).unwrap();
+        assert_eq!(ty, MsgType::PhChallenge);
+        assert_eq!(payload, b"abc");
+    }
+
+    #[test]
+    fn deframe_rejects_garbage() {
+        assert_eq!(deframe(&[]), Err(DecodeError::Truncated));
+        assert_eq!(deframe(&[0x01]), Err(DecodeError::Truncated));
+        assert_eq!(deframe(&[0xEE, 0]), Err(DecodeError::UnknownType(0xEE)));
+        assert_eq!(deframe(&[0x01, 5, 1, 2]), Err(DecodeError::Truncated));
+        // Trailing bytes beyond the declared length are also an error.
+        assert_eq!(deframe(&[0x01, 1, 7, 8]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn point_round_trip_validates_curve() {
+        let mut rng = SplitMix64::new(1);
+        let k = Scalar::<K163>::random_nonzero(rng.as_fn());
+        let p = ladder::ladder_mul(
+            &k,
+            &K163::generator(),
+            CoordinateBlinding::RandomZ,
+            rng.as_fn(),
+        );
+        let enc = encode_point(MsgType::PhCommit, &p);
+        assert_eq!(decode_point::<K163>(MsgType::PhCommit, &enc).unwrap(), p);
+        // K-163 commitment frame: 2 header + 22 point bytes.
+        assert_eq!(enc.len(), 24);
+        // Corrupting the x-coordinate makes decompression fail.
+        let mut bad = enc.to_vec();
+        bad[10] ^= 0xff;
+        assert!(decode_point::<K163>(MsgType::PhCommit, &bad).is_err());
+    }
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut rng = SplitMix64::new(2);
+        let s = Scalar::<Toy17>::random_nonzero(rng.as_fn());
+        let enc = encode_scalar(MsgType::PhResponse, &s);
+        assert_eq!(
+            decode_scalar::<Toy17>(MsgType::PhResponse, &enc).unwrap(),
+            s
+        );
+        // Wrong expected type is rejected.
+        assert!(decode_scalar::<Toy17>(MsgType::PhChallenge, &enc).is_err());
+    }
+
+    #[test]
+    fn transcript_round_trip() {
+        let mut rng = SplitMix64::new(3);
+        let t = PhTranscript::<Toy17> {
+            commitment: ladder::ladder_mul(
+                &Scalar::random_nonzero(rng.as_fn()),
+                &Toy17::generator(),
+                CoordinateBlinding::RandomZ,
+                rng.as_fn(),
+            ),
+            challenge: Scalar::random_nonzero(rng.as_fn()),
+            response: Scalar::random_nonzero(rng.as_fn()),
+        };
+        let enc = encode_ph_transcript(&t);
+        assert_eq!(decode_ph_transcript::<Toy17>(&enc).unwrap(), t);
+        // Truncation anywhere is caught.
+        for cut in 1..enc.len() {
+            assert!(decode_ph_transcript::<Toy17>(&enc[..cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Entropy-source health tests, after NIST SP 800-90B §4.4.
+//!
+//! An implantable device cannot assume its oscillator stays healthy over
+//! a 10-year battery life; a failed entropy source silently disables the
+//! paper's DPA countermeasure (the random projective Z). These
+//! continuous tests are the standard defence.
+
+/// Result of feeding one bit to a continuous health test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthStatus {
+    /// No anomaly observed.
+    Ok,
+    /// The test tripped: the source must be considered failed.
+    Failed,
+}
+
+/// Repetition Count Test: detects a stuck source by counting identical
+/// consecutive samples. With cutoff C, a healthy unbiased source trips
+/// with probability 2^−(C−1) per sample.
+#[derive(Debug, Clone)]
+pub struct RepetitionCountTest {
+    cutoff: u32,
+    last: Option<u8>,
+    run: u32,
+    failed: bool,
+}
+
+impl RepetitionCountTest {
+    /// Create with a cutoff (SP 800-90B: `1 + ceil(20 / H)` for
+    /// min-entropy H per sample; 21 for a full-entropy bit source at
+    /// a 2^-20 false-positive rate).
+    pub fn new(cutoff: u32) -> Self {
+        assert!(cutoff >= 2, "cutoff must be at least 2");
+        Self {
+            cutoff,
+            last: None,
+            run: 0,
+            failed: false,
+        }
+    }
+
+    /// Feed one sample.
+    pub fn push(&mut self, sample: u8) -> HealthStatus {
+        if Some(sample) == self.last {
+            self.run += 1;
+            if self.run >= self.cutoff {
+                self.failed = true;
+            }
+        } else {
+            self.last = Some(sample);
+            self.run = 1;
+        }
+        if self.failed {
+            HealthStatus::Failed
+        } else {
+            HealthStatus::Ok
+        }
+    }
+
+    /// Whether the test has ever tripped.
+    pub fn has_failed(&self) -> bool {
+        self.failed
+    }
+}
+
+/// Adaptive Proportion Test: counts occurrences of the first sample of
+/// each window within that window; trips when a value dominates.
+#[derive(Debug, Clone)]
+pub struct AdaptiveProportionTest {
+    window: u32,
+    cutoff: u32,
+    reference: Option<u8>,
+    seen: u32,
+    matches: u32,
+    failed: bool,
+}
+
+impl AdaptiveProportionTest {
+    /// SP 800-90B binary defaults: window 1024, cutoff 624 (for a
+    /// full-entropy binary source at false-positive rate 2^-20).
+    pub fn binary_default() -> Self {
+        Self::new(1024, 624)
+    }
+
+    /// Create with explicit window and cutoff.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cutoff > window`.
+    pub fn new(window: u32, cutoff: u32) -> Self {
+        assert!(cutoff <= window, "cutoff cannot exceed window");
+        Self {
+            window,
+            cutoff,
+            reference: None,
+            seen: 0,
+            matches: 0,
+            failed: false,
+        }
+    }
+
+    /// Feed one sample.
+    pub fn push(&mut self, sample: u8) -> HealthStatus {
+        match self.reference {
+            None => {
+                self.reference = Some(sample);
+                self.seen = 1;
+                self.matches = 1;
+            }
+            Some(r) => {
+                self.seen += 1;
+                if sample == r {
+                    self.matches += 1;
+                    if self.matches >= self.cutoff {
+                        self.failed = true;
+                    }
+                }
+                if self.seen == self.window {
+                    self.reference = None;
+                }
+            }
+        }
+        if self.failed {
+            HealthStatus::Failed
+        } else {
+            HealthStatus::Ok
+        }
+    }
+
+    /// Whether the test has ever tripped.
+    pub fn has_failed(&self) -> bool {
+        self.failed
+    }
+}
+
+/// Convenience: run both continuous tests over a bit stream and report
+/// whether the source passed.
+///
+/// Cutoffs assume a conservative claim of H = 0.5 bits of min-entropy
+/// per raw sample (the usual assessment for unconditioned oscillator
+/// bits): RCT cutoff `1 + 20/H = 41`, APT cutoff 821 over a
+/// 1024-sample window.
+pub fn stream_is_healthy(bits: &[u8]) -> bool {
+    let mut rct = RepetitionCountTest::new(41);
+    let mut apt = AdaptiveProportionTest::new(1024, 821);
+    for &b in bits {
+        rct.push(b);
+        apt.push(b);
+    }
+    !rct.has_failed() && !apt.has_failed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trng::{RingOscillatorTrng, TrngConfig};
+
+    #[test]
+    fn healthy_source_passes() {
+        let mut t = RingOscillatorTrng::new(TrngConfig::default(), 100);
+        assert!(stream_is_healthy(&t.bits(50_000)));
+    }
+
+    #[test]
+    fn stuck_source_fails_rct() {
+        let stuck = vec![1u8; 64];
+        let mut rct = RepetitionCountTest::new(21);
+        let mut tripped = false;
+        for &b in &stuck {
+            if rct.push(b) == HealthStatus::Failed {
+                tripped = true;
+            }
+        }
+        assert!(tripped);
+    }
+
+    #[test]
+    fn heavily_biased_source_fails_apt() {
+        let mut t = RingOscillatorTrng::new(
+            TrngConfig {
+                bias: 0.35,
+                correlation: 0.0,
+            },
+            101,
+        );
+        let bits = t.bits(50_000);
+        let mut apt = AdaptiveProportionTest::binary_default();
+        for &b in &bits {
+            apt.push(b);
+        }
+        assert!(apt.has_failed(), "80/20 source must trip the APT");
+    }
+
+    #[test]
+    fn rct_resets_on_alternation() {
+        let mut rct = RepetitionCountTest::new(4);
+        for _ in 0..100 {
+            assert_eq!(rct.push(0), HealthStatus::Ok);
+            assert_eq!(rct.push(1), HealthStatus::Ok);
+        }
+        assert!(!rct.has_failed());
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn apt_rejects_bad_cutoff() {
+        let _ = AdaptiveProportionTest::new(10, 11);
+    }
+
+    #[test]
+    fn failure_is_latched() {
+        let mut rct = RepetitionCountTest::new(3);
+        for _ in 0..3 {
+            rct.push(1);
+        }
+        assert!(rct.has_failed());
+        // Even after good samples, the failure stays latched.
+        rct.push(0);
+        rct.push(1);
+        assert!(rct.has_failed());
+    }
+}

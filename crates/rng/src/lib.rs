@@ -1,0 +1,31 @@
+//! Random-number substrates for the medsec DAC'13 reproduction.
+//!
+//! The paper's protocol level lists RNGs among the non-algorithmic
+//! primitives a secure device needs (§4), and the DPA countermeasure
+//! depends on one: "in the normal operation, the randomness is generated
+//! by the chip and kept secret to the adversary" (§7). This crate
+//! provides:
+//!
+//! * [`RingOscillatorTrng`] — a behavioural model of an on-chip
+//!   free-running-oscillator entropy source with controllable bias and
+//!   correlation (standing in for the physical TRNG we cannot fabricate);
+//! * [`VonNeumann`] — the classic debiasing corrector;
+//! * [`health`] — SP 800-90B-style repetition-count and adaptive-
+//!   proportion health tests;
+//! * [`CtrDrbg`] — an AES-128-CTR deterministic random bit generator
+//!   seeded from the TRNG (SP 800-90A shape);
+//! * [`SplitMix64`] — the deterministic split-mix generator used to make
+//!   every experiment in this repository reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod health;
+
+mod drbg;
+mod splitmix;
+mod trng;
+
+pub use drbg::CtrDrbg;
+pub use splitmix::SplitMix64;
+pub use trng::{RingOscillatorTrng, TrngConfig, VonNeumann};

@@ -1,0 +1,236 @@
+//! Behavioural model of a ring-oscillator TRNG.
+//!
+//! **Substitution note (DESIGN.md §2):** the fabricated chip samples a
+//! free-running ring oscillator with accumulated phase jitter; we model
+//! the sampled bit stream statistically — a Bernoulli source with
+//! controllable bias and lag-1 correlation, driven by a seeded
+//! [`SplitMix64`]. This preserves exactly what the consuming code cares
+//! about: imperfect raw entropy that must be conditioned and
+//! health-tested before use.
+
+use crate::splitmix::SplitMix64;
+
+/// Quality knobs of the simulated entropy source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrngConfig {
+    /// Probability offset of drawing 1 (0.0 = unbiased; ±0.5 = stuck).
+    pub bias: f64,
+    /// Lag-1 correlation coefficient in [−1, 1]: probability mass moved
+    /// toward repeating the previous bit.
+    pub correlation: f64,
+}
+
+impl Default for TrngConfig {
+    /// A realistic healthy oscillator: slight bias, slight correlation.
+    fn default() -> Self {
+        Self {
+            bias: 0.01,
+            correlation: 0.02,
+        }
+    }
+}
+
+/// Simulated ring-oscillator entropy source.
+///
+/// # Example
+///
+/// ```
+/// use medsec_rng::{RingOscillatorTrng, TrngConfig};
+/// let mut trng = RingOscillatorTrng::new(TrngConfig::default(), 42);
+/// let bits: Vec<u8> = (0..8).map(|_| trng.next_bit()).collect();
+/// assert!(bits.iter().all(|&b| b <= 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingOscillatorTrng {
+    config: TrngConfig,
+    rng: SplitMix64,
+    last_bit: u8,
+}
+
+impl RingOscillatorTrng {
+    /// Create a source with the given quality and seed.
+    pub fn new(config: TrngConfig, seed: u64) -> Self {
+        Self {
+            config,
+            rng: SplitMix64::new(seed),
+            last_bit: 0,
+        }
+    }
+
+    /// Sample one raw (unconditioned) bit.
+    pub fn next_bit(&mut self) -> u8 {
+        let mut p1 = 0.5 + self.config.bias;
+        // Pull toward the previous bit by the correlation factor.
+        if self.last_bit == 1 {
+            p1 += self.config.correlation * (1.0 - p1);
+        } else {
+            p1 -= self.config.correlation * p1;
+        }
+        let bit = u8::from(self.rng.next_f64() < p1);
+        self.last_bit = bit;
+        bit
+    }
+
+    /// Sample `n` raw bits.
+    pub fn bits(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.next_bit()).collect()
+    }
+
+    /// Fill a byte buffer with raw (unconditioned) entropy, MSB first.
+    pub fn fill_raw(&mut self, out: &mut [u8]) {
+        for byte in out.iter_mut() {
+            let mut b = 0u8;
+            for _ in 0..8 {
+                b = (b << 1) | self.next_bit();
+            }
+            *byte = b;
+        }
+    }
+
+    /// The configured source quality.
+    pub fn config(&self) -> TrngConfig {
+        self.config
+    }
+}
+
+/// Von Neumann corrector: consumes raw bits in pairs, emits `0` for a
+/// `01` pair and `1` for a `10` pair, discards `00`/`11`. Removes bias
+/// completely for an independent source at a ≥75 % throughput cost —
+/// a concrete instance of the paper's theme that robustness costs
+/// energy.
+#[derive(Debug, Clone, Default)]
+pub struct VonNeumann {
+    pending: Option<u8>,
+}
+
+impl VonNeumann {
+    /// New corrector with empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Push one raw bit; returns a corrected bit when a pair completes
+    /// usefully.
+    pub fn push(&mut self, bit: u8) -> Option<u8> {
+        match self.pending.take() {
+            None => {
+                self.pending = Some(bit);
+                None
+            }
+            Some(first) => {
+                if first != bit {
+                    Some(first)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Run a whole raw stream through the corrector.
+    pub fn correct(&mut self, raw: &[u8]) -> Vec<u8> {
+        raw.iter().filter_map(|&b| self.push(b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ones_fraction(bits: &[u8]) -> f64 {
+        bits.iter().map(|&b| b as u64).sum::<u64>() as f64 / bits.len() as f64
+    }
+
+    #[test]
+    fn unbiased_source_is_balanced() {
+        let mut t = RingOscillatorTrng::new(
+            TrngConfig {
+                bias: 0.0,
+                correlation: 0.0,
+            },
+            1,
+        );
+        let f = ones_fraction(&t.bits(20_000));
+        assert!((f - 0.5).abs() < 0.02, "fraction {f}");
+    }
+
+    #[test]
+    fn bias_shows_up_in_raw_stream() {
+        let mut t = RingOscillatorTrng::new(
+            TrngConfig {
+                bias: 0.2,
+                correlation: 0.0,
+            },
+            2,
+        );
+        let f = ones_fraction(&t.bits(20_000));
+        assert!(f > 0.65, "expected strong bias, got {f}");
+    }
+
+    #[test]
+    fn von_neumann_removes_bias() {
+        let mut t = RingOscillatorTrng::new(
+            TrngConfig {
+                bias: 0.2,
+                correlation: 0.0,
+            },
+            3,
+        );
+        let raw = t.bits(80_000);
+        let corrected = VonNeumann::new().correct(&raw);
+        assert!(corrected.len() > 10_000, "corrector too lossy");
+        let f = ones_fraction(&corrected);
+        assert!((f - 0.5).abs() < 0.02, "fraction after correction {f}");
+    }
+
+    #[test]
+    fn von_neumann_throughput_cost() {
+        // Even on a perfect source, at most 1 output bit per 4 raw bits.
+        let mut t = RingOscillatorTrng::new(
+            TrngConfig {
+                bias: 0.0,
+                correlation: 0.0,
+            },
+            4,
+        );
+        let raw = t.bits(40_000);
+        let corrected = VonNeumann::new().correct(&raw);
+        assert!(corrected.len() < raw.len() / 3);
+    }
+
+    #[test]
+    fn correlation_increases_run_lengths() {
+        let count_repeats = |bits: &[u8]| -> usize {
+            bits.windows(2).filter(|w| w[0] == w[1]).count()
+        };
+        let mut fair = RingOscillatorTrng::new(
+            TrngConfig {
+                bias: 0.0,
+                correlation: 0.0,
+            },
+            5,
+        );
+        let mut sticky = RingOscillatorTrng::new(
+            TrngConfig {
+                bias: 0.0,
+                correlation: 0.5,
+            },
+            5,
+        );
+        let r_fair = count_repeats(&fair.bits(20_000));
+        let r_sticky = count_repeats(&sticky.bits(20_000));
+        assert!(
+            r_sticky as f64 > r_fair as f64 * 1.2,
+            "correlation had no visible effect: {r_fair} vs {r_sticky}"
+        );
+    }
+
+    #[test]
+    fn fill_raw_packs_bytes() {
+        let mut t = RingOscillatorTrng::new(TrngConfig::default(), 6);
+        let mut buf = [0u8; 32];
+        t.fill_raw(&mut buf);
+        // Essentially impossible for 32 healthy bytes to all be zero.
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

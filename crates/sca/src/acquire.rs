@@ -1,0 +1,248 @@
+//! Trace acquisition against the simulated co-processor — the
+//! "chip under study + oscilloscope" half of the paper's Fig. 4.
+
+use medsec_coproc::{
+    cost, microcode, ActivityObserver, Coproc, CoprocConfig, CycleActivity, LadderStyle,
+};
+use medsec_ec::{CurveSpec, Scalar};
+use medsec_gf2m::{Element, FieldSpec};
+use medsec_power::PowerModel;
+use medsec_rng::SplitMix64;
+
+/// Blinding scenario of the §7 evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Countermeasure disabled (Z = 1): "a DPA attack succeeds with as
+    /// low as 200 traces".
+    Disabled,
+    /// Countermeasure enabled, randomness secret (normal operation):
+    /// "even 20000 traces are not enough to reveal a single key bit".
+    RandomUnknown,
+    /// Countermeasure enabled but the evaluator knows the randomness
+    /// (white-box): "the attack also succeeds … provides confidence in
+    /// the soundness of the attack".
+    RandomKnown,
+}
+
+/// Observer that converts activity to noisy power samples but stores
+/// only a sorted list of absolute cycle offsets — bounded memory for
+/// 20 000-trace campaigns.
+#[derive(Debug)]
+pub struct OffsetSampler {
+    model: PowerModel,
+    noise: SplitMix64,
+    offsets: Vec<u64>,
+    next: usize,
+    samples: Vec<f64>,
+}
+
+impl OffsetSampler {
+    /// Sample at the given strictly increasing cycle offsets.
+    pub fn new(model: PowerModel, noise_seed: u64, offsets: Vec<u64>) -> Self {
+        debug_assert!(offsets.windows(2).all(|w| w[0] < w[1]));
+        let n = offsets.len();
+        Self {
+            model,
+            noise: SplitMix64::new(noise_seed),
+            offsets,
+            next: 0,
+            samples: Vec::with_capacity(n),
+        }
+    }
+
+    /// The collected samples, one per requested offset (in order).
+    pub fn into_samples(self) -> Vec<f64> {
+        self.samples
+    }
+}
+
+impl ActivityObserver for OffsetSampler {
+    fn on_cycle(&mut self, activity: &CycleActivity) {
+        if self.next < self.offsets.len() && activity.cycle == self.offsets[self.next] {
+            let power = self.model.cycle_energy(activity) * self.model.technology.clock_hz;
+            let noisy =
+                power + self.noise.next_gaussian() * self.model.technology.noise_sigma_w;
+            self.samples.push(noisy);
+            self.next += 1;
+        }
+    }
+}
+
+/// Cycle offset, within one ladder iteration, at which instruction
+/// `instr_idx` of the iteration program commits its register write.
+pub fn instr_commit_offset(config: &CoprocConfig, m: usize, instr_idx: usize) -> u64 {
+    let prog = microcode::iteration_program(true, config.ladder_style);
+    let cswap_cycles = config.mux_encoding.cycles_per_update();
+    let mut offset = 0u64;
+    for (i, instr) in prog.iter().enumerate() {
+        let len = instr.cycles(m, config.digit_size, cswap_cycles);
+        if i == instr_idx {
+            return offset + len - 1;
+        }
+        offset += len;
+    }
+    panic!("instruction index {instr_idx} out of range");
+}
+
+/// Indices (within the iteration program) of the first two
+/// multiplications of the differential addition — the CPA target
+/// writes. Two targets are needed because the first write degenerates
+/// (rewrites its own value) whenever Z of the addition leg is 1, i.e.
+/// exactly in the unblinded first iteration.
+pub fn target_instr_indices(style: LadderStyle) -> [usize; 2] {
+    match style {
+        LadderStyle::CswapMpl => [1, 2], // after the leading CSwap
+        LadderStyle::BranchedMpl => [0, 1],
+    }
+}
+
+/// A set of acquired traces for the CPA: per trace, the base-point x,
+/// the blinding value (if the scenario discloses it), and two samples
+/// per attacked iteration (taken at the two target-write commit
+/// cycles).
+#[derive(Debug, Clone)]
+pub struct TraceSet<C: CurveSpec> {
+    /// Per-trace base point x-coordinates (known to the attacker).
+    pub base_x: Vec<Element<C::Field>>,
+    /// Per-trace blinding values as known to the *attacker* (`None`
+    /// under [`Scenario::RandomUnknown`]).
+    pub blind: Vec<Option<Element<C::Field>>>,
+    /// `samples[trace][2·iteration + target]` power samples.
+    pub samples: Vec<Vec<f64>>,
+    /// The true key's ladder bits (for scoring the outcome; obviously
+    /// not used by the attack itself).
+    pub true_bits: Vec<bool>,
+    /// Scenario the set was acquired under.
+    pub scenario: Scenario,
+}
+
+/// Acquire `n_traces` traces of the first `n_iterations` ladder
+/// iterations under `scenario`. The secret key is derived from `seed`
+/// and fixed across the campaign (the device's long-term key).
+pub fn acquire_cpa_traces<C: CurveSpec>(
+    config: CoprocConfig,
+    model: &PowerModel,
+    scenario: Scenario,
+    n_traces: usize,
+    n_iterations: usize,
+    seed: u64,
+) -> TraceSet<C> {
+    let mut rng = SplitMix64::new(seed);
+    let key = Scalar::<C>::random_nonzero(rng.as_fn());
+    let true_bits = key.ladder_bits();
+    assert!(
+        n_iterations < true_bits.len(),
+        "cannot attack more iterations than the ladder has"
+    );
+
+    let budget = cost::point_mul_cycles(C::Field::M, C::LADDER_BITS, &config);
+    let target_offs: Vec<u64> = target_instr_indices(config.ladder_style)
+        .iter()
+        .map(|&idx| instr_commit_offset(&config, C::Field::M, idx))
+        .collect();
+    let mut offsets = Vec::with_capacity(2 * n_iterations);
+    for t in 0..n_iterations {
+        for &off in &target_offs {
+            offsets.push(budget.init + t as u64 * budget.per_iteration + off);
+        }
+    }
+
+    let mut core = Coproc::<C>::new(config);
+    let mut base_x = Vec::with_capacity(n_traces);
+    let mut blind_out = Vec::with_capacity(n_traces);
+    let mut samples = Vec::with_capacity(n_traces);
+
+    for _ in 0..n_traces {
+        let px = nonzero(&mut rng);
+        let blind = match scenario {
+            Scenario::Disabled => Element::one(),
+            _ => nonzero(&mut rng),
+        };
+        let mut sampler = OffsetSampler::new(model.clone(), rng.next_u64(), offsets.clone());
+        microcode::run_point_mul_partial(
+            &mut core,
+            &key,
+            px,
+            blind,
+            n_iterations,
+            false,
+            &mut sampler,
+        );
+        base_x.push(px);
+        blind_out.push(match scenario {
+            Scenario::Disabled => Some(Element::one()),
+            Scenario::RandomKnown => Some(blind),
+            Scenario::RandomUnknown => None,
+        });
+        samples.push(sampler.into_samples());
+    }
+
+    TraceSet {
+        base_x,
+        blind: blind_out,
+        samples,
+        true_bits,
+        scenario,
+    }
+}
+
+fn nonzero<F: FieldSpec>(rng: &mut SplitMix64) -> Element<F> {
+    loop {
+        let e = Element::random(rng.as_fn());
+        if !e.is_zero() {
+            return e;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsec_ec::Toy17;
+    use medsec_power::PowerModel;
+
+    #[test]
+    fn acquisition_shapes() {
+        let set = acquire_cpa_traces::<Toy17>(
+            CoprocConfig::paper_chip(),
+            &PowerModel::paper_default(),
+            Scenario::Disabled,
+            10,
+            4,
+            7,
+        );
+        assert_eq!(set.base_x.len(), 10);
+        assert_eq!(set.samples.len(), 10);
+        assert!(set.samples.iter().all(|s| s.len() == 8)); // 2 per iteration
+        assert!(set.blind.iter().all(|b| b == &Some(Element::one())));
+    }
+
+    #[test]
+    fn unknown_scenario_hides_blinding() {
+        let set = acquire_cpa_traces::<Toy17>(
+            CoprocConfig::paper_chip(),
+            &PowerModel::paper_default(),
+            Scenario::RandomUnknown,
+            4,
+            2,
+            8,
+        );
+        assert!(set.blind.iter().all(|b| b.is_none()));
+    }
+
+    #[test]
+    fn target_offset_is_the_first_madd_mul() {
+        let cfg = CoprocConfig::paper_chip();
+        // CswapMpl on F(2^163) at d=4 with RTZ: cswap(2) + mul(41) − 1.
+        assert_eq!(instr_commit_offset(&cfg, 163, 1), 2 + 42 - 1);
+        let mut branched = cfg;
+        branched.ladder_style = LadderStyle::BranchedMpl;
+        assert_eq!(instr_commit_offset(&branched, 163, 0), 41);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn commit_offset_bounds_checked() {
+        let _ = instr_commit_offset(&CoprocConfig::paper_chip(), 163, 99);
+    }
+}

@@ -1,0 +1,259 @@
+//! Correlation power analysis against the ladder — the paper's §7 DPA
+//! evaluation.
+//!
+//! The attack recovers key bits one at a time (divide and conquer, as
+//! the paper describes): knowing the bits processed so far, the
+//! attacker predicts — for both hypotheses of the next bit — the
+//! Hamming distance of the first differential-addition register write
+//! of that iteration, and correlates the predictions with the measured
+//! samples. With randomized projective coordinates the intermediate
+//! values "cannot be predicted" and the correlation collapses.
+
+use medsec_coproc::microcode::ladder_states;
+use medsec_ec::CurveSpec;
+use medsec_gf2m::Element;
+
+use crate::acquire::TraceSet;
+use crate::stats::{correlation_threshold, pearson};
+
+/// Outcome of a CPA key-recovery campaign.
+#[derive(Debug, Clone)]
+pub struct CpaOutcome {
+    /// Per attacked bit: the recovered value, or `None` when neither
+    /// hypothesis' correlation cleared the significance threshold.
+    pub recovered: Vec<Option<bool>>,
+    /// The true ladder bits (bits 1.. of the key's ladder encoding).
+    pub true_bits: Vec<bool>,
+    /// Per attacked bit: (|ρ| for hypothesis 0, |ρ| for hypothesis 1).
+    pub correlations: Vec<(f64, f64)>,
+    /// The significance threshold used (≈ 4/√n).
+    pub threshold: f64,
+}
+
+impl CpaOutcome {
+    /// Number of attacked bits recovered **correctly and confidently**.
+    pub fn bits_recovered(&self) -> usize {
+        self.recovered
+            .iter()
+            .zip(&self.true_bits)
+            .filter(|(r, t)| **r == Some(**t))
+            .count()
+    }
+
+    /// Whether every attacked bit was confidently and correctly
+    /// recovered (the paper's "attack succeeds").
+    pub fn full_success(&self) -> bool {
+        self.bits_recovered() == self.true_bits.len()
+    }
+
+    /// Whether no bit was confidently recovered (the paper's "not … a
+    /// single key bit").
+    pub fn no_bit_revealed(&self) -> bool {
+        // A confident-but-wrong recovery is a false positive, not a
+        // revealed bit.
+        self.recovered
+            .iter()
+            .zip(&self.true_bits)
+            .all(|(r, t)| *r != Some(*t))
+    }
+}
+
+/// Run the iterative CPA over an acquired trace set.
+///
+/// Two target writes per iteration are used (the first two
+/// multiplications of the differential addition); a hypothesis' score is
+/// the larger of its two correlations. Physically, under hypothesis
+/// `h` the iteration writes
+///
+/// * target A: `X_madd ← X_madd · Z_other` (old value `X_madd`),
+/// * target B: `Z_madd ← X_other · Z_madd` (old value `Z_madd`),
+///
+/// where the madd leg is (X1, Z1) for `h = 1` and (X2, Z2) for `h = 0`
+/// — identical physical dataflow for both microprogram styles.
+pub fn cpa_attack<C: CurveSpec>(traces: &TraceSet<C>) -> CpaOutcome {
+    let n_traces = traces.samples.len();
+    let n_bits = traces.samples.first().map_or(0, |s| s.len() / 2);
+    let threshold = correlation_threshold(n_traces);
+
+    let mut recovered: Vec<Option<bool>> = Vec::with_capacity(n_bits);
+    let mut correlations = Vec::with_capacity(n_bits);
+    // Working prefix used to extend predictions (best guess per bit even
+    // when below threshold).
+    let mut prefix: Vec<bool> = Vec::with_capacity(n_bits);
+
+    for j in 0..n_bits {
+        // [hypothesis][target] prediction series.
+        let mut pred = [[Vec::new(), Vec::new()], [Vec::new(), Vec::new()]];
+        let mut meas_a = Vec::with_capacity(n_traces);
+        let mut meas_b = Vec::with_capacity(n_traces);
+        for i in 0..n_traces {
+            let blind = traces.blind[i].unwrap_or_else(Element::one);
+            // bits[0] is the implicit leading 1 of k + 2n.
+            let mut bits = vec![true];
+            bits.extend_from_slice(&prefix);
+            let states = ladder_states(traces.base_x[i], blind, &bits, j);
+            let s = states[j];
+            // h = 1: madd leg is (X1, Z1).
+            pred[1][0].push(s.x1.hamming_distance(&(s.x1 * s.z2)) as f64);
+            pred[1][1].push(s.z1.hamming_distance(&(s.x2 * s.z1)) as f64);
+            // h = 0: madd leg is (X2, Z2).
+            pred[0][0].push(s.x2.hamming_distance(&(s.x2 * s.z1)) as f64);
+            pred[0][1].push(s.z2.hamming_distance(&(s.x1 * s.z2)) as f64);
+            meas_a.push(traces.samples[i][2 * j]);
+            meas_b.push(traces.samples[i][2 * j + 1]);
+        }
+        let score = |h: usize| -> f64 {
+            pearson(&pred[h][0], &meas_a)
+                .abs()
+                .max(pearson(&pred[h][1], &meas_b).abs())
+        };
+        let rho0 = score(0);
+        let rho1 = score(1);
+        correlations.push((rho0, rho1));
+        let guess = rho1 >= rho0;
+        prefix.push(guess);
+        recovered.push((rho0.max(rho1) >= threshold).then_some(guess));
+    }
+
+    CpaOutcome {
+        recovered,
+        true_bits: traces.true_bits[1..=n_bits].to_vec(),
+        correlations,
+        threshold,
+    }
+}
+
+/// Difference-of-means DPA (Kocher's original distinguisher), kept as a
+/// cross-check of the correlation attack: traces are partitioned by the
+/// predicted most-significant bit of the target Hamming distance.
+pub fn dom_attack<C: CurveSpec>(traces: &TraceSet<C>) -> CpaOutcome {
+    let n_traces = traces.samples.len();
+    let n_bits = traces.samples.first().map_or(0, |s| s.len() / 2);
+    // DoM significance: same 4/√n scale heuristic on the normalized
+    // difference.
+    let threshold = correlation_threshold(n_traces);
+
+    let mut recovered = Vec::with_capacity(n_bits);
+    let mut correlations = Vec::with_capacity(n_bits);
+    let mut prefix: Vec<bool> = Vec::new();
+
+    for j in 0..n_bits {
+        let mut score = [0.0f64; 2];
+        for (h, s) in score.iter_mut().enumerate() {
+            let mut hi = Vec::new();
+            let mut lo = Vec::new();
+            for i in 0..n_traces {
+                let blind = traces.blind[i].unwrap_or_else(Element::one);
+                let mut bits = vec![true];
+                bits.extend_from_slice(&prefix);
+                let states = ladder_states(traces.base_x[i], blind, &bits, j);
+                let st = states[j];
+                // Partition on target B (the Z-write of the madd leg).
+                let hd = if h == 1 {
+                    st.z1.hamming_distance(&(st.x2 * st.z1))
+                } else {
+                    st.z2.hamming_distance(&(st.x1 * st.z2))
+                };
+                // Split at the median of a binomial(m, 1/2).
+                if hd as usize > <C::Field as medsec_gf2m::FieldSpec>::M / 2 {
+                    hi.push(traces.samples[i][2 * j + 1]);
+                } else {
+                    lo.push(traces.samples[i][2 * j + 1]);
+                }
+            }
+            *s = normalized_dom(&hi, &lo);
+        }
+        let guess = score[1] >= score[0];
+        correlations.push((score[0], score[1]));
+        prefix.push(guess);
+        recovered.push((score[0].max(score[1]) >= threshold).then_some(guess));
+    }
+
+    CpaOutcome {
+        recovered,
+        true_bits: traces.true_bits[1..=n_bits].to_vec(),
+        correlations,
+        threshold,
+    }
+}
+
+fn normalized_dom(hi: &[f64], lo: &[f64]) -> f64 {
+    if hi.len() < 2 || lo.len() < 2 {
+        return 0.0;
+    }
+    let all: Vec<f64> = hi.iter().chain(lo).cloned().collect();
+    let spread = crate::stats::variance(&all).sqrt();
+    if spread == 0.0 {
+        return 0.0;
+    }
+    ((crate::stats::mean(hi) - crate::stats::mean(lo)) / spread).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acquire::{acquire_cpa_traces, Scenario};
+    use medsec_coproc::CoprocConfig;
+    use medsec_ec::K163;
+    use medsec_power::PowerModel;
+
+    // The signal scale is set by the field width (σ_HD ∝ √m), so the
+    // attack tests run on the real K-163 datapath; the windowed
+    // acquisition keeps this fast (only the first iterations execute).
+    const BITS: usize = 6;
+
+    fn acquire(scenario: Scenario, n: usize, seed: u64) -> TraceSet<K163> {
+        acquire_cpa_traces::<K163>(
+            CoprocConfig::paper_chip(),
+            &PowerModel::paper_default(),
+            scenario,
+            n,
+            BITS,
+            seed,
+        )
+    }
+
+    #[test]
+    fn cpa_breaks_unprotected_ladder() {
+        let set = acquire(Scenario::Disabled, 400, 1001);
+        let out = cpa_attack(&set);
+        assert!(
+            out.full_success(),
+            "unprotected CPA failed: {:?} vs {:?} (ρ {:?}, thr {:.3})",
+            out.recovered,
+            out.true_bits,
+            out.correlations,
+            out.threshold
+        );
+    }
+
+    #[test]
+    fn cpa_breaks_white_box_known_randomness() {
+        let set = acquire(Scenario::RandomKnown, 400, 1002);
+        let out = cpa_attack(&set);
+        assert!(out.full_success(), "white-box CPA should succeed");
+    }
+
+    #[test]
+    fn cpa_fails_against_randomized_coordinates() {
+        let set = acquire(Scenario::RandomUnknown, 800, 1003);
+        let out = cpa_attack(&set);
+        assert!(
+            out.no_bit_revealed(),
+            "protected design leaked bits: ρ {:?} thr {:.3}",
+            out.correlations,
+            out.threshold
+        );
+    }
+
+    #[test]
+    fn dom_agrees_with_cpa_on_unprotected() {
+        let set = acquire(Scenario::Disabled, 800, 1004);
+        let out = dom_attack(&set);
+        assert!(
+            out.bits_recovered() >= BITS - 1,
+            "DoM recovered only {}/{BITS} bits",
+            out.bits_recovered()
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! The statistical toolbox of the attack workflow (Fig. 4's "statistical
+//! analysis (MATLAB)" box, reimplemented).
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance. Returns 0 for fewer than 2 samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Pearson correlation coefficient between two equal-length series.
+/// Returns 0 when either series is constant.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series lengths differ");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+/// Welch's t-statistic between two sample sets (the TVLA leakage
+/// detection statistic). Returns 0 when either set is too small.
+pub fn welch_t(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() < 2 || b.len() < 2 {
+        return 0.0;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (variance(a), variance(b));
+    let denom = (va / a.len() as f64 + vb / b.len() as f64).sqrt();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (ma - mb) / denom
+}
+
+/// Number of traces after which a correlation of magnitude `rho` becomes
+/// statistically distinguishable at confidence z = 3.72 (99.99 %) — the
+/// standard CPA success-rate rule of thumb
+/// (`n ≈ 3 + 8·(z / ln((1+ρ)/(1−ρ)))²`).
+pub fn traces_for_correlation(rho: f64) -> usize {
+    let rho = rho.abs().clamp(1e-9, 0.999_999);
+    let z = 3.72;
+    let fisher = ((1.0 + rho) / (1.0 - rho)).ln();
+    (3.0 + 8.0 * (z / fisher).powi(2)).ceil() as usize
+}
+
+/// Decision threshold for |ρ| at `n` traces: correlations below this are
+/// indistinguishable from noise (≈ 4/√n, the usual CPA significance
+/// line).
+pub fn correlation_threshold(n: usize) -> f64 {
+    4.0 / (n.max(1) as f64).sqrt()
+}
+
+/// Two-means clustering of a 1-D feature vector (for SPA bit readout):
+/// returns a boolean label per sample (true = upper cluster) and the
+/// separation (|µ₁ − µ₀| / pooled σ).
+pub fn two_means(features: &[f64]) -> (Vec<bool>, f64) {
+    if features.is_empty() {
+        return (Vec::new(), 0.0);
+    }
+    let mut lo = features.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut hi = features.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if lo == hi {
+        return (vec![false; features.len()], 0.0);
+    }
+    // Lloyd's algorithm in one dimension converges in a few rounds.
+    for _ in 0..32 {
+        let mid = (lo + hi) / 2.0;
+        let (mut s0, mut n0, mut s1, mut n1) = (0.0, 0usize, 0.0, 0usize);
+        for &f in features {
+            if f > mid {
+                s1 += f;
+                n1 += 1;
+            } else {
+                s0 += f;
+                n0 += 1;
+            }
+        }
+        if n0 == 0 || n1 == 0 {
+            break;
+        }
+        let (new_lo, new_hi) = (s0 / n0 as f64, s1 / n1 as f64);
+        if (new_lo - lo).abs() < 1e-12 && (new_hi - hi).abs() < 1e-12 {
+            break;
+        }
+        lo = new_lo;
+        hi = new_hi;
+    }
+    let mid = (lo + hi) / 2.0;
+    let labels = features.iter().map(|&f| f > mid).collect::<Vec<_>>();
+    let cluster0: Vec<f64> = features.iter().cloned().filter(|&f| f <= mid).collect();
+    let cluster1: Vec<f64> = features.iter().cloned().filter(|&f| f > mid).collect();
+    let pooled = (variance(&cluster0) + variance(&cluster1)).sqrt().max(1e-18);
+    let sep = (mean(&cluster1) - mean(&cluster0)).abs() / pooled;
+    (labels, sep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((variance(&[1.0, 2.0, 3.0]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_detects_linear_relation() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_constant_is_zero() {
+        let xs = vec![1.0; 10];
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(pearson(&xs, &ys), 0.0);
+    }
+
+    #[test]
+    fn welch_t_separates_shifted_distributions() {
+        let a: Vec<f64> = (0..200).map(|i| (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..200).map(|i| (i % 7) as f64 + 5.0).collect();
+        assert!(welch_t(&a, &b).abs() > 20.0);
+    }
+
+    #[test]
+    fn traces_for_correlation_is_monotone() {
+        assert!(traces_for_correlation(0.1) > traces_for_correlation(0.4));
+        // ρ ≈ 0.36 — the unprotected chip's observed leakage — needs on
+        // the order of 200 traces, matching the paper's §7 figure.
+        let n = traces_for_correlation(0.36);
+        assert!((140..260).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn threshold_shrinks_with_traces() {
+        assert!(correlation_threshold(100) > correlation_threshold(10_000));
+        assert!((correlation_threshold(1_600) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_means_separates_bimodal_data() {
+        let mut f = vec![0.9, 1.1, 1.0, 0.95];
+        f.extend([5.0, 5.2, 4.9, 5.1]);
+        let (labels, sep) = two_means(&f);
+        assert_eq!(&labels[..4], &[false; 4]);
+        assert_eq!(&labels[4..], &[true; 4]);
+        assert!(sep > 10.0);
+    }
+
+    #[test]
+    fn two_means_handles_degenerate_input() {
+        let (labels, sep) = two_means(&[2.0; 8]);
+        assert_eq!(labels, vec![false; 8]);
+        assert_eq!(sep, 0.0);
+        assert_eq!(two_means(&[]).0.len(), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Timing analysis — Kocher's attack surface (paper §2, §7).
+//!
+//! "The prototype co-processor is intrinsically resistant to timing
+//! attacks … the computation time of a point multiplication is the same
+//! for different key values. This is achieved by careful optimizations
+//! on two abstraction levels": the MPL executes the same number of
+//! iterations (algorithm level) and each iteration uses a constant
+//! number of cycles (architecture level). The unprotected double-and-add
+//! baseline has neither property; its total time is an affine function
+//! of the key's Hamming weight, which a remote attacker can read off.
+
+use medsec_coproc::{cost, CoprocConfig};
+use medsec_ec::{CurveSpec, Scalar};
+use medsec_gf2m::FieldSpec;
+use medsec_rng::SplitMix64;
+
+use crate::stats::{mean, pearson, variance};
+
+/// Result of the constant-time study (experiment E4).
+#[derive(Debug, Clone)]
+pub struct TimingStudy {
+    /// Distinct MPL cycle counts observed (must be exactly one).
+    pub mpl_distinct_counts: usize,
+    /// The (single) MPL latency in cycles.
+    pub mpl_cycles: u64,
+    /// Standard deviation of double-and-add latencies across keys.
+    pub da_std_cycles: f64,
+    /// Mean double-and-add latency.
+    pub da_mean_cycles: f64,
+    /// Pearson correlation between key Hamming weight and D&A latency
+    /// (≈ 1 ⇒ the timing channel reads the Hamming weight directly).
+    pub da_hw_correlation: f64,
+}
+
+/// Measure ladder and double-and-add latencies over `n_keys` random
+/// keys.
+pub fn timing_study<C: CurveSpec>(config: &CoprocConfig, n_keys: usize, seed: u64) -> TimingStudy {
+    let mut rng = SplitMix64::new(seed);
+    let m = C::Field::M;
+    let mpl = cost::point_mul_cycles(m, C::LADDER_BITS, config).total();
+
+    let mut mpl_counts = std::collections::BTreeSet::new();
+    let mut da = Vec::with_capacity(n_keys);
+    let mut hw = Vec::with_capacity(n_keys);
+    for _ in 0..n_keys {
+        let k = Scalar::<C>::random_nonzero(rng.as_fn());
+        // The MPL schedule depends only on the (fixed) ladder length.
+        mpl_counts.insert(cost::point_mul_cycles(m, C::LADDER_BITS, config).total());
+        let bits: Vec<bool> = (0..k.bit_len()).rev().map(|i| k.bit(i)).collect();
+        da.push(cost::double_and_add_cycles(&bits, m, config.digit_size) as f64);
+        hw.push(bits.iter().filter(|&&b| b).count() as f64);
+    }
+
+    TimingStudy {
+        mpl_distinct_counts: mpl_counts.len(),
+        mpl_cycles: mpl,
+        da_std_cycles: variance(&da).sqrt(),
+        da_mean_cycles: mean(&da),
+        da_hw_correlation: pearson(&hw, &da),
+    }
+}
+
+/// Estimate how many key bits a timing measurement reveals: the
+/// Hamming-weight observation narrows an n-bit keyspace from 2^n to
+/// C(n, w); the information gained is `n − log2(C(n, w))` bits.
+pub fn hamming_weight_information_bits(n: usize, w: usize) -> f64 {
+    let log2_binom = {
+        // log2(n choose w) via lgamma-free summation of logs.
+        let mut acc = 0.0f64;
+        for i in 0..w.min(n) {
+            acc += ((n - i) as f64).log2() - ((i + 1) as f64).log2();
+        }
+        acc
+    };
+    (n as f64 - log2_binom).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsec_ec::K163;
+
+    #[test]
+    fn mpl_is_constant_time_and_da_is_not() {
+        let study = timing_study::<K163>(&CoprocConfig::paper_chip(), 64, 3001);
+        assert_eq!(study.mpl_distinct_counts, 1, "MPL latency must be fixed");
+        assert!(
+            study.da_std_cycles > 1_000.0,
+            "D&A latency should vary by thousands of cycles, got σ = {}",
+            study.da_std_cycles
+        );
+    }
+
+    #[test]
+    fn da_latency_reads_hamming_weight() {
+        let study = timing_study::<K163>(&CoprocConfig::paper_chip(), 128, 3002);
+        assert!(
+            study.da_hw_correlation > 0.95,
+            "timing ↔ HW correlation only {}",
+            study.da_hw_correlation
+        );
+    }
+
+    #[test]
+    fn hw_information_is_a_few_bits_near_the_middle() {
+        // For a 163-bit key of typical weight ~81, HW leaks ~3.9 bits.
+        let info = hamming_weight_information_bits(163, 81);
+        assert!((2.0..6.0).contains(&info), "info {info}");
+        // Extreme weights leak nearly everything.
+        assert!(hamming_weight_information_bits(163, 0) > 160.0);
+    }
+
+    #[test]
+    fn mpl_latency_matches_cost_model() {
+        let study = timing_study::<K163>(&CoprocConfig::paper_chip(), 4, 3003);
+        let expect = cost::point_mul_cycles(163, 164, &CoprocConfig::paper_chip()).total();
+        assert_eq!(study.mpl_cycles, expect);
+    }
+}

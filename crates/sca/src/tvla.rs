@@ -1,0 +1,163 @@
+//! Fixed-vs-random leakage assessment (Welch t-test, "TVLA").
+//!
+//! A white-box evaluation technique complementing the key-recovery
+//! attacks: acquire one group of traces with a *fixed* input and one
+//! with *random* inputs; any |t| > 4.5 at any sample point shows
+//! data-dependent leakage, before an exploit is even engineered. The
+//! paper's evaluation (§7) is exactly this philosophy — "a white-box
+//! evaluation … is generally regarded as a worst-case evaluation".
+
+use medsec_coproc::{cost, microcode, Coproc, CoprocConfig};
+use medsec_ec::{CurveSpec, Scalar};
+use medsec_gf2m::{Element, FieldSpec};
+use medsec_power::PowerModel;
+use medsec_rng::SplitMix64;
+
+use crate::acquire::{instr_commit_offset, OffsetSampler, Scenario};
+use crate::stats::welch_t;
+
+/// The conventional TVLA pass/fail threshold.
+pub const TVLA_THRESHOLD: f64 = 4.5;
+
+/// Result of a fixed-vs-random campaign.
+#[derive(Debug, Clone)]
+pub struct TvlaReport {
+    /// Welch t statistic per observed sample point.
+    pub t_values: Vec<f64>,
+    /// Maximum |t| over all sample points.
+    pub max_abs_t: f64,
+}
+
+impl TvlaReport {
+    /// Whether the device passes (no detectable first-order leakage).
+    pub fn passes(&self) -> bool {
+        self.max_abs_t < TVLA_THRESHOLD
+    }
+}
+
+/// Run a fixed-vs-random TVLA campaign over the commit samples of the
+/// first `n_iterations` iterations (`n_traces` per group).
+pub fn tvla_fixed_vs_random<C: CurveSpec>(
+    config: CoprocConfig,
+    model: &PowerModel,
+    scenario: Scenario,
+    n_traces: usize,
+    n_iterations: usize,
+    seed: u64,
+) -> TvlaReport {
+    let mut rng = SplitMix64::new(seed);
+    let key = Scalar::<C>::random_nonzero(rng.as_fn());
+    let fixed_x = loop {
+        let e = Element::<C::Field>::random(rng.as_fn());
+        if !e.is_zero() {
+            break e;
+        }
+    };
+
+    // Observe every instruction commit in the attacked window.
+    let budget = cost::point_mul_cycles(C::Field::M, C::LADDER_BITS, &config);
+    let n_instr = microcode::iteration_program(true, config.ladder_style).len();
+    let mut offsets = Vec::new();
+    for t in 0..n_iterations {
+        let base = budget.init + t as u64 * budget.per_iteration;
+        for idx in 0..n_instr {
+            offsets.push(base + instr_commit_offset(&config, C::Field::M, idx));
+        }
+    }
+    offsets.sort_unstable();
+    offsets.dedup();
+
+    let mut core = Coproc::<C>::new(config);
+    let mut acquire_group = |fixed: bool, rng: &mut SplitMix64| -> Vec<Vec<f64>> {
+        (0..n_traces)
+            .map(|_| {
+                let px = if fixed {
+                    fixed_x
+                } else {
+                    loop {
+                        let e = Element::<C::Field>::random(rng.as_fn());
+                        if !e.is_zero() {
+                            break e;
+                        }
+                    }
+                };
+                let blind = match scenario {
+                    Scenario::Disabled => Element::one(),
+                    _ => loop {
+                        let e = Element::<C::Field>::random(rng.as_fn());
+                        if !e.is_zero() {
+                            break e;
+                        }
+                    },
+                };
+                let mut sampler =
+                    OffsetSampler::new(model.clone(), rng.next_u64(), offsets.clone());
+                microcode::run_point_mul_partial(
+                    &mut core,
+                    &key,
+                    px,
+                    blind,
+                    n_iterations,
+                    false,
+                    &mut sampler,
+                );
+                sampler.into_samples()
+            })
+            .collect()
+    };
+
+    let fixed_group = acquire_group(true, &mut rng);
+    let random_group = acquire_group(false, &mut rng);
+
+    let n_points = offsets.len();
+    let t_values: Vec<f64> = (0..n_points)
+        .map(|p| {
+            let a: Vec<f64> = fixed_group.iter().map(|tr| tr[p]).collect();
+            let b: Vec<f64> = random_group.iter().map(|tr| tr[p]).collect();
+            welch_t(&a, &b)
+        })
+        .collect();
+    let max_abs_t = t_values.iter().fold(0.0f64, |m, t| m.max(t.abs()));
+
+    TvlaReport { t_values, max_abs_t }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsec_ec::K163;
+
+    #[test]
+    fn unprotected_chip_fails_tvla() {
+        let report = tvla_fixed_vs_random::<K163>(
+            CoprocConfig::paper_chip(),
+            &PowerModel::paper_default(),
+            Scenario::Disabled,
+            300,
+            3,
+            4001,
+        );
+        assert!(
+            !report.passes(),
+            "Z = 1 must show massive leakage, max|t| = {}",
+            report.max_abs_t
+        );
+    }
+
+    #[test]
+    fn randomized_coordinates_pass_tvla() {
+        let report = tvla_fixed_vs_random::<K163>(
+            CoprocConfig::paper_chip(),
+            &PowerModel::paper_default(),
+            Scenario::RandomUnknown,
+            300,
+            3,
+            4002,
+        );
+        assert!(
+            report.passes(),
+            "randomized-Z chip should pass, max|t| = {}",
+            report.max_abs_t
+        );
+    }
+}

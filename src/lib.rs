@@ -1,0 +1,46 @@
+//! # medsec — Low-Energy Encryption for Medical Devices, in Rust
+//!
+//! Umbrella crate for the reproduction of Fan, Reparaz, Rožić &
+//! Verbauwhede, *"Low-Energy Encryption for Medical Devices: Security
+//! Adds an Extra Design Dimension"* (DAC 2013). Re-exports every
+//! subsystem crate under one namespace; see the README for the map and
+//! EXPERIMENTS.md for the paper-vs-measured results.
+//!
+//! ```
+//! use medsec::core::EccProcessor;
+//! use medsec::ec::{CurveSpec, Scalar, K163};
+//!
+//! let mut chip = EccProcessor::<K163>::paper_chip(7);
+//! let (point, report) = chip.point_mul(&Scalar::from_u64(42), &K163::generator());
+//! assert!(point.is_on_curve());
+//! assert!(report.energy_j > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+/// Binary-field arithmetic (F(2^m)) and the digit-serial multiplier model.
+pub use medsec_gf2m as gf2m;
+
+/// Elliptic curves, the Montgomery ladder and its countermeasures.
+pub use medsec_ec as ec;
+
+/// Lightweight symmetric primitives with hardware cost profiles.
+pub use medsec_lwc as lwc;
+
+/// TRNG model, health tests and the AES-CTR DRBG.
+pub use medsec_rng as rng;
+
+/// The cycle-accurate ECC co-processor.
+pub use medsec_coproc as coproc;
+
+/// Technology, power, energy and radio models.
+pub use medsec_power as power;
+
+/// Side-channel analysis: SPA, DPA, timing, TVLA.
+pub use medsec_sca as sca;
+
+/// Identification / authentication protocols with energy ledgers.
+pub use medsec_protocols as protocols;
+
+/// Security pyramid, design-space exploration, chip façade.
+pub use medsec_core as core;

