@@ -1,0 +1,265 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no network access, so this shim provides
+//! the subset of the Criterion API the workspace's benches use, backed
+//! by a simple wall-clock timer: warm up, run a fixed sampling window,
+//! report mean time per iteration. No statistics, plots or baselines —
+//! the numbers are indicative, the API is compatible.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the target number of timed iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the sampling window length.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks. Group-level settings
+    /// are scoped to the group, as in real criterion.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix. Holds its own
+/// copies of the sampling settings so group overrides do not leak into
+/// benchmarks run after the group.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target number of timed iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the sampling window length for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run a named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.0),
+            self.sample_size,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Run a named benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.0),
+            self.sample_size,
+            self.measurement_time,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Finish the group (no-op; exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id combining a function name and a parameter.
+    pub fn new(name: impl core::fmt::Display, parameter: impl core::fmt::Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl core::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget_iters: u64,
+}
+
+impl Bencher {
+    /// Time repeated executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.budget_iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters_done += self.budget_iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, window: Duration, f: &mut F) {
+    // Calibrate: one probe iteration to size the budget to the window.
+    let probe_start = Instant::now();
+    let mut probe = Bencher {
+        budget_iters: 1,
+        ..Default::default()
+    };
+    f(&mut probe);
+    let per_iter = probe_start.elapsed().max(Duration::from_nanos(1));
+
+    let budget =
+        (window.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, sample_size as u128 * 100) as u64;
+    let mut b = Bencher {
+        budget_iters: budget,
+        ..Default::default()
+    };
+    f(&mut b);
+
+    if b.iters_done == 0 {
+        println!("bench {name:<48} (no iterations)");
+        return;
+    }
+    let ns = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+    let human = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    println!(
+        "bench {name:<48} {human:>12}/iter  ({} iters)",
+        b.iters_done
+    );
+}
+
+/// Declare a group of benchmark entry points.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default();
+        c.sample_size(10)
+            .measurement_time(Duration::from_millis(5))
+            .bench_function("smoke", |b| b.iter(|| black_box(1u64 + 1)));
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).measurement_time(Duration::from_millis(5));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline
+//! serde shim. The workspace only uses the derives as markers (nothing
+//! actually serializes through serde — JSON output is hand-rolled), so
+//! the derives expand to nothing and the shim's blanket trait impls
+//! satisfy any bounds.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,101 @@
+//! Serving-layer benchmarks: gateway hot paths in isolation (batched
+//! hello generation, telemetry verification, sharded-table access) and
+//! whole-fleet throughput at several thread counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medsec_ec::Toy17;
+use medsec_fleet::{provision, run_fleet_on, BatchScheduler, CurveChoice, FleetConfig};
+use medsec_power::{EnergyReport, RadioModel};
+use medsec_protocols::mutual::SessionOutcome;
+use medsec_protocols::wire::{self, MsgType};
+use medsec_protocols::EnergyLedger;
+use medsec_rng::SplitMix64;
+use std::hint::black_box;
+
+fn ledger() -> EnergyLedger {
+    EnergyLedger::new(
+        EnergyReport::from_totals(86_000, 5.1e-6, 847_500.0),
+        RadioModel::first_order_default(),
+        2.0,
+    )
+}
+
+fn bench_gateway_paths(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(0xF1EE7);
+    let (registry, gateway) = provision::<Toy17>(256, 16, CurveChoice::Toy17, 1);
+    let mut devices = registry.into_devices();
+
+    let ids: Vec<u32> = (0..64).collect();
+    c.bench_function("fleet/hello_batch_64", |b| {
+        b.iter(|| {
+            let mut l = ledger();
+            black_box(gateway.hello_batch(&ids, rng.as_fn(), &mut l))
+        })
+    });
+
+    c.bench_function("fleet/session_round_trip", |b| {
+        b.iter(|| {
+            let mut l = ledger();
+            let hellos = gateway.hello_batch(&[0], rng.as_fn(), &mut l);
+            let d = &mut devices[0];
+            let (_, payload) = wire::deframe(&hellos[0].1).unwrap();
+            let plen = medsec_ec::Point::<Toy17>::compressed_len();
+            let eph = medsec_ec::Point::<Toy17>::decompress(&payload[..plen]).unwrap();
+            let mac: [u8; 16] = payload[plen..].try_into().unwrap();
+            let hello = medsec_protocols::mutual::ServerHello {
+                ephemeral: eph,
+                mac,
+            };
+            let SessionOutcome::Established { telemetry_frame } =
+                d.mutual
+                    .run_session(&hello, b"hr=062", d.rng.as_fn(), &mut d.ledger)
+            else {
+                panic!("session must establish");
+            };
+            let framed = wire::frame(MsgType::Telemetry, &telemetry_frame);
+            black_box(gateway.handle_telemetry(0, &framed, &mut l).unwrap())
+        })
+    });
+
+    c.bench_function("fleet/scheduler_pop_batch", |b| {
+        b.iter(|| {
+            let s = BatchScheduler::new(0..4096usize);
+            let mut n = 0;
+            loop {
+                let batch = s.pop_batch(64);
+                if batch.is_empty() {
+                    break;
+                }
+                n += batch.len();
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_fleet_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet/throughput_512_devices");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let cfg = FleetConfig {
+                    devices: 512,
+                    threads,
+                    shards: 32,
+                    batch_size: 32,
+                    curve: CurveChoice::Toy17,
+                    seed: 0x5EED,
+                    forged_per_mille: 10,
+                };
+                b.iter(|| black_box(run_fleet_on::<Toy17>(&cfg)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gateway_paths, bench_fleet_throughput);
+criterion_main!(benches);

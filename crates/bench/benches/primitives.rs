@@ -2,9 +2,7 @@
 //! comparisons of E6 use the literature-calibrated profiles instead).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use medsec_lwc::{
-    aes_cmac, hmac_sha256, sha1, sha256, Aes128, BlockCipher, Present80, Simon64,
-};
+use medsec_lwc::{aes_cmac, hmac_sha256, sha1, sha256, Aes128, BlockCipher, Present80, Simon64};
 use std::hint::black_box;
 
 fn bench_ciphers(c: &mut Criterion) {

@@ -19,7 +19,13 @@ pub fn run(_fast: bool) -> String {
 
     let mut t = Table::new("E2: digit-size sweep of the 163×d MALU (paper picks d = 4)");
     t.headers(&[
-        "d", "area [GE]", "cycles", "latency [ms]", "power [uW]", "energy [uJ]", "A*E [GE*uJ]",
+        "d",
+        "area [GE]",
+        "cycles",
+        "latency [ms]",
+        "power [uW]",
+        "energy [uJ]",
+        "A*E [GE*uJ]",
         "feasible",
     ]);
 
@@ -62,6 +68,9 @@ mod tests {
     #[test]
     fn sweep_reproduces_paper_choice() {
         let r = super::run(true);
-        assert!(r.contains("optimal feasible area-energy product at d = 4"), "{r}");
+        assert!(
+            r.contains("optimal feasible area-energy product at d = 4"),
+            "{r}"
+        );
     }
 }

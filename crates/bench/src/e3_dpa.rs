@@ -48,7 +48,11 @@ pub fn run(fast: bool) -> String {
         "paper says",
     ]);
 
-    let disabled_counts: &[usize] = if fast { &[100, 200] } else { &[50, 100, 200, 400] };
+    let disabled_counts: &[usize] = if fast {
+        &[100, 200]
+    } else {
+        &[50, 100, 200, 400]
+    };
     for (i, &n) in disabled_counts.iter().enumerate() {
         let (bits, _, rho) = campaign(Scenario::Disabled, n, 900 + i as u64);
         t.row(&[

@@ -16,7 +16,9 @@ pub fn run(fast: bool) -> String {
     let n_keys = if fast { 64 } else { 512 };
     let study = timing_study::<K163>(&CoprocConfig::paper_chip(), n_keys, 4242);
 
-    let mut t = Table::new(format!("E4: timing analysis over {n_keys} random keys (K-163)"));
+    let mut t = Table::new(format!(
+        "E4: timing analysis over {n_keys} random keys (K-163)"
+    ));
     t.headers(&["implementation", "latency spread", "corr(time, HW(k))"]);
     t.row(&[
         "MPL (paper chip)".into(),

@@ -32,17 +32,31 @@ pub fn run(fast: bool) -> String {
             name.into(),
             format!("{channel:?}"),
             format!("{:.0}%", out.success_rate * 100.0),
-            if leaky { "LEAKS".into() } else { "resists".into() },
+            if leaky {
+                "LEAKS".into()
+            } else {
+                "resists".into()
+            },
         ]);
     };
 
     let mut single = CoprocConfig::paper_chip();
     single.mux_encoding = MuxEncoding::SingleRail;
-    case("single-rail / global / cswap", single, SpaChannel::MuxSelect, 51);
+    case(
+        "single-rail / global / cswap",
+        single,
+        SpaChannel::MuxSelect,
+        51,
+    );
 
     let mut dual = CoprocConfig::paper_chip();
     dual.mux_encoding = MuxEncoding::DualRail;
-    case("dual-rail / global / cswap", dual, SpaChannel::MuxSelect, 52);
+    case(
+        "dual-rail / global / cswap",
+        dual,
+        SpaChannel::MuxSelect,
+        52,
+    );
 
     case(
         "RTZ (paper) / global / cswap",

@@ -5,7 +5,7 @@
 
 use medsec_coproc::{area, CoprocConfig};
 use medsec_lwc::{
-    sha1_hw_profile, sha256_hw_profile, Aes128, BlockCipher, Present80, Present128, Simon32,
+    sha1_hw_profile, sha256_hw_profile, Aes128, BlockCipher, Present128, Present80, Simon32,
     Simon64,
 };
 
@@ -21,19 +21,54 @@ pub fn run(_fast: bool) -> String {
     };
 
     let p = Simon32::hw_profile();
-    prof("SIMON32/64", p.gate_equivalents as f64, p.cycles_per_block.to_string(), p.source);
+    prof(
+        "SIMON32/64",
+        p.gate_equivalents as f64,
+        p.cycles_per_block.to_string(),
+        p.source,
+    );
     let p = Simon64::hw_profile();
-    prof("SIMON64/128", p.gate_equivalents as f64, p.cycles_per_block.to_string(), p.source);
+    prof(
+        "SIMON64/128",
+        p.gate_equivalents as f64,
+        p.cycles_per_block.to_string(),
+        p.source,
+    );
     let p = Present80::hw_profile();
-    prof("PRESENT-80", p.gate_equivalents as f64, p.cycles_per_block.to_string(), p.source);
+    prof(
+        "PRESENT-80",
+        p.gate_equivalents as f64,
+        p.cycles_per_block.to_string(),
+        p.source,
+    );
     let p = Present128::hw_profile();
-    prof("PRESENT-128", p.gate_equivalents as f64, p.cycles_per_block.to_string(), p.source);
+    prof(
+        "PRESENT-128",
+        p.gate_equivalents as f64,
+        p.cycles_per_block.to_string(),
+        p.source,
+    );
     let p = Aes128::hw_profile();
-    prof("AES-128", p.gate_equivalents as f64, p.cycles_per_block.to_string(), p.source);
+    prof(
+        "AES-128",
+        p.gate_equivalents as f64,
+        p.cycles_per_block.to_string(),
+        p.source,
+    );
     let p = sha1_hw_profile();
-    prof("SHA-1", p.gate_equivalents as f64, p.cycles_per_block.to_string(), p.source);
+    prof(
+        "SHA-1",
+        p.gate_equivalents as f64,
+        p.cycles_per_block.to_string(),
+        p.source,
+    );
     let p = sha256_hw_profile();
-    prof("SHA-256", p.gate_equivalents as f64, p.cycles_per_block.to_string(), p.source);
+    prof(
+        "SHA-256",
+        p.gate_equivalents as f64,
+        p.cycles_per_block.to_string(),
+        p.source,
+    );
 
     let ecc = area(163, &CoprocConfig::paper_chip());
     prof(

@@ -98,6 +98,9 @@ mod tests {
         let (sc2, sr2, pc2, pr2) = super::session_energies(100.0, 2);
         let near = (pc1 + pr1) / (sc1 + sr1);
         let far = (pc2 + pr2) / (sc2 + sr2);
-        assert!(far < near, "relative PKC premium should shrink: {near} -> {far}");
+        assert!(
+            far < near,
+            "relative PKC premium should shrink: {near} -> {far}"
+        );
     }
 }

@@ -1,0 +1,116 @@
+//! FLEET — the serving-layer campaign: a hospital gateway driving a
+//! fleet of simulated implants through authenticated sessions, batched
+//! across worker threads and sharded session state.
+//!
+//! This is the first experiment with a *throughput* trajectory rather
+//! than a paper-reproduction target: the JSON summary it emits
+//! (`BENCH_fleet.json`, written by the `experiments` binary) is the
+//! baseline future PRs optimize against.
+
+use medsec_fleet::{run_fleet, CurveChoice, FleetConfig, FleetReport};
+
+use crate::table::{uj, Table};
+
+/// The configuration the trajectory is measured at.
+pub fn trajectory_config(fast: bool) -> FleetConfig {
+    FleetConfig {
+        devices: if fast { 512 } else { 4096 },
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(4, 16),
+        shards: 64,
+        batch_size: 64,
+        curve: CurveChoice::Toy17,
+        seed: 0x5EED_F1EE,
+        forged_per_mille: 10,
+    }
+}
+
+/// Run the fleet campaign and return `(human report, json summary)`.
+pub fn run_with_json(fast: bool) -> (String, String) {
+    let cfg = trajectory_config(fast);
+    let report = run_fleet(&cfg);
+
+    // A small K-163 fleet alongside, so the trajectory tracks the
+    // paper-strength curve too.
+    let k163_cfg = FleetConfig {
+        devices: if fast { 32 } else { 256 },
+        curve: CurveChoice::K163,
+        ..cfg.clone()
+    };
+    let k163 = run_fleet(&k163_cfg);
+
+    let mut t = Table::new("FLEET: hospital-gateway serving campaign");
+    t.headers(&["quantity", "Toy17 fleet", "K-163 fleet"]);
+    t.row(&[
+        "devices".into(),
+        report.devices.to_string(),
+        k163.devices.to_string(),
+    ]);
+    t.row(&[
+        "threads x shards".into(),
+        format!("{} x {}", report.threads, report.shards),
+        format!("{} x {}", k163.threads, k163.shards),
+    ]);
+    t.row(&[
+        "sessions completed".into(),
+        report.sessions_completed().to_string(),
+        k163.sessions_completed().to_string(),
+    ]);
+    t.row(&[
+        "sessions / s".into(),
+        format!("{:.0}", report.sessions_per_sec),
+        format!("{:.0}", k163.sessions_per_sec),
+    ]);
+    t.row(&[
+        "telemetry frames / s".into(),
+        format!("{:.0}", report.frames_per_sec),
+        format!("{:.0}", k163.frames_per_sec),
+    ]);
+    t.row(&[
+        "device energy / session [uJ]".into(),
+        uj(report.energy_per_session_j),
+        uj(k163.energy_per_session_j),
+    ]);
+    t.row(&[
+        "forged hellos rejected".into(),
+        report.forged_rejected.to_string(),
+        k163.forged_rejected.to_string(),
+    ]);
+    t.row(&[
+        "failures".into(),
+        (report.sessions_failed + report.ph_failed).to_string(),
+        (k163.sessions_failed + k163.ph_failed).to_string(),
+    ]);
+    t.note("sharded session table + batched hello generation; every frame through wire.rs");
+
+    (t.render(), summary_json(&report, &k163))
+}
+
+/// Run the fleet campaign (human-readable report only).
+pub fn run(fast: bool) -> String {
+    run_with_json(fast).0
+}
+
+/// Combined machine-readable summary for `BENCH_fleet.json`.
+fn summary_json(toy: &FleetReport, k163: &FleetReport) -> String {
+    format!(
+        "{{\"experiment\":\"fleet\",\"toy17\":{},\"k163\":{}}}",
+        toy.to_json(),
+        k163.to_json()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_and_json_cover_throughput_and_energy() {
+        let (report, json) = super::run_with_json(true);
+        assert!(report.contains("sessions / s"));
+        assert!(report.contains("forged hellos rejected"));
+        assert!(json.contains("\"toy17\":{"));
+        assert!(json.contains("\"sessions_per_sec\""));
+        assert!(json.contains("\"energy_per_session_j\""));
+    }
+}

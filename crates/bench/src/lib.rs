@@ -16,6 +16,9 @@
 
 pub mod table;
 
+pub mod e10_ablation;
+pub mod e11_ordering;
+pub mod e12_faults;
 pub mod e1_energy;
 pub mod e2_digit_sweep;
 pub mod e3_dpa;
@@ -25,13 +28,11 @@ pub mod e6_gates;
 pub mod e7_energy_xover;
 pub mod e8_privacy;
 pub mod e9_registers;
-pub mod e10_ablation;
-pub mod e11_ordering;
-pub mod e12_faults;
+pub mod fleet_scale;
 
 /// All experiment ids in order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "fleet",
 ];
 
 /// Run one experiment by id; `fast` shrinks statistical campaigns.
@@ -49,6 +50,7 @@ pub fn run(id: &str, fast: bool) -> Option<String> {
         "e10" => e10_ablation::run(fast),
         "e11" => e11_ordering::run(fast),
         "e12" => e12_faults::run(fast),
+        "fleet" => fleet_scale::run(fast),
         _ => return None,
     };
     Some(report)

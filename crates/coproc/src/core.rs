@@ -118,6 +118,7 @@ impl<C: CurveSpec> Coproc<C> {
     }
 
     /// The final projective ladder state (X1:Z1), (X2:Z2).
+    #[allow(clippy::type_complexity)]
     pub fn read_result(
         &self,
     ) -> (
@@ -205,8 +206,7 @@ impl<C: CurveSpec> Coproc<C> {
         // Nominal (data-average) partial-product activity, used by the
         // dual-rail styles as their constant full-switch term: d/2 set
         // digit bits times m/2 set multiplicand bits.
-        let pp_nominal =
-            (self.config.digit_size as u32 * <C::Field as FieldSpec>::M as u32) / 4;
+        let pp_nominal = (self.config.digit_size as u32 * <C::Field as FieldSpec>::M as u32) / 4;
 
         let mut mul = DigitSerialMul::new(va, vb, self.config.digit_size);
         let total = mul.total_cycles();

@@ -142,12 +142,7 @@ impl fmt::Display for Instr {
 /// encoding — the analytic cost model used by the protocol-level energy
 /// ledgers (no simulation needed; the schedule is data-independent by
 /// construction).
-pub fn program_cycles(
-    program: &[Instr],
-    m: usize,
-    digit_size: usize,
-    cswap_cycles: u64,
-) -> u64 {
+pub fn program_cycles(program: &[Instr], m: usize, digit_size: usize, cswap_cycles: u64) -> u64 {
     program
         .iter()
         .map(|i| i.cycles(m, digit_size, cswap_cycles))

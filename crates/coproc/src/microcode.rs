@@ -69,13 +69,33 @@ fn leg_regs(leg: Leg) -> (Reg, Reg, Reg, Reg) {
 fn madd_block(leg: Leg) -> Vec<Instr> {
     let (x, z, xo, zo) = leg_regs(leg);
     vec![
-        Instr::Mul { dst: x, a: x, b: zo },  // A = X_self · Z_other
-        Instr::Mul { dst: z, a: xo, b: z },  // B = X_other · Z_self
-        Instr::Mul { dst: Reg::T, a: x, b: z }, // A·B
-        Instr::Add { dst: z, a: x, b: z },   // A + B
-        Instr::Mul { dst: z, a: z, b: z },   // Z' = (A+B)²
-        Instr::Mul { dst: x, a: Reg::XP, b: z }, // x·Z'
-        Instr::Add { dst: x, a: x, b: Reg::T }, // X' = x·Z' + A·B
+        Instr::Mul {
+            dst: x,
+            a: x,
+            b: zo,
+        }, // A = X_self · Z_other
+        Instr::Mul {
+            dst: z,
+            a: xo,
+            b: z,
+        }, // B = X_other · Z_self
+        Instr::Mul {
+            dst: Reg::T,
+            a: x,
+            b: z,
+        }, // A·B
+        Instr::Add { dst: z, a: x, b: z }, // A + B
+        Instr::Mul { dst: z, a: z, b: z }, // Z' = (A+B)²
+        Instr::Mul {
+            dst: x,
+            a: Reg::XP,
+            b: z,
+        }, // x·Z'
+        Instr::Add {
+            dst: x,
+            a: x,
+            b: Reg::T,
+        }, // X' = x·Z' + A·B
     ]
 }
 
@@ -84,13 +104,20 @@ fn madd_block(leg: Leg) -> Vec<Instr> {
 fn mdouble_block(leg: Leg) -> Vec<Instr> {
     let (x, z, _, _) = leg_regs(leg);
     vec![
-        Instr::Mul { dst: x, a: x, b: x },      // X²
-        Instr::Mul { dst: z, a: z, b: z },      // Z²
-        Instr::Mul { dst: Reg::T, a: x, b: z }, // X²Z² = Z_new
-        Instr::Mul { dst: x, a: x, b: x },      // X⁴
-        Instr::Mul { dst: z, a: z, b: z },      // Z⁴
-        Instr::Add { dst: x, a: x, b: z },      // X⁴ + Z⁴ (b = 1)
-        Instr::Copy { dst: z, src: Reg::T },
+        Instr::Mul { dst: x, a: x, b: x }, // X²
+        Instr::Mul { dst: z, a: z, b: z }, // Z²
+        Instr::Mul {
+            dst: Reg::T,
+            a: x,
+            b: z,
+        }, // X²Z² = Z_new
+        Instr::Mul { dst: x, a: x, b: x }, // X⁴
+        Instr::Mul { dst: z, a: z, b: z }, // Z⁴
+        Instr::Add { dst: x, a: x, b: z }, // X⁴ + Z⁴ (b = 1)
+        Instr::Copy {
+            dst: z,
+            src: Reg::T,
+        },
     ]
 }
 
@@ -127,13 +154,19 @@ pub fn iteration_program(bit: bool, style: LadderStyle) -> Vec<Instr> {
 /// m−1 squarings and O(log m) multiplications, all on the MALU — the
 /// hardware has no divider, exactly like the paper's chip.
 fn affine_leg_program(m: usize, x: Reg, z: Reg) -> Vec<Instr> {
-    let mut p = vec![Instr::Copy { dst: Reg::XP, src: z }]; // keep a
+    let mut p = vec![Instr::Copy {
+        dst: Reg::XP,
+        src: z,
+    }]; // keep a
     let e = m - 1;
     let bits = usize::BITS - e.leading_zeros();
     let mut ecov = 1usize;
     for i in (0..bits - 1).rev() {
         // t2 = z^(2^ecov) into T, then z ← z · t2.
-        p.push(Instr::Copy { dst: Reg::T, src: z });
+        p.push(Instr::Copy {
+            dst: Reg::T,
+            src: z,
+        });
         for _ in 0..ecov {
             p.push(Instr::Mul {
                 dst: Reg::T,
@@ -141,11 +174,19 @@ fn affine_leg_program(m: usize, x: Reg, z: Reg) -> Vec<Instr> {
                 b: Reg::T,
             });
         }
-        p.push(Instr::Mul { dst: z, a: z, b: Reg::T });
+        p.push(Instr::Mul {
+            dst: z,
+            a: z,
+            b: Reg::T,
+        });
         ecov *= 2;
         if (e >> i) & 1 == 1 {
             p.push(Instr::Mul { dst: z, a: z, b: z });
-            p.push(Instr::Mul { dst: z, a: z, b: Reg::XP });
+            p.push(Instr::Mul {
+                dst: z,
+                a: z,
+                b: Reg::XP,
+            });
             ecov += 1;
         }
     }
@@ -206,7 +247,10 @@ pub fn run_point_mul_partial<C: CurveSpec>(
     convert: bool,
     observer: &mut impl ActivityObserver,
 ) -> PointMulResult<C> {
-    assert!(!blind.is_zero(), "projective blinding value must be nonzero");
+    assert!(
+        !blind.is_zero(),
+        "projective blinding value must be nonzero"
+    );
     let style = core.config().ladder_style;
     core.reset();
     core.set_operand(OperandSlot::BaseX, px);
@@ -385,15 +429,7 @@ mod tests {
 
         let mut core = Coproc::<Toy17>::new(CoprocConfig::paper_chip());
         for (j, expect) in states.iter().enumerate() {
-            let res = run_point_mul_partial(
-                &mut core,
-                &k,
-                px,
-                blind,
-                j,
-                false,
-                &mut NullObserver,
-            );
+            let res = run_point_mul_partial(&mut core, &k, px, blind, j, false, &mut NullObserver);
             let _ = res;
             let (x1, z1, x2, z2) = core.read_result();
             assert_eq!(

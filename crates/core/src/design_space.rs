@@ -16,9 +16,7 @@
 //! falls out: d ≤ 2 misses the latency budget, d ≥ 8 blows the power
 //! envelope.
 
-use medsec_coproc::{
-    area, cost, ClockGating, CoprocConfig, LadderStyle, MuxEncoding,
-};
+use medsec_coproc::{area, cost, ClockGating, CoprocConfig, LadderStyle, MuxEncoding};
 use medsec_ec::CurveSpec;
 use medsec_gf2m::FieldSpec;
 use medsec_power::{nominal_cycle_energy, LogicStyle, PowerModel, Technology};
@@ -249,7 +247,8 @@ mod tests {
         assert!(!ranked.is_empty(), "constraint set infeasible");
         let best = &ranked[0];
         assert_eq!(
-            best.digit_size, 4,
+            best.digit_size,
+            4,
             "expected the paper's 163×4 multiplier, got d={} (AE {:.1})",
             best.digit_size,
             best.area_energy_product()
@@ -269,7 +268,11 @@ mod tests {
             evaluate_point::<K163>(&cfg, LogicStyle::StandardCell, &t)
         };
         let d1 = mk(1);
-        assert!(d1.latency_s > c.max_latency_s, "d=1 latency {}", d1.latency_s);
+        assert!(
+            d1.latency_s > c.max_latency_s,
+            "d=1 latency {}",
+            d1.latency_s
+        );
         let d16 = mk(16);
         assert!(d16.power_w > c.max_power_w, "d=16 power {}", d16.power_w);
     }
@@ -321,6 +324,10 @@ mod tests {
         // E ≈ 5.1 µJ, P ≈ 50.4 µW (±25 %).
         assert!((3.8e-6..6.4e-6).contains(&p.energy_j), "E = {}", p.energy_j);
         assert!((38.0e-6..63.0e-6).contains(&p.power_w), "P = {}", p.power_w);
-        assert!((9_000.0..16_000.0).contains(&p.area_ge), "A = {}", p.area_ge);
+        assert!(
+            (9_000.0..16_000.0).contains(&p.area_ge),
+            "A = {}",
+            p.area_ge
+        );
     }
 }

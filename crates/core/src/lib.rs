@@ -24,8 +24,7 @@ pub mod pyramid;
 mod processor;
 
 pub use design_space::{
-    evaluate_point, feasible_ranked, pareto_front, sweep, Constraints, DesignPoint,
-    SecurityGrade,
+    evaluate_point, feasible_ranked, pareto_front, sweep, Constraints, DesignPoint, SecurityGrade,
 };
 pub use processor::{Blinding, EccProcessor, FaultDetected};
 pub use pyramid::{catalogue, Countermeasure, DesignLevel, DesignReview, Threat};

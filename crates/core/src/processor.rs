@@ -72,12 +72,7 @@ impl<C: CurveSpec> EccProcessor<C> {
     }
 
     /// Fully custom processor.
-    pub fn new(
-        config: CoprocConfig,
-        model: PowerModel,
-        blinding: Blinding,
-        seed: u64,
-    ) -> Self {
+    pub fn new(config: CoprocConfig, model: PowerModel, blinding: Blinding, seed: u64) -> Self {
         Self {
             core: Coproc::new(config),
             model,
@@ -206,12 +201,8 @@ mod tests {
         for _ in 0..16 {
             let k = Scalar::<Toy17>::random_nonzero(rng.as_fn());
             let (hw, _) = proc.point_mul(&k, &g);
-            let sw = medsec_ec::ladder::ladder_mul(
-                &k,
-                &g,
-                CoordinateBlinding::Disabled,
-                rng.as_fn(),
-            );
+            let sw =
+                medsec_ec::ladder::ladder_mul(&k, &g, CoordinateBlinding::Disabled, rng.as_fn());
             assert_eq!(hw, sw);
         }
     }

@@ -218,11 +218,7 @@ mod tests {
     #[test]
     fn paper_chip_covers_every_threat() {
         let review = DesignReview::paper_chip();
-        assert!(
-            review.is_complete(),
-            "uncovered: {:?}",
-            review.uncovered()
-        );
+        assert!(review.is_complete(), "uncovered: {:?}", review.uncovered());
     }
 
     #[test]
@@ -230,16 +226,11 @@ mod tests {
         // Drop the DPA countermeasure: DPA must show up as uncovered.
         let mut review = DesignReview::new();
         for cm in catalogue() {
-            if cm.name != "randomized-projective-coordinates"
-                && cm.name != "operand-isolation"
-            {
+            if cm.name != "randomized-projective-coordinates" && cm.name != "operand-isolation" {
                 review.apply(cm);
             }
         }
-        assert_eq!(
-            review.uncovered(),
-            vec![Threat::DifferentialPowerAnalysis]
-        );
+        assert_eq!(review.uncovered(), vec![Threat::DifferentialPowerAnalysis]);
     }
 
     #[test]

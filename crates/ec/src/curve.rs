@@ -46,8 +46,10 @@ pub trait CurveSpec:
 /// assert!(g.is_on_curve());
 /// assert_eq!(g + (-g), Point::infinity());
 /// ```
+#[derive(Default)]
 pub enum Point<C: CurveSpec> {
     /// The neutral element of the group.
+    #[default]
     Infinity,
     /// An affine point (x, y) satisfying the curve equation.
     Affine {
@@ -142,10 +144,17 @@ impl<C: CurveSpec> Point<C> {
         for i in (0..k.bit_len()).rev() {
             acc = acc.double();
             if k.bit(i) {
-                acc = acc + *self;
+                acc += *self;
             }
         }
         acc
+    }
+
+    /// Byte length of the [`compress`](Self::compress) encoding: the
+    /// packed x-coordinate plus one tag byte. Every consumer of the
+    /// wire format sizes its frames from this single definition.
+    pub const fn compressed_len() -> usize {
+        C::Field::M.div_ceil(8) + 1
     }
 
     /// Compressed encoding: the x-coordinate plus one bit disambiguating
@@ -155,13 +164,13 @@ impl<C: CurveSpec> Point<C> {
     pub fn compress(&self) -> Vec<u8> {
         match self {
             Point::Infinity => {
-                let n = (C::Field::M + 7) / 8 + 1;
+                let n = Self::compressed_len();
                 let mut v = vec![0u8; n];
                 v[0] = 0xff;
                 v
             }
             Point::Affine { x, y } => {
-                let mut v = Vec::with_capacity((C::Field::M + 7) / 8 + 1);
+                let mut v = Vec::with_capacity(Self::compressed_len());
                 let tag = if x.is_zero() {
                     0u8
                 } else {
@@ -180,13 +189,16 @@ impl<C: CurveSpec> Point<C> {
     /// Returns `None` if the encoding is malformed or x does not
     /// correspond to a point on the curve.
     pub fn decompress(bytes: &[u8]) -> Option<Self> {
-        let n = (C::Field::M + 7) / 8 + 1;
+        let n = Self::compressed_len();
         if bytes.len() != n {
             return None;
         }
         let tag = bytes[0];
         if tag == 0xff {
-            return bytes[1..].iter().all(|&b| b == 0).then_some(Point::Infinity);
+            return bytes[1..]
+                .iter()
+                .all(|&b| b == 0)
+                .then_some(Point::Infinity);
         }
         if tag > 1 {
             return None;
@@ -237,12 +249,6 @@ impl<C: CurveSpec> core::hash::Hash for Point<C> {
                 y.hash(state);
             }
         }
-    }
-}
-
-impl<C: CurveSpec> Default for Point<C> {
-    fn default() -> Self {
-        Point::Infinity
     }
 }
 
@@ -327,6 +333,7 @@ mod tests {
         }
     }
 
+    #[allow(clippy::eq_op)] // g + g and g − g are the point of the test
     fn check_group_basics<C: CurveSpec>() {
         let g = C::generator();
         assert!(g.is_on_curve(), "{} generator off-curve", C::NAME);

@@ -106,7 +106,10 @@ pub fn ladder_mul<C: CurveSpec>(
         Point::Infinity => return Point::Infinity,
         Point::Affine { x, y } => (*x, *y),
     };
-    assert!(!px.is_zero(), "x-only ladder cannot process the x = 0 point");
+    assert!(
+        !px.is_zero(),
+        "x-only ladder cannot process the x = 0 point"
+    );
 
     let state = ladder_x_only::<C>(k, px, blinding, &mut next_u64);
     recover_y::<C>(&state, px, py)
@@ -138,7 +141,10 @@ pub fn ladder_x_only_bits<C: CurveSpec>(
     blinding: CoordinateBlinding,
     mut next_u64: impl FnMut() -> u64,
 ) -> LadderState<C> {
-    assert!(!px.is_zero(), "x-only ladder cannot process the x = 0 point");
+    assert!(
+        !px.is_zero(),
+        "x-only ladder cannot process the x = 0 point"
+    );
     assert!(
         bits.first() == Some(&true),
         "ladder bits must start with the leading 1"
@@ -226,7 +232,10 @@ pub fn ladder_mul_scalar_blinded<C: CurveSpec>(
         Point::Infinity => return Point::Infinity,
         Point::Affine { x, y } => (*x, *y),
     };
-    assert!(!px.is_zero(), "x-only ladder cannot process the x = 0 point");
+    assert!(
+        !px.is_zero(),
+        "x-only ladder cannot process the x = 0 point"
+    );
     let extra = (next_u64() & 0xff) as u32;
     let bits = k.blinded_ladder_bits(extra);
     let state = ladder_x_only_bits::<C>(&bits, px, blinding, &mut next_u64);
@@ -248,10 +257,7 @@ pub fn recover_y<C: CurveSpec>(
     }
     if state.z2.is_zero() {
         // Q = O ⇒ R = −P.
-        return Point::Affine {
-            x: px,
-            y: px + py,
-        };
+        return Point::Affine { x: px, y: px + py };
     }
     let x1 = state.x1 * state.z1.inverse().expect("z1 nonzero");
     let x2 = state.x2 * state.z2.inverse().expect("z2 nonzero");
@@ -262,10 +268,7 @@ pub fn recover_y<C: CurveSpec>(
 
 /// Affine x-coordinate of the ladder result.
 pub fn ladder_x_affine<C: CurveSpec>(state: &LadderState<C>) -> Option<Element<C::Field>> {
-    state
-        .z1
-        .inverse()
-        .map(|zi| state.x1 * zi)
+    state.z1.inverse().map(|zi| state.x1 * zi)
 }
 
 /// Field-operation budget of one combined ladder iteration, used by the

@@ -204,7 +204,7 @@ impl<C: CurveSpec> Scalar<C> {
 
     /// Fixed-width big-endian encoding (`ceil(bitlen(n)/8)` bytes).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let nbytes = (bitlen_raw(&C::ORDER) + 7) / 8;
+        let nbytes = bitlen_raw(&C::ORDER).div_ceil(8);
         let mut out = vec![0u8; nbytes];
         for (i, b) in out.iter_mut().rev().enumerate() {
             *b = (self.limbs[i / 8] >> (8 * (i % 8))) as u8;
@@ -243,7 +243,7 @@ impl<C: CurveSpec> Scalar<C> {
                 }
             }
             let top = nbits % 64;
-            let words = (nbits + 63) / 64;
+            let words = nbits.div_ceil(64);
             if top != 0 {
                 l[words - 1] &= (1u64 << top) - 1;
             }
@@ -259,7 +259,7 @@ impl<C: CurveSpec> Scalar<C> {
         for i in (0..bitlen_raw(e)).rev() {
             acc = acc * acc;
             if bit_raw(e, i) {
-                acc = acc * *self;
+                acc *= *self;
             }
         }
         acc
@@ -469,7 +469,12 @@ mod tests {
         );
         assert_eq!(
             parse_hex_limbs::<4>("4000000000000000000020108A2E0CC0D99F8A5EF"),
-            [0xA2E0_CC0D_99F8_A5EF, 0x0000_0000_0002_0108, 0x4_0000_0000, 0]
+            [
+                0xA2E0_CC0D_99F8_A5EF,
+                0x0000_0000_0002_0108,
+                0x4_0000_0000,
+                0
+            ]
         );
     }
 

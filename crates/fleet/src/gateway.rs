@@ -1,0 +1,423 @@
+//! The gateway: server side of every fleet protocol.
+//!
+//! One `Gateway` value is shared by all worker threads (`&self`
+//! everywhere): the pairing-key store and Peeters–Hermans reader are
+//! read-only after provisioning, session state lives in the sharded
+//! [`SessionTable`], and counters are atomics.
+//!
+//! Batching: [`Gateway::hello_batch`] generates a whole batch of
+//! ephemeral key pairs — the dominant point-multiplication cost — in
+//! one tight pass, then inserts the pending sessions shard-by-shard so
+//! each shard lock is taken once per batch rather than once per device.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+use bytes::Bytes;
+use medsec_ec::{CurveSpec, KeyPair, Point};
+use medsec_lwc::{
+    ctr_xor, hmac_sha256, sha256, sha256_hw_profile, verify_tag, Aes128, BlockCipher,
+};
+use medsec_protocols::mutual::{self, Pairing, TELEMETRY_NONCE};
+use medsec_protocols::peeters_hermans::{PhReader, PhTranscript};
+use medsec_protocols::wire::{self, DecodeError, MsgType};
+use medsec_protocols::EnergyLedger;
+
+use crate::registry::DeviceId;
+use crate::shard::{SessionPhase, SessionTable};
+
+/// Why the gateway rejected a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// The device id was never provisioned.
+    UnknownDevice(DeviceId),
+    /// No pending session for this device.
+    NoSession(DeviceId),
+    /// The frame failed wire decoding.
+    Decode(DecodeError),
+    /// The device's ephemeral point or the ECDH result was invalid.
+    BadEphemeral,
+    /// The authentication tag did not verify.
+    AuthFailed,
+    /// The Peeters–Hermans transcript matched no registered tag.
+    Unidentified,
+}
+
+impl core::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FleetError::UnknownDevice(id) => write!(f, "unknown device {id}"),
+            FleetError::NoSession(id) => write!(f, "no pending session for device {id}"),
+            FleetError::Decode(e) => write!(f, "wire decode failed: {e}"),
+            FleetError::BadEphemeral => write!(f, "invalid ephemeral point"),
+            FleetError::AuthFailed => write!(f, "authentication tag mismatch"),
+            FleetError::Unidentified => write!(f, "transcript matches no registered tag"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<DecodeError> for FleetError {
+    fn from(e: DecodeError) -> Self {
+        FleetError::Decode(e)
+    }
+}
+
+/// Monotonic serving counters (atomics; read with
+/// [`Gateway::counters`]).
+#[derive(Debug, Default)]
+struct Stats {
+    hellos: AtomicU64,
+    established: AtomicU64,
+    frames: AtomicU64,
+    auth_failures: AtomicU64,
+    decode_failures: AtomicU64,
+    ph_identified: AtomicU64,
+    ph_failures: AtomicU64,
+}
+
+/// A point-in-time snapshot of the gateway's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayCounters {
+    /// `ServerHello`s sent.
+    pub hellos: u64,
+    /// Mutual-authentication sessions established.
+    pub established: u64,
+    /// Telemetry frames verified and decrypted.
+    pub frames: u64,
+    /// Tag/MAC verification failures.
+    pub auth_failures: u64,
+    /// Wire-decode failures.
+    pub decode_failures: u64,
+    /// Peeters–Hermans identifications that matched the right tag.
+    pub ph_identified: u64,
+    /// Peeters–Hermans runs that failed to identify.
+    pub ph_failures: u64,
+}
+
+/// The hospital gateway serving one fleet.
+#[derive(Debug)]
+pub struct Gateway<C: CurveSpec> {
+    pairings: HashMap<DeviceId, Pairing>,
+    reader: PhReader<C>,
+    sessions: SessionTable<C>,
+    stats: Stats,
+}
+
+impl<C: CurveSpec> Gateway<C> {
+    /// Build a gateway from provisioning output.
+    pub fn new(pairings: Vec<(DeviceId, Pairing)>, reader: PhReader<C>, shards: usize) -> Self {
+        Self {
+            pairings: pairings.into_iter().collect(),
+            reader,
+            sessions: SessionTable::new(shards),
+            stats: Stats::default(),
+        }
+    }
+
+    /// The sharded session table (read access for reports/tests).
+    pub fn sessions(&self) -> &SessionTable<C> {
+        &self.sessions
+    }
+
+    /// Snapshot the serving counters.
+    pub fn counters(&self) -> GatewayCounters {
+        GatewayCounters {
+            hellos: self.stats.hellos.load(AtomicOrdering::Relaxed),
+            established: self.stats.established.load(AtomicOrdering::Relaxed),
+            frames: self.stats.frames.load(AtomicOrdering::Relaxed),
+            auth_failures: self.stats.auth_failures.load(AtomicOrdering::Relaxed),
+            decode_failures: self.stats.decode_failures.load(AtomicOrdering::Relaxed),
+            ph_identified: self.stats.ph_identified.load(AtomicOrdering::Relaxed),
+            ph_failures: self.stats.ph_failures.load(AtomicOrdering::Relaxed),
+        }
+    }
+
+    /// Start sessions with a batch of devices: generate all ephemeral
+    /// key pairs in one pass (the point-multiplication hot loop), then
+    /// record the pending sessions with one lock acquisition per shard,
+    /// and return each device's wire-framed `ServerHello`.
+    ///
+    /// Unknown device ids are skipped.
+    pub fn hello_batch(
+        &self,
+        ids: &[DeviceId],
+        mut next_u64: impl FnMut() -> u64,
+        ledger: &mut EnergyLedger,
+    ) -> Vec<(DeviceId, Bytes)> {
+        // Pass 1: the expensive ECC work, no locks held. The hello
+        // itself comes from the protocol layer — the gateway only
+        // frames it.
+        let mut prepared: Vec<(DeviceId, KeyPair<C>, Bytes)> = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let Some(pairing) = self.pairings.get(&id) else {
+                continue;
+            };
+            let (kp, hello) = mutual::server_hello::<C>(pairing, &mut next_u64);
+            ledger.point_mul();
+            ledger.symmetric("AES-128", &Aes128::hw_profile(), 3);
+            let mut payload = hello.ephemeral.compress();
+            payload.extend_from_slice(&hello.mac);
+            let frame = wire::frame(MsgType::ServerHello, &payload);
+            ledger.tx(frame.len());
+            prepared.push((id, kp, frame));
+        }
+
+        // Pass 2: group by shard, one lock acquisition per shard.
+        let mut by_shard: HashMap<usize, Vec<(DeviceId, KeyPair<C>)>> = HashMap::new();
+        for (id, kp, _) in &prepared {
+            by_shard
+                .entry(self.sessions.shard_index(*id))
+                .or_default()
+                .push((*id, *kp));
+        }
+        for (shard, entries) in by_shard {
+            self.sessions.with_shard_at(shard, |map| {
+                for (id, kp) in entries {
+                    // Re-keying keeps the verified-frame count, whether
+                    // the previous state completed or was still pending.
+                    let prior_frames = match map.get(&id) {
+                        Some(
+                            SessionPhase::Established { frames, .. }
+                            | SessionPhase::Pending {
+                                prior_frames: frames,
+                                ..
+                            },
+                        ) => *frames,
+                        _ => 0,
+                    };
+                    map.insert(
+                        id,
+                        SessionPhase::Pending {
+                            server_eph: kp,
+                            prior_frames,
+                        },
+                    );
+                }
+            });
+        }
+
+        self.stats
+            .hellos
+            .fetch_add(prepared.len() as u64, AtomicOrdering::Relaxed);
+        prepared
+            .into_iter()
+            .map(|(id, _, frame)| (id, frame))
+            .collect()
+    }
+
+    /// Process a device's wire-framed telemetry message: verify the
+    /// session tag, decrypt, and promote the session to `Established`.
+    /// Returns the telemetry plaintext.
+    pub fn handle_telemetry(
+        &self,
+        id: DeviceId,
+        frame_bytes: &[u8],
+        ledger: &mut EnergyLedger,
+    ) -> Result<Vec<u8>, FleetError> {
+        ledger.rx(frame_bytes.len());
+        let payload = match wire::deframe(frame_bytes) {
+            Ok((MsgType::Telemetry, payload)) => payload,
+            Ok(_) => {
+                self.stats
+                    .decode_failures
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                return Err(FleetError::Decode(DecodeError::Malformed));
+            }
+            Err(e) => {
+                self.stats
+                    .decode_failures
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                return Err(e.into());
+            }
+        };
+
+        let plen = Point::<C>::compressed_len();
+        if payload.len() < plen + 16 {
+            self.stats
+                .decode_failures
+                .fetch_add(1, AtomicOrdering::Relaxed);
+            return Err(FleetError::Decode(DecodeError::Malformed));
+        }
+        let (eph_bytes, rest) = payload.split_at(plen);
+        let (ct, tag) = rest.split_at(rest.len() - 16);
+        let Some(device_eph) = Point::<C>::decompress(eph_bytes) else {
+            self.stats
+                .decode_failures
+                .fetch_add(1, AtomicOrdering::Relaxed);
+            return Err(FleetError::BadEphemeral);
+        };
+
+        // Pull the pending session out of its shard; the crypto below
+        // runs without any lock held.
+        let (server_eph, prior_frames) = self
+            .sessions
+            .with_shard(id, |map| match map.remove(&id) {
+                Some(SessionPhase::Pending {
+                    server_eph,
+                    prior_frames,
+                }) => Some((server_eph, prior_frames)),
+                Some(other) => {
+                    // Not awaiting telemetry: put the state back.
+                    map.insert(id, other);
+                    None
+                }
+                None => None,
+            })
+            .ok_or(FleetError::NoSession(id))?;
+
+        // One point multiplication (ECDH) + KDF, mirroring the device.
+        let mut seq = self.derive_seq(id);
+        let shared = server_eph
+            .shared_x(&device_eph, &mut seq)
+            .ok_or(FleetError::BadEphemeral)?;
+        ledger.point_mul();
+        let session_key = sha256(&shared.to_bytes());
+        ledger.symmetric("SHA-256", &sha256_hw_profile(), 1);
+
+        let mac_key = &session_key[16..];
+        let mut mac_input = eph_bytes.to_vec();
+        mac_input.extend_from_slice(ct);
+        let expect = hmac_sha256(mac_key, &mac_input);
+        ledger.symmetric("SHA-256", &sha256_hw_profile(), 2);
+        if !verify_tag(&expect[..16], tag) {
+            self.stats
+                .auth_failures
+                .fetch_add(1, AtomicOrdering::Relaxed);
+            return Err(FleetError::AuthFailed);
+        }
+
+        let enc_key: [u8; 16] = session_key[..16].try_into().expect("16 bytes");
+        let aes = Aes128::new(&enc_key);
+        let mut plaintext = ct.to_vec();
+        ctr_xor(&aes, &TELEMETRY_NONCE, &mut plaintext);
+        ledger.symmetric(
+            "AES-128",
+            &Aes128::hw_profile(),
+            (ct.len() as u64).div_ceil(16).max(1),
+        );
+
+        self.sessions.with_shard(id, |map| {
+            // A concurrent hello_batch may have re-keyed this device
+            // while the crypto above ran lock-free; a newer Pending
+            // must not be clobbered by the old session's completion.
+            if !matches!(map.get(&id), Some(SessionPhase::Pending { .. })) {
+                map.insert(
+                    id,
+                    SessionPhase::Established {
+                        session_key,
+                        frames: prior_frames + 1,
+                    },
+                );
+            }
+        });
+        self.stats.established.fetch_add(1, AtomicOrdering::Relaxed);
+        self.stats.frames.fetch_add(1, AtomicOrdering::Relaxed);
+        Ok(plaintext)
+    }
+
+    /// Answer a Peeters–Hermans commitment with a wire-framed
+    /// challenge, remembering `(R, e)` in the session table.
+    pub fn ph_challenge(
+        &self,
+        id: DeviceId,
+        commit_bytes: &[u8],
+        mut next_u64: impl FnMut() -> u64,
+        ledger: &mut EnergyLedger,
+    ) -> Result<Bytes, FleetError> {
+        ledger.rx(commit_bytes.len());
+        let commitment = wire::decode_point::<C>(MsgType::PhCommit, commit_bytes).map_err(|e| {
+            self.stats
+                .decode_failures
+                .fetch_add(1, AtomicOrdering::Relaxed);
+            FleetError::Decode(e)
+        })?;
+        let challenge = self.reader.challenge(&mut next_u64);
+        self.sessions.with_shard(id, |map| {
+            map.insert(
+                id,
+                SessionPhase::PhPending {
+                    commitment,
+                    challenge,
+                },
+            );
+        });
+        let frame = wire::encode_scalar(MsgType::PhChallenge, &challenge);
+        ledger.tx(frame.len());
+        Ok(frame)
+    }
+
+    /// Complete a Peeters–Hermans run from the wire-framed response:
+    /// rebuild the transcript and search the tag database (three point
+    /// multiplications on the gateway, per the paper's asymmetric-cost
+    /// rule).
+    pub fn ph_identify(
+        &self,
+        id: DeviceId,
+        response_bytes: &[u8],
+        mut next_u64: impl FnMut() -> u64,
+        ledger: &mut EnergyLedger,
+    ) -> Result<DeviceId, FleetError> {
+        ledger.rx(response_bytes.len());
+        let response =
+            wire::decode_scalar::<C>(MsgType::PhResponse, response_bytes).map_err(|e| {
+                self.stats
+                    .decode_failures
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                FleetError::Decode(e)
+            })?;
+
+        let pending = self
+            .sessions
+            .with_shard(id, |map| match map.remove(&id) {
+                Some(SessionPhase::PhPending {
+                    commitment,
+                    challenge,
+                }) => Some((commitment, challenge)),
+                Some(other) => {
+                    map.insert(id, other);
+                    None
+                }
+                None => None,
+            })
+            .ok_or(FleetError::NoSession(id))?;
+
+        let transcript = PhTranscript {
+            commitment: pending.0,
+            challenge: pending.1,
+            response,
+        };
+        // Reader-side cost: ḋ (x-only ladder) + 3 full ladders.
+        let found = self.reader.identify(&transcript, &mut next_u64);
+        for _ in 0..4 {
+            ledger.point_mul();
+        }
+        match found {
+            Some(tag_id) => {
+                self.stats
+                    .ph_identified
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                Ok(tag_id)
+            }
+            None => {
+                self.stats.ph_failures.fetch_add(1, AtomicOrdering::Relaxed);
+                Err(FleetError::Unidentified)
+            }
+        }
+    }
+
+    /// Deterministic per-call scalar stream for coordinate blinding in
+    /// gateway-side ladders (not key material: the ephemeral secrets
+    /// come from the caller's RNG).
+    fn derive_seq(&self, id: DeviceId) -> impl FnMut() -> u64 {
+        let mut state = 0xDEC0_DE00_0000_0000u64 ^ u64::from(id);
+        move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! The aggregated outcome of a fleet run: throughput, energy, failures
+//! and shard balance, with hand-rolled JSON for the bench trajectory.
+
+use crate::gateway::GatewayCounters;
+
+/// Aggregate result of one [`run_fleet`](crate::sim::run_fleet) call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Devices provisioned.
+    pub devices: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Session-table shards.
+    pub shards: usize,
+    /// Mutual-auth sessions established (telemetry verified).
+    pub sessions_ok: u64,
+    /// Mutual-auth sessions that failed (forged hello rejected by the
+    /// device, or gateway-side auth/decode failure).
+    pub sessions_failed: u64,
+    /// Telemetry frames verified and decrypted.
+    pub frames_ok: u64,
+    /// Peeters–Hermans identifications that matched.
+    pub ph_identified: u64,
+    /// Peeters–Hermans runs that failed.
+    pub ph_failed: u64,
+    /// Forged hellos the devices correctly rejected.
+    pub forged_rejected: u64,
+    /// Wall-clock duration of the run, seconds.
+    pub wall_s: f64,
+    /// Completed sessions (mutual + PH) per second of wall time.
+    pub sessions_per_sec: f64,
+    /// Verified telemetry frames per second of wall time.
+    pub frames_per_sec: f64,
+    /// Total energy drawn from every device battery, joules.
+    pub device_energy_total_j: f64,
+    /// Mean device energy per completed session, joules.
+    pub energy_per_session_j: f64,
+    /// Worst single-device energy draw, joules.
+    pub device_energy_max_j: f64,
+    /// Gateway-side energy (wall-powered, but it bounds rack sizing),
+    /// joules.
+    pub server_energy_j: f64,
+    /// Bytes on the air across all devices.
+    pub bytes_on_air: u64,
+    /// Mean sessions one battery sustains at the measured per-session
+    /// draw (fleet-level lifetime figure).
+    pub mean_sessions_per_battery: f64,
+    /// Live sessions per shard at the end of the run.
+    pub shard_occupancy: Vec<usize>,
+}
+
+impl FleetReport {
+    /// Fold the gateway counters into the report fields they feed.
+    pub(crate) fn apply_counters(&mut self, c: &GatewayCounters) {
+        self.sessions_ok = c.established;
+        self.frames_ok = c.frames;
+        self.ph_identified = c.ph_identified;
+        self.ph_failed = c.ph_failures;
+        self.sessions_failed += c.auth_failures + c.decode_failures;
+    }
+
+    /// Completed sessions of both protocol families.
+    pub fn sessions_completed(&self) -> u64 {
+        self.sessions_ok + self.ph_identified
+    }
+
+    /// Ratio between the fullest shard and the mean occupancy (1.0 =
+    /// perfectly balanced; stays finite for sparse tables where some
+    /// shards are legitimately empty).
+    pub fn shard_imbalance(&self) -> f64 {
+        let total: usize = self.shard_occupancy.iter().sum();
+        let hi = self.shard_occupancy.iter().max().copied().unwrap_or(0);
+        if total == 0 || self.shard_occupancy.is_empty() {
+            return 1.0;
+        }
+        let mean = total as f64 / self.shard_occupancy.len() as f64;
+        hi as f64 / mean
+    }
+
+    /// Machine-readable summary (hand-rolled JSON object; no serde in
+    /// the offline build).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        let field = |s: &mut String, key: &str, value: String| {
+            if s.len() > 1 {
+                s.push(',');
+            }
+            s.push('"');
+            s.push_str(key);
+            s.push_str("\":");
+            s.push_str(&value);
+        };
+        field(&mut s, "devices", self.devices.to_string());
+        field(&mut s, "threads", self.threads.to_string());
+        field(&mut s, "shards", self.shards.to_string());
+        field(&mut s, "sessions_ok", self.sessions_ok.to_string());
+        field(&mut s, "sessions_failed", self.sessions_failed.to_string());
+        field(&mut s, "frames_ok", self.frames_ok.to_string());
+        field(&mut s, "ph_identified", self.ph_identified.to_string());
+        field(&mut s, "ph_failed", self.ph_failed.to_string());
+        field(&mut s, "forged_rejected", self.forged_rejected.to_string());
+        field(&mut s, "wall_s", format!("{:.6}", self.wall_s));
+        field(
+            &mut s,
+            "sessions_per_sec",
+            format!("{:.3}", self.sessions_per_sec),
+        );
+        field(
+            &mut s,
+            "frames_per_sec",
+            format!("{:.3}", self.frames_per_sec),
+        );
+        field(
+            &mut s,
+            "device_energy_total_j",
+            format!("{:.9e}", self.device_energy_total_j),
+        );
+        field(
+            &mut s,
+            "energy_per_session_j",
+            format!("{:.9e}", self.energy_per_session_j),
+        );
+        field(
+            &mut s,
+            "device_energy_max_j",
+            format!("{:.9e}", self.device_energy_max_j),
+        );
+        field(
+            &mut s,
+            "server_energy_j",
+            format!("{:.9e}", self.server_energy_j),
+        );
+        field(&mut s, "bytes_on_air", self.bytes_on_air.to_string());
+        field(
+            &mut s,
+            "mean_sessions_per_battery",
+            format!("{:.1}", self.mean_sessions_per_battery),
+        );
+        field(
+            &mut s,
+            "shard_occupancy",
+            format!(
+                "[{}]",
+                self.shard_occupancy
+                    .iter()
+                    .map(usize::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        );
+        s.push('}');
+        s
+    }
+}
+
+impl core::fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "fleet: {} devices, {} threads, {} shards",
+            self.devices, self.threads, self.shards
+        )?;
+        writeln!(
+            f,
+            "  sessions   {:>8} ok  {:>6} failed  ({:.0}/s)",
+            self.sessions_completed(),
+            self.sessions_failed,
+            self.sessions_per_sec
+        )?;
+        writeln!(
+            f,
+            "  telemetry  {:>8} frames verified  ({:.0}/s)",
+            self.frames_ok, self.frames_per_sec
+        )?;
+        writeln!(
+            f,
+            "  privacy    {:>8} PH identifications  {:>6} failed",
+            self.ph_identified, self.ph_failed
+        )?;
+        writeln!(
+            f,
+            "  security   {:>8} forged hellos rejected by devices",
+            self.forged_rejected
+        )?;
+        writeln!(
+            f,
+            "  energy     {:.2} µJ/session device-side (max device {:.2} µJ, server {:.2} mJ)",
+            self.energy_per_session_j * 1e6,
+            self.device_energy_max_j * 1e6,
+            self.server_energy_j * 1e3
+        )?;
+        writeln!(
+            f,
+            "  lifetime   ≈{:.0} sessions per battery",
+            self.mean_sessions_per_battery
+        )?;
+        write!(
+            f,
+            "  sharding   {} shards, imbalance {:.2}, {} bytes on air",
+            self.shards,
+            self.shard_imbalance(),
+            self.bytes_on_air
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FleetReport {
+        FleetReport {
+            devices: 8,
+            threads: 2,
+            shards: 4,
+            sessions_ok: 6,
+            sessions_failed: 0,
+            frames_ok: 6,
+            ph_identified: 2,
+            ph_failed: 0,
+            forged_rejected: 1,
+            wall_s: 0.5,
+            sessions_per_sec: 16.0,
+            frames_per_sec: 12.0,
+            device_energy_total_j: 8.0e-5,
+            energy_per_session_j: 1.0e-5,
+            device_energy_max_j: 2.0e-5,
+            server_energy_j: 3.0e-4,
+            bytes_on_air: 1024,
+            mean_sessions_per_battery: 2.0e9,
+            shard_occupancy: vec![2, 2, 2, 2],
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let j = sample().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in [
+            "sessions_ok",
+            "frames_per_sec",
+            "energy_per_session_j",
+            "shard_occupancy",
+            "forged_rejected",
+        ] {
+            assert!(j.contains(&format!("\"{key}\":")), "missing {key} in {j}");
+        }
+        // Balanced quotes and brackets.
+        assert_eq!(j.matches('"').count() % 2, 0);
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn imbalance_of_balanced_table_is_one() {
+        assert!((sample().shard_imbalance() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn display_mentions_throughput_and_energy() {
+        let text = sample().to_string();
+        assert!(text.contains("sessions"));
+        assert!(text.contains("µJ/session"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Batch scheduler: a shared work queue drained in batches.
+//!
+//! Workers pull up to `batch_size` jobs per lock acquisition instead of
+//! one, so the queue mutex is taken `N / batch_size` times rather than
+//! `N` times, and downstream batch APIs
+//! ([`Gateway::hello_batch`](crate::gateway::Gateway::hello_batch)) can
+//! amortize their point-multiplication setup over the whole batch.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A shared FIFO of pending jobs.
+#[derive(Debug, Default)]
+pub struct BatchScheduler<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> BatchScheduler<T> {
+    /// Create a scheduler pre-loaded with `jobs`.
+    pub fn new(jobs: impl IntoIterator<Item = T>) -> Self {
+        Self {
+            queue: Mutex::new(jobs.into_iter().collect()),
+        }
+    }
+
+    /// Enqueue one job (e.g. a retry).
+    pub fn push(&self, job: T) {
+        self.queue
+            .lock()
+            .expect("scheduler queue poisoned")
+            .push_back(job);
+    }
+
+    /// Dequeue up to `max` jobs in one lock acquisition. An empty
+    /// return means the queue is drained.
+    pub fn pop_batch(&self, max: usize) -> Vec<T> {
+        let mut q = self.queue.lock().expect("scheduler queue poisoned");
+        let take = max.max(1).min(q.len());
+        q.drain(..take).collect()
+    }
+
+    /// Jobs still queued.
+    pub fn remaining(&self) -> usize {
+        self.queue.lock().expect("scheduler queue poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn batches_respect_size_and_drain() {
+        let s = BatchScheduler::new(0..10);
+        assert_eq!(s.pop_batch(4), vec![0, 1, 2, 3]);
+        assert_eq!(s.remaining(), 6);
+        s.push(10);
+        let rest: Vec<i32> = std::iter::from_fn(|| {
+            let b = s.pop_batch(3);
+            if b.is_empty() {
+                None
+            } else {
+                Some(b)
+            }
+        })
+        .flatten()
+        .collect();
+        assert_eq!(rest, vec![4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn concurrent_workers_process_each_job_once() {
+        let s = BatchScheduler::new(0..1000u32);
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| loop {
+                    let batch = s.pop_batch(16);
+                    if batch.is_empty() {
+                        break;
+                    }
+                    done.fetch_add(batch.len(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 1000);
+        assert_eq!(s.remaining(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! The gateway's sharded session table.
+//!
+//! A hospital gateway serves thousands of concurrent implant sessions;
+//! a single locked map would serialize every worker on one mutex. The
+//! table is split across a power-of-two number of shards, each behind
+//! its own [`Mutex`], with devices assigned to shards by a Fibonacci
+//! multiplicative hash of their id — uniform even for the dense
+//! sequential ids a registry hands out.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use medsec_ec::{CurveSpec, KeyPair, Point, Scalar};
+
+use crate::registry::DeviceId;
+
+/// Where one device's session currently stands.
+#[derive(Debug, Clone)]
+pub enum SessionPhase<C: CurveSpec> {
+    /// `ServerHello` sent; the gateway holds its ephemeral key pair and
+    /// waits for the device's telemetry frame.
+    Pending {
+        /// Gateway-side ephemeral ECDH key pair for this session.
+        server_eph: KeyPair<C>,
+        /// Frames verified under earlier keys of this device's session
+        /// (carried across re-keying).
+        prior_frames: u64,
+    },
+    /// Mutual authentication completed and the first telemetry frame
+    /// verified; the session key protects further uplink frames.
+    Established {
+        /// SHA-256 of the ECDH shared secret (enc key ‖ mac key).
+        session_key: [u8; 32],
+        /// Telemetry frames verified under this session.
+        frames: u64,
+    },
+    /// Peeters–Hermans identification in flight: challenge sent, the
+    /// gateway holds `(R, e)` until the response arrives.
+    PhPending {
+        /// The tag's commitment R.
+        commitment: Point<C>,
+        /// The challenge e the gateway issued.
+        challenge: Scalar<C>,
+    },
+}
+
+/// Sharded `DeviceId → SessionPhase` map.
+#[derive(Debug)]
+pub struct SessionTable<C: CurveSpec> {
+    shards: Vec<Mutex<HashMap<DeviceId, SessionPhase<C>>>>,
+    mask: u32,
+}
+
+impl<C: CurveSpec> SessionTable<C> {
+    /// Create a table with `shards` shards, rounded up to a power of
+    /// two (minimum 1).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: (n - 1) as u32,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard a device id lives in (Fibonacci hashing: sequential
+    /// ids spread uniformly).
+    pub fn shard_index(&self, id: DeviceId) -> usize {
+        (id.wrapping_mul(0x9E37_79B1) >> 16 & self.mask) as usize
+    }
+
+    /// Run `f` with the locked shard map holding `id`.
+    pub fn with_shard<R>(
+        &self,
+        id: DeviceId,
+        f: impl FnOnce(&mut HashMap<DeviceId, SessionPhase<C>>) -> R,
+    ) -> R {
+        let mut guard = self.shards[self.shard_index(id)]
+            .lock()
+            .expect("session shard poisoned");
+        f(&mut guard)
+    }
+
+    /// Run `f` with the locked shard at `index` (for batched inserts
+    /// that group work by shard).
+    pub fn with_shard_at<R>(
+        &self,
+        index: usize,
+        f: impl FnOnce(&mut HashMap<DeviceId, SessionPhase<C>>) -> R,
+    ) -> R {
+        let mut guard = self.shards[index].lock().expect("session shard poisoned");
+        f(&mut guard)
+    }
+
+    /// Total number of live sessions across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("session shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-shard session counts (occupancy histogram for the report).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("session shard poisoned").len())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsec_ec::Toy17;
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(SessionTable::<Toy17>::new(0).shard_count(), 1);
+        assert_eq!(SessionTable::<Toy17>::new(5).shard_count(), 8);
+        assert_eq!(SessionTable::<Toy17>::new(16).shard_count(), 16);
+    }
+
+    #[test]
+    fn sequential_ids_spread_across_shards() {
+        let table = SessionTable::<Toy17>::new(8);
+        let mut counts = vec![0usize; table.shard_count()];
+        for id in 0..8000u32 {
+            counts[table.shard_index(id)] += 1;
+        }
+        let (lo, hi) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
+        // Uniform would be 1000 per shard; allow ±25%.
+        assert!(lo > 750 && hi < 1250, "skewed shard histogram: {counts:?}");
+    }
+
+    #[test]
+    fn table_tracks_phases() {
+        let table = SessionTable::<Toy17>::new(4);
+        table.with_shard(7, |m| {
+            m.insert(
+                7,
+                SessionPhase::Established {
+                    session_key: [0u8; 32],
+                    frames: 1,
+                },
+            );
+        });
+        assert_eq!(table.len(), 1);
+        let frames = table.with_shard(7, |m| match m.get(&7) {
+            Some(SessionPhase::Established { frames, .. }) => *frames,
+            _ => 0,
+        });
+        assert_eq!(frames, 1);
+        assert!(!table.is_empty());
+    }
+}

@@ -1,0 +1,547 @@
+//! The fleet driver: scoped worker threads pumping batched sessions
+//! between the provisioned devices and the shared gateway, every
+//! message passing through the `medsec_protocols::wire` codec.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use medsec_ec::{CurveSpec, Toy17, B163, K163};
+use medsec_power::{EnergyReport, RadioModel};
+use medsec_protocols::mutual::{self, SessionOutcome};
+use medsec_protocols::wire::{self, DecodeError, MsgType};
+use medsec_protocols::EnergyLedger;
+use medsec_rng::SplitMix64;
+
+use crate::gateway::{FleetError, Gateway};
+use crate::registry::{provision, DeviceId, FleetDevice};
+use crate::report::FleetReport;
+use crate::scheduler::BatchScheduler;
+
+/// Which curve the fleet's co-processors are configured for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CurveChoice {
+    /// The 17-bit toy curve — fast, for functional fleets and tests.
+    #[default]
+    Toy17,
+    /// The paper's K-163 Koblitz curve.
+    K163,
+    /// The B-163 random curve.
+    B163,
+}
+
+impl CurveChoice {
+    /// Human-readable curve name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CurveChoice::Toy17 => "Toy17",
+            CurveChoice::K163 => "K163",
+            CurveChoice::B163 => "B163",
+        }
+    }
+}
+
+/// Parameters of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Number of devices to provision.
+    pub devices: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Session-table shards (rounded up to a power of two).
+    pub shards: usize,
+    /// Jobs a worker pulls per queue lock.
+    pub batch_size: usize,
+    /// Curve every provisioned co-processor uses.
+    pub curve: CurveChoice,
+    /// Root seed; the whole run is a pure function of it.
+    pub seed: u64,
+    /// Per-mille of mutual-auth devices that are first probed with a
+    /// forged `ServerHello` (the §4 flood scenario); devices must
+    /// reject it cheaply before their real session runs.
+    pub forged_per_mille: u32,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            devices: 256,
+            threads: 4,
+            shards: 16,
+            batch_size: 32,
+            curve: CurveChoice::Toy17,
+            seed: 0x5EED_CAFE,
+            forged_per_mille: 10,
+        }
+    }
+}
+
+/// Worker-local tallies merged into the report after the scope joins.
+///
+/// Gateway-side `Err` outcomes are *not* tallied here — the gateway's
+/// own atomic counters record them — only outcomes the gateway cannot
+/// see: device-side rejections, and "verified but wrong" mismatches
+/// (decrypted telemetry differing from what the device sent, or a
+/// Peeters–Hermans run identifying the wrong tag).
+#[derive(Debug, Default, Clone, Copy)]
+struct WorkerTally {
+    forged_rejected: u64,
+    forged_accepted: u64,
+    device_rejections: u64,
+    mismatches: u64,
+    server_energy_j: f64,
+}
+
+/// Run a full fleet simulation as configured.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    match cfg.curve {
+        CurveChoice::Toy17 => run_fleet_on::<Toy17>(cfg),
+        CurveChoice::K163 => run_fleet_on::<K163>(cfg),
+        CurveChoice::B163 => run_fleet_on::<B163>(cfg),
+    }
+}
+
+/// Monomorphized fleet run.
+pub fn run_fleet_on<C: CurveSpec>(cfg: &FleetConfig) -> FleetReport {
+    assert!(cfg.devices > 0, "fleet needs at least one device");
+    let threads = cfg.threads.max(1);
+
+    let (registry, gateway) = provision::<C>(cfg.devices, cfg.shards, cfg.curve, cfg.seed);
+    let devices: Vec<Mutex<FleetDevice<C>>> = registry
+        .into_devices()
+        .into_iter()
+        .map(Mutex::new)
+        .collect();
+    let scheduler = BatchScheduler::new(0..devices.len());
+
+    let start = Instant::now();
+    let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let gateway = &gateway;
+                let devices = &devices;
+                let scheduler = &scheduler;
+                scope.spawn(move || worker_loop(w, cfg, gateway, devices, scheduler))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fleet worker panicked"))
+            .collect()
+    });
+    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+
+    // Aggregate device-side energy.
+    let mut device_energy_total = 0.0f64;
+    let mut device_energy_max = 0.0f64;
+    let mut bytes_on_air = 0u64;
+    let mut battery_sessions_sum = 0.0f64;
+    let mut battery_sessions_n = 0u64;
+    for cell in &devices {
+        let d = cell.lock().expect("device poisoned");
+        let e = d.ledger.total();
+        device_energy_total += e;
+        device_energy_max = device_energy_max.max(e);
+        bytes_on_air += d.ledger.bytes_on_air() as u64;
+        if e > 0.0 {
+            battery_sessions_sum += d.profile.battery_j / e;
+            battery_sessions_n += 1;
+        }
+    }
+
+    let tally = tallies.iter().fold(WorkerTally::default(), |mut acc, t| {
+        acc.forged_rejected += t.forged_rejected;
+        acc.forged_accepted += t.forged_accepted;
+        acc.device_rejections += t.device_rejections;
+        acc.mismatches += t.mismatches;
+        acc.server_energy_j += t.server_energy_j;
+        acc
+    });
+
+    let counters = gateway.counters();
+    let completed = counters.established + counters.ph_identified;
+    let mut report = FleetReport {
+        devices: cfg.devices,
+        threads,
+        shards: gateway.sessions().shard_count(),
+        sessions_ok: 0,
+        sessions_failed: tally.device_rejections + tally.forged_accepted + tally.mismatches,
+        frames_ok: 0,
+        ph_identified: 0,
+        ph_failed: 0,
+        forged_rejected: tally.forged_rejected,
+        wall_s,
+        sessions_per_sec: completed as f64 / wall_s,
+        frames_per_sec: counters.frames as f64 / wall_s,
+        device_energy_total_j: device_energy_total,
+        energy_per_session_j: if completed > 0 {
+            device_energy_total / completed as f64
+        } else {
+            0.0
+        },
+        device_energy_max_j: device_energy_max,
+        server_energy_j: tally.server_energy_j,
+        bytes_on_air,
+        mean_sessions_per_battery: if battery_sessions_n > 0 {
+            battery_sessions_sum / battery_sessions_n as f64
+        } else {
+            0.0
+        },
+        shard_occupancy: gateway.sessions().shard_sizes(),
+    };
+    report.apply_counters(&counters);
+    report
+}
+
+/// One worker: drain the scheduler in batches, running each device's
+/// session against the gateway.
+fn worker_loop<C: CurveSpec>(
+    worker: usize,
+    cfg: &FleetConfig,
+    gateway: &Gateway<C>,
+    devices: &[Mutex<FleetDevice<C>>],
+    scheduler: &BatchScheduler<usize>,
+) -> WorkerTally {
+    let mut tally = WorkerTally::default();
+    let mut rng = SplitMix64::new(cfg.seed ^ 0xB47C_0000_0000_0000 ^ worker as u64);
+    // The gateway is wall-powered; its ledger exists to size the rack,
+    // using the same calibrated models.
+    let mut server_ledger = EnergyLedger::new(
+        EnergyReport::from_totals(86_000, 5.1e-6, 847_500.0),
+        RadioModel::first_order_default(),
+        2.0,
+    );
+
+    loop {
+        let batch = scheduler.pop_batch(cfg.batch_size);
+        if batch.is_empty() {
+            break;
+        }
+
+        // Partition by protocol family so hello generation can batch.
+        let mut mutual_jobs: Vec<usize> = Vec::with_capacity(batch.len());
+        let mut ph_jobs: Vec<usize> = Vec::new();
+        for idx in batch {
+            let kind = devices[idx].lock().expect("device poisoned").profile.kind;
+            if kind.uses_mutual_auth() {
+                mutual_jobs.push(idx);
+            } else {
+                ph_jobs.push(idx);
+            }
+        }
+
+        // §4 flood scenario: a slice of devices first receives a forged
+        // hello, which ServerFirst ordering must reject cheaply.
+        for &idx in &mutual_jobs {
+            let mut guard = devices[idx].lock().expect("device poisoned");
+            let d = &mut *guard;
+            if !is_forged_target(d.profile.id, cfg.forged_per_mille) {
+                continue;
+            }
+            let forged = mutual::forged_hello::<C>(rng.as_fn());
+            let telemetry = d.profile.kind.telemetry();
+            let out = d
+                .mutual
+                .run_session(&forged, telemetry, d.rng.as_fn(), &mut d.ledger);
+            match out {
+                SessionOutcome::ServerRejected => tally.forged_rejected += 1,
+                SessionOutcome::Established { .. } => tally.forged_accepted += 1,
+            }
+        }
+
+        // Batched genuine hellos: ephemerals generated in one pass,
+        // pending sessions inserted one lock per shard. Hellos are
+        // matched back to devices by the returned id — hello_batch may
+        // skip ids it does not know, so positional pairing would
+        // misalign the batch tail.
+        let idx_by_id: HashMap<DeviceId, usize> = mutual_jobs
+            .iter()
+            .map(|&idx| {
+                (
+                    devices[idx].lock().expect("device poisoned").profile.id,
+                    idx,
+                )
+            })
+            .collect();
+        let ids: Vec<DeviceId> = idx_by_id.keys().copied().collect();
+        let hellos = gateway.hello_batch(&ids, rng.as_fn(), &mut server_ledger);
+
+        for (id, hello_frame) in hellos {
+            let idx = idx_by_id[&id];
+            let mut guard = devices[idx].lock().expect("device poisoned");
+            let d = &mut *guard;
+            let hello = match parse_server_hello::<C>(&hello_frame) {
+                Ok(h) => h,
+                Err(_) => {
+                    tally.device_rejections += 1;
+                    continue;
+                }
+            };
+            let telemetry = d.profile.kind.telemetry();
+            let outcome = d
+                .mutual
+                .run_session(&hello, telemetry, d.rng.as_fn(), &mut d.ledger);
+            match outcome {
+                SessionOutcome::Established { telemetry_frame } => {
+                    let framed = wire::frame(MsgType::Telemetry, &telemetry_frame);
+                    match gateway.handle_telemetry(id, &framed, &mut server_ledger) {
+                        Ok(plaintext) if plaintext == telemetry => {}
+                        // Verified but wrong plaintext: invisible to the
+                        // gateway's counters, so tally it here.
+                        Ok(_) => tally.mismatches += 1,
+                        // Err cases are already in the gateway counters.
+                        Err(_) => {}
+                    }
+                }
+                SessionOutcome::ServerRejected => tally.device_rejections += 1,
+            }
+        }
+
+        // Peeters–Hermans identifications, one device at a time (the
+        // tag-side state machine is sequential by design).
+        for idx in ph_jobs {
+            let mut guard = devices[idx].lock().expect("device poisoned");
+            let d = &mut *guard;
+            let id = d.profile.id;
+            let Some(tag) = d.tag.as_mut() else {
+                continue;
+            };
+            let commitment = tag.commit(d.rng.as_fn(), &mut d.ledger);
+            let commit_frame = wire::encode_point(MsgType::PhCommit, &commitment);
+            let challenge_frame =
+                match gateway.ph_challenge(id, &commit_frame, rng.as_fn(), &mut server_ledger) {
+                    Ok(f) => f,
+                    // Decode failures are in the gateway counters.
+                    Err(_) => continue,
+                };
+            let challenge = match wire::decode_scalar::<C>(MsgType::PhChallenge, &challenge_frame) {
+                Ok(c) => c,
+                Err(_) => {
+                    tally.device_rejections += 1;
+                    continue;
+                }
+            };
+            let response = tag.respond(&challenge, d.rng.as_fn(), &mut d.ledger);
+            let response_frame = wire::encode_scalar(MsgType::PhResponse, &response);
+            match gateway.ph_identify(id, &response_frame, rng.as_fn(), &mut server_ledger) {
+                Ok(found) if found == id => {}
+                // Identified, but as the wrong tag: the gateway cannot
+                // know, so the driver tallies it.
+                Ok(_) => tally.mismatches += 1,
+                // Err cases are already in the gateway counters.
+                Err(_) => {}
+            }
+        }
+    }
+
+    tally.server_energy_j = server_ledger.total();
+    tally
+}
+
+/// Deterministically mark ~`per_mille`/1000 of devices as forged-hello
+/// targets.
+fn is_forged_target(id: DeviceId, per_mille: u32) -> bool {
+    id.wrapping_mul(2_654_435_761) % 1000 < per_mille
+}
+
+/// Device-side parse of a wire-framed `ServerHello`.
+fn parse_server_hello<C: CurveSpec>(bytes: &[u8]) -> Result<mutual::ServerHello<C>, FleetError> {
+    let (ty, payload) = wire::deframe(bytes)?;
+    if ty != MsgType::ServerHello {
+        return Err(FleetError::Decode(DecodeError::Malformed));
+    }
+    let plen = medsec_ec::Point::<C>::compressed_len();
+    if payload.len() != plen + 16 {
+        return Err(FleetError::Decode(DecodeError::Malformed));
+    }
+    let ephemeral =
+        medsec_ec::Point::<C>::decompress(&payload[..plen]).ok_or(FleetError::BadEphemeral)?;
+    let mac: [u8; 16] = payload[plen..].try_into().expect("16 bytes");
+    Ok(mutual::ServerHello { ephemeral, mac })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::DeviceKind;
+
+    #[test]
+    fn small_fleet_completes_every_session() {
+        let cfg = FleetConfig {
+            devices: 100,
+            threads: 4,
+            shards: 8,
+            batch_size: 8,
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&cfg);
+        // ids % 4 ∈ {0,1,3} run mutual auth (75), {2} runs PH (25).
+        assert_eq!(report.sessions_ok, 75);
+        assert_eq!(report.ph_identified, 25);
+        assert_eq!(report.sessions_failed, 0);
+        assert_eq!(report.ph_failed, 0);
+        assert_eq!(report.frames_ok, 75);
+        assert!(report.sessions_per_sec > 0.0);
+    }
+
+    #[test]
+    fn session_establishment_single_device_round_trip() {
+        let (registry, gateway) = provision::<Toy17>(1, 4, CurveChoice::Toy17, 7);
+        let mut device = registry.into_devices().remove(0);
+        assert_eq!(device.profile.kind, DeviceKind::Pacemaker);
+        let mut rng = SplitMix64::new(42);
+        let mut server_ledger = EnergyLedger::new(
+            EnergyReport::from_totals(86_000, 5.1e-6, 847_500.0),
+            RadioModel::first_order_default(),
+            2.0,
+        );
+
+        let hellos = gateway.hello_batch(&[0], rng.as_fn(), &mut server_ledger);
+        assert_eq!(hellos.len(), 1);
+        let hello = parse_server_hello::<Toy17>(&hellos[0].1).unwrap();
+        let telemetry = device.profile.kind.telemetry();
+        let mut dev_rng = device.rng;
+        let SessionOutcome::Established { telemetry_frame } =
+            device
+                .mutual
+                .run_session(&hello, telemetry, dev_rng.as_fn(), &mut device.ledger)
+        else {
+            panic!("genuine hello must establish");
+        };
+        let framed = wire::frame(MsgType::Telemetry, &telemetry_frame);
+        let plaintext = gateway
+            .handle_telemetry(0, &framed, &mut server_ledger)
+            .unwrap();
+        assert_eq!(plaintext, telemetry);
+        // The session is promoted to Established in its shard.
+        assert_eq!(gateway.sessions().len(), 1);
+        assert_eq!(gateway.counters().established, 1);
+    }
+
+    #[test]
+    fn telemetry_is_rejected_without_a_pending_session() {
+        let (_registry, gateway) = provision::<Toy17>(1, 4, CurveChoice::Toy17, 8);
+        let mut ledger = EnergyLedger::new(
+            EnergyReport::from_totals(86_000, 5.1e-6, 847_500.0),
+            RadioModel::first_order_default(),
+            2.0,
+        );
+        let bogus = wire::frame(MsgType::Telemetry, &[0u8; 24]);
+        match gateway.handle_telemetry(0, &bogus, &mut ledger) {
+            Err(FleetError::NoSession(0)) => {}
+            other => panic!("expected NoSession, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tampered_telemetry_fails_authentication() {
+        let (registry, gateway) = provision::<Toy17>(1, 4, CurveChoice::Toy17, 9);
+        let mut device = registry.into_devices().remove(0);
+        let mut rng = SplitMix64::new(43);
+        let mut server_ledger = EnergyLedger::new(
+            EnergyReport::from_totals(86_000, 5.1e-6, 847_500.0),
+            RadioModel::first_order_default(),
+            2.0,
+        );
+        let hellos = gateway.hello_batch(&[0], rng.as_fn(), &mut server_ledger);
+        let hello = parse_server_hello::<Toy17>(&hellos[0].1).unwrap();
+        let mut dev_rng = device.rng;
+        let SessionOutcome::Established {
+            mut telemetry_frame,
+        } = device
+            .mutual
+            .run_session(&hello, b"hr=200;panic", dev_rng.as_fn(), &mut device.ledger)
+        else {
+            panic!("genuine hello must establish");
+        };
+        // Flip one ciphertext bit: "a modification on the ciphertext
+        // may also lead to a corrupted therapy".
+        let mid = telemetry_frame.len() / 2;
+        telemetry_frame[mid] ^= 0x01;
+        let framed = wire::frame(MsgType::Telemetry, &telemetry_frame);
+        assert_eq!(
+            gateway.handle_telemetry(0, &framed, &mut server_ledger),
+            Err(FleetError::AuthFailed)
+        );
+        assert_eq!(gateway.counters().auth_failures, 1);
+    }
+
+    #[test]
+    fn shard_occupancy_accounts_every_established_session() {
+        let cfg = FleetConfig {
+            devices: 128,
+            threads: 2,
+            shards: 8,
+            forged_per_mille: 0,
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&cfg);
+        let live: usize = report.shard_occupancy.iter().sum();
+        // Established mutual sessions stay in the table; PH sessions
+        // are removed on identification.
+        assert_eq!(live as u64, report.sessions_ok);
+        assert_eq!(report.shard_occupancy.len(), 8);
+        // With 96 sessions over 8 shards, no shard should be empty or
+        // hold more than a third of the fleet.
+        assert!(
+            report.shard_imbalance() < 4.0,
+            "occupancy {:?}",
+            report.shard_occupancy
+        );
+    }
+
+    #[test]
+    fn energy_aggregation_matches_protocol_costs() {
+        // A 4-device single-thread fleet: 3 mutual (ids 0,1,3) + 1 PH
+        // (id 2). Every device pays at least two point multiplications
+        // (≈5.1 µJ each) plus radio.
+        let cfg = FleetConfig {
+            devices: 4,
+            threads: 1,
+            shards: 4,
+            forged_per_mille: 0,
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&cfg);
+        assert_eq!(report.sessions_completed(), 4);
+        let two_ecpm = 2.0 * 5.1e-6;
+        assert!(
+            report.energy_per_session_j > two_ecpm,
+            "session energy {} should exceed two ECPMs",
+            report.energy_per_session_j
+        );
+        assert!(report.energy_per_session_j < 10.0 * two_ecpm);
+        assert!(report.device_energy_max_j >= report.energy_per_session_j * 0.5);
+        assert!(report.bytes_on_air > 0);
+        assert!(report.server_energy_j > 0.0);
+        assert!(report.mean_sessions_per_battery > 1.0e6);
+    }
+
+    #[test]
+    fn forged_hellos_are_rejected_and_do_not_block_service() {
+        let cfg = FleetConfig {
+            devices: 64,
+            threads: 2,
+            forged_per_mille: 1000, // every mutual device gets probed
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&cfg);
+        // ids % 4 ∈ {0,1,3} → 48 mutual devices, all probed.
+        assert_eq!(report.forged_rejected, 48);
+        assert_eq!(report.sessions_ok, 48);
+        assert_eq!(report.sessions_failed, 0);
+    }
+
+    #[test]
+    fn k163_fleet_runs_end_to_end() {
+        let cfg = FleetConfig {
+            devices: 8,
+            threads: 2,
+            curve: CurveChoice::K163,
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&cfg);
+        assert_eq!(report.sessions_completed(), 8);
+        assert_eq!(report.sessions_failed + report.ph_failed, 0);
+    }
+}

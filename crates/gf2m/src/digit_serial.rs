@@ -91,7 +91,7 @@ impl<F: FieldSpec> DigitSerialMul<F> {
     /// Panics if `digit` is 0 or larger than 64 (no real MALU in this
     /// design space is wider).
     pub fn new(a: Element<F>, b: Element<F>, digit: usize) -> Self {
-        assert!(digit >= 1 && digit <= 64, "digit size {digit} out of range");
+        assert!((1..=64).contains(&digit), "digit size {digit} out of range");
         let total_cycles = cycles_per_mul(F::M, digit);
         Self {
             a,

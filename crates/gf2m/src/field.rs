@@ -147,7 +147,7 @@ impl<F: FieldSpec> Element<F> {
 
     /// Big-endian hex rendering with no leading zeros (`"0"` for zero).
     pub fn to_hex(&self) -> String {
-        let digits = (F::M + 3) / 4;
+        let digits = F::M.div_ceil(4);
         let mut s = String::with_capacity(digits);
         let mut started = false;
         for n in (0..digits).rev() {
@@ -162,7 +162,7 @@ impl<F: FieldSpec> Element<F> {
 
     /// Big-endian byte encoding, fixed width `ceil(m/8)` bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let n = (F::M + 7) / 8;
+        let n = F::M.div_ceil(8);
         let mut out = vec![0u8; n];
         for (i, b) in out.iter_mut().rev().enumerate() {
             *b = (self.limbs[i / 8] >> (8 * (i % 8))) as u8;
@@ -266,7 +266,7 @@ impl<F: FieldSpec> Element<F> {
         for i in (0..bits - 1).rev() {
             // Double the covered exponent: t = t * t^(2^ecov).
             let t2 = t.frobenius(ecov);
-            t = t * t2;
+            t *= t2;
             ecov *= 2;
             if (e >> i) & 1 == 1 {
                 t = t.square() * *self;
@@ -329,7 +329,7 @@ impl<F: FieldSpec> Element<F> {
     /// [`rand`-style]: https://docs.rs/rand
     pub fn random(mut next_u64: impl FnMut() -> u64) -> Self {
         let mut l = [0u64; LIMBS];
-        let words = (F::M + 63) / 64;
+        let words = F::M.div_ceil(64);
         for w in l.iter_mut().take(words) {
             *w = next_u64();
         }
@@ -448,10 +448,7 @@ mod tests {
 
     #[test]
     fn hex_rejects_garbage() {
-        assert_eq!(
-            Element::<F163>::from_hex(""),
-            Err(ParseElementError::Empty)
-        );
+        assert_eq!(Element::<F163>::from_hex(""), Err(ParseElementError::Empty));
         assert!(matches!(
             Element::<F163>::from_hex("zz"),
             Err(ParseElementError::InvalidDigit('z'))

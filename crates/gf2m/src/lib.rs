@@ -38,7 +38,7 @@ mod limbs;
 pub mod digit_serial;
 
 pub use field::{Element, FieldSpec, ParseElementError};
-pub use fields::{F17, F163, F233, F283};
+pub use fields::{F163, F17, F233, F283};
 
 /// Number of 64-bit limbs in an element (320 bits, enough for m ≤ 283).
 pub const LIMBS: usize = 5;

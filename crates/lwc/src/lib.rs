@@ -34,6 +34,6 @@ pub use aes::{Aes128, INV_SBOX, SBOX};
 pub use cipher::{BlockCipher, HwProfile};
 pub use mac::{aes_cmac, hmac_sha256, verify_tag};
 pub use modes::{ctr_xor, encrypt_then_mac, verify_then_decrypt};
-pub use present::{Present80, Present128};
+pub use present::{Present128, Present80};
 pub use sha::{sha1, sha1_hw_profile, sha256, sha256_hw_profile};
 pub use simon::{Simon32, Simon64};

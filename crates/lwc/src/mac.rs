@@ -150,7 +150,10 @@ mod tests {
             0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
             0x4f, 0x3c,
         ];
-        assert_eq!(hex(&aes_cmac(&key, b"")), "bb1d6929e95937287fa37d129b756746");
+        assert_eq!(
+            hex(&aes_cmac(&key, b"")),
+            "bb1d6929e95937287fa37d129b756746"
+        );
         let m16: [u8; 16] = [
             0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
             0x17, 0x2a,

@@ -100,7 +100,7 @@ impl Present80 {
         let mut round_keys = [0u64; ROUNDS + 1];
         for (i, rk) in round_keys.iter_mut().enumerate() {
             *rk = hi; // round key = bits 79..16
-            // Rotate the 80-bit register left by 61.
+                      // Rotate the 80-bit register left by 61.
             let full_hi = hi;
             let full_lo = lo;
             // (hi:64 bits, lo:16 bits) => value = hi·2^16 + lo.

@@ -3,7 +3,7 @@
 
 use medsec_lwc::{
     aes_cmac, ctr_xor, encrypt_then_mac, hmac_sha256, sha256, verify_then_decrypt, Aes128,
-    BlockCipher, Present80, Present128, Simon32, Simon64,
+    BlockCipher, Present128, Present80, Simon32, Simon64,
 };
 use proptest::prelude::*;
 

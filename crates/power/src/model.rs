@@ -110,10 +110,7 @@ impl PowerModel {
         data += self.effective(act.malu_hd as f64, width::MALU) * e.malu_bit;
         // Partial-product array: its nominal width scales with the digit
         // size, so the activity record carries it.
-        data += self.effective(
-            act.malu_pp as f64,
-            2.0 * act.malu_pp_nominal as f64,
-        ) * e.pp_event;
+        data += self.effective(act.malu_pp as f64, 2.0 * act.malu_pp_nominal as f64) * e.pp_event;
         data += self.effective(act.reg_write_hd as f64, width::REG) * e.reg_bit;
         data += self.effective(act.bus_hd as f64, width::BUS) * e.bus_bit;
         // Glitches: dual-rail precharge styles suppress them entirely.
@@ -203,10 +200,14 @@ mod tests {
     #[test]
     fn clock_skew_differentiates_registers() {
         let m = PowerModel::paper_default();
-        let mut a = CycleActivity::default();
-        a.clocked_mask = 0b000010; // register 1 (+3 % skew)
-        let mut b = CycleActivity::default();
-        b.clocked_mask = 0b010000; // register 4 (−4 % skew)
+        let a = CycleActivity {
+            clocked_mask: 0b000010, // register 1 (+3 % skew)
+            ..CycleActivity::default()
+        };
+        let b = CycleActivity {
+            clocked_mask: 0b010000, // register 4 (−4 % skew)
+            ..CycleActivity::default()
+        };
         assert!(m.cycle_energy(&a) > m.cycle_energy(&b));
     }
 

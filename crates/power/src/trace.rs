@@ -118,8 +118,7 @@ impl ActivityObserver for TraceRecorder {
         self.total_cycles += 1;
         if activity.cycle >= self.start && activity.cycle < self.end {
             let power = energy * self.model.technology.clock_hz;
-            let noisy =
-                power + self.noise.next_gaussian() * self.model.technology.noise_sigma_w;
+            let noisy = power + self.noise.next_gaussian() * self.model.technology.noise_sigma_w;
             if self.trace.samples.is_empty() {
                 self.trace.first_cycle = activity.cycle;
             }

@@ -151,8 +151,18 @@ mod tests {
         let key = EcdsaKey::<K163>::generate(rng.as_fn());
         let mut l = ledger();
         let sig = key.sign(b"prescription", rng.as_fn(), &mut l);
-        assert!(ecdsa_verify(key.public(), b"prescription", &sig, rng.as_fn()));
-        assert!(!ecdsa_verify(key.public(), b"prescriptioN", &sig, rng.as_fn()));
+        assert!(ecdsa_verify(
+            key.public(),
+            b"prescription",
+            &sig,
+            rng.as_fn()
+        ));
+        assert!(!ecdsa_verify(
+            key.public(),
+            b"prescriptioN",
+            &sig,
+            rng.as_fn()
+        ));
     }
 
     #[test]
@@ -166,10 +176,10 @@ mod tests {
         assert!(!ecdsa_verify(other.public(), b"m", &sig, rng.as_fn()));
         // Mauled r and s.
         let good = sig;
-        sig.r = sig.r + Scalar::one();
+        sig.r += Scalar::one();
         assert!(!ecdsa_verify(key.public(), b"m", &sig, rng.as_fn()));
         sig = good;
-        sig.s = sig.s + Scalar::one();
+        sig.s += Scalar::one();
         assert!(!ecdsa_verify(key.public(), b"m", &sig, rng.as_fn()));
     }
 

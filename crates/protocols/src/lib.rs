@@ -33,9 +33,7 @@ pub mod wire;
 pub use ecdsa::{ecdsa_verify, EcdsaKey, EcdsaSignature};
 pub use energy::{EnergyLedger, LedgerEvent};
 pub use peeters_hermans::{PhReader, PhTag, PhTranscript, TagId};
-pub use privacy::{
-    ph_tracking_game, schnorr_tracking_game, symmetric_tracking_game, GameResult,
-};
+pub use privacy::{ph_tracking_game, schnorr_tracking_game, symmetric_tracking_game, GameResult};
 pub use schnorr::{extract_public_key, schnorr_verify, SchnorrTag, SchnorrTranscript};
 pub use signature::{verify as verify_signature, Signature, SigningKey};
 pub use symmetric::{SymmetricDevice, SymmetricServer, SymmetricTranscript};

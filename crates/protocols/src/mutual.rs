@@ -20,6 +20,11 @@ use medsec_lwc::{
 
 use crate::energy::EnergyLedger;
 
+/// Fixed CTR nonce for the telemetry frame. Freshness comes from the
+/// per-session key, so the nonce itself is a protocol constant — the
+/// gateway side must use the same bytes to decrypt.
+pub const TELEMETRY_NONCE: [u8; 12] = [0x4d, 0x45, 0x44, 0x53, 0x45, 0x43, 0, 1, 0, 0, 0, 0];
+
 /// Which side commits energy first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Ordering {
@@ -147,10 +152,9 @@ impl<C: CurveSpec> Device<C> {
     ) -> Vec<u8> {
         let enc_key: [u8; 16] = session_key[..16].try_into().expect("16 bytes");
         let mac_key = &session_key[16..];
-        let nonce = [0x4d, 0x45, 0x44, 0x53, 0x45, 0x43, 0, 1, 0, 0, 0, 0];
         let aes = Aes128::new(&enc_key);
         let mut ct = telemetry.to_vec();
-        ctr_xor(&aes, &nonce, &mut ct);
+        ctr_xor(&aes, &TELEMETRY_NONCE, &mut ct);
         let blocks = (telemetry.len() as u64).div_ceil(16).max(1);
         ledger.symmetric("AES-128", &Aes128::hw_profile(), blocks);
         let mut mac_input = kp.public().compress();
@@ -212,7 +216,7 @@ pub fn flood_energy<C: CurveSpec>(
 }
 
 fn point_len<C: CurveSpec>() -> usize {
-    (<C::Field as medsec_gf2m::FieldSpec>::M + 7) / 8 + 1
+    Point::<C>::compressed_len()
 }
 
 #[cfg(test)]

@@ -27,7 +27,7 @@ pub type TagId = u32;
 
 /// Byte length of a compressed point for curve `C`.
 fn point_bytes<C: CurveSpec>() -> usize {
-    (<C::Field as medsec_gf2m::FieldSpec>::M + 7) / 8 + 1
+    Point::<C>::compressed_len()
 }
 
 /// Byte length of a scalar for curve `C`.
@@ -157,20 +157,32 @@ impl<C: CurveSpec> PhReader<C> {
 
     /// Register a new tag: generates its key pair, stores X = x·P in the
     /// database, and returns the tag device.
-    pub fn register_tag(
-        &mut self,
-        id: TagId,
-        mut next_u64: impl FnMut() -> u64,
-    ) -> PhTag<C> {
-        let x = Scalar::random_nonzero(&mut next_u64);
-        let public = ladder_mul(
-            &x,
-            &C::generator(),
-            CoordinateBlinding::RandomZ,
-            &mut next_u64,
-        );
-        self.db.push((id, public));
-        PhTag::new(x, self.public)
+    ///
+    /// Enrollment rejects public-key collisions: a database holding the
+    /// same X twice cannot distinguish those tags at identification
+    /// time, so a colliding key is regenerated. On small curves (the
+    /// 17-bit toy curve at fleet scale) collisions genuinely occur.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a collision-free key cannot be found in 1 000 draws —
+    /// the database is saturating the group.
+    pub fn register_tag(&mut self, id: TagId, mut next_u64: impl FnMut() -> u64) -> PhTag<C> {
+        for _ in 0..1000 {
+            let x = Scalar::random_nonzero(&mut next_u64);
+            let public = ladder_mul(
+                &x,
+                &C::generator(),
+                CoordinateBlinding::RandomZ,
+                &mut next_u64,
+            );
+            if self.db.iter().any(|(_, p)| *p == public) {
+                continue;
+            }
+            self.db.push((id, public));
+            return PhTag::new(x, self.public);
+        }
+        panic!("tag database saturates the curve group; no unique key found");
     }
 
     /// Generate a challenge e.
@@ -210,10 +222,7 @@ impl<C: CurveSpec> PhReader<C> {
             &mut next_u64,
         );
         let x_hat = sp - dp - er;
-        self.db
-            .iter()
-            .find(|(_, x)| *x == x_hat)
-            .map(|(id, _)| *id)
+        self.db.iter().find(|(_, x)| *x == x_hat).map(|(id, _)| *id)
     }
 }
 

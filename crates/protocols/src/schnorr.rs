@@ -70,7 +70,7 @@ impl<C: CurveSpec> SchnorrTag<C> {
         );
         self.session_r = Some(r);
         ledger.point_mul();
-        ledger.tx((<C::Field as medsec_gf2m::FieldSpec>::M + 7) / 8 + 1);
+        ledger.tx(<C::Field as medsec_gf2m::FieldSpec>::M.div_ceil(8) + 1);
         commitment
     }
 

@@ -16,7 +16,6 @@ use medsec_ec::{
     ladder::{ladder_mul, CoordinateBlinding},
     CurveSpec, Point, Scalar,
 };
-use medsec_gf2m::FieldSpec;
 use medsec_lwc::sha256;
 
 use crate::energy::EnergyLedger;
@@ -164,7 +163,7 @@ mod tests {
         let key = SigningKey::<Toy17>::generate(rng.as_fn());
         let mut l = ledger();
         let mut sig = key.sign(b"msg", rng.as_fn(), &mut l);
-        sig.s = sig.s + Scalar::one();
+        sig.s += Scalar::one();
         assert!(!verify(key.public(), b"msg", &sig, rng.as_fn()));
     }
 

@@ -79,7 +79,11 @@ impl SymmetricServer {
     }
 
     /// Provision a new device; returns the device object.
-    pub fn register_device(&mut self, id: u32, mut next_u64: impl FnMut() -> u64) -> SymmetricDevice {
+    pub fn register_device(
+        &mut self,
+        id: u32,
+        mut next_u64: impl FnMut() -> u64,
+    ) -> SymmetricDevice {
         let mut key = [0u8; 16];
         for chunk in key.chunks_mut(8) {
             chunk.copy_from_slice(&next_u64().to_be_bytes());
@@ -95,8 +99,7 @@ impl SymmetricServer {
 
     /// Verify a device response.
     pub fn verify(&self, transcript: &SymmetricTranscript) -> bool {
-        let Some((_, key)) = self.keys.iter().find(|(id, _)| *id == transcript.device_id)
-        else {
+        let Some((_, key)) = self.keys.iter().find(|(id, _)| *id == transcript.device_id) else {
             return false;
         };
         let mut msg = Vec::with_capacity(20);

@@ -28,7 +28,8 @@ pub enum MsgType {
 }
 
 impl MsgType {
-    fn from_u8(v: u8) -> Option<Self> {
+    /// Parse a tag byte back into its message type.
+    pub fn from_u8(v: u8) -> Option<Self> {
         Some(match v {
             0x01 => MsgType::PhCommit,
             0x02 => MsgType::PhChallenge,

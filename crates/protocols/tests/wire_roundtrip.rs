@@ -1,0 +1,140 @@
+//! Property tests for the wire codec.
+//!
+//! The fleet gateway pushes every over-the-air message through
+//! `wire.rs`, so the codec gets the strongest guarantees in the crate:
+//! encode→decode identity for every message type, and rejection of
+//! every truncated or overlong frame.
+
+use medsec_ec::{ladder, CoordinateBlinding, Scalar, Toy17, K163};
+use medsec_protocols::peeters_hermans::PhTranscript;
+use medsec_protocols::wire::{
+    decode_ph_transcript, decode_point, decode_scalar, deframe, encode_ph_transcript, encode_point,
+    encode_scalar, frame, DecodeError, MsgType,
+};
+use medsec_rng::SplitMix64;
+use proptest::prelude::*;
+
+/// Every message type tag.
+const ALL_TYPES: [MsgType; 5] = [
+    MsgType::PhCommit,
+    MsgType::PhChallenge,
+    MsgType::PhResponse,
+    MsgType::ServerHello,
+    MsgType::Telemetry,
+];
+
+fn arb_msg_type() -> impl Strategy<Value = MsgType> {
+    prop::sample::select(ALL_TYPES.to_vec())
+}
+
+/// A random point on curve `C`, derived from a seed.
+fn point_from_seed<C: medsec_ec::CurveSpec>(seed: u64) -> medsec_ec::Point<C> {
+    let mut rng = SplitMix64::new(seed | 1);
+    let k = Scalar::<C>::random_nonzero(rng.as_fn());
+    ladder::ladder_mul(
+        &k,
+        &C::generator(),
+        CoordinateBlinding::RandomZ,
+        rng.as_fn(),
+    )
+}
+
+proptest! {
+    #[test]
+    fn frame_deframe_identity_every_type(
+        ty in arb_msg_type(),
+        payload in prop::collection::vec(any::<u8>(), 0..=255),
+    ) {
+        let f = frame(ty, &payload);
+        prop_assert_eq!(f.len(), 2 + payload.len());
+        let (got_ty, got_payload) = deframe(&f).expect("well-formed frame must deframe");
+        prop_assert_eq!(got_ty, ty);
+        prop_assert_eq!(got_payload, &payload[..]);
+    }
+
+    #[test]
+    fn truncated_frames_rejected(
+        ty in arb_msg_type(),
+        payload in prop::collection::vec(any::<u8>(), 1..64),
+        cut_seed in any::<u64>(),
+    ) {
+        let f = frame(ty, &payload);
+        // Any strict prefix fails closed.
+        let cut = 1 + (cut_seed as usize) % (f.len() - 1);
+        prop_assert_eq!(deframe(&f[..cut]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn overlong_frames_rejected(
+        ty in arb_msg_type(),
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+        extra in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        // Trailing bytes beyond the declared length fail closed too: a
+        // gateway must not silently accept smuggled suffix data.
+        let mut long = frame(ty, &payload).to_vec();
+        long.extend_from_slice(&extra);
+        prop_assert_eq!(deframe(&long), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn unknown_type_bytes_rejected(first in any::<u8>(), len in 0u8..8) {
+        if MsgType::from_u8(first).is_none() {
+            let mut bytes = vec![first, len];
+            bytes.extend(std::iter::repeat_n(0u8, len as usize));
+            prop_assert_eq!(deframe(&bytes), Err(DecodeError::UnknownType(first)));
+        }
+    }
+
+    #[test]
+    fn point_round_trip_toy(seed in any::<u64>(), ty in arb_msg_type()) {
+        let p = point_from_seed::<Toy17>(seed);
+        let enc = encode_point(ty, &p);
+        prop_assert_eq!(decode_point::<Toy17>(ty, &enc).expect("round trip"), p);
+    }
+
+    #[test]
+    fn scalar_round_trip_both_curves(seed in any::<u64>(), ty in arb_msg_type()) {
+        let mut rng = SplitMix64::new(seed);
+        let s17 = Scalar::<Toy17>::random_nonzero(rng.as_fn());
+        let enc = encode_scalar(ty, &s17);
+        prop_assert_eq!(decode_scalar::<Toy17>(ty, &enc).expect("round trip"), s17);
+
+        let s163 = Scalar::<K163>::random_nonzero(rng.as_fn());
+        let enc = encode_scalar(ty, &s163);
+        prop_assert_eq!(decode_scalar::<K163>(ty, &enc).expect("round trip"), s163);
+    }
+
+    #[test]
+    fn wrong_expected_type_rejected(seed in any::<u64>()) {
+        let s = Scalar::<Toy17>::random_nonzero(SplitMix64::new(seed).as_fn());
+        let enc = encode_scalar(MsgType::PhResponse, &s);
+        prop_assert_eq!(
+            decode_scalar::<Toy17>(MsgType::PhChallenge, &enc),
+            Err(DecodeError::Malformed)
+        );
+    }
+
+    #[test]
+    fn transcript_round_trip_and_truncation(seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let t = PhTranscript::<Toy17> {
+            commitment: point_from_seed::<Toy17>(seed ^ 0xABCD),
+            challenge: Scalar::random_nonzero(rng.as_fn()),
+            response: Scalar::random_nonzero(rng.as_fn()),
+        };
+        let enc = encode_ph_transcript(&t);
+        prop_assert_eq!(decode_ph_transcript::<Toy17>(&enc).expect("round trip"), t);
+        let cut = (seed as usize) % enc.len();
+        prop_assert!(decode_ph_transcript::<Toy17>(&enc[..cut]).is_err());
+    }
+}
+
+#[test]
+fn every_msg_type_byte_survives_the_codec() {
+    for ty in ALL_TYPES {
+        let f = frame(ty, b"x");
+        let (got, _) = deframe(&f).unwrap();
+        assert_eq!(got, ty);
+    }
+}

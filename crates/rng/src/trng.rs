@@ -200,9 +200,8 @@ mod tests {
 
     #[test]
     fn correlation_increases_run_lengths() {
-        let count_repeats = |bits: &[u8]| -> usize {
-            bits.windows(2).filter(|w| w[0] == w[1]).count()
-        };
+        let count_repeats =
+            |bits: &[u8]| -> usize { bits.windows(2).filter(|w| w[0] == w[1]).count() };
         let mut fair = RingOscillatorTrng::new(
             TrngConfig {
                 bias: 0.0,

@@ -60,8 +60,7 @@ impl ActivityObserver for OffsetSampler {
     fn on_cycle(&mut self, activity: &CycleActivity) {
         if self.next < self.offsets.len() && activity.cycle == self.offsets[self.next] {
             let power = self.model.cycle_energy(activity) * self.model.technology.clock_hz;
-            let noisy =
-                power + self.noise.next_gaussian() * self.model.technology.noise_sigma_w;
+            let noisy = power + self.noise.next_gaussian() * self.model.technology.noise_sigma_w;
             self.samples.push(noisy);
             self.next += 1;
         }

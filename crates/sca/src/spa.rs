@@ -242,10 +242,10 @@ mod tests {
     fn branched_ladder_with_gating_leaks_clock_pattern() {
         let mut cfg = CoprocConfig::unprotected();
         cfg.operand_isolation = true; // isolate the channel under test
-        // The clock-branch skew signal is ~1 pJ — much subtler than the
-        // 164-mux select channel — so this readout needs heavier
-        // averaging, exactly as the paper's "complex profiling phase"
-        // suggests.
+                                      // The clock-branch skew signal is ~1 pJ — much subtler than the
+                                      // 164-mux select channel — so this readout needs heavier
+                                      // averaging, exactly as the paper's "complex profiling phase"
+                                      // suggests.
         let out = spa_attack::<Toy17>(
             cfg,
             &PowerModel::paper_default(),

@@ -120,7 +120,9 @@ pub fn two_means(features: &[f64]) -> (Vec<bool>, f64) {
     let labels = features.iter().map(|&f| f > mid).collect::<Vec<_>>();
     let cluster0: Vec<f64> = features.iter().cloned().filter(|&f| f <= mid).collect();
     let cluster1: Vec<f64> = features.iter().cloned().filter(|&f| f > mid).collect();
-    let pooled = (variance(&cluster0) + variance(&cluster1)).sqrt().max(1e-18);
+    let pooled = (variance(&cluster0) + variance(&cluster1))
+        .sqrt()
+        .max(1e-18);
     let sep = (mean(&cluster1) - mean(&cluster0)).abs() / pooled;
     (labels, sep)
 }

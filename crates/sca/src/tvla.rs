@@ -119,7 +119,10 @@ pub fn tvla_fixed_vs_random<C: CurveSpec>(
         .collect();
     let max_abs_t = t_values.iter().fold(0.0f64, |m, t| m.max(t.abs()));
 
-    TvlaReport { t_values, max_abs_t }
+    TvlaReport {
+        t_values,
+        max_abs_t,
+    }
 }
 
 #[cfg(test)]

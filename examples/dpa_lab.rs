@@ -39,8 +39,16 @@ fn main() {
     println!("CPA against the first 8 ladder bits of a fixed K-163 key\n");
     attack(Scenario::Disabled, 50, "blinding DISABLED");
     attack(Scenario::Disabled, 200, "blinding DISABLED");
-    attack(Scenario::RandomKnown, 200, "blinded, randomness KNOWN (white-box)");
-    attack(Scenario::RandomUnknown, 2_000, "blinded, randomness UNKNOWN");
+    attack(
+        Scenario::RandomKnown,
+        200,
+        "blinded, randomness KNOWN (white-box)",
+    );
+    attack(
+        Scenario::RandomUnknown,
+        2_000,
+        "blinded, randomness UNKNOWN",
+    );
     println!("\npaper §7: 200 traces suffice when the countermeasure is off; with the");
     println!("random projective Z active, 'even 20000 traces are not enough to reveal");
     println!("a single key bit' — run `experiments e3` (without --fast) for the full");

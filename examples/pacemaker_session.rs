@@ -36,7 +36,10 @@ fn main() {
     let mut l = ledger();
     match device.run_session(&hello, b"hr=62bpm batt=78%", rng.as_fn(), &mut l) {
         SessionOutcome::Established { telemetry_frame } => {
-            println!("session established; telemetry frame: {} bytes", telemetry_frame.len());
+            println!(
+                "session established; telemetry frame: {} bytes",
+                telemetry_frame.len()
+            );
             println!(
                 "  device energy: {:.2} µJ (compute {:.2} µJ, radio {:.2} µJ)",
                 l.total() * 1e6,
@@ -50,7 +53,10 @@ fn main() {
     // A forged hello is rejected cheaply.
     let mut l = ledger();
     let out = device.run_session(&forged_hello(rng.as_fn()), b"x", rng.as_fn(), &mut l);
-    println!("\nforged hello -> {out:?}; energy wasted: {:.3} µJ", l.total() * 1e6);
+    println!(
+        "\nforged hello -> {out:?}; energy wasted: {:.3} µJ",
+        l.total() * 1e6
+    );
 
     // Flood comparison: the §4 ordering rule in numbers.
     let n = 50;

@@ -21,9 +21,18 @@ fn main() {
     println!("k·G on K-163 (on curve: {})", point.is_on_curve());
     println!("  cycles      : {}", report.cycles);
     println!("  latency     : {:.1} ms", report.seconds * 1e3);
-    println!("  energy      : {:.2} µJ   (paper: 5.1 µJ)", report.energy_j * 1e6);
-    println!("  avg power   : {:.1} µW   (paper: 50.4 µW)", report.avg_power_w * 1e6);
-    println!("  throughput  : {:.1} PM/s (paper: 9.8 PM/s)", report.ops_per_second);
+    println!(
+        "  energy      : {:.2} µJ   (paper: 5.1 µJ)",
+        report.energy_j * 1e6
+    );
+    println!(
+        "  avg power   : {:.1} µW   (paper: 50.4 µW)",
+        report.avg_power_w * 1e6
+    );
+    println!(
+        "  throughput  : {:.1} PM/s (paper: 9.8 PM/s)",
+        report.ops_per_second
+    );
 
     // The security pyramid (paper Fig. 1): every threat must be covered
     // at the right abstraction level.

@@ -21,7 +21,9 @@ fn main() {
 
     // Hospital deployment: one reader, a ward of tags.
     let mut reader = PhReader::<Toy17>::new(rng.as_fn());
-    let mut tags: Vec<_> = (0..5).map(|i| reader.register_tag(i, rng.as_fn())).collect();
+    let mut tags: Vec<_> = (0..5)
+        .map(|i| reader.register_tag(i, rng.as_fn()))
+        .collect();
 
     println!("Peeters–Hermans identification (Fig. 2):");
     for (i, tag) in tags.iter_mut().enumerate() {

@@ -44,3 +44,7 @@ pub use medsec_protocols as protocols;
 
 /// Security pyramid, design-space exploration, chip façade.
 pub use medsec_core as core;
+
+/// Hospital-gateway fleet serving layer: sharded sessions, batched
+/// crypto, throughput/energy reports.
+pub use medsec_fleet as fleet;

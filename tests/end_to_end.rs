@@ -2,8 +2,8 @@
 //! curves → cycle-accurate co-processor → power model → attacks →
 //! protocols → design space.
 
-use medsec_core::{Blinding, DesignReview, EccProcessor};
 use medsec_coproc::CoprocConfig;
+use medsec_core::{Blinding, DesignReview, EccProcessor};
 use medsec_ec::{
     ladder::{ladder_mul, CoordinateBlinding},
     CurveSpec, Point, Scalar, Toy17, K163,
@@ -21,7 +21,12 @@ fn chip_and_software_agree_on_k163() {
     for _ in 0..3 {
         let k = Scalar::<K163>::random_nonzero(rng.as_fn());
         let (hw, report) = chip.point_mul(&k, &K163::generator());
-        let sw = ladder_mul(&k, &K163::generator(), CoordinateBlinding::RandomZ, rng.as_fn());
+        let sw = ladder_mul(
+            &k,
+            &K163::generator(),
+            CoordinateBlinding::RandomZ,
+            rng.as_fn(),
+        );
         assert_eq!(hw, sw);
         assert!(report.cycles > 60_000);
     }

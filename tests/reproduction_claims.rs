@@ -11,8 +11,8 @@ use medsec_power::{LogicStyle, PowerModel, Technology};
 /// 847.5 kHz ⇒ ≈86 480 cycles. Ours must stay within ±10 %.
 #[test]
 fn claim_cycle_count() {
-    let cycles = cost::point_mul_cycles(163, K163::LADDER_BITS, &CoprocConfig::paper_chip())
-        .total() as f64;
+    let cycles =
+        cost::point_mul_cycles(163, K163::LADDER_BITS, &CoprocConfig::paper_chip()).total() as f64;
     assert!(
         (77_800.0..95_100.0).contains(&cycles),
         "cycle count {cycles} drifted from the paper band"
@@ -86,11 +86,7 @@ fn claim_six_registers() {
 #[test]
 fn claim_dual_rail_costs() {
     let tech = Technology::umc130_low_leakage();
-    let std = evaluate_point::<K163>(
-        &CoprocConfig::paper_chip(),
-        LogicStyle::StandardCell,
-        &tech,
-    );
+    let std = evaluate_point::<K163>(&CoprocConfig::paper_chip(), LogicStyle::StandardCell, &tech);
     let wddl = evaluate_point::<K163>(&CoprocConfig::paper_chip(), LogicStyle::Wddl, &tech);
     assert!(wddl.area_ge / std.area_ge > 2.0);
     assert!(wddl.energy_j / std.energy_j > 2.0);
