@@ -93,10 +93,13 @@ pub fn run(fast: bool) -> String {
     run_with_json(fast).0
 }
 
-/// Combined machine-readable summary for `BENCH_fleet.json`.
+/// Combined machine-readable summary for `BENCH_fleet.json`. Records
+/// which gf2m backend the serving path ran on, so a trajectory point is
+/// attributable to the arithmetic behind it.
 fn summary_json(toy: &FleetReport, k163: &FleetReport) -> String {
     format!(
-        "{{\"experiment\":\"fleet\",\"toy17\":{},\"k163\":{}}}",
+        "{{\"experiment\":\"fleet\",\"backend\":\"{}\",\"toy17\":{},\"k163\":{}}}",
+        medsec_gf2m::backend::active_backend_name(),
         toy.to_json(),
         k163.to_json()
     )
@@ -110,6 +113,7 @@ mod tests {
         assert!(report.contains("sessions / s"));
         assert!(report.contains("forged hellos rejected"));
         assert!(json.contains("\"toy17\":{"));
+        assert!(json.contains("\"backend\":\"fast\""));
         assert!(json.contains("\"sessions_per_sec\""));
         assert!(json.contains("\"energy_per_session_j\""));
     }

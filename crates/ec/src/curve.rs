@@ -162,24 +162,33 @@ impl<C: CurveSpec> Point<C> {
     /// `Tr(y/x)`... here concretely the parity bit `z₀` of `z = y/x`).
     /// Infinity encodes as an all-zero string with tag 0xff.
     pub fn compress(&self) -> Vec<u8> {
+        let mut v = vec![0u8; Self::compressed_len()];
+        self.compress_into(&mut v);
+        v
+    }
+
+    /// Write the [`compress`](Self::compress) encoding into `out`
+    /// without allocating — the serving path frames thousands of points
+    /// per batch and must not pay one `Vec` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != Self::compressed_len()`.
+    pub fn compress_into(&self, out: &mut [u8]) {
+        assert_eq!(out.len(), Self::compressed_len(), "encoding width");
         match self {
             Point::Infinity => {
-                let n = Self::compressed_len();
-                let mut v = vec![0u8; n];
-                v[0] = 0xff;
-                v
+                out.fill(0);
+                out[0] = 0xff;
             }
             Point::Affine { x, y } => {
-                let mut v = Vec::with_capacity(Self::compressed_len());
-                let tag = if x.is_zero() {
+                out[0] = if x.is_zero() {
                     0u8
                 } else {
                     let z = *y * x.inverse().expect("x nonzero");
                     u8::from(z.bit(0))
                 };
-                v.push(tag);
-                v.extend_from_slice(&x.to_bytes());
-                v
+                x.to_bytes_into(&mut out[1..]);
             }
         }
     }

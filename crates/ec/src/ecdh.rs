@@ -8,7 +8,7 @@
 use medsec_gf2m::Element;
 
 use crate::curve::{CurveSpec, Point};
-use crate::ladder::{ladder_mul, ladder_x_affine, ladder_x_only, CoordinateBlinding};
+use crate::ladder::{ladder_x_affine, ladder_x_only, CoordinateBlinding};
 use crate::scalar::Scalar;
 
 /// A private/public key pair on curve `C`.
@@ -19,17 +19,34 @@ pub struct KeyPair<C: CurveSpec> {
 }
 
 impl<C: CurveSpec> KeyPair<C> {
-    /// Generate a fresh key pair: `sk ← Z*_n`, `PK = sk·G`, computed with
-    /// the protected ladder.
+    /// Generate a fresh key pair: `sk ← Z*_n`, `PK = sk·G` through the
+    /// shared fixed-base comb (`G` is fixed, so the comb computes the
+    /// identical point at a fraction of the ladder's cost).
+    ///
+    /// This is a *compute* choice, not a *model* choice: implant-side
+    /// energy is booked per point multiplication by the caller's ledger
+    /// either way, and the SCA experiments trace the protected ladder /
+    /// digit-serial MALU model directly, never this function.
     pub fn generate(mut next_u64: impl FnMut() -> u64) -> Self {
         let secret = Scalar::random_nonzero(&mut next_u64);
-        let public = ladder_mul(
-            &secret,
-            &C::generator(),
-            CoordinateBlinding::RandomZ,
-            &mut next_u64,
-        );
+        let public = crate::comb::generator_mul(&secret);
         Self { secret, public }
+    }
+
+    /// Generate `count` fresh key pairs through the shared fixed-base
+    /// comb — the bulk counterpart of [`generate`](Self::generate): the
+    /// expensive `sk·G` runs inversion-free per scalar and all results
+    /// are normalized with a single batched inversion.
+    pub fn generate_batch(count: usize, mut next_u64: impl FnMut() -> u64) -> Vec<Self> {
+        let secrets: Vec<Scalar<C>> = (0..count)
+            .map(|_| Scalar::random_nonzero(&mut next_u64))
+            .collect();
+        let publics = crate::comb::generator_mul_batch(&secrets);
+        secrets
+            .into_iter()
+            .zip(publics)
+            .map(|(secret, public)| Self { secret, public })
+            .collect()
     }
 
     /// Build a key pair from an existing secret.
@@ -37,14 +54,9 @@ impl<C: CurveSpec> KeyPair<C> {
     /// # Panics
     ///
     /// Panics if `secret` is zero.
-    pub fn from_secret(secret: Scalar<C>, mut next_u64: impl FnMut() -> u64) -> Self {
+    pub fn from_secret(secret: Scalar<C>, _next_u64: impl FnMut() -> u64) -> Self {
         assert!(!secret.is_zero(), "secret key must be nonzero");
-        let public = ladder_mul(
-            &secret,
-            &C::generator(),
-            CoordinateBlinding::RandomZ,
-            &mut next_u64,
-        );
+        let public = crate::comb::generator_mul(&secret);
         Self { secret, public }
     }
 
@@ -120,6 +132,29 @@ mod tests {
                 b.shared_x(a.public(), &mut r)
             );
         }
+    }
+
+    #[test]
+    fn generate_batch_yields_valid_consistent_pairs() {
+        let mut r = rng_from(47);
+        let batch = KeyPair::<K163>::generate_batch(5, &mut r);
+        assert_eq!(batch.len(), 5);
+        for kp in &batch {
+            assert!(kp.public().is_on_curve());
+            // The comb-made public key is the same point the ladder makes.
+            let expect = crate::ladder::ladder_mul(
+                kp.secret(),
+                &K163::generator(),
+                CoordinateBlinding::RandomZ,
+                &mut r,
+            );
+            assert_eq!(*kp.public(), expect);
+        }
+        // Batch ECDH agreement against a ladder-generated pair.
+        let solo = KeyPair::<K163>::generate(&mut r);
+        let s1 = batch[0].shared_x(solo.public(), &mut r).unwrap();
+        let s2 = solo.shared_x(batch[0].public(), &mut r).unwrap();
+        assert_eq!(s1, s2);
     }
 
     #[test]

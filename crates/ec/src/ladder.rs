@@ -246,7 +246,10 @@ pub fn ladder_mul_scalar_blinded<C: CurveSpec>(
 /// `RecoverY(P, R)` in Algorithm 1.
 ///
 /// Uses the standard binary-curve formula
-/// `y₁ = (x₁ + x)·[(x₁ + x)(x₂ + x) + x² + y]/x + y`.
+/// `y₁ = (x₁ + x)·[(x₁ + x)(x₂ + x) + x² + y]/x + y`. The three
+/// divisors (Z₁, Z₂, x) share **one** Itoh–Tsujii chain through
+/// [`medsec_gf2m::batch_invert`] — the per-element result is identical,
+/// only the instruction count changes.
 pub fn recover_y<C: CurveSpec>(
     state: &LadderState<C>,
     px: Element<C::Field>,
@@ -259,16 +262,36 @@ pub fn recover_y<C: CurveSpec>(
         // Q = O ⇒ R = −P.
         return Point::Affine { x: px, y: px + py };
     }
-    let x1 = state.x1 * state.z1.inverse().expect("z1 nonzero");
-    let x2 = state.x2 * state.z2.inverse().expect("z2 nonzero");
+    let mut invs = [state.z1, state.z2, px];
+    medsec_gf2m::batch_invert(&mut invs);
+    let x1 = state.x1 * invs[0];
+    let x2 = state.x2 * invs[1];
     let t = (x1 + px) * (x2 + px) + px.square() + py;
-    let y1 = (x1 + px) * t * px.inverse().expect("px nonzero") + py;
+    let y1 = (x1 + px) * t * invs[2] + py;
     Point::Affine { x: x1, y: y1 }
 }
 
 /// Affine x-coordinate of the ladder result.
 pub fn ladder_x_affine<C: CurveSpec>(state: &LadderState<C>) -> Option<Element<C::Field>> {
     state.z1.inverse().map(|zi| state.x1 * zi)
+}
+
+/// Affine x-coordinates of *many* ladder results at once, normalized
+/// with a single field inversion (Montgomery's trick via
+/// [`medsec_gf2m::batch_invert`]). `None` marks states whose result is
+/// the point at infinity — exactly like [`ladder_x_affine`] per state.
+///
+/// This is the serving-side primitive: a gateway verifying a shard's
+/// worth of ECDH frames runs all the x-only ladders first, then pays
+/// one inversion to normalize every shared secret.
+pub fn batch_x_affine<C: CurveSpec>(states: &[LadderState<C>]) -> Vec<Option<Element<C::Field>>> {
+    let mut zs: Vec<Element<C::Field>> = states.iter().map(|s| s.z1).collect();
+    medsec_gf2m::batch_invert(&mut zs);
+    states
+        .iter()
+        .zip(zs)
+        .map(|(s, zinv)| (!s.z1.is_zero()).then(|| s.x1 * zinv))
+        .collect()
 }
 
 /// Field-operation budget of one combined ladder iteration, used by the
@@ -389,6 +412,26 @@ mod tests {
         assert_ne!((st1.x1, st1.z1), (st2.x1, st2.z1));
         // ...same affine x.
         assert_eq!(ladder_x_affine(&st1), ladder_x_affine(&st2));
+    }
+
+    #[test]
+    fn batch_x_affine_matches_singles() {
+        let g = K163::generator();
+        let mut r = rng_from(39);
+        let mut states: Vec<LadderState<K163>> = (0..9)
+            .map(|_| {
+                let s = Scalar::<K163>::random_nonzero(&mut r);
+                ladder_x_only::<K163>(&s, g.x().unwrap(), CoordinateBlinding::RandomZ, &mut r)
+            })
+            .collect();
+        // Inject an at-infinity state (z1 = 0).
+        states[4].z1 = medsec_gf2m::Element::zero();
+        let batch = batch_x_affine(&states);
+        assert_eq!(batch.len(), states.len());
+        for (st, got) in states.iter().zip(&batch) {
+            assert_eq!(*got, ladder_x_affine(st));
+        }
+        assert!(batch[4].is_none());
     }
 
     #[test]

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod comb;
 mod curve;
 mod curves;
 mod ecdh;
@@ -32,6 +33,7 @@ pub mod frobenius;
 pub mod ladder;
 mod scalar;
 
+pub use comb::{generator_comb, generator_mul, generator_mul_batch, FixedBaseComb};
 pub use curve::{CurveSpec, Point};
 pub use curves::{Toy17, B163, K163};
 pub use ecdh::{xcoord_to_scalar, KeyPair};

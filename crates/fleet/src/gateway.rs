@@ -5,15 +5,20 @@
 //! read-only after provisioning, session state lives in the sharded
 //! [`SessionTable`], and counters are atomics.
 //!
-//! Batching: [`Gateway::hello_batch`] generates a whole batch of
-//! ephemeral key pairs — the dominant point-multiplication cost — in
-//! one tight pass, then inserts the pending sessions shard-by-shard so
-//! each shard lock is taken once per batch rather than once per device.
+//! Batching: the serving path works a whole shard's worth of sessions
+//! per call. [`Gateway::hello_batch`] draws every ephemeral key pair
+//! from one fixed-base-comb batch (inversion-free accumulation, one
+//! batched normalization); [`Gateway::telemetry_batch`] runs all ECDH
+//! ladders first and normalizes every shared secret with a single
+//! batched inversion; [`Gateway::ph_identify_batch`] pushes all
+//! fixed-base verification terms through one comb batch. Session-table
+//! locks are taken once per shard per batch, not once per device.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 use bytes::Bytes;
+use medsec_ec::ladder::{batch_x_affine, ladder_x_only, CoordinateBlinding, LadderState};
 use medsec_ec::{CurveSpec, KeyPair, Point};
 use medsec_lwc::{
     ctr_xor, hmac_sha256, sha256, sha256_hw_profile, verify_tag, Aes128, BlockCipher,
@@ -135,7 +140,8 @@ impl<C: CurveSpec> Gateway<C> {
     }
 
     /// Start sessions with a batch of devices: generate all ephemeral
-    /// key pairs in one pass (the point-multiplication hot loop), then
+    /// key pairs in one fixed-base-comb pass (the point-multiplication
+    /// hot loop, one batched inversion for the whole batch), then
     /// record the pending sessions with one lock acquisition per shard,
     /// and return each device's wire-framed `ServerHello`.
     ///
@@ -146,20 +152,20 @@ impl<C: CurveSpec> Gateway<C> {
         mut next_u64: impl FnMut() -> u64,
         ledger: &mut EnergyLedger,
     ) -> Vec<(DeviceId, Bytes)> {
-        // Pass 1: the expensive ECC work, no locks held. The hello
-        // itself comes from the protocol layer — the gateway only
-        // frames it.
-        let mut prepared: Vec<(DeviceId, KeyPair<C>, Bytes)> = Vec::with_capacity(ids.len());
-        for &id in ids {
-            let Some(pairing) = self.pairings.get(&id) else {
-                continue;
-            };
-            let (kp, hello) = mutual::server_hello::<C>(pairing, &mut next_u64);
+        // Pass 1: the expensive ECC work, no locks held, batched across
+        // the whole call. The hellos come from the protocol layer — the
+        // gateway only frames them.
+        let known: Vec<(DeviceId, &Pairing)> = ids
+            .iter()
+            .filter_map(|&id| self.pairings.get(&id).map(|p| (id, p)))
+            .collect();
+        let pairing_refs: Vec<&Pairing> = known.iter().map(|&(_, p)| p).collect();
+        let hellos = mutual::server_hello_batch::<C>(&pairing_refs, &mut next_u64);
+        let mut prepared: Vec<(DeviceId, KeyPair<C>, Bytes)> = Vec::with_capacity(known.len());
+        for ((id, _), (kp, hello)) in known.into_iter().zip(hellos) {
             ledger.point_mul();
             ledger.symmetric("AES-128", &Aes128::hw_profile(), 3);
-            let mut payload = hello.ephemeral.compress();
-            payload.extend_from_slice(&hello.mac);
-            let frame = wire::frame(MsgType::ServerHello, &payload);
+            let frame = wire::encode_server_hello::<C>(&hello.ephemeral, &hello.mac);
             ledger.tx(frame.len());
             prepared.push((id, kp, frame));
         }
@@ -216,105 +222,200 @@ impl<C: CurveSpec> Gateway<C> {
         frame_bytes: &[u8],
         ledger: &mut EnergyLedger,
     ) -> Result<Vec<u8>, FleetError> {
-        ledger.rx(frame_bytes.len());
-        let payload = match wire::deframe(frame_bytes) {
-            Ok((MsgType::Telemetry, payload)) => payload,
-            Ok(_) => {
-                self.stats
-                    .decode_failures
-                    .fetch_add(1, AtomicOrdering::Relaxed);
-                return Err(FleetError::Decode(DecodeError::Malformed));
-            }
-            Err(e) => {
-                self.stats
-                    .decode_failures
-                    .fetch_add(1, AtomicOrdering::Relaxed);
-                return Err(e.into());
-            }
-        };
+        self.telemetry_batch(&[(id, frame_bytes)], ledger)
+            .pop()
+            .expect("one result per frame")
+            .1
+    }
 
-        let plen = Point::<C>::compressed_len();
-        if payload.len() < plen + 16 {
-            self.stats
-                .decode_failures
-                .fetch_add(1, AtomicOrdering::Relaxed);
-            return Err(FleetError::Decode(DecodeError::Malformed));
-        }
-        let (eph_bytes, rest) = payload.split_at(plen);
-        let (ct, tag) = rest.split_at(rest.len() - 16);
-        let Some(device_eph) = Point::<C>::decompress(eph_bytes) else {
-            self.stats
-                .decode_failures
-                .fetch_add(1, AtomicOrdering::Relaxed);
-            return Err(FleetError::BadEphemeral);
-        };
+    /// Verify and decrypt a whole batch of telemetry frames.
+    ///
+    /// All frames are wire-decoded first (no locks), their pending
+    /// sessions are pulled with one lock acquisition per shard, every
+    /// ECDH ladder then runs lock-free, and the shared secrets are
+    /// normalized together with a **single** batched field inversion
+    /// ([`batch_x_affine`]). Completions are written back one lock per
+    /// shard. Entry `i` of the result corresponds to `frames[i]`.
+    pub fn telemetry_batch(
+        &self,
+        frames: &[(DeviceId, &[u8])],
+        ledger: &mut EnergyLedger,
+    ) -> Vec<(DeviceId, Result<Vec<u8>, FleetError>)> {
+        let mut results: Vec<(DeviceId, Result<Vec<u8>, FleetError>)> = frames
+            .iter()
+            .map(|&(id, _)| (id, Err(FleetError::NoSession(id))))
+            .collect();
+        let mut decode_failures = 0u64;
 
-        // Pull the pending session out of its shard; the crypto below
-        // runs without any lock held.
-        let (server_eph, prior_frames) = self
-            .sessions
-            .with_shard(id, |map| match map.remove(&id) {
-                Some(SessionPhase::Pending {
-                    server_eph,
-                    prior_frames,
-                }) => Some((server_eph, prior_frames)),
-                Some(other) => {
-                    // Not awaiting telemetry: put the state back.
-                    map.insert(id, other);
-                    None
-                }
-                None => None,
-            })
-            .ok_or(FleetError::NoSession(id))?;
-
-        // One point multiplication (ECDH) + KDF, mirroring the device.
-        let mut seq = self.derive_seq(id);
-        let shared = server_eph
-            .shared_x(&device_eph, &mut seq)
-            .ok_or(FleetError::BadEphemeral)?;
-        ledger.point_mul();
-        let session_key = sha256(&shared.to_bytes());
-        ledger.symmetric("SHA-256", &sha256_hw_profile(), 1);
-
-        let mac_key = &session_key[16..];
-        let mut mac_input = eph_bytes.to_vec();
-        mac_input.extend_from_slice(ct);
-        let expect = hmac_sha256(mac_key, &mac_input);
-        ledger.symmetric("SHA-256", &sha256_hw_profile(), 2);
-        if !verify_tag(&expect[..16], tag) {
-            self.stats
-                .auth_failures
-                .fetch_add(1, AtomicOrdering::Relaxed);
-            return Err(FleetError::AuthFailed);
-        }
-
-        let enc_key: [u8; 16] = session_key[..16].try_into().expect("16 bytes");
-        let aes = Aes128::new(&enc_key);
-        let mut plaintext = ct.to_vec();
-        ctr_xor(&aes, &TELEMETRY_NONCE, &mut plaintext);
-        ledger.symmetric(
-            "AES-128",
-            &Aes128::hw_profile(),
-            (ct.len() as u64).div_ceil(16).max(1),
+        // Phase 1: wire decoding, no locks, no ECC.
+        // (result index, id, eph bytes, ciphertext, tag, x(device eph)).
+        type Decoded<'a, C> = (
+            usize,
+            DeviceId,
+            &'a [u8],
+            &'a [u8],
+            &'a [u8],
+            medsec_gf2m::Element<<C as CurveSpec>::Field>,
         );
-
-        self.sessions.with_shard(id, |map| {
-            // A concurrent hello_batch may have re-keyed this device
-            // while the crypto above ran lock-free; a newer Pending
-            // must not be clobbered by the old session's completion.
-            if !matches!(map.get(&id), Some(SessionPhase::Pending { .. })) {
-                map.insert(
-                    id,
-                    SessionPhase::Established {
-                        session_key,
-                        frames: prior_frames + 1,
-                    },
-                );
+        let plen = Point::<C>::compressed_len();
+        let mut decoded: Vec<Decoded<'_, C>> = Vec::with_capacity(frames.len());
+        for (i, &(id, bytes)) in frames.iter().enumerate() {
+            ledger.rx(bytes.len());
+            let payload = match wire::deframe(bytes) {
+                Ok((MsgType::Telemetry, payload)) => payload,
+                Ok(_) => {
+                    decode_failures += 1;
+                    results[i].1 = Err(FleetError::Decode(DecodeError::Malformed));
+                    continue;
+                }
+                Err(e) => {
+                    decode_failures += 1;
+                    results[i].1 = Err(e.into());
+                    continue;
+                }
+            };
+            if payload.len() < plen + 16 {
+                decode_failures += 1;
+                results[i].1 = Err(FleetError::Decode(DecodeError::Malformed));
+                continue;
             }
-        });
-        self.stats.established.fetch_add(1, AtomicOrdering::Relaxed);
-        self.stats.frames.fetch_add(1, AtomicOrdering::Relaxed);
-        Ok(plaintext)
+            let (eph_bytes, rest) = payload.split_at(plen);
+            let (ct, tag) = rest.split_at(rest.len() - 16);
+            let Some(device_eph) = Point::<C>::decompress(eph_bytes) else {
+                decode_failures += 1;
+                results[i].1 = Err(FleetError::BadEphemeral);
+                continue;
+            };
+            let Some(x) = device_eph.x() else {
+                // The point at infinity decodes but has no shared secret.
+                results[i].1 = Err(FleetError::BadEphemeral);
+                continue;
+            };
+            decoded.push((i, id, eph_bytes, ct, tag, x));
+        }
+
+        // Phase 2: pull the pending sessions, one lock per shard.
+        let mut by_shard: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (slot, &(_, id, ..)) in decoded.iter().enumerate() {
+            by_shard
+                .entry(self.sessions.shard_index(id))
+                .or_default()
+                .push(slot);
+        }
+        let mut pulled: Vec<Option<(KeyPair<C>, u64)>> = vec![None; decoded.len()];
+        for (shard, slots) in by_shard {
+            self.sessions.with_shard_at(shard, |map| {
+                for slot in slots {
+                    let id = decoded[slot].1;
+                    match map.remove(&id) {
+                        Some(SessionPhase::Pending {
+                            server_eph,
+                            prior_frames,
+                        }) => pulled[slot] = Some((server_eph, prior_frames)),
+                        Some(other) => {
+                            // Not awaiting telemetry: put the state back.
+                            map.insert(id, other);
+                        }
+                        None => {}
+                    }
+                }
+            });
+        }
+
+        // Phase 3: every ECDH ladder, lock-free, then one batched
+        // inversion to normalize all shared secrets at once.
+        let mut live: Vec<usize> = Vec::with_capacity(decoded.len());
+        let mut states: Vec<LadderState<C>> = Vec::with_capacity(decoded.len());
+        for (slot, entry) in pulled.iter().enumerate() {
+            let Some((server_eph, _)) = entry else {
+                continue; // result stays NoSession
+            };
+            let (_, id, _, _, _, x) = decoded[slot];
+            let mut seq = self.derive_seq(id);
+            states.push(ladder_x_only::<C>(
+                server_eph.secret(),
+                x,
+                CoordinateBlinding::RandomZ,
+                &mut seq,
+            ));
+            ledger.point_mul();
+            live.push(slot);
+        }
+        let shared_xs = batch_x_affine(&states);
+
+        // Phase 4: symmetric verification + decryption per frame, and
+        // completions grouped by shard for the write-back.
+        let mut auth_failures = 0u64;
+        let mut ok = 0u64;
+        let mut completions: HashMap<usize, Vec<(DeviceId, [u8; 32], u64)>> = HashMap::new();
+        for (slot, shared) in live.into_iter().zip(shared_xs) {
+            let (i, id, eph_bytes, ct, tag, _) = decoded[slot];
+            let Some(shared) = shared else {
+                results[i].1 = Err(FleetError::BadEphemeral);
+                continue;
+            };
+            let session_key = sha256(&shared.to_bytes());
+            ledger.symmetric("SHA-256", &sha256_hw_profile(), 1);
+            let mac_key = &session_key[16..];
+            let mut mac_input = eph_bytes.to_vec();
+            mac_input.extend_from_slice(ct);
+            let expect = hmac_sha256(mac_key, &mac_input);
+            ledger.symmetric("SHA-256", &sha256_hw_profile(), 2);
+            if !verify_tag(&expect[..16], tag) {
+                auth_failures += 1;
+                results[i].1 = Err(FleetError::AuthFailed);
+                continue;
+            }
+            let enc_key: [u8; 16] = session_key[..16].try_into().expect("16 bytes");
+            let aes = Aes128::new(&enc_key);
+            let mut plaintext = ct.to_vec();
+            ctr_xor(&aes, &TELEMETRY_NONCE, &mut plaintext);
+            ledger.symmetric(
+                "AES-128",
+                &Aes128::hw_profile(),
+                (ct.len() as u64).div_ceil(16).max(1),
+            );
+            let prior_frames = pulled[slot].expect("live slot was pulled").1;
+            completions
+                .entry(self.sessions.shard_index(id))
+                .or_default()
+                .push((id, session_key, prior_frames));
+            results[i].1 = Ok(plaintext);
+            ok += 1;
+        }
+
+        // Phase 5: promote to Established, one lock per shard.
+        for (shard, entries) in completions {
+            self.sessions.with_shard_at(shard, |map| {
+                for (id, session_key, prior_frames) in entries {
+                    // A concurrent hello_batch may have re-keyed this
+                    // device while the crypto above ran lock-free; a
+                    // newer Pending must not be clobbered by the old
+                    // session's completion.
+                    if !matches!(map.get(&id), Some(SessionPhase::Pending { .. })) {
+                        map.insert(
+                            id,
+                            SessionPhase::Established {
+                                session_key,
+                                frames: prior_frames + 1,
+                            },
+                        );
+                    }
+                }
+            });
+        }
+
+        self.stats
+            .decode_failures
+            .fetch_add(decode_failures, AtomicOrdering::Relaxed);
+        self.stats
+            .auth_failures
+            .fetch_add(auth_failures, AtomicOrdering::Relaxed);
+        self.stats
+            .established
+            .fetch_add(ok, AtomicOrdering::Relaxed);
+        self.stats.frames.fetch_add(ok, AtomicOrdering::Relaxed);
+        results
     }
 
     /// Answer a Peeters–Hermans commitment with a wire-framed
@@ -359,52 +460,119 @@ impl<C: CurveSpec> Gateway<C> {
         mut next_u64: impl FnMut() -> u64,
         ledger: &mut EnergyLedger,
     ) -> Result<DeviceId, FleetError> {
-        ledger.rx(response_bytes.len());
-        let response =
-            wire::decode_scalar::<C>(MsgType::PhResponse, response_bytes).map_err(|e| {
-                self.stats
-                    .decode_failures
-                    .fetch_add(1, AtomicOrdering::Relaxed);
-                FleetError::Decode(e)
-            })?;
+        self.ph_identify_batch(&[(id, response_bytes)], &mut next_u64, ledger)
+            .pop()
+            .expect("one result per response")
+            .1
+    }
 
-        let pending = self
-            .sessions
-            .with_shard(id, |map| match map.remove(&id) {
-                Some(SessionPhase::PhPending {
-                    commitment,
-                    challenge,
-                }) => Some((commitment, challenge)),
-                Some(other) => {
-                    map.insert(id, other);
-                    None
+    /// Complete a whole batch of Peeters–Hermans runs at once.
+    ///
+    /// Responses are wire-decoded first, their pending `(R, e)` states
+    /// pulled with one lock per shard, and every transcript then goes
+    /// through [`PhReader::identify_batch`]: all ḋ ladders normalized
+    /// by one batched inversion, every fixed-base `s·P`/`d·P` term
+    /// through one shared-comb batch. Entry `i` of the result
+    /// corresponds to `responses[i]`.
+    pub fn ph_identify_batch(
+        &self,
+        responses: &[(DeviceId, &[u8])],
+        mut next_u64: impl FnMut() -> u64,
+        ledger: &mut EnergyLedger,
+    ) -> Vec<(DeviceId, Result<DeviceId, FleetError>)> {
+        let mut results: Vec<(DeviceId, Result<DeviceId, FleetError>)> = responses
+            .iter()
+            .map(|&(id, _)| (id, Err(FleetError::NoSession(id))))
+            .collect();
+        let mut decode_failures = 0u64;
+
+        // Phase 1: wire decoding (result index, id, response scalar).
+        let mut decoded: Vec<(usize, DeviceId, medsec_ec::Scalar<C>)> =
+            Vec::with_capacity(responses.len());
+        for (i, &(id, bytes)) in responses.iter().enumerate() {
+            ledger.rx(bytes.len());
+            match wire::decode_scalar::<C>(MsgType::PhResponse, bytes) {
+                Ok(response) => decoded.push((i, id, response)),
+                Err(e) => {
+                    decode_failures += 1;
+                    results[i].1 = Err(FleetError::Decode(e));
                 }
-                None => None,
-            })
-            .ok_or(FleetError::NoSession(id))?;
+            }
+        }
 
-        let transcript = PhTranscript {
-            commitment: pending.0,
-            challenge: pending.1,
-            response,
-        };
-        // Reader-side cost: ḋ (x-only ladder) + 3 full ladders.
-        let found = self.reader.identify(&transcript, &mut next_u64);
-        for _ in 0..4 {
-            ledger.point_mul();
+        // Phase 2: pull the pending (R, e) states, one lock per shard.
+        let mut by_shard: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (slot, &(_, id, _)) in decoded.iter().enumerate() {
+            by_shard
+                .entry(self.sessions.shard_index(id))
+                .or_default()
+                .push(slot);
         }
-        match found {
-            Some(tag_id) => {
-                self.stats
-                    .ph_identified
-                    .fetch_add(1, AtomicOrdering::Relaxed);
-                Ok(tag_id)
-            }
-            None => {
-                self.stats.ph_failures.fetch_add(1, AtomicOrdering::Relaxed);
-                Err(FleetError::Unidentified)
-            }
+        let mut pulled: Vec<Option<PhTranscript<C>>> = vec![None; decoded.len()];
+        for (shard, slots) in by_shard {
+            self.sessions.with_shard_at(shard, |map| {
+                for slot in slots {
+                    let (_, id, response) = decoded[slot];
+                    match map.remove(&id) {
+                        Some(SessionPhase::PhPending {
+                            commitment,
+                            challenge,
+                        }) => {
+                            pulled[slot] = Some(PhTranscript {
+                                commitment,
+                                challenge,
+                                response,
+                            });
+                        }
+                        Some(other) => {
+                            map.insert(id, other);
+                        }
+                        None => {}
+                    }
+                }
+            });
         }
+
+        // Phase 3: one batched identification for every live transcript.
+        let live: Vec<usize> = (0..decoded.len())
+            .filter(|&s| pulled[s].is_some())
+            .collect();
+        let transcripts: Vec<PhTranscript<C>> =
+            live.iter().map(|&s| pulled[s].expect("live")).collect();
+        let found = self.reader.identify_batch(&transcripts, &mut next_u64);
+
+        let mut identified = 0u64;
+        let mut failures = 0u64;
+        for (slot, tag_id) in live.into_iter().zip(found) {
+            // Reader-side cost: ḋ (x-only ladder) + 3 point mults per
+            // transcript, per the paper's asymmetric-cost rule (the
+            // batching changes the instruction count, not the model).
+            for _ in 0..4 {
+                ledger.point_mul();
+            }
+            let i = decoded[slot].0;
+            results[i].1 = match tag_id {
+                Some(tag_id) => {
+                    identified += 1;
+                    Ok(tag_id)
+                }
+                None => {
+                    failures += 1;
+                    Err(FleetError::Unidentified)
+                }
+            };
+        }
+
+        self.stats
+            .decode_failures
+            .fetch_add(decode_failures, AtomicOrdering::Relaxed);
+        self.stats
+            .ph_identified
+            .fetch_add(identified, AtomicOrdering::Relaxed);
+        self.stats
+            .ph_failures
+            .fetch_add(failures, AtomicOrdering::Relaxed);
+        results
     }
 
     /// Deterministic per-call scalar stream for coordinate blinding in

@@ -67,10 +67,17 @@ impl<C: CurveSpec> SessionTable<C> {
         self.shards.len()
     }
 
-    /// Which shard a device id lives in (Fibonacci hashing: sequential
-    /// ids spread uniformly).
+    /// Which shard a device id lives in — 64-bit Fibonacci hashing.
+    ///
+    /// The multiplier is ⌊2^64/φ⌋; the shard index is taken from the
+    /// product's *upper* half, where golden-ratio low-discrepancy
+    /// guarantees sequential ids land round-robin-uniformly even at
+    /// small N. (The previous 32-bit variant read a middle bit window,
+    /// whose stride aliased with power-of-two shard counts and left
+    /// whole shards empty on small fleets.)
     pub fn shard_index(&self, id: DeviceId) -> usize {
-        (id.wrapping_mul(0x9E37_79B1) >> 16 & self.mask) as usize
+        let h = u64::from(id).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as u32 & self.mask) as usize
     }
 
     /// Run `f` with the locked shard map holding `id`.
@@ -140,6 +147,30 @@ mod tests {
         let (lo, hi) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
         // Uniform would be 1000 per shard; allow ±25%.
         assert!(lo > 750 && hi < 1250, "skewed shard histogram: {counts:?}");
+    }
+
+    #[test]
+    fn small_fleets_leave_no_shard_empty() {
+        // The K-163 trajectory regression: 256 sequential ids over 64
+        // shards must occupy every shard, not strand a third of them.
+        let table = SessionTable::<Toy17>::new(64);
+        let mut counts = vec![0usize; table.shard_count()];
+        for id in 0..256u32 {
+            counts[table.shard_index(id)] += 1;
+        }
+        let (lo, hi) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
+        assert!(lo >= 2, "empty-ish shard at N=256: {counts:?}");
+        assert!(hi <= 8, "overloaded shard at N=256: {counts:?}");
+        // Same story for the mutual-auth subset (ids % 4 != 2), which is
+        // what actually stays resident in the table.
+        let mut counts = vec![0usize; table.shard_count()];
+        for id in (0..256u32).filter(|id| id % 4 != 2) {
+            counts[table.shard_index(id)] += 1;
+        }
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "empty shard for resident subset: {counts:?}"
+        );
     }
 
     #[test]

@@ -266,6 +266,11 @@ fn worker_loop<C: CurveSpec>(
         let ids: Vec<DeviceId> = idx_by_id.keys().copied().collect();
         let hellos = gateway.hello_batch(&ids, rng.as_fn(), &mut server_ledger);
 
+        // Devices answer with telemetry frames, which are collected and
+        // verified in one gateway batch: all ECDH ladders, then a single
+        // batched inversion for every shared secret.
+        let mut tele_frames: Vec<(DeviceId, bytes::Bytes, &'static [u8])> =
+            Vec::with_capacity(hellos.len());
         for (id, hello_frame) in hellos {
             let idx = idx_by_id[&id];
             let mut guard = devices[idx].lock().expect("device poisoned");
@@ -284,21 +289,31 @@ fn worker_loop<C: CurveSpec>(
             match outcome {
                 SessionOutcome::Established { telemetry_frame } => {
                     let framed = wire::frame(MsgType::Telemetry, &telemetry_frame);
-                    match gateway.handle_telemetry(id, &framed, &mut server_ledger) {
-                        Ok(plaintext) if plaintext == telemetry => {}
-                        // Verified but wrong plaintext: invisible to the
-                        // gateway's counters, so tally it here.
-                        Ok(_) => tally.mismatches += 1,
-                        // Err cases are already in the gateway counters.
-                        Err(_) => {}
-                    }
+                    tele_frames.push((id, framed, telemetry));
                 }
                 SessionOutcome::ServerRejected => tally.device_rejections += 1,
             }
         }
+        let frame_refs: Vec<(DeviceId, &[u8])> = tele_frames
+            .iter()
+            .map(|(id, frame, _)| (*id, frame.as_ref()))
+            .collect();
+        let verified = gateway.telemetry_batch(&frame_refs, &mut server_ledger);
+        for ((_, _, expect), (_, result)) in tele_frames.iter().zip(verified) {
+            match result {
+                Ok(plaintext) if plaintext == *expect => {}
+                // Verified but wrong plaintext: invisible to the
+                // gateway's counters, so tally it here.
+                Ok(_) => tally.mismatches += 1,
+                // Err cases are already in the gateway counters.
+                Err(_) => {}
+            }
+        }
 
-        // Peeters–Hermans identifications, one device at a time (the
-        // tag-side state machine is sequential by design).
+        // Peeters–Hermans: each tag's commit→challenge→respond state
+        // machine is sequential by design, but the expensive round-3
+        // identifications all go through one gateway batch.
+        let mut ph_responses: Vec<(DeviceId, bytes::Bytes)> = Vec::with_capacity(ph_jobs.len());
         for idx in ph_jobs {
             let mut guard = devices[idx].lock().expect("device poisoned");
             let d = &mut *guard;
@@ -322,8 +337,16 @@ fn worker_loop<C: CurveSpec>(
                 }
             };
             let response = tag.respond(&challenge, d.rng.as_fn(), &mut d.ledger);
-            let response_frame = wire::encode_scalar(MsgType::PhResponse, &response);
-            match gateway.ph_identify(id, &response_frame, rng.as_fn(), &mut server_ledger) {
+            ph_responses.push((id, wire::encode_scalar(MsgType::PhResponse, &response)));
+        }
+        let response_refs: Vec<(DeviceId, &[u8])> = ph_responses
+            .iter()
+            .map(|(id, frame)| (*id, frame.as_ref()))
+            .collect();
+        for (id, result) in
+            gateway.ph_identify_batch(&response_refs, rng.as_fn(), &mut server_ledger)
+        {
+            match result {
                 Ok(found) if found == id => {}
                 // Identified, but as the wrong tag: the gateway cannot
                 // know, so the driver tallies it.

@@ -1,0 +1,243 @@
+//! The backend seam: *what* the field computes, decoupled from *how*.
+//!
+//! Two implementations of the same F(2^m) arithmetic live behind
+//! [`FieldBackend`]:
+//!
+//! * [`ModelBackend`] — the bit-exact reference path (windowed-comb
+//!   carry-less multiply + bit-serial reduction) that mirrors how the
+//!   paper's MALU reduces every cycle. The digit-serial multiplier model
+//!   in [`crate::digit_serial`] and the SCA/energy experiments stay on
+//!   this path; its per-cycle states never change.
+//! * [`FastBackend`] — the serving path: word-bounded comb
+//!   multiplication (only `ceil(m/64)` limbs do work), compile-time
+//!   squaring-spread tables, and word-level sparse-polynomial reduction.
+//!   Both backends produce identical canonical elements (proven by the
+//!   exhaustive/property equivalence tests); only the instruction count
+//!   differs.
+//!
+//! [`Element`](crate::Element)'s operators route through
+//! [`ActiveBackend`] (= [`FastBackend`]); the `*_model` methods on
+//! `Element` pin the reference path. Future backends (SIMD carry-less
+//! multiply, alternative fields, hardware offload) plug into the same
+//! trait.
+
+use crate::field::{Element, FieldSpec};
+use crate::limbs;
+
+/// One way of carrying out F(2^m) arithmetic on canonical elements.
+///
+/// Implementations must agree on values: for any inputs, every backend
+/// returns the same canonical element. They are free to differ in
+/// operation count, word width and table usage.
+pub trait FieldBackend {
+    /// Short human-readable backend name (recorded in bench output).
+    const NAME: &'static str;
+
+    /// Field multiplication of canonical elements.
+    fn mul<F: FieldSpec>(a: &Element<F>, b: &Element<F>) -> Element<F>;
+
+    /// Field squaring of a canonical element.
+    fn square<F: FieldSpec>(a: &Element<F>) -> Element<F>;
+
+    /// Multiplicative inverse via Itoh–Tsujii (`None` for zero).
+    ///
+    /// The addition chain on m−1 is shared by all backends — roughly
+    /// log2(m) multiplications and m−1 squarings — so backends differ
+    /// only through their `mul`/`square` primitives.
+    fn invert<F: FieldSpec>(a: &Element<F>) -> Option<Element<F>> {
+        itoh_tsujii::<Self, F>(a)
+    }
+}
+
+/// Bit-exact reference backend (windowed comb + bit-serial reduction).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModelBackend;
+
+impl FieldBackend for ModelBackend {
+    const NAME: &'static str = "model";
+
+    fn mul<F: FieldSpec>(a: &Element<F>, b: &Element<F>) -> Element<F> {
+        let prod = limbs::clmul(a.limbs(), b.limbs());
+        Element::from_raw_limbs(limbs::reduce(prod, F::REDUCTION))
+    }
+
+    fn square<F: FieldSpec>(a: &Element<F>) -> Element<F> {
+        let prod = limbs::clsquare(a.limbs());
+        Element::from_raw_limbs(limbs::reduce(prod, F::REDUCTION))
+    }
+}
+
+/// Fast software backend: word-bounded comb multiplication, table-driven
+/// squaring, word-level sparse reduction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastBackend;
+
+impl FieldBackend for FastBackend {
+    const NAME: &'static str = "fast";
+
+    fn mul<F: FieldSpec>(a: &Element<F>, b: &Element<F>) -> Element<F> {
+        let nw = F::M.div_ceil(64);
+        let prod = limbs::clmul_fast(a.limbs(), b.limbs(), nw);
+        Element::from_raw_limbs(limbs::reduce_fast(prod, F::REDUCTION))
+    }
+
+    fn square<F: FieldSpec>(a: &Element<F>) -> Element<F> {
+        let nw = F::M.div_ceil(64);
+        let prod = limbs::clsquare_fast(a.limbs(), nw);
+        Element::from_raw_limbs(limbs::reduce_fast(prod, F::REDUCTION))
+    }
+}
+
+/// The backend `Element`'s operators use (the serving default).
+pub type ActiveBackend = FastBackend;
+
+/// Name of the backend behind `Element`'s operators — recorded by the
+/// fleet experiment next to its throughput numbers.
+pub fn active_backend_name() -> &'static str {
+    ActiveBackend::NAME
+}
+
+/// Itoh–Tsujii exponentiation to 2^m − 2 over backend `B`.
+fn itoh_tsujii<B: FieldBackend + ?Sized, F: FieldSpec>(a: &Element<F>) -> Option<Element<F>> {
+    if a.is_zero() {
+        return None;
+    }
+    // Compute t = a^(2^(m-1) - 1), then inverse = t^2.
+    let e = F::M - 1;
+    let bits = usize::BITS - e.leading_zeros();
+    let mut t = *a; // = a^(2^1 - 1), covered exponent ecov = 1
+    let mut ecov = 1usize;
+    for i in (0..bits - 1).rev() {
+        // Double the covered exponent: t = t * t^(2^ecov).
+        let mut t2 = t;
+        for _ in 0..ecov {
+            t2 = B::square(&t2);
+        }
+        t = B::mul(&t, &t2);
+        ecov *= 2;
+        if (e >> i) & 1 == 1 {
+            t = B::mul(&B::square(&t), a);
+            ecov += 1;
+        }
+    }
+    debug_assert_eq!(ecov, e);
+    Some(B::square(&t))
+}
+
+/// Batched multiplicative inversion (Montgomery's trick): inverts every
+/// nonzero element of `elems` in place with **one** field inversion and
+/// `3·(n−1)` multiplications, instead of `n` inversions. Zero elements
+/// are left as zero (matching `inverse() == None` semantics without
+/// poisoning the batch).
+///
+/// This is the primitive the serving layer leans on: normalizing a whole
+/// shard's worth of ladder outputs or comb accumulators costs one
+/// Itoh–Tsujii chain total.
+///
+/// Returns the number of elements actually inverted.
+///
+/// # Example
+///
+/// ```
+/// use medsec_gf2m::{batch_invert, Element, F163};
+/// let mut v = vec![
+///     Element::<F163>::from_u64(3),
+///     Element::zero(),
+///     Element::from_u64(0xdead_beef),
+/// ];
+/// let orig = v.clone();
+/// assert_eq!(batch_invert(&mut v), 2);
+/// assert_eq!(v[0] * orig[0], Element::one());
+/// assert!(v[1].is_zero());
+/// assert_eq!(v[2] * orig[2], Element::one());
+/// ```
+pub fn batch_invert<F: FieldSpec>(elems: &mut [Element<F>]) -> usize {
+    // Prefix products over the nonzero entries.
+    let mut prefix: Vec<Element<F>> = Vec::with_capacity(elems.len());
+    let mut acc = Element::<F>::one();
+    for e in elems.iter() {
+        if !e.is_zero() {
+            acc = ActiveBackend::mul(&acc, e);
+            prefix.push(acc);
+        }
+    }
+    let n = prefix.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut inv = ActiveBackend::invert::<F>(&acc).expect("product of nonzero elements is nonzero");
+    // Walk back: peel one element per step.
+    let mut k = n;
+    for i in (0..elems.len()).rev() {
+        if elems[i].is_zero() {
+            continue;
+        }
+        k -= 1;
+        let this_inv = if k == 0 {
+            inv
+        } else {
+            ActiveBackend::mul(&inv, &prefix[k - 1])
+        };
+        inv = ActiveBackend::mul(&inv, &elems[i]);
+        elems[i] = this_inv;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::{F163, F17};
+
+    fn rng_from(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_random_f163() {
+        let mut r = rng_from(101);
+        for _ in 0..64 {
+            let a = Element::<F163>::random(&mut r);
+            let b = Element::<F163>::random(&mut r);
+            assert_eq!(FastBackend::mul(&a, &b), ModelBackend::mul(&a, &b));
+            assert_eq!(FastBackend::square(&a), ModelBackend::square(&a));
+            assert_eq!(FastBackend::invert(&a), ModelBackend::invert(&a));
+        }
+    }
+
+    #[test]
+    fn batch_invert_matches_singles() {
+        let mut r = rng_from(102);
+        let mut v: Vec<Element<F163>> = (0..33).map(|_| Element::random(&mut r)).collect();
+        v[7] = Element::zero();
+        let orig = v.clone();
+        assert_eq!(batch_invert(&mut v), 32);
+        for (inv, a) in v.iter().zip(&orig) {
+            match a.inverse() {
+                Some(expect) => assert_eq!(*inv, expect),
+                None => assert!(inv.is_zero()),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_invert_handles_empty_and_all_zero() {
+        let mut empty: Vec<Element<F17>> = Vec::new();
+        assert_eq!(batch_invert(&mut empty), 0);
+        let mut zeros = vec![Element::<F17>::zero(); 4];
+        assert_eq!(batch_invert(&mut zeros), 0);
+        assert!(zeros.iter().all(Element::is_zero));
+    }
+
+    #[test]
+    fn active_backend_is_fast() {
+        assert_eq!(active_backend_name(), "fast");
+    }
+}

@@ -4,6 +4,7 @@ use core::fmt;
 use core::marker::PhantomData;
 use core::ops::{Add, AddAssign, Mul, MulAssign};
 
+use crate::backend::{ActiveBackend, FieldBackend, ModelBackend};
 use crate::limbs;
 use crate::{LIMBS, PROD_LIMBS};
 
@@ -101,6 +102,12 @@ impl<F: FieldSpec> Element<F> {
         }
     }
 
+    /// Construct from already-reduced limbs (backend internal).
+    #[inline]
+    pub(crate) fn from_raw_limbs(limbs: [u64; LIMBS]) -> Self {
+        Self::from_raw(limbs)
+    }
+
     /// Construct from limbs, reducing modulo the field polynomial if the
     /// value has degree ≥ m.
     pub fn from_limbs_reduced(l: [u64; LIMBS]) -> Self {
@@ -160,14 +167,32 @@ impl<F: FieldSpec> Element<F> {
         s
     }
 
+    /// Fixed byte width of the big-endian encoding: `ceil(m/8)`.
+    #[inline]
+    pub const fn byte_len() -> usize {
+        F::M.div_ceil(8)
+    }
+
     /// Big-endian byte encoding, fixed width `ceil(m/8)` bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let n = F::M.div_ceil(8);
-        let mut out = vec![0u8; n];
+        let mut out = vec![0u8; Self::byte_len()];
+        self.to_bytes_into(&mut out);
+        out
+    }
+
+    /// Write the fixed-width big-endian encoding into `out` without
+    /// allocating — the serving path's accessor (wire framing, point
+    /// compression).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != Self::byte_len()`.
+    #[inline]
+    pub fn to_bytes_into(&self, out: &mut [u8]) {
+        assert_eq!(out.len(), Self::byte_len(), "encoding width mismatch");
         for (i, b) in out.iter_mut().rev().enumerate() {
             *b = (self.limbs[i / 8] >> (8 * (i % 8))) as u8;
         }
-        out
     }
 
     /// Parse a big-endian byte encoding, reducing modulo the field
@@ -232,11 +257,30 @@ impl<F: FieldSpec> Element<F> {
         }
     }
 
-    /// Field squaring (linear in characteristic 2; bit-spreading + reduce).
+    /// Field squaring (linear in characteristic 2), on the active
+    /// (fast) backend.
     #[inline]
     pub fn square(&self) -> Self {
-        let prod = limbs::clsquare(&self.limbs);
-        Self::from_raw(limbs::reduce(prod, F::REDUCTION))
+        ActiveBackend::square(self)
+    }
+
+    /// Field multiplication on the bit-exact model backend (windowed
+    /// comb + bit-serial reduction) — the reference the fast backend is
+    /// proven equivalent to.
+    #[inline]
+    pub fn mul_model(&self, rhs: &Self) -> Self {
+        ModelBackend::mul(self, rhs)
+    }
+
+    /// Field squaring on the bit-exact model backend.
+    #[inline]
+    pub fn square_model(&self) -> Self {
+        ModelBackend::square(self)
+    }
+
+    /// Multiplicative inverse on the bit-exact model backend.
+    pub fn inverse_model(&self) -> Option<Self> {
+        ModelBackend::invert(self)
     }
 
     /// `self^(2^k)` — k repeated squarings (the Frobenius map iterated).
@@ -255,26 +299,7 @@ impl<F: FieldSpec> Element<F> {
     /// roughly log2(m) multiplications and m−1 squarings, exactly the
     /// strategy a hardware MALU uses because squaring is cheap.
     pub fn inverse(&self) -> Option<Self> {
-        if self.is_zero() {
-            return None;
-        }
-        // Compute t = self^(2^(m-1) - 1), then inverse = t^2.
-        let e = F::M - 1;
-        let bits = usize::BITS - e.leading_zeros();
-        let mut t = *self; // = self^(2^1 - 1), covered exponent ecov = 1
-        let mut ecov = 1usize;
-        for i in (0..bits - 1).rev() {
-            // Double the covered exponent: t = t * t^(2^ecov).
-            let t2 = t.frobenius(ecov);
-            t *= t2;
-            ecov *= 2;
-            if (e >> i) & 1 == 1 {
-                t = t.square() * *self;
-                ecov += 1;
-            }
-        }
-        debug_assert_eq!(ecov, e);
-        Some(t.square())
+        ActiveBackend::invert(self)
     }
 
     /// `self^(2^(m-1))`, the unique square root in F(2^m).
@@ -406,11 +431,10 @@ impl<F: FieldSpec> AddAssign for Element<F> {
 
 impl<F: FieldSpec> Mul for Element<F> {
     type Output = Self;
-    /// Field multiplication (windowed comb + sparse reduction).
+    /// Field multiplication on the active (fast) backend.
     #[inline]
     fn mul(self, rhs: Self) -> Self {
-        let prod = limbs::clmul(&self.limbs, &rhs.limbs);
-        Self::from_raw(limbs::reduce(prod, F::REDUCTION))
+        ActiveBackend::mul(&self, &rhs)
     }
 }
 

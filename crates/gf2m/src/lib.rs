@@ -14,7 +14,12 @@
 //! * a bit-exact **digit-serial multiplier** model
 //!   ([`digit_serial::DigitSerialMul`]) matching the 163×d MALU of the
 //!   paper's architecture level, exposing per-cycle accumulator states so
-//!   the co-processor simulator can derive switching activity.
+//!   the co-processor simulator can derive switching activity;
+//! * a **backend seam** ([`backend`]) separating what the field computes
+//!   from how: the bit-exact model path above, and a fast serving
+//!   backend (word-bounded comb multiplication, table-driven squaring,
+//!   word-level sparse reduction, [`batch_invert`]) that `Element`'s
+//!   operators use.
 //!
 //! # Example
 //!
@@ -35,8 +40,10 @@ mod field;
 mod fields;
 mod limbs;
 
+pub mod backend;
 pub mod digit_serial;
 
+pub use backend::{batch_invert, FastBackend, FieldBackend, ModelBackend};
 pub use field::{Element, FieldSpec, ParseElementError};
 pub use fields::{F163, F17, F233, F283};
 

@@ -149,6 +149,152 @@ pub fn clsquare(a: &[u64; LIMBS]) -> [u64; PROD_LIMBS] {
     out
 }
 
+/// Precomputed bit-spreading table: `SPREAD[b]` interleaves a zero bit
+/// after every bit of the byte `b` (the squaring map of GF(2)[x] on one
+/// byte). Built at compile time so [`clsquare`] and [`clsquare_fast`]
+/// are pure table lookups.
+static SPREAD: [u16; 256] = {
+    let mut t = [0u16; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut x = b as u16;
+        x = (x | (x << 4)) & 0x0f0f;
+        x = (x | (x << 2)) & 0x3333;
+        x = (x | (x << 1)) & 0x5555;
+        t[b] = x;
+        b += 1;
+    }
+    t
+};
+
+/// Carry-less multiplication over only the low `nw` words of each
+/// operand (the fast backend passes `nw = ceil(m/64)`, so F(2^163) does
+/// 3-word work instead of 5-word work).
+///
+/// Same 4-bit windowed comb as [`clmul`], restructured so the wide
+/// accumulator shifts once per nibble *position* (16 times) rather than
+/// once per nibble (80 times): each word of `a` contributes its nibble
+/// at position `s` during iteration `s`, offset by its word index.
+pub fn clmul_fast(a: &[u64; LIMBS], b: &[u64; LIMBS], nw: usize) -> [u64; PROD_LIMBS] {
+    debug_assert!((1..=LIMBS).contains(&nw));
+    // table[v] = v(x)·b(x) for each 4-bit v, built incrementally:
+    // even rows shift, odd rows add b.
+    let mut table = [[0u64; LIMBS + 1]; 16];
+    table[1][..nw].copy_from_slice(&b[..nw]);
+    for v in 2..16 {
+        if v % 2 == 0 {
+            let (prev, cur) = table.split_at_mut(v);
+            let src = &prev[v / 2];
+            let mut carry = 0u64;
+            for (dst, &w) in cur[0].iter_mut().zip(src).take(nw + 1) {
+                *dst = (w << 1) | carry;
+                carry = w >> 63;
+            }
+        } else {
+            for j in 0..nw {
+                table[v][j] = table[v - 1][j] ^ b[j];
+            }
+            table[v][nw] = table[v - 1][nw];
+        }
+    }
+    let mut acc = [0u64; PROD_LIMBS];
+    let width = 2 * nw;
+    for s in (0..16).rev() {
+        if s != 15 {
+            let mut carry = 0u64;
+            for w in acc[..width].iter_mut() {
+                let nc = *w >> 60;
+                *w = (*w << 4) | carry;
+                carry = nc;
+            }
+        }
+        for i in 0..nw {
+            let v = ((a[i] >> (4 * s)) & 0xf) as usize;
+            if v != 0 {
+                for j in 0..=nw {
+                    acc[i + j] ^= table[v][j];
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Carry-less squaring over only the low `nw` words, via the
+/// compile-time [`SPREAD`] table.
+pub fn clsquare_fast(a: &[u64; LIMBS], nw: usize) -> [u64; PROD_LIMBS] {
+    debug_assert!((1..=LIMBS).contains(&nw));
+    let mut out = [0u64; PROD_LIMBS];
+    for (i, &w) in a.iter().take(nw).enumerate() {
+        let mut lo = 0u64;
+        let mut hi = 0u64;
+        for b in 0..4 {
+            lo |= (SPREAD[((w >> (8 * b)) & 0xff) as usize] as u64) << (16 * b);
+            hi |= (SPREAD[((w >> (8 * b + 32)) & 0xff) as usize] as u64) << (16 * b);
+        }
+        out[2 * i] = lo;
+        out[2 * i + 1] = hi;
+    }
+    out
+}
+
+/// Word-level reduction modulo a sparse (trinomial/pentanomial)
+/// polynomial — the fast backend's counterpart of the bit-serial
+/// [`reduce`]. Folds 64 bits at a time: every word above the degree-m
+/// boundary is replaced by copies of itself shifted down by `m − e` for
+/// each tail exponent `e`.
+///
+/// Folding a word can reintroduce bits at or above position m when
+/// `m − e < 64` (e.g. the toy trinomial x¹⁷+x³+1), so both the whole-word
+/// pass and the final partial-word pass loop until the region is clear;
+/// every fold strictly lowers the top degree, so the loops terminate.
+pub fn reduce_fast(mut prod: [u64; PROD_LIMBS], reduction: &[usize]) -> [u64; LIMBS] {
+    let m = reduction[0];
+    debug_assert!(reduction.windows(2).all(|w| w[0] > w[1]));
+    let mw = m / 64;
+    let mb = m % 64;
+    // Whole words strictly above the word holding bit m.
+    let mut i = PROD_LIMBS - 1;
+    while i > mw {
+        while prod[i] != 0 {
+            let w = prod[i];
+            prod[i] = 0;
+            for &e in &reduction[1..] {
+                // x^(64·i + j) ≡ x^(64·i + j − m + e)
+                let base = 64 * i + e - m;
+                let wi = base / 64;
+                let sh = base % 64;
+                prod[wi] ^= w << sh;
+                if sh != 0 {
+                    prod[wi + 1] ^= w >> (64 - sh);
+                }
+            }
+        }
+        i -= 1;
+    }
+    // Bits ≥ m inside the boundary word.
+    let low_mask = (1u64 << mb).wrapping_sub(1);
+    loop {
+        let t = prod[mw] >> mb;
+        if t == 0 {
+            break;
+        }
+        prod[mw] &= low_mask;
+        for &e in &reduction[1..] {
+            // x^(m + j) ≡ x^(j + e): place t at bit offset e.
+            let wi = e / 64;
+            let sh = e % 64;
+            prod[wi] ^= t << sh;
+            if sh != 0 {
+                prod[wi + 1] ^= t >> (64 - sh);
+            }
+        }
+    }
+    let mut out = [0u64; LIMBS];
+    out.copy_from_slice(&prod[..LIMBS]);
+    out
+}
+
 /// Reduce a `PROD_LIMBS`-wide polynomial modulo the sparse polynomial whose
 /// set exponents are `reduction` (descending, starting with the degree m).
 ///
@@ -247,6 +393,37 @@ mod tests {
         p[0] = 0b101;
         let r = reduce(p, &[163, 7, 6, 3, 0]);
         assert_eq!(r[0], 0b101);
+    }
+
+    #[test]
+    fn fast_primitives_match_model_primitives() {
+        let a = [0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210, 0x7, 0, 0];
+        let b = [0xdead_beef_cafe_f00d, 0x1234_5678_9abc_def0, 0x5, 0, 0];
+        assert_eq!(clmul_fast(&a, &b, 3), clmul(&a, &b));
+        assert_eq!(clsquare_fast(&a, 3), clsquare(&a));
+        for reduction in [
+            &[163usize, 7, 6, 3, 0][..],
+            &[233, 74, 0][..],
+            &[283, 12, 7, 5, 0][..],
+            &[17, 3, 0][..],
+        ] {
+            let p = clmul(&a, &b);
+            assert_eq!(
+                reduce_fast(p, reduction),
+                reduce(p, reduction),
+                "reduction {reduction:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_fast_toy_field_refolds_high_bits() {
+        // F(2^17): folding word 1 lands back inside word 0 above bit 17,
+        // exercising the refold loops.
+        let mut p = [0u64; PROD_LIMBS];
+        p[1] = u64::MAX;
+        p[0] = u64::MAX;
+        assert_eq!(reduce_fast(p, &[17, 3, 0]), reduce(p, &[17, 3, 0]));
     }
 
     #[test]

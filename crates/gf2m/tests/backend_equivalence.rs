@@ -1,0 +1,141 @@
+//! Fast-backend ⇄ model-backend equivalence.
+//!
+//! The serving stack runs on [`FastBackend`]; the SCA/energy experiments
+//! run on the bit-exact model path. These tests are the contract that
+//! lets both coexist: on the brute-forceable toy field the equivalence
+//! is **exhaustive**, on the NIST fields it is property-based, and the
+//! digit-serial MALU model is cross-checked against both.
+
+use medsec_gf2m::digit_serial::mul_digit_serial;
+use medsec_gf2m::{
+    batch_invert, Element, FastBackend, FieldBackend, FieldSpec, ModelBackend, F163, F17, F233,
+    F283,
+};
+use proptest::prelude::*;
+
+/// Every element of F(2^17), 0..2^17.
+fn f17_all() -> impl Iterator<Item = Element<F17>> {
+    (0u64..1 << 17).map(Element::from_u64)
+}
+
+#[test]
+fn f17_square_agrees_exhaustively() {
+    for a in f17_all() {
+        assert_eq!(
+            FastBackend::square(&a),
+            ModelBackend::square(&a),
+            "square mismatch at {a}"
+        );
+    }
+}
+
+#[test]
+fn f17_inverse_agrees_exhaustively() {
+    for a in f17_all() {
+        let fast = FastBackend::invert(&a);
+        let model = ModelBackend::invert(&a);
+        assert_eq!(fast, model, "inverse mismatch at {a}");
+        if let Some(inv) = fast {
+            assert_eq!(a * inv, Element::one(), "not an inverse at {a}");
+        }
+    }
+}
+
+#[test]
+fn f17_mul_agrees_on_dense_grid() {
+    // All pairs is 2^34 — instead sweep every element against a fixed
+    // panel of structurally diverse multipliers (low, high, sparse,
+    // dense), plus a full small-square corner.
+    let panel: Vec<Element<F17>> = [1u64, 2, 3, 0x1_0000, 0x1_ffff, 0x15555, 0x0aaaa, 0x1e240]
+        .into_iter()
+        .map(Element::from_u64)
+        .collect();
+    for a in f17_all() {
+        for &b in &panel {
+            assert_eq!(
+                FastBackend::mul(&a, &b),
+                ModelBackend::mul(&a, &b),
+                "mul mismatch at {a} * {b}"
+            );
+        }
+    }
+    for av in 0u64..512 {
+        let a = Element::<F17>::from_u64(av);
+        for bv in 0u64..512 {
+            let b = Element::<F17>::from_u64(bv);
+            assert_eq!(FastBackend::mul(&a, &b), ModelBackend::mul(&a, &b));
+        }
+    }
+}
+
+#[test]
+fn f17_digit_serial_matches_both_backends() {
+    // The MALU model is the third implementation of the same product;
+    // spot-check it against the seam on a scalar sweep.
+    for av in (0u64..1 << 17).step_by(97) {
+        let a = Element::<F17>::from_u64(av);
+        let b = Element::<F17>::from_u64(av.wrapping_mul(0x9e37).wrapping_add(5) & 0x1ffff);
+        let (p, _) = mul_digit_serial(a, b, 4);
+        assert_eq!(p, FastBackend::mul(&a, &b));
+        assert_eq!(p, ModelBackend::mul(&a, &b));
+    }
+}
+
+/// Strategy for a random element of `F` from raw u64s.
+fn arb_element<F: FieldSpec>() -> impl Strategy<Value = Element<F>> {
+    prop::collection::vec(any::<u64>(), 5).prop_map(|words| {
+        let mut i = 0;
+        Element::<F>::random(move || {
+            let w = words[i % words.len()];
+            i += 1;
+            w
+        })
+    })
+}
+
+macro_rules! field_equivalence {
+    ($name:ident, $field:ty) => {
+        proptest! {
+            #[test]
+            fn $name(a in arb_element::<$field>(), b in arb_element::<$field>()) {
+                prop_assert_eq!(
+                    FastBackend::mul(&a, &b),
+                    ModelBackend::mul(&a, &b)
+                );
+                prop_assert_eq!(FastBackend::square(&a), ModelBackend::square(&a));
+                prop_assert_eq!(FastBackend::invert(&a), ModelBackend::invert(&a));
+                // The ring laws hold across the seam: (a·b)² = a²·b².
+                let lhs = FastBackend::square(&ModelBackend::mul(&a, &b));
+                let rhs = ModelBackend::mul(&FastBackend::square(&a), &FastBackend::square(&b));
+                prop_assert_eq!(lhs, rhs);
+            }
+        }
+    };
+}
+
+field_equivalence!(f163_backends_agree, F163);
+field_equivalence!(f233_backends_agree, F233);
+field_equivalence!(f283_backends_agree, F283);
+
+proptest! {
+    #[test]
+    fn batch_invert_matches_singles_f233(
+        elems in prop::collection::vec(arb_element::<F233>(), 0..24),
+        zero_at in any::<u64>(),
+    ) {
+        let mut v = elems;
+        if !v.is_empty() {
+            let idx = (zero_at as usize) % v.len();
+            v[idx] = Element::zero();
+        }
+        let orig = v.clone();
+        let inverted = batch_invert(&mut v);
+        prop_assert_eq!(inverted, orig.iter().filter(|e| !e.is_zero()).count());
+        for (got, a) in v.iter().zip(&orig) {
+            match a.inverse() {
+                Some(expect) => prop_assert_eq!(*got, expect),
+                None => prop_assert!(got.is_zero()),
+            }
+        }
+    }
+}

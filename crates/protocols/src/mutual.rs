@@ -184,6 +184,33 @@ pub fn server_hello<C: CurveSpec>(
     (kp, hello)
 }
 
+/// Server-side bulk hello generation: all ephemeral key pairs come from
+/// one fixed-base-comb batch (`KeyPair::generate_batch` — inversion-free
+/// accumulation, one batched normalization), then each hello is
+/// authenticated under its device's pairing key.
+///
+/// The device side of the protocol is unchanged — a batched hello is
+/// byte-compatible with a [`server_hello`] one.
+pub fn server_hello_batch<C: CurveSpec>(
+    pairings: &[&Pairing],
+    mut next_u64: impl FnMut() -> u64,
+) -> Vec<(KeyPair<C>, ServerHello<C>)> {
+    let keys = KeyPair::<C>::generate_batch(pairings.len(), &mut next_u64);
+    let mut point_buf = vec![0u8; point_len::<C>()];
+    keys.into_iter()
+        .zip(pairings)
+        .map(|(kp, pairing)| {
+            kp.public().compress_into(&mut point_buf);
+            let mac = aes_cmac(&pairing.auth_key, &point_buf);
+            let hello = ServerHello {
+                ephemeral: *kp.public(),
+                mac,
+            };
+            (kp, hello)
+        })
+        .collect()
+}
+
 /// Forged hello from an attacker who does not know the pairing key.
 pub fn forged_hello<C: CurveSpec>(mut next_u64: impl FnMut() -> u64) -> ServerHello<C> {
     let kp = KeyPair::<C>::generate(&mut next_u64);
@@ -250,6 +277,26 @@ mod tests {
         assert!(matches!(out, SessionOutcome::Established { .. }));
         // Two point multiplications dominate the device budget.
         assert!(l.compute() > 2.0 * 5.0e-6);
+    }
+
+    #[test]
+    fn batched_hellos_establish_like_singles() {
+        let mut rng = SplitMix64::new(6306);
+        let pairings: Vec<Pairing> = (0..5)
+            .map(|i| Pairing {
+                auth_key: [i as u8 + 1; 16],
+            })
+            .collect();
+        let refs: Vec<&Pairing> = pairings.iter().collect();
+        let hellos = server_hello_batch::<Toy17>(&refs, rng.as_fn());
+        assert_eq!(hellos.len(), 5);
+        for (pairing, (_kp, hello)) in pairings.iter().zip(&hellos) {
+            let device = Device::<Toy17>::new(pairing.clone(), Ordering::ServerFirst);
+            let mut l = ledger();
+            let out = device.run_session(hello, b"hr=60bpm", rng.as_fn(), &mut l);
+            assert!(matches!(out, SessionOutcome::Established { .. }));
+        }
+        assert!(server_hello_batch::<Toy17>(&[], rng.as_fn()).is_empty());
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! transcript (R, e, s) is unlinkable without the reader's secret y.
 
 use medsec_ec::{
-    ladder::{ladder_mul, ladder_x_affine, ladder_x_only, CoordinateBlinding},
+    generator_mul, generator_mul_batch,
+    ladder::{
+        batch_x_affine, ladder_mul, ladder_x_affine, ladder_x_only, CoordinateBlinding, LadderState,
+    },
     xcoord_to_scalar, CurveSpec, Point, Scalar,
 };
 
@@ -74,19 +77,17 @@ impl<C: CurveSpec> PhTag<C> {
     /// Round 1: generate the commitment R = r·P.
     ///
     /// Costs one point multiplication plus the transmission of a
-    /// compressed point, both booked on `ledger`.
+    /// compressed point, both booked on `ledger`. `R` is a generator
+    /// multiple, so the *computation* goes through the shared comb; the
+    /// implant's energy/SCA cost model (one protected-ladder point
+    /// multiplication) is booked unchanged.
     pub fn commit(
         &mut self,
         mut next_u64: impl FnMut() -> u64,
         ledger: &mut EnergyLedger,
     ) -> Point<C> {
         let r = Scalar::random_nonzero(&mut next_u64);
-        let commitment = ladder_mul(
-            &r,
-            &C::generator(),
-            CoordinateBlinding::RandomZ,
-            &mut next_u64,
-        );
+        let commitment = generator_mul::<C>(&r);
         self.session_r = Some(r);
         ledger.point_mul();
         ledger.tx(point_bytes::<C>());
@@ -130,23 +131,20 @@ impl<C: CurveSpec> PhTag<C> {
 pub struct PhReader<C: CurveSpec> {
     secret: Scalar<C>,
     public: Point<C>,
-    db: Vec<(TagId, Point<C>)>,
+    /// X → id tag database (identification is a point-equality search;
+    /// at fleet scale it must not be a linear scan).
+    db: std::collections::HashMap<Point<C>, TagId>,
 }
 
 impl<C: CurveSpec> PhReader<C> {
     /// Create a reader with a fresh key pair.
     pub fn new(mut next_u64: impl FnMut() -> u64) -> Self {
         let secret = Scalar::random_nonzero(&mut next_u64);
-        let public = ladder_mul(
-            &secret,
-            &C::generator(),
-            CoordinateBlinding::RandomZ,
-            &mut next_u64,
-        );
+        let public = generator_mul::<C>(&secret);
         Self {
             secret,
             public,
-            db: Vec::new(),
+            db: std::collections::HashMap::new(),
         }
     }
 
@@ -170,16 +168,11 @@ impl<C: CurveSpec> PhReader<C> {
     pub fn register_tag(&mut self, id: TagId, mut next_u64: impl FnMut() -> u64) -> PhTag<C> {
         for _ in 0..1000 {
             let x = Scalar::random_nonzero(&mut next_u64);
-            let public = ladder_mul(
-                &x,
-                &C::generator(),
-                CoordinateBlinding::RandomZ,
-                &mut next_u64,
-            );
-            if self.db.iter().any(|(_, p)| *p == public) {
+            let public = generator_mul::<C>(&x);
+            if self.db.contains_key(&public) {
                 continue;
             }
-            self.db.push((id, public));
+            self.db.insert(public, id);
             return PhTag::new(x, self.public);
         }
         panic!("tag database saturates the curve group; no unique key found");
@@ -195,34 +188,86 @@ impl<C: CurveSpec> PhReader<C> {
     ///
     /// Reader-side cost: three point multiplications plus the ḋ
     /// computation — deliberately asymmetric, "the heaviest computation
-    /// load is for the reader" (§4).
+    /// load is for the reader" (§4). The two fixed-base terms `s·P` and
+    /// `d·P` run on the shared comb (the reader is the wall-powered
+    /// side; SPA resistance is a tag concern); only `e·R` — a variable
+    /// base — still pays for a ladder.
     pub fn identify(
         &self,
         transcript: &PhTranscript<C>,
         mut next_u64: impl FnMut() -> u64,
     ) -> Option<TagId> {
-        let rx = transcript.commitment.x()?;
-        let d_state =
-            ladder_x_only::<C>(&self.secret, rx, CoordinateBlinding::RandomZ, &mut next_u64);
-        let d_elem = ladder_x_affine(&d_state)?;
-        let d = xcoord_to_scalar::<C>(&d_elem);
+        self.identify_batch(core::slice::from_ref(transcript), &mut next_u64)
+            .pop()
+            .expect("one result per transcript")
+    }
 
-        let g = C::generator();
-        let sp = ladder_mul(
-            &transcript.response,
-            &g,
-            CoordinateBlinding::RandomZ,
-            &mut next_u64,
-        );
-        let dp = ladder_mul(&d, &g, CoordinateBlinding::RandomZ, &mut next_u64);
-        let er = ladder_mul(
-            &transcript.challenge,
-            &transcript.commitment,
-            CoordinateBlinding::RandomZ,
-            &mut next_u64,
-        );
-        let x_hat = sp - dp - er;
-        self.db.iter().find(|(_, x)| *x == x_hat).map(|(id, _)| *id)
+    /// Batched round 3: identify many transcripts in one call.
+    ///
+    /// All ḋ ladders run first and are normalized with a single batched
+    /// inversion; every `s·P` and `d·P` goes through one shared-comb
+    /// batch (2N fixed-base multiplications, one more batched
+    /// inversion). Only the N variable-base `e·R` ladders remain
+    /// per-transcript. Entry `i` of the result corresponds to
+    /// `transcripts[i]`.
+    pub fn identify_batch(
+        &self,
+        transcripts: &[PhTranscript<C>],
+        mut next_u64: impl FnMut() -> u64,
+    ) -> Vec<Option<TagId>> {
+        // Phase 1: ḋ = xcoord(y·R) for every commitment, one inversion.
+        let d_states: Vec<Option<LadderState<C>>> = transcripts
+            .iter()
+            .map(|t| {
+                t.commitment.x().map(|rx| {
+                    ladder_x_only::<C>(&self.secret, rx, CoordinateBlinding::RandomZ, &mut next_u64)
+                })
+            })
+            .collect();
+        let present: Vec<LadderState<C>> = d_states.iter().filter_map(|s| *s).collect();
+        let mut normalized = batch_x_affine(&present).into_iter();
+        let ds: Vec<Option<Scalar<C>>> = d_states
+            .iter()
+            .map(|s| {
+                s.and_then(|_| normalized.next().expect("one x per state"))
+                    .map(|x| xcoord_to_scalar::<C>(&x))
+            })
+            .collect();
+
+        // Phase 2: every fixed-base term through one comb batch.
+        let mut fixed_scalars = Vec::with_capacity(2 * transcripts.len());
+        for (t, d) in transcripts.iter().zip(&ds) {
+            if let Some(d) = d {
+                fixed_scalars.push(t.response);
+                fixed_scalars.push(*d);
+            }
+        }
+        let mut fixed = generator_mul_batch(&fixed_scalars).into_iter();
+
+        // Phase 3: variable-base e·R per transcript, then the DB lookup.
+        transcripts
+            .iter()
+            .zip(&ds)
+            .map(|(t, d)| {
+                d.as_ref()?;
+                let sp = fixed.next().expect("s·P computed");
+                let dp = fixed.next().expect("d·P computed");
+                let er = ladder_mul(
+                    &t.challenge,
+                    &t.commitment,
+                    CoordinateBlinding::RandomZ,
+                    &mut next_u64,
+                );
+                self.lookup(&(sp - dp - er))
+            })
+            .collect()
+    }
+
+    /// Constant-time-irrelevant database lookup (hash-indexed; the
+    /// linear scan became the bottleneck once the point math was
+    /// batched).
+    fn lookup(&self, x_hat: &Point<C>) -> Option<TagId> {
+        self.db.get(x_hat).copied()
     }
 }
 
@@ -284,6 +329,40 @@ mod tests {
         let mut l = ledger();
         let (id, _) = run_session(&mut tag, &reader, &mut l, rng.as_fn());
         assert_eq!(id, Some(7));
+    }
+
+    #[test]
+    fn identify_batch_matches_single_identify() {
+        let mut rng = SplitMix64::new(6007);
+        let mut reader = PhReader::<Toy17>::new(rng.as_fn());
+        let mut tags: Vec<PhTag<Toy17>> = (0..6)
+            .map(|i| reader.register_tag(10 + i, rng.as_fn()))
+            .collect();
+        let mut transcripts = Vec::new();
+        for tag in tags.iter_mut() {
+            let mut l = ledger();
+            let commitment = tag.commit(rng.as_fn(), &mut l);
+            let challenge = reader.challenge(rng.as_fn());
+            let response = tag.respond(&challenge, rng.as_fn(), &mut l);
+            transcripts.push(PhTranscript {
+                commitment,
+                challenge,
+                response,
+            });
+        }
+        // Corrupt one transcript so the batch carries a failure too.
+        transcripts[3].response += Scalar::one();
+        let batch = reader.identify_batch(&transcripts, rng.as_fn());
+        assert_eq!(batch.len(), transcripts.len());
+        for (i, (t, got)) in transcripts.iter().zip(&batch).enumerate() {
+            assert_eq!(*got, reader.identify(t, rng.as_fn()), "transcript {i}");
+            if i == 3 {
+                assert_eq!(*got, None);
+            } else {
+                assert_eq!(*got, Some(10 + i as TagId));
+            }
+        }
+        assert!(reader.identify_batch(&[], rng.as_fn()).is_empty());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! so two sessions of the same tag link trivially.
 
 use medsec_ec::{
+    generator_mul,
     ladder::{ladder_mul, CoordinateBlinding},
     CurveSpec, Point, Scalar,
 };
@@ -37,12 +38,7 @@ impl<C: CurveSpec> SchnorrTag<C> {
     /// Create a tag with a fresh key pair.
     pub fn new(mut next_u64: impl FnMut() -> u64) -> Self {
         let secret = Scalar::random_nonzero(&mut next_u64);
-        let public = ladder_mul(
-            &secret,
-            &C::generator(),
-            CoordinateBlinding::RandomZ,
-            &mut next_u64,
-        );
+        let public = generator_mul::<C>(&secret);
         Self {
             secret,
             public,
@@ -55,19 +51,16 @@ impl<C: CurveSpec> SchnorrTag<C> {
         &self.public
     }
 
-    /// Round 1: commitment R = r·P.
+    /// Round 1: commitment R = r·P — a generator multiple, computed on
+    /// the shared comb; the tag's modeled cost (one point
+    /// multiplication) is booked unchanged.
     pub fn commit(
         &mut self,
         mut next_u64: impl FnMut() -> u64,
         ledger: &mut EnergyLedger,
     ) -> Point<C> {
         let r = Scalar::random_nonzero(&mut next_u64);
-        let commitment = ladder_mul(
-            &r,
-            &C::generator(),
-            CoordinateBlinding::RandomZ,
-            &mut next_u64,
-        );
+        let commitment = generator_mul::<C>(&r);
         self.session_r = Some(r);
         ledger.point_mul();
         ledger.tx(<C::Field as medsec_gf2m::FieldSpec>::M.div_ceil(8) + 1);
@@ -91,17 +84,15 @@ impl<C: CurveSpec> SchnorrTag<C> {
 
 /// Verify a Schnorr transcript against a known public key:
 /// `s·P == R + e·X`.
+///
+/// Verification is server-side, so the fixed-base term `s·P` goes
+/// through the shared comb; only `e·X` (variable base) uses the ladder.
 pub fn schnorr_verify<C: CurveSpec>(
     transcript: &SchnorrTranscript<C>,
     public: &Point<C>,
     mut next_u64: impl FnMut() -> u64,
 ) -> bool {
-    let sp = ladder_mul(
-        &transcript.response,
-        &C::generator(),
-        CoordinateBlinding::RandomZ,
-        &mut next_u64,
-    );
+    let sp = generator_mul::<C>(&transcript.response);
     let ex = ladder_mul(
         &transcript.challenge,
         public,
@@ -118,12 +109,7 @@ pub fn extract_public_key<C: CurveSpec>(
     mut next_u64: impl FnMut() -> u64,
 ) -> Option<Point<C>> {
     let e_inv = transcript.challenge.inverse()?;
-    let sp = ladder_mul(
-        &transcript.response,
-        &C::generator(),
-        CoordinateBlinding::RandomZ,
-        &mut next_u64,
-    );
+    let sp = generator_mul::<C>(&transcript.response);
     let diff = sp - transcript.commitment;
     Some(ladder_mul(
         &e_inv,

@@ -92,9 +92,19 @@ pub fn deframe(bytes: &[u8]) -> Result<(MsgType, &[u8]), DecodeError> {
     Ok((ty, &bytes[2..]))
 }
 
-/// Encode a point message (compressed).
+/// Largest payload any field/curve in this workspace encodes (F(2^283)
+/// point: 36 x-bytes + 1 tag byte). Encoders stage payloads in a stack
+/// buffer of this size instead of allocating a `Vec` per frame.
+const MAX_PAYLOAD: usize = 64;
+
+/// Encode a point message (compressed) — allocation-free staging via
+/// [`Point::compress_into`].
 pub fn encode_point<C: CurveSpec>(ty: MsgType, p: &Point<C>) -> Bytes {
-    frame(ty, &p.compress())
+    let n = Point::<C>::compressed_len();
+    debug_assert!(n <= MAX_PAYLOAD);
+    let mut buf = [0u8; MAX_PAYLOAD];
+    p.compress_into(&mut buf[..n]);
+    frame(ty, &buf[..n])
 }
 
 /// Decode a point message, validating curve membership.
@@ -109,6 +119,18 @@ pub fn decode_point<C: CurveSpec>(ty: MsgType, bytes: &[u8]) -> Result<Point<C>,
 /// Encode a scalar message.
 pub fn encode_scalar<C: CurveSpec>(ty: MsgType, s: &Scalar<C>) -> Bytes {
     frame(ty, &s.to_bytes())
+}
+
+/// Frame a `ServerHello` payload (compressed ephemeral ‖ 16-byte MAC)
+/// without intermediate allocations — the gateway emits one of these
+/// per device per batch.
+pub fn encode_server_hello<C: CurveSpec>(ephemeral: &Point<C>, mac: &[u8; 16]) -> Bytes {
+    let n = Point::<C>::compressed_len();
+    debug_assert!(n + 16 <= MAX_PAYLOAD);
+    let mut buf = [0u8; MAX_PAYLOAD];
+    ephemeral.compress_into(&mut buf[..n]);
+    buf[n..n + 16].copy_from_slice(mac);
+    frame(MsgType::ServerHello, &buf[..n + 16])
 }
 
 /// Decode a scalar message.
