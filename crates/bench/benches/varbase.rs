@@ -1,0 +1,68 @@
+//! Variable-base scalar-multiplication strategies head to head:
+//! protected ladder vs τNAF vs the interleaved two-scalar `mul_add`,
+//! per curve. This is the serving-path regression tripwire — if the
+//! τNAF engine stops beating the ladder on Koblitz curves, fleet
+//! throughput regressed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use medsec_ec::{
+    ladder::{ladder_mul, CoordinateBlinding},
+    server_strategy_name, tnaf_mul, tnaf_mul_add_gen, varbase_mul_add_gen, CurveSpec, Point,
+    Scalar, B163, K163, K233, K283,
+};
+use medsec_rng::SplitMix64;
+use std::hint::black_box;
+
+fn subgroup_point<C: CurveSpec>(rng: &mut SplitMix64) -> Point<C> {
+    let k = Scalar::<C>::random_nonzero(rng.as_fn());
+    ladder_mul(
+        &k,
+        &C::generator(),
+        CoordinateBlinding::RandomZ,
+        rng.as_fn(),
+    )
+}
+
+fn bench_curve<C: CurveSpec>(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(0x7AF_u64 ^ C::Field::M as u64);
+    let base = subgroup_point::<C>(&mut rng);
+    let k = Scalar::<C>::random_nonzero(rng.as_fn());
+    let e = Scalar::<C>::random_nonzero(rng.as_fn());
+
+    let name = format!("varbase/{}[{}]", C::NAME, server_strategy_name::<C>());
+    let mut group = c.benchmark_group(&name);
+    group.bench_function("ladder", |b| {
+        b.iter(|| {
+            black_box(ladder_mul(
+                &k,
+                &base,
+                CoordinateBlinding::RandomZ,
+                rng.as_fn(),
+            ))
+        })
+    });
+    if medsec_ec::is_koblitz::<C>() {
+        group.bench_function("tnaf", |b| b.iter(|| black_box(tnaf_mul(&k, &base))));
+        group.bench_function("tnaf_mul_add", |b| {
+            b.iter(|| black_box(tnaf_mul_add_gen(&k, &e, &base)))
+        });
+    }
+    // The seam-dispatched verification shape on every curve (τNAF or
+    // comb + ladder fallback).
+    group.bench_function("engine_mul_add", |b| {
+        b.iter(|| black_box(varbase_mul_add_gen(&k, &e, &base, rng.as_fn())))
+    });
+    group.finish();
+}
+
+use medsec_gf2m::FieldSpec;
+
+fn bench_varbase(c: &mut Criterion) {
+    bench_curve::<K163>(c);
+    bench_curve::<K233>(c);
+    bench_curve::<K283>(c);
+    bench_curve::<B163>(c);
+}
+
+criterion_group!(benches, bench_varbase);
+criterion_main!(benches);

@@ -15,10 +15,12 @@ use crate::table::{uj, Table};
 pub fn trajectory_config(fast: bool) -> FleetConfig {
     FleetConfig {
         devices: if fast { 512 } else { 4096 },
+        // One worker per hardware thread: oversubscribing a small host
+        // only adds context switches to a compute-bound workload.
         threads: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
-            .clamp(4, 16),
+            .clamp(1, 16),
         shards: 64,
         batch_size: 64,
         curve: CurveChoice::Toy17,
@@ -32,10 +34,12 @@ pub fn run_with_json(fast: bool) -> (String, String) {
     let cfg = trajectory_config(fast);
     let report = run_fleet(&cfg);
 
-    // A small K-163 fleet alongside, so the trajectory tracks the
-    // paper-strength curve too.
+    // A K-163 fleet alongside, so the trajectory tracks the
+    // paper-strength curve too. The τNAF variable-base engine (plus the
+    // PR 2 comb) makes 2048 K-163 devices finish in wall time
+    // comparable to the 4096-device toy fleet.
     let k163_cfg = FleetConfig {
-        devices: if fast { 32 } else { 256 },
+        devices: if fast { 64 } else { 2048 },
         curve: CurveChoice::K163,
         ..cfg.clone()
     };
@@ -83,7 +87,7 @@ pub fn run_with_json(fast: bool) -> (String, String) {
         (report.sessions_failed + report.ph_failed).to_string(),
         (k163.sessions_failed + k163.ph_failed).to_string(),
     ]);
-    t.note("sharded session table + batched hello generation; every frame through wire.rs");
+    t.note("sharded session table + batched hellos; serving-side variable-base mults via the strategy seam (tnaf on Koblitz curves)");
 
     (t.render(), summary_json(&report, &k163))
 }
@@ -94,12 +98,15 @@ pub fn run(fast: bool) -> String {
 }
 
 /// Combined machine-readable summary for `BENCH_fleet.json`. Records
-/// which gf2m backend the serving path ran on, so a trajectory point is
-/// attributable to the arithmetic behind it.
+/// which gf2m backend and which variable-base strategy the serving
+/// path ran on, so a trajectory point is attributable to the exact
+/// compute stack behind it.
 fn summary_json(toy: &FleetReport, k163: &FleetReport) -> String {
     format!(
-        "{{\"experiment\":\"fleet\",\"backend\":\"{}\",\"toy17\":{},\"k163\":{}}}",
+        "{{\"experiment\":\"fleet\",\"backend\":\"{}\",\"varbase\":{{\"toy17\":\"{}\",\"k163\":\"{}\"}},\"toy17\":{},\"k163\":{}}}",
         medsec_gf2m::backend::active_backend_name(),
+        medsec_ec::server_strategy_name::<medsec_ec::Toy17>(),
+        medsec_ec::server_strategy_name::<medsec_ec::K163>(),
         toy.to_json(),
         k163.to_json()
     )
@@ -114,6 +121,7 @@ mod tests {
         assert!(report.contains("forged hellos rejected"));
         assert!(json.contains("\"toy17\":{"));
         assert!(json.contains("\"backend\":\"fast\""));
+        assert!(json.contains("\"varbase\":{\"toy17\":\"ladder\",\"k163\":\"tnaf\"}"));
         assert!(json.contains("\"sessions_per_sec\""));
         assert!(json.contains("\"energy_per_session_j\""));
     }

@@ -24,113 +24,13 @@
 //! identical group elements. Tests pin comb-vs-ladder agreement.
 
 use std::any::{Any, TypeId};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::Arc;
 
-use medsec_gf2m::{batch_invert, Element};
+use medsec_gf2m::{batch_invert, Element, Registry};
 
 use crate::curve::{CurveSpec, Point};
+use crate::proj::LdPoint;
 use crate::scalar::Scalar;
-
-/// A point in López–Dahab projective coordinates: `x = X/Z`,
-/// `y = Y/Z²`; `Z = 0` encodes the point at infinity.
-#[derive(Debug, Clone, Copy)]
-struct LdPoint<C: CurveSpec> {
-    x: Element<C::Field>,
-    y: Element<C::Field>,
-    z: Element<C::Field>,
-}
-
-impl<C: CurveSpec> LdPoint<C> {
-    fn infinity() -> Self {
-        Self {
-            x: Element::one(),
-            y: Element::zero(),
-            z: Element::zero(),
-        }
-    }
-
-    fn from_affine(p: &Point<C>) -> Self {
-        match p {
-            Point::Infinity => Self::infinity(),
-            Point::Affine { x, y } => Self {
-                x: *x,
-                y: *y,
-                z: Element::one(),
-            },
-        }
-    }
-
-    fn is_infinity(&self) -> bool {
-        self.z.is_zero()
-    }
-
-    /// López–Dahab doubling:
-    /// `Z₃ = X₁²·Z₁²`, `X₃ = X₁⁴ + b·Z₁⁴`,
-    /// `Y₃ = b·Z₁⁴·Z₃ + X₃·(a·Z₃ + Y₁² + b·Z₁⁴)`.
-    fn double(&self, b: Element<C::Field>) -> Self {
-        if self.is_infinity() {
-            return *self;
-        }
-        let x2 = self.x.square();
-        let z2 = self.z.square();
-        let z3 = x2 * z2;
-        let bz4 = b * z2.square();
-        let x3 = x2.square() + bz4;
-        let y3 = bz4 * z3 + x3 * (C::a() * z3 + self.y.square() + bz4);
-        Self {
-            x: x3,
-            y: y3,
-            z: z3,
-        }
-    }
-
-    /// Mixed addition of an affine point `(x₂, y₂)` (López–Dahab):
-    /// `A = Y₁ + y₂·Z₁²`, `B = X₁ + x₂·Z₁`, `C = B·Z₁`, `Z₃ = C²`,
-    /// `D = x₂·Z₃`, `X₃ = A² + C·(A + B² + a·C)`,
-    /// `Y₃ = (D + X₃)·(A·C + Z₃) + (y₂ + x₂)·Z₃²`.
-    fn add_affine(&self, p: &Point<C>, b: Element<C::Field>) -> Self {
-        let (px, py) = match p {
-            Point::Infinity => return *self,
-            Point::Affine { x, y } => (*x, *y),
-        };
-        if self.is_infinity() {
-            return Self::from_affine(p);
-        }
-        let z1sq = self.z.square();
-        let a = self.y + py * z1sq;
-        let bb = self.x + px * self.z;
-        if bb.is_zero() {
-            // Same x: doubling if the y's also match, else P + (−P) = O.
-            return if a.is_zero() {
-                self.double(b)
-            } else {
-                Self::infinity()
-            };
-        }
-        let c = bb * self.z;
-        let z3 = c.square();
-        let d = px * z3;
-        let x3 = a.square() + c * (a + bb.square() + C::a() * c);
-        let y3 = (d + x3) * (a * c + z3) + (py + px) * z3.square();
-        Self {
-            x: x3,
-            y: y3,
-            z: z3,
-        }
-    }
-
-    /// Affine conversion given `Z⁻¹` (batch-computed by the caller).
-    fn to_affine_with_zinv(self, zinv: Element<C::Field>) -> Point<C> {
-        if self.is_infinity() {
-            return Point::Infinity;
-        }
-        Point::Affine {
-            x: self.x * zinv,
-            y: self.y * zinv.square(),
-        }
-    }
-}
 
 /// Precomputed Lim–Lee comb for multiples of one fixed base point.
 ///
@@ -168,26 +68,33 @@ impl<C: CurveSpec> FixedBaseComb<C> {
         );
         let bits = order_bits::<C>();
         let spacing = bits.div_ceil(window);
-        // strides[i] = 2^(i·t)·G.
-        let mut strides = Vec::with_capacity(window);
-        let mut p = C::generator();
+        let b = C::b();
+        // strides[i] = 2^(i·t)·G, doubled projectively and normalized
+        // together (affine doubling would pay one field inversion per
+        // step — ~2^w·m of them for the whole precomputation).
+        let mut strides_proj = Vec::with_capacity(window);
+        let mut p = LdPoint::from_affine(&C::generator());
         for _ in 0..window {
-            strides.push(p);
+            strides_proj.push(p);
             for _ in 0..spacing {
-                p = p.double();
+                p = p.double(b);
             }
         }
-        let mut table = vec![Point::infinity(); (1 << window) - 1];
+        let strides = crate::proj::batch_to_affine(&strides_proj);
+        let mut table_proj = vec![LdPoint::infinity(); (1 << window) - 1];
         for j in 1usize..1 << window {
             let low = j & j.wrapping_neg(); // lowest set bit
             let rest = j ^ low;
+            let stride = &strides[low.trailing_zeros() as usize];
             let entry = if rest == 0 {
-                strides[low.trailing_zeros() as usize]
+                LdPoint::from_affine(stride)
             } else {
-                table[rest - 1] + strides[low.trailing_zeros() as usize]
+                table_proj[rest - 1].add_affine(stride, b)
             };
-            table[j - 1] = entry;
+            table_proj[j - 1] = entry;
         }
+        // One inversion normalizes the whole table.
+        let table = crate::proj::batch_to_affine(&table_proj);
         Self {
             window,
             spacing,
@@ -246,10 +153,12 @@ fn order_bits<C: CurveSpec>() -> usize {
 }
 
 /// Default comb window per curve size: wide combs only pay off when the
-/// per-column work they save outweighs their precomputation.
+/// per-column work they save outweighs their precomputation (which is
+/// cheap now that the table is built projectively — 2^10 entries cost
+/// two inversions total).
 fn default_window(bits: usize) -> usize {
     if bits >= 64 {
-        8
+        10
     } else {
         4
     }
@@ -258,18 +167,11 @@ fn default_window(bits: usize) -> usize {
 /// Process-wide shared comb for curve `C`'s generator (precomputed on
 /// first use, then reused by every gateway/protocol call).
 pub fn generator_comb<C: CurveSpec>() -> Arc<FixedBaseComb<C>> {
-    static REGISTRY: OnceLock<Mutex<HashMap<TypeId, Arc<dyn Any + Send + Sync>>>> = OnceLock::new();
-    let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut map = registry.lock().expect("comb registry poisoned");
-    let entry = map
-        .entry(TypeId::of::<C>())
-        .or_insert_with(|| {
+    static REGISTRY: Registry<TypeId, Arc<dyn Any + Send + Sync>> = Registry::new();
+    REGISTRY
+        .get_or_insert_with(TypeId::of::<C>(), || {
             Arc::new(FixedBaseComb::<C>::new(default_window(order_bits::<C>())))
-                as Arc<dyn Any + Send + Sync>
         })
-        .clone();
-    drop(map);
-    entry
         .downcast::<FixedBaseComb<C>>()
         .expect("registry entry has the curve's type")
 }

@@ -21,12 +21,17 @@ pub trait CurveSpec:
     /// Human-readable name, e.g. `"K-163"`.
     const NAME: &'static str;
     /// Order n of the prime-order base-point subgroup (little-endian limbs).
-    const ORDER: [u64; 4];
+    const ORDER: [u64; crate::scalar::SCALAR_LIMBS];
     /// Curve cofactor h (`#E = h·n`).
     const COFACTOR: u64;
-    /// Fixed bit-length of `k + 2n` for every `k < n`; the constant-length
-    /// Montgomery ladder runs `LADDER_BITS - 1` iterations (timing
-    /// countermeasure, paper §7).
+    /// Multiple `c` such that `k + c·n` has the same bit-length for every
+    /// `k < n` — the representative the constant-length ladder processes.
+    /// `c = 2` whenever n lies just above a power of two (all NIST orders
+    /// except K-283's, which lies just below one and needs `c = 3`).
+    const LADDER_MULTIPLE: u64 = 2;
+    /// Fixed bit-length of `k + LADDER_MULTIPLE·n` for every `k < n`; the
+    /// constant-length Montgomery ladder runs `LADDER_BITS - 1`
+    /// iterations (timing countermeasure, paper §7).
     const LADDER_BITS: usize;
     /// Curve coefficient a.
     fn a() -> Element<Self::Field>;
@@ -175,6 +180,24 @@ impl<C: CurveSpec> Point<C> {
     ///
     /// Panics if `out.len() != Self::compressed_len()`.
     pub fn compress_into(&self, out: &mut [u8]) {
+        let xinv = match self {
+            Point::Affine { x, .. } if !x.is_zero() => x.inverse().expect("x nonzero"),
+            _ => Element::zero(),
+        };
+        self.compress_into_with_xinv(out, xinv);
+    }
+
+    /// [`compress_into`](Self::compress_into) with the x-coordinate's
+    /// inverse supplied by the caller — the batched-compression hook:
+    /// the y-parity bit costs `y/x`, and a serving batch shares one
+    /// [`medsec_gf2m::batch_invert`] chain across every frame instead
+    /// of paying one Itoh–Tsujii inversion per point. `xinv` is ignored
+    /// (pass zero) for infinity or an `x = 0` point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != Self::compressed_len()`.
+    pub fn compress_into_with_xinv(&self, out: &mut [u8], xinv: Element<C::Field>) {
         assert_eq!(out.len(), Self::compressed_len(), "encoding width");
         match self {
             Point::Infinity => {
@@ -185,7 +208,8 @@ impl<C: CurveSpec> Point<C> {
                 out[0] = if x.is_zero() {
                     0u8
                 } else {
-                    let z = *y * x.inverse().expect("x nonzero");
+                    debug_assert_eq!(*x * xinv, Element::one());
+                    let z = *y * xinv;
                     u8::from(z.bit(0))
                 };
                 x.to_bytes_into(&mut out[1..]);
@@ -196,10 +220,62 @@ impl<C: CurveSpec> Point<C> {
     /// Decompress a point encoded by [`compress`](Self::compress).
     ///
     /// Returns `None` if the encoding is malformed or x does not
-    /// correspond to a point on the curve.
+    /// correspond to a point on the curve. Allocation-free — the
+    /// per-frame device path decodes one point per session; batches
+    /// should use [`decompress_batch`](Self::decompress_batch).
     pub fn decompress(bytes: &[u8]) -> Option<Self> {
-        let n = Self::compressed_len();
-        if bytes.len() != n {
+        let (x, tag) = Self::decompress_parse(bytes)?;
+        match tag {
+            ParsedTag::Infinity => Some(Point::Infinity),
+            ParsedTag::ZeroX => Some(Point::Affine {
+                x,
+                y: C::b().sqrt(),
+            }),
+            ParsedTag::Parity(parity) => {
+                Self::decompress_solve(x, parity, x.square().inverse().expect("x nonzero"))
+            }
+        }
+    }
+
+    /// Decompress many encodings at once, sharing **one** field
+    /// inversion across the whole batch (the `rhs/x²` division every
+    /// non-trivial decompression needs). Entry `i` of the result
+    /// corresponds to `encodings[i]`; malformed or off-curve encodings
+    /// yield `None`, exactly like [`decompress`](Self::decompress).
+    pub fn decompress_batch(encodings: &[&[u8]]) -> Vec<Option<Self>> {
+        let mut out: Vec<Option<Self>> = vec![None; encodings.len()];
+        // (result slot, x, parity tag) for entries that need the solve.
+        let mut live: Vec<(usize, Element<C::Field>, bool)> = Vec::new();
+        let mut x2s: Vec<Element<C::Field>> = Vec::new();
+        for (slot, &bytes) in encodings.iter().enumerate() {
+            match Self::decompress_parse(bytes) {
+                None => {}
+                Some((_, ParsedTag::Infinity)) => out[slot] = Some(Point::Infinity),
+                Some((x, ParsedTag::ZeroX)) => {
+                    out[slot] = Some(Point::Affine {
+                        x,
+                        y: C::b().sqrt(),
+                    })
+                }
+                Some((x, ParsedTag::Parity(parity))) => {
+                    live.push((slot, x, parity));
+                    x2s.push(x.square());
+                }
+            }
+        }
+        // One inversion chain for every x² in the batch.
+        medsec_gf2m::batch_invert(&mut x2s);
+        for ((slot, x, parity), x2inv) in live.into_iter().zip(x2s) {
+            out[slot] = Self::decompress_solve(x, parity, x2inv);
+        }
+        out
+    }
+
+    /// Shared parsing front of [`decompress`](Self::decompress): width
+    /// and tag checks plus the x-coordinate, classifying which solve
+    /// (if any) the encoding needs. `None` means malformed.
+    fn decompress_parse(bytes: &[u8]) -> Option<(Element<C::Field>, ParsedTag)> {
+        if bytes.len() != Self::compressed_len() {
             return None;
         }
         let tag = bytes[0];
@@ -207,7 +283,7 @@ impl<C: CurveSpec> Point<C> {
             return bytes[1..]
                 .iter()
                 .all(|&b| b == 0)
-                .then_some(Point::Infinity);
+                .then_some((Element::zero(), ParsedTag::Infinity));
         }
         if tag > 1 {
             return None;
@@ -215,17 +291,37 @@ impl<C: CurveSpec> Point<C> {
         let x = Element::<C::Field>::from_bytes_reduced(&bytes[1..]);
         if x.is_zero() {
             // y² = b → y = sqrt(b); the unique point with x = 0.
-            let y = C::b().sqrt();
-            return Some(Point::Affine { x, y });
+            return Some((x, ParsedTag::ZeroX));
         }
-        // Solve y² + xy = x³ + ax² + b via z² + z = rhs/x² with y = x·z.
+        Some((x, ParsedTag::Parity(tag == 1)))
+    }
+
+    /// Shared solving back of [`decompress`](Self::decompress): recover
+    /// y from x and the parity bit, given `x⁻²` (computed solo or by a
+    /// batch inversion). Solves `y² + xy = x³ + ax² + b` via
+    /// `z² + z = rhs/x²` with `y = x·z`.
+    fn decompress_solve(
+        x: Element<C::Field>,
+        parity: bool,
+        x2inv: Element<C::Field>,
+    ) -> Option<Self> {
         let x2 = x.square();
         let rhs = x2 * x + C::a() * x2 + C::b();
-        let c = rhs * x2.inverse().expect("x nonzero");
+        let c = rhs * x2inv;
         let (z0, z1) = c.solve_quadratic()?;
-        let z = if z0.bit(0) == (tag == 1) { z0 } else { z1 };
+        let z = if z0.bit(0) == parity { z0 } else { z1 };
         Some(Point::Affine { x, y: x * z })
     }
+}
+
+/// Classification of a compressed encoding after parsing.
+enum ParsedTag {
+    /// Canonical infinity encoding.
+    Infinity,
+    /// The unique x = 0 point (y = √b).
+    ZeroX,
+    /// Ordinary point; the payload is the y-parity bit.
+    Parity(bool),
 }
 
 impl<C: CurveSpec> Clone for Point<C> {
@@ -329,7 +425,7 @@ impl<C: CurveSpec> core::ops::SubAssign for Point<C> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::curves::{Toy17, B163, K163};
+    use crate::curves::{Toy17, B163, K163, K233, K283};
 
     fn rng_from(seed: u64) -> impl FnMut() -> u64 {
         let mut s = seed;
@@ -386,6 +482,8 @@ mod tests {
         check::<Toy17>();
         check::<K163>();
         check::<B163>();
+        check::<K233>();
+        check::<K283>();
     }
 
     #[test]

@@ -74,13 +74,24 @@ pub fn madd<C: CurveSpec>(
 }
 
 /// Projective doubling: `X' = X⁴ + b·Z⁴`, `Z' = X²·Z²`.
+///
+/// On curves with `b = 1` (the Koblitz curves) the `b·Z⁴` product is a
+/// plain squaring — exactly the saving [`iteration_cost`] has always
+/// modeled (`5` muls instead of `6`); the branch is on a *curve
+/// constant*, so the operation flow stays key-independent.
 pub fn mdouble<C: CurveSpec>(
     x: Element<C::Field>,
     z: Element<C::Field>,
 ) -> (Element<C::Field>, Element<C::Field>) {
     let x2 = x.square();
     let z2 = z.square();
-    (x2.square() + C::b() * z2.square(), x2 * z2)
+    let b = C::b();
+    let bz4 = if b == Element::one() {
+        z2.square()
+    } else {
+        b * z2.square()
+    };
+    (x2.square() + bz4, x2 * z2)
 }
 
 /// Scalar multiplication `k·P` by the constant-length Montgomery ladder,

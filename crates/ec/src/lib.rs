@@ -31,12 +31,20 @@ mod curves;
 mod ecdh;
 pub mod frobenius;
 pub mod ladder;
+mod proj;
 mod scalar;
+pub mod tnaf;
+pub mod varbase;
 
 pub use comb::{generator_comb, generator_mul, generator_mul_batch, FixedBaseComb};
 pub use curve::{CurveSpec, Point};
-pub use curves::{Toy17, B163, K163};
+pub use curves::{Toy17, B163, K163, K233, K283};
 pub use ecdh::{xcoord_to_scalar, KeyPair};
 pub use frobenius::{frobenius_mu, frobenius_point, satisfies_characteristic_equation};
 pub use ladder::CoordinateBlinding;
 pub use scalar::{parse_hex_limbs, Scalar, SCALAR_LIMBS};
+pub use tnaf::{is_koblitz, tnaf_mul, tnaf_mul_add_gen, tnaf_mul_add_gen_batch, tnaf_mul_batch};
+pub use varbase::{
+    server_strategy_name, varbase_mul, varbase_mul_add_gen, varbase_mul_add_gen_batch,
+    varbase_mul_batch, varbase_x_batch, VarBaseStrategy,
+};

@@ -1,0 +1,159 @@
+//! Shared López–Dahab projective point arithmetic for the serving-side
+//! scalar-multiplication engines (the fixed-base comb and the τNAF
+//! variable-base engine).
+//!
+//! Coordinates are `x = X/Z`, `y = Y/Z²`, with `Z = 0` encoding the
+//! point at infinity. Everything here is *compute*-path code: the
+//! add/double sequence depends on the data, so none of it may run on
+//! the modeled implant hardware — the protected ladder in
+//! [`crate::ladder`] stays the only device-side path.
+
+use medsec_gf2m::{batch_invert, Element};
+
+use crate::curve::{CurveSpec, Point};
+
+/// A point in López–Dahab projective coordinates: `x = X/Z`,
+/// `y = Y/Z²`; `Z = 0` encodes the point at infinity.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LdPoint<C: CurveSpec> {
+    pub(crate) x: Element<C::Field>,
+    pub(crate) y: Element<C::Field>,
+    pub(crate) z: Element<C::Field>,
+}
+
+impl<C: CurveSpec> LdPoint<C> {
+    pub(crate) fn infinity() -> Self {
+        Self {
+            x: Element::one(),
+            y: Element::zero(),
+            z: Element::zero(),
+        }
+    }
+
+    pub(crate) fn from_affine(p: &Point<C>) -> Self {
+        match p {
+            Point::Infinity => Self::infinity(),
+            Point::Affine { x, y } => Self {
+                x: *x,
+                y: *y,
+                z: Element::one(),
+            },
+        }
+    }
+
+    pub(crate) fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// The Frobenius endomorphism τ(x, y) = (x², y²) applied to the
+    /// projective representative: squaring all three coordinates squares
+    /// both `X/Z` and `Y/Z²`, so τ costs three field squarings and no
+    /// multiplication — the whole reason the τNAF engine wins.
+    pub(crate) fn tau(&self) -> Self {
+        Self {
+            x: self.x.square(),
+            y: self.y.square(),
+            z: self.z.square(),
+        }
+    }
+
+    /// López–Dahab doubling:
+    /// `Z₃ = X₁²·Z₁²`, `X₃ = X₁⁴ + b·Z₁⁴`,
+    /// `Y₃ = b·Z₁⁴·Z₃ + X₃·(a·Z₃ + Y₁² + b·Z₁⁴)`.
+    ///
+    /// Multiplications by the curve constants are elided when a ∈ {0, 1}
+    /// or b = 1 (every curve here except B-163's `b`) — branches on
+    /// curve constants, matching the coprocessor cost model.
+    pub(crate) fn double(&self, b: Element<C::Field>) -> Self {
+        if self.is_infinity() {
+            return *self;
+        }
+        let x2 = self.x.square();
+        let z2 = self.z.square();
+        let z3 = x2 * z2;
+        let bz4 = if b == Element::one() {
+            z2.square()
+        } else {
+            b * z2.square()
+        };
+        let x3 = x2.square() + bz4;
+        let y3 = bz4 * z3 + x3 * (mul_by_a::<C>(z3) + self.y.square() + bz4);
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Mixed addition of an affine point `(x₂, y₂)` (López–Dahab):
+    /// `A = Y₁ + y₂·Z₁²`, `B = X₁ + x₂·Z₁`, `C = B·Z₁`, `Z₃ = C²`,
+    /// `D = x₂·Z₃`, `X₃ = A² + C·(A + B² + a·C)`,
+    /// `Y₃ = (D + X₃)·(A·C + Z₃) + (y₂ + x₂)·Z₃²`.
+    pub(crate) fn add_affine(&self, p: &Point<C>, b: Element<C::Field>) -> Self {
+        let (px, py) = match p {
+            Point::Infinity => return *self,
+            Point::Affine { x, y } => (*x, *y),
+        };
+        if self.is_infinity() {
+            return Self::from_affine(p);
+        }
+        let z1sq = self.z.square();
+        let a = self.y + py * z1sq;
+        let bb = self.x + px * self.z;
+        if bb.is_zero() {
+            // Same x: doubling if the y's also match, else P + (−P) = O.
+            return if a.is_zero() {
+                self.double(b)
+            } else {
+                Self::infinity()
+            };
+        }
+        let c = bb * self.z;
+        let z3 = c.square();
+        let d = px * z3;
+        let x3 = a.square() + c * (a + bb.square() + mul_by_a::<C>(c));
+        let y3 = (d + x3) * (a * c + z3) + (py + px) * z3.square();
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Affine conversion given `Z⁻¹` (batch-computed by the caller).
+    pub(crate) fn to_affine_with_zinv(self, zinv: Element<C::Field>) -> Point<C> {
+        if self.is_infinity() {
+            return Point::Infinity;
+        }
+        Point::Affine {
+            x: self.x * zinv,
+            y: self.y * zinv.square(),
+        }
+    }
+}
+
+/// `a·v` for the curve coefficient a, eliding the carry-less multiply
+/// when a ∈ {0, 1} (every curve in this workspace).
+#[inline]
+fn mul_by_a<C: CurveSpec>(v: Element<C::Field>) -> Element<C::Field> {
+    let a = C::a();
+    if a.is_zero() {
+        Element::zero()
+    } else if a == Element::one() {
+        v
+    } else {
+        a * v
+    }
+}
+
+/// Normalize a slice of projective points to affine with **one** shared
+/// field inversion (Montgomery's trick).
+pub(crate) fn batch_to_affine<C: CurveSpec>(points: &[LdPoint<C>]) -> Vec<Point<C>> {
+    let mut zs: Vec<Element<C::Field>> = points.iter().map(|p| p.z).collect();
+    batch_invert(&mut zs);
+    points
+        .iter()
+        .zip(zs)
+        .map(|(p, zinv)| p.to_affine_with_zinv(zinv))
+        .collect()
+}

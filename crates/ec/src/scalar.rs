@@ -4,8 +4,10 @@
 //! The Peeters–Hermans protocol (paper Fig. 2) computes `s = d + x + e·r
 //! (mod ℓ)` on the tag, so the tag needs modular addition and one modular
 //! multiplication next to the two point multiplications; the reader
-//! additionally inverts challenges. Values are kept in four 64-bit limbs
-//! (256 bits), comfortably above the 163-bit orders used here.
+//! additionally inverts challenges. Values are kept in five 64-bit limbs
+//! (320 bits), comfortably above the largest order used here (K-283's
+//! 281-bit subgroup order, plus the `k + c·n` headroom the constant-
+//! length ladder encoding needs).
 
 use core::cmp::Ordering;
 use core::fmt;
@@ -14,7 +16,7 @@ use core::marker::PhantomData;
 use crate::curve::CurveSpec;
 
 /// Number of limbs in a scalar.
-pub const SCALAR_LIMBS: usize = 4;
+pub const SCALAR_LIMBS: usize = 5;
 
 /// Parse a hex string into little-endian limbs at compile time.
 ///
@@ -48,12 +50,14 @@ pub const fn parse_hex_limbs<const N: usize>(s: &str) -> [u64; N] {
     out
 }
 
-// ---- raw limb helpers (little-endian [u64; 4]) ----
+// ---- raw limb helpers (little-endian [u64; SCALAR_LIMBS]) ----
 
-fn add_raw(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], bool) {
-    let mut out = [0u64; 4];
+const L: usize = SCALAR_LIMBS;
+
+fn add_raw(a: &[u64; L], b: &[u64; L]) -> ([u64; L], bool) {
+    let mut out = [0u64; L];
     let mut carry = false;
-    for i in 0..4 {
+    for i in 0..L {
         let (s, c1) = a[i].overflowing_add(b[i]);
         let (s, c2) = s.overflowing_add(carry as u64);
         out[i] = s;
@@ -62,10 +66,10 @@ fn add_raw(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], bool) {
     (out, carry)
 }
 
-fn sub_raw(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], bool) {
-    let mut out = [0u64; 4];
+fn sub_raw(a: &[u64; L], b: &[u64; L]) -> ([u64; L], bool) {
+    let mut out = [0u64; L];
     let mut borrow = false;
-    for i in 0..4 {
+    for i in 0..L {
         let (d, b1) = a[i].overflowing_sub(b[i]);
         let (d, b2) = d.overflowing_sub(borrow as u64);
         out[i] = d;
@@ -74,8 +78,8 @@ fn sub_raw(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], bool) {
     (out, borrow)
 }
 
-fn cmp_raw(a: &[u64; 4], b: &[u64; 4]) -> Ordering {
-    for i in (0..4).rev() {
+fn cmp_raw(a: &[u64; L], b: &[u64; L]) -> Ordering {
+    for i in (0..L).rev() {
         match a[i].cmp(&b[i]) {
             Ordering::Equal => continue,
             ord => return ord,
@@ -84,7 +88,7 @@ fn cmp_raw(a: &[u64; 4], b: &[u64; 4]) -> Ordering {
     Ordering::Equal
 }
 
-fn is_zero_raw(a: &[u64; 4]) -> bool {
+fn is_zero_raw(a: &[u64; L]) -> bool {
     a.iter().all(|&w| w == 0)
 }
 
@@ -101,29 +105,42 @@ fn bitlen_raw(a: &[u64]) -> usize {
     0
 }
 
-/// Schoolbook 4×4 → 8 limb multiplication.
-fn mul_wide(a: &[u64; 4], b: &[u64; 4]) -> [u64; 8] {
-    let mut out = [0u64; 8];
-    for i in 0..4 {
+/// Schoolbook L×L → 2L limb multiplication.
+fn mul_wide(a: &[u64; L], b: &[u64; L]) -> [u64; 2 * L] {
+    let mut out = [0u64; 2 * L];
+    for i in 0..L {
         let mut carry = 0u128;
-        for j in 0..4 {
+        for j in 0..L {
             let t = out[i + j] as u128 + a[i] as u128 * b[j] as u128 + carry;
             out[i + j] = t as u64;
             carry = t >> 64;
         }
-        out[i + 4] = carry as u64;
+        out[i + L] = carry as u64;
     }
     out
 }
 
 /// Binary modular reduction of an arbitrary-width value: shifts in one bit
-/// at a time, keeping the remainder below n. O(bits) but only used outside
-/// hot loops.
-fn mod_wide(value: &[u64], n: &[u64; 4]) -> [u64; 4] {
+/// at a time, keeping the remainder below n. O(bits) in general, but the
+/// dominant callers (`xcoord_to_scalar`, wire decoding) reduce values at
+/// most one bit wider than n, where a couple of conditional subtractions
+/// finish the job without the bit loop.
+fn mod_wide(value: &[u64], n: &[u64; L]) -> [u64; L] {
     let bits = bitlen_raw(value);
-    let mut r = [0u64; 4];
+    if bits <= bitlen_raw(n) + 1 {
+        // value < 4n: copy and subtract n at most three times.
+        let mut r = [0u64; L];
+        for (dst, &src) in r.iter_mut().zip(value.iter()) {
+            *dst = src;
+        }
+        while cmp_raw(&r, n) != Ordering::Less {
+            r = sub_raw(&r, n).0;
+        }
+        return r;
+    }
+    let mut r = [0u64; L];
     for i in (0..bits).rev() {
-        // r = (r << 1) | value_bit(i); r stays < 2n < 2^192, no overflow.
+        // r = (r << 1) | value_bit(i); r stays < 2n, no overflow.
         let mut carry = bit_raw(value, i) as u64;
         for w in r.iter_mut() {
             let nc = *w >> 63;
@@ -150,14 +167,14 @@ fn mod_wide(value: &[u64], n: &[u64; 4]) -> [u64; 4] {
 /// assert_eq!(a - a, Scalar::zero());
 /// ```
 pub struct Scalar<C: CurveSpec> {
-    limbs: [u64; 4],
+    limbs: [u64; L],
     _curve: PhantomData<C>,
 }
 
 impl<C: CurveSpec> Scalar<C> {
     /// The additive identity.
     pub fn zero() -> Self {
-        Self::from_raw([0; 4])
+        Self::from_raw([0; L])
     }
 
     /// The multiplicative identity.
@@ -165,7 +182,7 @@ impl<C: CurveSpec> Scalar<C> {
         Self::from_u64(1)
     }
 
-    fn from_raw(limbs: [u64; 4]) -> Self {
+    fn from_raw(limbs: [u64; L]) -> Self {
         Self {
             limbs,
             _curve: PhantomData,
@@ -173,17 +190,19 @@ impl<C: CurveSpec> Scalar<C> {
     }
 
     /// The subgroup order as raw limbs.
-    pub fn order_limbs() -> [u64; 4] {
+    pub fn order_limbs() -> [u64; L] {
         C::ORDER
     }
 
     /// Scalar from a small integer.
     pub fn from_u64(v: u64) -> Self {
-        Self::from_raw(mod_wide(&[v, 0, 0, 0], &C::ORDER))
+        let mut l = [0u64; L];
+        l[0] = v;
+        Self::from_raw(mod_wide(&l, &C::ORDER))
     }
 
     /// Scalar from raw limbs, reduced modulo n.
-    pub fn from_limbs_mod_order(l: [u64; 4]) -> Self {
+    pub fn from_limbs_mod_order(l: [u64; L]) -> Self {
         Self::from_raw(mod_wide(&l, &C::ORDER))
     }
 
@@ -202,18 +221,44 @@ impl<C: CurveSpec> Scalar<C> {
         Self::from_raw(mod_wide(&wide, &C::ORDER))
     }
 
+    /// Fixed byte width of the big-endian encoding:
+    /// `ceil(bitlen(n)/8)` bytes. Every consumer of the wire format
+    /// sizes scalar frames from this single (const-evaluable) definition.
+    pub const fn byte_len() -> usize {
+        let mut i = L;
+        while i > 0 {
+            i -= 1;
+            if C::ORDER[i] != 0 {
+                let bits = 64 * i + 64 - C::ORDER[i].leading_zeros() as usize;
+                return bits.div_ceil(8);
+            }
+        }
+        0
+    }
+
     /// Fixed-width big-endian encoding (`ceil(bitlen(n)/8)` bytes).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let nbytes = bitlen_raw(&C::ORDER).div_ceil(8);
-        let mut out = vec![0u8; nbytes];
-        for (i, b) in out.iter_mut().rev().enumerate() {
-            *b = (self.limbs[i / 8] >> (8 * (i % 8))) as u8;
-        }
+        let mut out = vec![0u8; Self::byte_len()];
+        self.to_bytes_into(&mut out);
         out
     }
 
+    /// Write the fixed-width big-endian encoding into `out` without
+    /// allocating — the wire codec frames thousands of scalars per batch
+    /// and must not pay one `Vec` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != Self::byte_len()`.
+    pub fn to_bytes_into(&self, out: &mut [u8]) {
+        assert_eq!(out.len(), Self::byte_len(), "encoding width mismatch");
+        for (i, b) in out.iter_mut().rev().enumerate() {
+            *b = (self.limbs[i / 8] >> (8 * (i % 8))) as u8;
+        }
+    }
+
     /// Raw little-endian limbs of the canonical representative.
-    pub fn limbs(&self) -> &[u64; 4] {
+    pub fn limbs(&self) -> &[u64; L] {
         &self.limbs
     }
 
@@ -224,7 +269,7 @@ impl<C: CurveSpec> Scalar<C> {
 
     /// Bit `i` of the canonical representative.
     pub fn bit(&self, i: usize) -> bool {
-        i < 256 && bit_raw(&self.limbs, i)
+        i < 64 * L && bit_raw(&self.limbs, i)
     }
 
     /// Bit length of the canonical representative.
@@ -236,7 +281,7 @@ impl<C: CurveSpec> Scalar<C> {
     pub fn random_nonzero(mut next_u64: impl FnMut() -> u64) -> Self {
         let nbits = bitlen_raw(&C::ORDER);
         loop {
-            let mut l = [0u64; 4];
+            let mut l = [0u64; L];
             for (i, w) in l.iter_mut().enumerate() {
                 if i * 64 < nbits {
                     *w = next_u64();
@@ -254,7 +299,7 @@ impl<C: CurveSpec> Scalar<C> {
     }
 
     /// Modular exponentiation `self^e` where `e` is given as raw limbs.
-    pub fn pow_limbs(&self, e: &[u64; 4]) -> Self {
+    pub fn pow_limbs(&self, e: &[u64; L]) -> Self {
         let mut acc = Self::one();
         for i in (0..bitlen_raw(e)).rev() {
             acc = acc * acc;
@@ -271,24 +316,34 @@ impl<C: CurveSpec> Scalar<C> {
         if self.is_zero() {
             return None;
         }
-        let (nm2, borrow) = sub_raw(&C::ORDER, &[2, 0, 0, 0]);
+        let mut two = [0u64; L];
+        two[0] = 2;
+        let (nm2, borrow) = sub_raw(&C::ORDER, &two);
         debug_assert!(!borrow);
         let inv = self.pow_limbs(&nm2);
         debug_assert_eq!(inv * *self, Self::one());
         Some(inv)
     }
 
-    /// The fixed-length bit pattern `k'' = k + 2n` used by the constant-
-    /// length Montgomery ladder: `k''·P = k·P` and `k''` always has
-    /// exactly [`CurveSpec::LADDER_BITS`] bits, so the ladder executes
-    /// the same number of iterations for every key — the paper's
-    /// algorithm-level timing countermeasure (§7).
+    /// The fixed-length bit pattern `k'' = k + c·n` (with
+    /// `c = `[`CurveSpec::LADDER_MULTIPLE`]) used by the constant-length
+    /// Montgomery ladder: `k''·P = k·P` and `k''` always has exactly
+    /// [`CurveSpec::LADDER_BITS`] bits, so the ladder executes the same
+    /// number of iterations for every key — the paper's algorithm-level
+    /// timing countermeasure (§7). `c = 2` for every curve whose order
+    /// sits just above a power of two; K-283's order sits just *below*
+    /// one, so it needs `c = 3` for `[c·n, (c+1)·n)` to avoid a
+    /// power-of-two boundary.
     ///
     /// Returned most-significant bit first; `bits[0]` is always `true`.
     pub fn ladder_bits(&self) -> Vec<bool> {
-        let (two_n, c0) = add_raw(&C::ORDER, &C::ORDER);
-        debug_assert!(!c0);
-        let (kpp, c1) = add_raw(&self.limbs, &two_n);
+        let mut factor = [0u64; L];
+        factor[0] = C::LADDER_MULTIPLE;
+        let wide = mul_wide(&C::ORDER, &factor);
+        debug_assert!(wide[L..].iter().all(|&w| w == 0), "ladder shift overflow");
+        let mut shift = [0u64; L];
+        shift.copy_from_slice(&wide[..L]);
+        let (kpp, c1) = add_raw(&self.limbs, &shift);
         debug_assert!(!c1);
         let t = C::LADDER_BITS;
         debug_assert_eq!(
@@ -299,7 +354,7 @@ impl<C: CurveSpec> Scalar<C> {
         (0..t).rev().map(|i| bit_raw(&kpp, i)).collect()
     }
 
-    /// Scalar-blinded ladder bits: `k'' = k + (2 + extra)·n` with a
+    /// Scalar-blinded ladder bits: `k'' = k + (c + extra)·n` with a
     /// random `extra` drawn per execution. Every representative computes
     /// the same point `k·P`, but the bit pattern — and hence every
     /// key-dependent intermediate — changes from run to run: an
@@ -310,15 +365,15 @@ impl<C: CurveSpec> Scalar<C> {
     ///
     /// # Panics
     ///
-    /// Panics if `extra` ≥ 2^32 (the blinded scalar must stay within
-    /// the 256-bit working width).
+    /// Panics if the blinded scalar overflows the 320-bit working width.
     pub fn blinded_ladder_bits(&self, extra: u32) -> Vec<bool> {
-        // (2 + extra)·n via schoolbook single-word multiplication.
-        let factor = [2u64 + extra as u64, 0, 0, 0];
+        // (c + extra)·n via schoolbook single-word multiplication.
+        let mut factor = [0u64; L];
+        factor[0] = C::LADDER_MULTIPLE + extra as u64;
         let wide = mul_wide(&C::ORDER, &factor);
-        debug_assert!(wide[4..].iter().all(|&w| w == 0), "blinded scalar overflow");
-        let mut shift = [0u64; 4];
-        shift.copy_from_slice(&wide[..4]);
+        debug_assert!(wide[L..].iter().all(|&w| w == 0), "blinded scalar overflow");
+        let mut shift = [0u64; L];
+        shift.copy_from_slice(&wide[..L]);
         let (kpp, carry) = add_raw(&self.limbs, &shift);
         assert!(!carry, "blinded scalar overflow");
         let t = bitlen_raw(&kpp);
@@ -375,7 +430,7 @@ impl<C: CurveSpec> fmt::Display for Scalar<C> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut started = false;
         write!(f, "0x")?;
-        for nib in (0..64).rev() {
+        for nib in (0..16 * L).rev() {
             let v = (self.limbs[nib / 16] >> (4 * (nib % 16))) & 0xf;
             if v != 0 || started || nib == 0 {
                 started = true;
@@ -390,7 +445,7 @@ impl<C: CurveSpec> core::ops::Add for Scalar<C> {
     type Output = Self;
     fn add(self, rhs: Self) -> Self {
         let (sum, carry) = add_raw(&self.limbs, &rhs.limbs);
-        debug_assert!(!carry, "operands exceed 255 bits");
+        debug_assert!(!carry, "operands exceed the limb width");
         if cmp_raw(&sum, &C::ORDER) != Ordering::Less {
             Self::from_raw(sub_raw(&sum, &C::ORDER).0)
         } else {

@@ -1,0 +1,147 @@
+//! τNAF ⇄ protected-ladder equivalence — the contract behind the
+//! variable-base strategy seam.
+//!
+//! The serving stack multiplies with the τ-adic engine on Koblitz
+//! curves; the device/SCA paths stay on the Montgomery ladder. These
+//! tests pin the two bit-for-bit equal on every Koblitz curve the
+//! engine serves (K-163, K-233, K-283), pin the interleaved two-scalar
+//! `mul_add` against separately computed terms, and prove the
+//! non-Koblitz / too-small fallback (B-163, Toy-17) is both taken and
+//! correct — mirroring `crates/gf2m/tests/backend_equivalence.rs` one
+//! layer up.
+
+use medsec_ec::{
+    ladder::{ladder_mul, CoordinateBlinding},
+    server_strategy_name, tnaf_mul, tnaf_mul_add_gen, tnaf_mul_batch, varbase_mul,
+    varbase_mul_add_gen, CurveSpec, Point, Scalar, Toy17, B163, K163, K233, K283,
+};
+use proptest::prelude::*;
+
+fn rng_from(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed;
+    move || {
+        s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A random point of the prime-order subgroup (the engine's contract).
+fn subgroup_point<C: CurveSpec>(r: &mut impl FnMut() -> u64) -> Point<C> {
+    let k = Scalar::<C>::random_nonzero(&mut *r);
+    ladder_mul(&k, &C::generator(), CoordinateBlinding::RandomZ, &mut *r)
+}
+
+fn tnaf_equals_ladder<C: CurveSpec>(seed: u64) {
+    let mut r = rng_from(seed);
+    let base = subgroup_point::<C>(&mut r);
+    let k = Scalar::<C>::random_nonzero(&mut r);
+    let expect = ladder_mul(&k, &base, CoordinateBlinding::RandomZ, &mut r);
+    let got = tnaf_mul(&k, &base);
+    assert_eq!(got, expect, "{}: tnaf != ladder", C::NAME);
+    assert!(got.is_on_curve());
+}
+
+fn mul_add_equals_separate<C: CurveSpec>(seed: u64) {
+    let mut r = rng_from(seed);
+    let q = subgroup_point::<C>(&mut r);
+    let a = Scalar::<C>::random_nonzero(&mut r);
+    let b = Scalar::<C>::random_nonzero(&mut r);
+    let expect = ladder_mul(&a, &C::generator(), CoordinateBlinding::RandomZ, &mut r)
+        + ladder_mul(&b, &q, CoordinateBlinding::RandomZ, &mut r);
+    assert_eq!(
+        tnaf_mul_add_gen(&a, &b, &q),
+        expect,
+        "{}: mul_add != aG + bQ",
+        C::NAME
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn k163_tnaf_equals_ladder(seed in any::<u64>()) {
+        tnaf_equals_ladder::<K163>(seed);
+    }
+
+    #[test]
+    fn k233_tnaf_equals_ladder(seed in any::<u64>()) {
+        tnaf_equals_ladder::<K233>(seed);
+    }
+
+    #[test]
+    fn k283_tnaf_equals_ladder(seed in any::<u64>()) {
+        tnaf_equals_ladder::<K283>(seed);
+    }
+
+    #[test]
+    fn k163_mul_add_equals_separate(seed in any::<u64>()) {
+        mul_add_equals_separate::<K163>(seed);
+    }
+
+    #[test]
+    fn k233_mul_add_equals_separate(seed in any::<u64>()) {
+        mul_add_equals_separate::<K233>(seed);
+    }
+
+    #[test]
+    fn k283_mul_add_equals_separate(seed in any::<u64>()) {
+        mul_add_equals_separate::<K283>(seed);
+    }
+}
+
+#[test]
+fn edge_scalars_on_every_koblitz_curve() {
+    fn check<C: CurveSpec>() {
+        let mut r = rng_from(0xED6E ^ C::Field::M as u64);
+        let g = C::generator();
+        assert_eq!(tnaf_mul(&Scalar::<C>::zero(), &g), Point::Infinity);
+        assert_eq!(tnaf_mul(&Scalar::<C>::one(), &g), g);
+        let n_minus_1 = Scalar::<C>::zero() - Scalar::one();
+        assert_eq!(tnaf_mul(&n_minus_1, &g), -g, "{}", C::NAME);
+        // Batched form agrees with singles, including an infinity base.
+        let k = Scalar::<C>::random_nonzero(&mut r);
+        let items = [(k, g), (k, Point::infinity()), (Scalar::zero(), g)];
+        let batch = tnaf_mul_batch(&items);
+        assert_eq!(batch[0], tnaf_mul(&k, &g));
+        assert_eq!(batch[1], Point::Infinity);
+        assert_eq!(batch[2], Point::Infinity);
+    }
+    check::<K163>();
+    check::<K233>();
+    check::<K283>();
+}
+
+use medsec_gf2m::FieldSpec;
+
+/// The fallback contract: B-163 (not Koblitz) and Toy-17 (Koblitz but
+/// below the size cutoff) must select the ladder — and the dispatched
+/// entry points must still be correct there.
+#[test]
+fn fallback_path_is_taken_and_correct() {
+    assert_eq!(server_strategy_name::<B163>(), "ladder");
+    assert_eq!(server_strategy_name::<Toy17>(), "ladder");
+    assert_eq!(server_strategy_name::<K163>(), "tnaf");
+    assert_eq!(server_strategy_name::<K233>(), "tnaf");
+    assert_eq!(server_strategy_name::<K283>(), "tnaf");
+
+    // B-163: correct through the seam.
+    let mut r = rng_from(0xFA11);
+    let base = subgroup_point::<B163>(&mut r);
+    let k = Scalar::<B163>::random_nonzero(&mut r);
+    let expect = ladder_mul(&k, &base, CoordinateBlinding::RandomZ, &mut r);
+    assert_eq!(varbase_mul(&k, &base, &mut r), expect);
+    let a = Scalar::<B163>::random_nonzero(&mut r);
+    let ag = ladder_mul(&a, &B163::generator(), CoordinateBlinding::RandomZ, &mut r);
+    assert_eq!(varbase_mul_add_gen(&a, &k, &base, &mut r), ag + expect);
+
+    // Toy-17: correct through the seam, against brute force.
+    let g = Toy17::generator();
+    for kv in [1u64, 2, 3, 12345, 65586] {
+        let k = Scalar::<Toy17>::from_u64(kv);
+        assert_eq!(varbase_mul(&k, &g, &mut r), g.mul_double_and_add(&k));
+    }
+}

@@ -8,18 +8,19 @@
 //! Batching: the serving path works a whole shard's worth of sessions
 //! per call. [`Gateway::hello_batch`] draws every ephemeral key pair
 //! from one fixed-base-comb batch (inversion-free accumulation, one
-//! batched normalization); [`Gateway::telemetry_batch`] runs all ECDH
-//! ladders first and normalizes every shared secret with a single
-//! batched inversion; [`Gateway::ph_identify_batch`] pushes all
-//! fixed-base verification terms through one comb batch. Session-table
-//! locks are taken once per shard per batch, not once per device.
+//! batched normalization); [`Gateway::telemetry_batch`] computes all
+//! ECDH shared secrets through one variable-base engine batch (τNAF on
+//! Koblitz curves, x-only ladders elsewhere — see `medsec_ec::varbase`)
+//! normalized by a single batched inversion;
+//! [`Gateway::ph_identify_batch`] reduces every transcript to one
+//! interleaved `(s − ḋ)·P − e·R` pass. Session-table locks are taken
+//! once per shard per batch, not once per device.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 use bytes::Bytes;
-use medsec_ec::ladder::{batch_x_affine, ladder_x_only, CoordinateBlinding, LadderState};
-use medsec_ec::{CurveSpec, KeyPair, Point};
+use medsec_ec::{varbase_x_batch, CurveSpec, KeyPair, Point, Scalar};
 use medsec_lwc::{
     ctr_xor, hmac_sha256, sha256, sha256_hw_profile, verify_tag, Aes128, BlockCipher,
 };
@@ -162,10 +163,13 @@ impl<C: CurveSpec> Gateway<C> {
         let pairing_refs: Vec<&Pairing> = known.iter().map(|&(_, p)| p).collect();
         let hellos = mutual::server_hello_batch::<C>(&pairing_refs, &mut next_u64);
         let mut prepared: Vec<(DeviceId, KeyPair<C>, Bytes)> = Vec::with_capacity(known.len());
-        for ((id, _), (kp, hello)) in known.into_iter().zip(hellos) {
+        for ((id, _), (kp, hello, eph_bytes)) in known.into_iter().zip(hellos) {
             ledger.point_mul();
             ledger.symmetric("AES-128", &Aes128::hw_profile(), 3);
-            let frame = wire::encode_server_hello::<C>(&hello.ephemeral, &hello.mac);
+            // The compressed ephemeral was produced (and its parity
+            // inversion batch-shared) by the protocol layer; frame it
+            // without recompressing.
+            let frame = wire::encode_server_hello_payload::<C>(&eph_bytes, &hello.mac);
             ledger.tx(frame.len());
             prepared.push((id, kp, frame));
         }
@@ -248,17 +252,12 @@ impl<C: CurveSpec> Gateway<C> {
         let mut decode_failures = 0u64;
 
         // Phase 1: wire decoding, no locks, no ECC.
-        // (result index, id, eph bytes, ciphertext, tag, x(device eph)).
-        type Decoded<'a, C> = (
-            usize,
-            DeviceId,
-            &'a [u8],
-            &'a [u8],
-            &'a [u8],
-            medsec_gf2m::Element<<C as CurveSpec>::Field>,
-        );
+        // (result index, id, eph bytes, ciphertext, tag, device eph).
+        type Decoded<'a, C> = (usize, DeviceId, &'a [u8], &'a [u8], &'a [u8], Point<C>);
+        // (result index, id, eph bytes, ciphertext, tag) pre-decompression.
+        type Framed<'a> = (usize, DeviceId, &'a [u8], &'a [u8], &'a [u8]);
         let plen = Point::<C>::compressed_len();
-        let mut decoded: Vec<Decoded<'_, C>> = Vec::with_capacity(frames.len());
+        let mut framed: Vec<Framed<'_>> = Vec::with_capacity(frames.len());
         for (i, &(id, bytes)) in frames.iter().enumerate() {
             ledger.rx(bytes.len());
             let payload = match wire::deframe(bytes) {
@@ -281,17 +280,25 @@ impl<C: CurveSpec> Gateway<C> {
             }
             let (eph_bytes, rest) = payload.split_at(plen);
             let (ct, tag) = rest.split_at(rest.len() - 16);
-            let Some(device_eph) = Point::<C>::decompress(eph_bytes) else {
+            framed.push((i, id, eph_bytes, ct, tag));
+        }
+        // All ephemerals decompress together: one shared inversion for
+        // the whole batch's square-root solves.
+        let eph_encodings: Vec<&[u8]> = framed.iter().map(|f| f.2).collect();
+        let eph_points = Point::<C>::decompress_batch(&eph_encodings);
+        let mut decoded: Vec<Decoded<'_, C>> = Vec::with_capacity(framed.len());
+        for ((i, id, eph_bytes, ct, tag), device_eph) in framed.into_iter().zip(eph_points) {
+            let Some(device_eph) = device_eph else {
                 decode_failures += 1;
                 results[i].1 = Err(FleetError::BadEphemeral);
                 continue;
             };
-            let Some(x) = device_eph.x() else {
+            if device_eph.is_infinity() {
                 // The point at infinity decodes but has no shared secret.
                 results[i].1 = Err(FleetError::BadEphemeral);
                 continue;
-            };
-            decoded.push((i, id, eph_bytes, ct, tag, x));
+            }
+            decoded.push((i, id, eph_bytes, ct, tag, device_eph));
         }
 
         // Phase 2: pull the pending sessions, one lock per shard.
@@ -322,26 +329,25 @@ impl<C: CurveSpec> Gateway<C> {
             });
         }
 
-        // Phase 3: every ECDH ladder, lock-free, then one batched
-        // inversion to normalize all shared secrets at once.
+        // Phase 3: every ECDH shared secret through one variable-base
+        // engine batch (τNAF on Koblitz curves, x-only ladders
+        // elsewhere), lock-free, normalized together by one batched
+        // inversion. The modeled cost — one point multiplication per
+        // frame — is booked unchanged.
         let mut live: Vec<usize> = Vec::with_capacity(decoded.len());
-        let mut states: Vec<LadderState<C>> = Vec::with_capacity(decoded.len());
+        let mut items: Vec<(Scalar<C>, Point<C>)> = Vec::with_capacity(decoded.len());
         for (slot, entry) in pulled.iter().enumerate() {
             let Some((server_eph, _)) = entry else {
                 continue; // result stays NoSession
             };
-            let (_, id, _, _, _, x) = decoded[slot];
-            let mut seq = self.derive_seq(id);
-            states.push(ladder_x_only::<C>(
-                server_eph.secret(),
-                x,
-                CoordinateBlinding::RandomZ,
-                &mut seq,
-            ));
+            items.push((*server_eph.secret(), decoded[slot].5));
             ledger.point_mul();
             live.push(slot);
         }
-        let shared_xs = batch_x_affine(&states);
+        // Blinding stream for the ladder-fallback path only (the τNAF
+        // path is deterministic; these are not device secrets).
+        let mut seq = self.derive_seq(live.first().map(|&s| decoded[s].1).unwrap_or(0));
+        let shared_xs = varbase_x_batch(&items, &mut seq);
 
         // Phase 4: symmetric verification + decryption per frame, and
         // completions grouped by shard for the write-back.

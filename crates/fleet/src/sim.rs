@@ -9,14 +9,18 @@ use std::time::Instant;
 use medsec_ec::{CurveSpec, Toy17, B163, K163};
 use medsec_power::{EnergyReport, RadioModel};
 use medsec_protocols::mutual::{self, SessionOutcome};
-use medsec_protocols::wire::{self, DecodeError, MsgType};
+use medsec_protocols::wire::{self, MsgType};
 use medsec_protocols::EnergyLedger;
 use medsec_rng::SplitMix64;
 
-use crate::gateway::{FleetError, Gateway};
+#[cfg(test)]
+use crate::gateway::FleetError;
+use crate::gateway::Gateway;
 use crate::registry::{provision, DeviceId, FleetDevice};
 use crate::report::FleetReport;
 use crate::scheduler::BatchScheduler;
+#[cfg(test)]
+use medsec_protocols::wire::DecodeError;
 
 /// Which curve the fleet's co-processors are configured for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -275,17 +279,20 @@ fn worker_loop<C: CurveSpec>(
             let idx = idx_by_id[&id];
             let mut guard = devices[idx].lock().expect("device poisoned");
             let d = &mut *guard;
-            let hello = match parse_server_hello::<C>(&hello_frame) {
-                Ok(h) => h,
-                Err(_) => {
+            // Device-side processing straight from the wire payload:
+            // the CMAC is verified over the received encoding before
+            // the point is decompressed (ServerFirst all the way down).
+            let payload = match wire::deframe(&hello_frame) {
+                Ok((MsgType::ServerHello, payload)) => payload,
+                _ => {
                     tally.device_rejections += 1;
                     continue;
                 }
             };
             let telemetry = d.profile.kind.telemetry();
-            let outcome = d
-                .mutual
-                .run_session(&hello, telemetry, d.rng.as_fn(), &mut d.ledger);
+            let outcome =
+                d.mutual
+                    .run_session_frame(payload, telemetry, d.rng.as_fn(), &mut d.ledger);
             match outcome {
                 SessionOutcome::Established { telemetry_frame } => {
                     let framed = wire::frame(MsgType::Telemetry, &telemetry_frame);
@@ -367,7 +374,10 @@ fn is_forged_target(id: DeviceId, per_mille: u32) -> bool {
     id.wrapping_mul(2_654_435_761) % 1000 < per_mille
 }
 
-/// Device-side parse of a wire-framed `ServerHello`.
+/// Device-side parse of a wire-framed `ServerHello` into the struct
+/// form (the serving loop itself feeds the raw payload to
+/// `run_session_frame`, which MACs before decompressing).
+#[cfg(test)]
 fn parse_server_hello<C: CurveSpec>(bytes: &[u8]) -> Result<mutual::ServerHello<C>, FleetError> {
     let (ty, payload) = wire::deframe(bytes)?;
     if ty != MsgType::ServerHello {

@@ -86,6 +86,32 @@ impl FieldBackend for FastBackend {
         let prod = limbs::clsquare_fast(a.limbs(), nw);
         Element::from_raw_limbs(limbs::reduce_fast(prod, F::REDUCTION))
     }
+
+    /// Itoh–Tsujii with the squaring *runs* collapsed into cached
+    /// multi-squaring table applications (`x^(2^k)` is F₂-linear):
+    /// ~log₂(m) multiplications plus a handful of table passes, instead
+    /// of m−1 dependent squarings. Same addition chain, same value —
+    /// the equivalence suite pins it against [`ModelBackend::invert`].
+    fn invert<F: FieldSpec>(a: &Element<F>) -> Option<Element<F>> {
+        if a.is_zero() {
+            return None;
+        }
+        let e = F::M - 1;
+        let bits = usize::BITS - e.leading_zeros();
+        let mut t = *a; // = a^(2^1 - 1), covered exponent ecov = 1
+        let mut ecov = 1usize;
+        for i in (0..bits - 1).rev() {
+            let t2 = crate::multisquare::frobenius_pow(&t, ecov);
+            t = Self::mul(&t, &t2);
+            ecov *= 2;
+            if (e >> i) & 1 == 1 {
+                t = Self::mul(&Self::square(&t), a);
+                ecov += 1;
+            }
+        }
+        debug_assert_eq!(ecov, e);
+        Some(Self::square(&t))
+    }
 }
 
 /// The backend `Element`'s operators use (the serving default).

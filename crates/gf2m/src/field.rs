@@ -340,12 +340,20 @@ impl<F: FieldSpec> Element<F> {
 
     /// Solve `z² + z = self`; returns the two solutions `z` and `z + 1`
     /// when `Tr(self) == 0`, or `None` otherwise.
+    ///
+    /// Computes the half-trace candidate first and verifies it with one
+    /// squaring — solvability falls out of the check, so the separate
+    /// m-squaring trace computation (as expensive as the half-trace
+    /// itself) is never paid. Point decompression calls this once per
+    /// received point.
     pub fn solve_quadratic(&self) -> Option<(Self, Self)> {
-        if self.trace() != 0 {
+        let z = self.half_trace();
+        if z.square() + z != *self {
+            // No solution exists exactly when Tr(self) = 1.
+            debug_assert_eq!(self.trace(), 1);
             return None;
         }
-        let z = self.half_trace();
-        debug_assert_eq!(z.square() + z, *self);
+        debug_assert_eq!(self.trace(), 0);
         Some((z, z + Self::one()))
     }
 

@@ -41,9 +41,12 @@ mod fields;
 mod limbs;
 
 pub mod backend;
+pub mod cache;
 pub mod digit_serial;
+mod multisquare;
 
 pub use backend::{batch_invert, FastBackend, FieldBackend, ModelBackend};
+pub use cache::Registry;
 pub use field::{Element, FieldSpec, ParseElementError};
 pub use fields::{F163, F17, F233, F283};
 

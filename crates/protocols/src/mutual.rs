@@ -85,6 +85,99 @@ impl<C: CurveSpec> Device<C> {
         }
     }
 
+    /// Process a server hello straight from its wire payload
+    /// (`compressed ephemeral ‖ 16-byte MAC`), and on success establish
+    /// a session and emit one encrypted telemetry frame.
+    ///
+    /// Under [`Ordering::ServerFirst`] the CMAC is checked over the
+    /// *received encoding* before the point is even decompressed —
+    /// decompression costs a field inversion plus a half-trace, so the
+    /// paper's "server authentication should be performed before other
+    /// operations" rule (§4) applies to it exactly as it does to the
+    /// two point multiplications. A forged hello is now rejected for
+    /// the price of one CMAC over raw bytes.
+    pub fn run_session_frame(
+        &self,
+        payload: &[u8],
+        telemetry: &[u8],
+        mut next_u64: impl FnMut() -> u64,
+        ledger: &mut EnergyLedger,
+    ) -> SessionOutcome {
+        ledger.rx(payload.len());
+        let plen = point_len::<C>();
+        if payload.len() != plen + 16 {
+            return SessionOutcome::ServerRejected;
+        }
+        let (eph_bytes, mac_bytes) = payload.split_at(plen);
+        let mac: [u8; 16] = mac_bytes.try_into().expect("16 bytes");
+
+        let verify_bytes = |ledger: &mut EnergyLedger| -> bool {
+            ledger.symmetric("AES-128", &Aes128::hw_profile(), 3);
+            let expect = aes_cmac(&self.pairing.auth_key, eph_bytes);
+            verify_tag(&expect, &mac)
+        };
+
+        match self.ordering {
+            Ordering::ServerFirst => {
+                if !verify_bytes(ledger) {
+                    return SessionOutcome::ServerRejected;
+                }
+                let Some(ephemeral) = Point::<C>::decompress(eph_bytes) else {
+                    return SessionOutcome::ServerRejected;
+                };
+                self.established_session(&ephemeral, telemetry, &mut next_u64, ledger)
+            }
+            Ordering::DeviceFirst => {
+                // The wasteful ordering decompresses and computes first.
+                let eph = Point::<C>::decompress(eph_bytes);
+                let heavy = eph
+                    .as_ref()
+                    .and_then(|e| self.heavy_ecdh(e, &mut next_u64, ledger));
+                if !verify_bytes(ledger) {
+                    return SessionOutcome::ServerRejected;
+                }
+                let Some((kp, session_key)) = heavy else {
+                    return SessionOutcome::ServerRejected;
+                };
+                SessionOutcome::Established {
+                    telemetry_frame: self.encrypt_frame(&kp, &session_key, telemetry, ledger),
+                }
+            }
+        }
+    }
+
+    /// ECDH + session establishment once the server is authenticated.
+    fn established_session(
+        &self,
+        ephemeral: &Point<C>,
+        telemetry: &[u8],
+        next_u64: &mut dyn FnMut() -> u64,
+        ledger: &mut EnergyLedger,
+    ) -> SessionOutcome {
+        let Some((kp, session_key)) = self.heavy_ecdh(ephemeral, next_u64, ledger) else {
+            return SessionOutcome::ServerRejected;
+        };
+        SessionOutcome::Established {
+            telemetry_frame: self.encrypt_frame(&kp, &session_key, telemetry, ledger),
+        }
+    }
+
+    /// Device ephemeral keypair (1 ECPM) + shared secret (1 ECPM) +
+    /// session-key derivation — the protected-ladder device path.
+    fn heavy_ecdh(
+        &self,
+        server_eph: &Point<C>,
+        next_u64: &mut dyn FnMut() -> u64,
+        ledger: &mut EnergyLedger,
+    ) -> Option<(KeyPair<C>, [u8; 32])> {
+        let kp = KeyPair::<C>::generate(&mut *next_u64);
+        ledger.point_mul();
+        let shared = kp.shared_x(server_eph, &mut *next_u64)?;
+        ledger.point_mul();
+        ledger.symmetric("SHA-256", &sha256_hw_profile(), 1);
+        Some((kp, sha256(&shared.to_bytes())))
+    }
+
     /// Process a server hello and, on success, establish a session and
     /// emit one encrypted telemetry frame. Every joule is booked.
     pub fn run_session(
@@ -103,33 +196,16 @@ impl<C: CurveSpec> Device<C> {
             verify_tag(&expect, &hello.mac)
         };
 
-        let heavy_ecdh = |ledger: &mut EnergyLedger,
-                          next_u64: &mut dyn FnMut() -> u64|
-         -> Option<(KeyPair<C>, [u8; 32])> {
-            // Device ephemeral keypair (1 ECPM) + shared secret (1 ECPM).
-            let kp = KeyPair::<C>::generate(&mut *next_u64);
-            ledger.point_mul();
-            let shared = kp.shared_x(&hello.ephemeral, &mut *next_u64)?;
-            ledger.point_mul();
-            ledger.symmetric("SHA-256", &sha256_hw_profile(), 1);
-            Some((kp, sha256(&shared.to_bytes())))
-        };
-
         match self.ordering {
             Ordering::ServerFirst => {
                 if !verify_server(ledger) {
                     // Abort immediately: this is the energy saving.
                     return SessionOutcome::ServerRejected;
                 }
-                let Some((kp, session_key)) = heavy_ecdh(ledger, &mut next_u64) else {
-                    return SessionOutcome::ServerRejected;
-                };
-                SessionOutcome::Established {
-                    telemetry_frame: self.encrypt_frame(&kp, &session_key, telemetry, ledger),
-                }
+                self.established_session(&hello.ephemeral, telemetry, &mut next_u64, ledger)
             }
             Ordering::DeviceFirst => {
-                let heavy = heavy_ecdh(ledger, &mut next_u64);
+                let heavy = self.heavy_ecdh(&hello.ephemeral, &mut next_u64, ledger);
                 if !verify_server(ledger) {
                     return SessionOutcome::ServerRejected;
                 }
@@ -157,13 +233,14 @@ impl<C: CurveSpec> Device<C> {
         ctr_xor(&aes, &TELEMETRY_NONCE, &mut ct);
         let blocks = (telemetry.len() as u64).div_ceil(16).max(1);
         ledger.symmetric("AES-128", &Aes128::hw_profile(), blocks);
-        let mut mac_input = kp.public().compress();
-        mac_input.extend_from_slice(&ct);
-        let tag = hmac_sha256(mac_key, &mac_input);
-        ledger.symmetric("SHA-256", &sha256_hw_profile(), 2);
         // Frame: device ephemeral ‖ ciphertext ‖ 16-byte truncated tag.
+        // The MAC input is exactly the frame prefix, so the point is
+        // compressed once (compression pays a field inversion for the
+        // y-parity bit — not something to do twice per frame).
         let mut frame = kp.public().compress();
         frame.extend_from_slice(&ct);
+        let tag = hmac_sha256(mac_key, &frame);
+        ledger.symmetric("SHA-256", &sha256_hw_profile(), 2);
         frame.extend_from_slice(&tag[..16]);
         ledger.tx(frame.len());
         frame
@@ -186,27 +263,37 @@ pub fn server_hello<C: CurveSpec>(
 
 /// Server-side bulk hello generation: all ephemeral key pairs come from
 /// one fixed-base-comb batch (`KeyPair::generate_batch` — inversion-free
-/// accumulation, one batched normalization), then each hello is
-/// authenticated under its device's pairing key.
+/// accumulation, one batched normalization), each hello is
+/// authenticated under its device's pairing key, and every compressed
+/// ephemeral encoding is produced once — with the y-parity inversions
+/// shared through one `batch_invert` chain — and returned alongside the
+/// hello so the framing layer never re-compresses.
 ///
 /// The device side of the protocol is unchanged — a batched hello is
 /// byte-compatible with a [`server_hello`] one.
 pub fn server_hello_batch<C: CurveSpec>(
     pairings: &[&Pairing],
     mut next_u64: impl FnMut() -> u64,
-) -> Vec<(KeyPair<C>, ServerHello<C>)> {
+) -> Vec<(KeyPair<C>, ServerHello<C>, Vec<u8>)> {
     let keys = KeyPair::<C>::generate_batch(pairings.len(), &mut next_u64);
-    let mut point_buf = vec![0u8; point_len::<C>()];
+    // One inversion chain for every compression parity bit.
+    let mut xinvs: Vec<_> = keys
+        .iter()
+        .map(|kp| kp.public().x().unwrap_or_else(medsec_gf2m::Element::zero))
+        .collect();
+    medsec_gf2m::batch_invert(&mut xinvs);
     keys.into_iter()
         .zip(pairings)
-        .map(|(kp, pairing)| {
-            kp.public().compress_into(&mut point_buf);
+        .zip(xinvs)
+        .map(|((kp, pairing), xinv)| {
+            let mut point_buf = vec![0u8; point_len::<C>()];
+            kp.public().compress_into_with_xinv(&mut point_buf, xinv);
             let mac = aes_cmac(&pairing.auth_key, &point_buf);
             let hello = ServerHello {
                 ephemeral: *kp.public(),
                 mac,
             };
-            (kp, hello)
+            (kp, hello, point_buf)
         })
         .collect()
 }
@@ -290,13 +377,51 @@ mod tests {
         let refs: Vec<&Pairing> = pairings.iter().collect();
         let hellos = server_hello_batch::<Toy17>(&refs, rng.as_fn());
         assert_eq!(hellos.len(), 5);
-        for (pairing, (_kp, hello)) in pairings.iter().zip(&hellos) {
+        for (pairing, (_kp, hello, eph_bytes)) in pairings.iter().zip(&hellos) {
+            // The returned encoding is the canonical compression.
+            assert_eq!(*eph_bytes, hello.ephemeral.compress());
             let device = Device::<Toy17>::new(pairing.clone(), Ordering::ServerFirst);
             let mut l = ledger();
             let out = device.run_session(hello, b"hr=60bpm", rng.as_fn(), &mut l);
             assert!(matches!(out, SessionOutcome::Established { .. }));
         }
         assert!(server_hello_batch::<Toy17>(&[], rng.as_fn()).is_empty());
+    }
+
+    #[test]
+    fn run_session_frame_matches_struct_entry() {
+        let mut rng = SplitMix64::new(6307);
+        for ordering in [Ordering::ServerFirst, Ordering::DeviceFirst] {
+            let device = Device::<Toy17>::new(pairing(), ordering);
+            let (_kp, hello) = server_hello::<Toy17>(&pairing(), rng.as_fn());
+            // Wire payload = compressed ephemeral ‖ MAC.
+            let mut payload = hello.ephemeral.compress();
+            payload.extend_from_slice(&hello.mac);
+            let mut l = ledger();
+            let out = device.run_session_frame(&payload, b"hr=62bpm", rng.as_fn(), &mut l);
+            assert!(
+                matches!(out, SessionOutcome::Established { .. }),
+                "{ordering:?}"
+            );
+            // Same radio + CMAC + 2-ECPM energy booking as the struct path.
+            let mut l2 = ledger();
+            let _ = device.run_session(&hello, b"hr=62bpm", rng.as_fn(), &mut l2);
+            assert!((l.total() - l2.total()).abs() < 1e-12);
+            // Tampered MAC is rejected before decompression.
+            let mut bad = payload.clone();
+            *bad.last_mut().unwrap() ^= 1;
+            let mut l3 = ledger();
+            assert_eq!(
+                device.run_session_frame(&bad, b"x", rng.as_fn(), &mut l3),
+                SessionOutcome::ServerRejected
+            );
+            // Truncated payloads are rejected outright.
+            let mut l4 = ledger();
+            assert_eq!(
+                device.run_session_frame(&payload[..3], b"x", rng.as_fn(), &mut l4),
+                SessionOutcome::ServerRejected
+            );
+        }
     }
 
     #[test]

@@ -16,11 +16,9 @@
 //! transcript (R, e, s) is unlinkable without the reader's secret y.
 
 use medsec_ec::{
-    generator_mul, generator_mul_batch,
-    ladder::{
-        batch_x_affine, ladder_mul, ladder_x_affine, ladder_x_only, CoordinateBlinding, LadderState,
-    },
-    xcoord_to_scalar, CurveSpec, Point, Scalar,
+    generator_mul,
+    ladder::{ladder_x_affine, ladder_x_only, CoordinateBlinding},
+    varbase_mul_add_gen_batch, varbase_x_batch, xcoord_to_scalar, CurveSpec, Point, Scalar,
 };
 
 use crate::energy::EnergyLedger;
@@ -204,61 +202,52 @@ impl<C: CurveSpec> PhReader<C> {
 
     /// Batched round 3: identify many transcripts in one call.
     ///
-    /// All ḋ ladders run first and are normalized with a single batched
-    /// inversion; every `s·P` and `d·P` goes through one shared-comb
-    /// batch (2N fixed-base multiplications, one more batched
-    /// inversion). Only the N variable-base `e·R` ladders remain
-    /// per-transcript. Entry `i` of the result corresponds to
-    /// `transcripts[i]`.
+    /// Both variable-base stages run through the
+    /// [`medsec_ec::varbase`] engine (τNAF on Koblitz curves, the
+    /// ladder elsewhere), keeping the one-inversion-per-batch
+    /// normalization contract:
+    ///
+    /// 1. every ḋ = xcoord(y·R) in one [`varbase_x_batch`] call;
+    /// 2. every candidate `X̂ = s·P − ḋ·P − e·R`, rewritten as the
+    ///    single two-scalar form `(s − ḋ)·P + (−e)·R`, in one
+    ///    [`varbase_mul_add_gen_batch`] call — one interleaved pass per
+    ///    transcript instead of two fixed-base multiplications, a full
+    ///    ladder and two affine additions.
+    ///
+    /// Entry `i` of the result corresponds to `transcripts[i]`.
     pub fn identify_batch(
         &self,
         transcripts: &[PhTranscript<C>],
         mut next_u64: impl FnMut() -> u64,
     ) -> Vec<Option<TagId>> {
-        // Phase 1: ḋ = xcoord(y·R) for every commitment, one inversion.
-        let d_states: Vec<Option<LadderState<C>>> = transcripts
+        // Phase 1: ḋ = xcoord(y·R) for every commitment, one engine
+        // batch (commitments at infinity yield None and fail below).
+        let d_items: Vec<(Scalar<C>, Point<C>)> = transcripts
             .iter()
-            .map(|t| {
-                t.commitment.x().map(|rx| {
-                    ladder_x_only::<C>(&self.secret, rx, CoordinateBlinding::RandomZ, &mut next_u64)
-                })
-            })
+            .map(|t| (self.secret, t.commitment))
             .collect();
-        let present: Vec<LadderState<C>> = d_states.iter().filter_map(|s| *s).collect();
-        let mut normalized = batch_x_affine(&present).into_iter();
-        let ds: Vec<Option<Scalar<C>>> = d_states
-            .iter()
-            .map(|s| {
-                s.and_then(|_| normalized.next().expect("one x per state"))
-                    .map(|x| xcoord_to_scalar::<C>(&x))
-            })
+        let ds: Vec<Option<Scalar<C>>> = varbase_x_batch(&d_items, &mut next_u64)
+            .into_iter()
+            .map(|x| x.map(|x| xcoord_to_scalar::<C>(&x)))
             .collect();
 
-        // Phase 2: every fixed-base term through one comb batch.
-        let mut fixed_scalars = Vec::with_capacity(2 * transcripts.len());
-        for (t, d) in transcripts.iter().zip(&ds) {
-            if let Some(d) = d {
-                fixed_scalars.push(t.response);
-                fixed_scalars.push(*d);
-            }
-        }
-        let mut fixed = generator_mul_batch(&fixed_scalars).into_iter();
+        // Phase 2: X̂ = (s − ḋ)·P + (−e)·R for every live transcript,
+        // one engine batch.
+        let items: Vec<(Scalar<C>, Scalar<C>, Point<C>)> = transcripts
+            .iter()
+            .zip(&ds)
+            .filter_map(|(t, d)| d.map(|d| (t.response - d, -t.challenge, t.commitment)))
+            .collect();
+        let mut candidates = varbase_mul_add_gen_batch(&items, &mut next_u64).into_iter();
 
-        // Phase 3: variable-base e·R per transcript, then the DB lookup.
+        // Phase 3: the DB lookup per transcript.
         transcripts
             .iter()
             .zip(&ds)
-            .map(|(t, d)| {
+            .map(|(_, d)| {
                 d.as_ref()?;
-                let sp = fixed.next().expect("s·P computed");
-                let dp = fixed.next().expect("d·P computed");
-                let er = ladder_mul(
-                    &t.challenge,
-                    &t.commitment,
-                    CoordinateBlinding::RandomZ,
-                    &mut next_u64,
-                );
-                self.lookup(&(sp - dp - er))
+                let x_hat = candidates.next().expect("one candidate per live entry");
+                self.lookup(&x_hat)
             })
             .collect()
     }

@@ -10,7 +10,7 @@
 use medsec_ec::{
     generator_mul,
     ladder::{ladder_mul, CoordinateBlinding},
-    CurveSpec, Point, Scalar,
+    varbase_mul_add_gen, CurveSpec, Point, Scalar,
 };
 
 use crate::energy::EnergyLedger;
@@ -83,23 +83,26 @@ impl<C: CurveSpec> SchnorrTag<C> {
 }
 
 /// Verify a Schnorr transcript against a known public key:
-/// `s·P == R + e·X`.
+/// `s·P == R + e·X`, checked as `s·P − e·X == R`.
 ///
-/// Verification is server-side, so the fixed-base term `s·P` goes
-/// through the shared comb; only `e·X` (variable base) uses the ladder.
+/// Verification is server-side, so the whole left-hand side runs as
+/// **one** pass through the variable-base engine's interleaved
+/// `mul_add` (`a·G + b·Q` with `a = s`, `b = −e`): on Koblitz curves a
+/// single Strauss loop over τNAF digits, on other curves the
+/// fixed-base comb plus one ladder. The device-side commitment path is
+/// untouched.
 pub fn schnorr_verify<C: CurveSpec>(
     transcript: &SchnorrTranscript<C>,
     public: &Point<C>,
     mut next_u64: impl FnMut() -> u64,
 ) -> bool {
-    let sp = generator_mul::<C>(&transcript.response);
-    let ex = ladder_mul(
-        &transcript.challenge,
+    let lhs = varbase_mul_add_gen(
+        &transcript.response,
+        &(-transcript.challenge),
         public,
-        CoordinateBlinding::RandomZ,
         &mut next_u64,
     );
-    sp == transcript.commitment + ex
+    lhs == transcript.commitment
 }
 
 /// The tracking computation available to ANY eavesdropper:

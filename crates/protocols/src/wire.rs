@@ -116,9 +116,14 @@ pub fn decode_point<C: CurveSpec>(ty: MsgType, bytes: &[u8]) -> Result<Point<C>,
     Point::<C>::decompress(payload).ok_or(DecodeError::Malformed)
 }
 
-/// Encode a scalar message.
+/// Encode a scalar message — allocation-free staging via
+/// [`Scalar::to_bytes_into`].
 pub fn encode_scalar<C: CurveSpec>(ty: MsgType, s: &Scalar<C>) -> Bytes {
-    frame(ty, &s.to_bytes())
+    let n = Scalar::<C>::byte_len();
+    debug_assert!(n <= MAX_PAYLOAD);
+    let mut buf = [0u8; MAX_PAYLOAD];
+    s.to_bytes_into(&mut buf[..n]);
+    frame(ty, &buf[..n])
 }
 
 /// Frame a `ServerHello` payload (compressed ephemeral ‖ 16-byte MAC)
@@ -133,14 +138,27 @@ pub fn encode_server_hello<C: CurveSpec>(ephemeral: &Point<C>, mac: &[u8; 16]) -
     frame(MsgType::ServerHello, &buf[..n + 16])
 }
 
+/// [`encode_server_hello`] from an already-compressed ephemeral — the
+/// batched hello path produces the encoding once (with its parity
+/// inversion shared across the batch) and must not recompress per
+/// frame.
+pub fn encode_server_hello_payload<C: CurveSpec>(eph_bytes: &[u8], mac: &[u8; 16]) -> Bytes {
+    let n = Point::<C>::compressed_len();
+    assert_eq!(eph_bytes.len(), n, "ephemeral encoding width");
+    debug_assert!(n + 16 <= MAX_PAYLOAD);
+    let mut buf = [0u8; MAX_PAYLOAD];
+    buf[..n].copy_from_slice(eph_bytes);
+    buf[n..n + 16].copy_from_slice(mac);
+    frame(MsgType::ServerHello, &buf[..n + 16])
+}
+
 /// Decode a scalar message.
 pub fn decode_scalar<C: CurveSpec>(ty: MsgType, bytes: &[u8]) -> Result<Scalar<C>, DecodeError> {
     let (got, payload) = deframe(bytes)?;
     if got != ty {
         return Err(DecodeError::Malformed);
     }
-    let expect = Scalar::<C>::zero().to_bytes().len();
-    if payload.len() != expect {
+    if payload.len() != Scalar::<C>::byte_len() {
         return Err(DecodeError::Malformed);
     }
     Ok(Scalar::from_bytes_mod_order(payload))
