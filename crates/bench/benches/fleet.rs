@@ -89,6 +89,7 @@ fn bench_fleet_throughput(c: &mut Criterion) {
                     curve: CurveChoice::Toy17,
                     seed: 0x5EED,
                     forged_per_mille: 10,
+                    wards: Vec::new(),
                 };
                 b.iter(|| black_box(run_fleet_on::<Toy17>(&cfg)))
             },

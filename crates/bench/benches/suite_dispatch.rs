@@ -1,0 +1,93 @@
+//! Suite-seam dispatch overhead: the curve-erased `GatewayHub` versus
+//! the direct monomorphized fleet call.
+//!
+//! The hub adds three things on top of `run_fleet_on::<C>`: a
+//! wire-level Negotiate hello per device (encode, decode,
+//! reject-on-unknown validation), one enum dispatch per (lane, batch),
+//! and per-profile accounting. All of that must stay in the noise —
+//! the pin at the end of `main` fails the bench if the hub path costs
+//! more than 2% over the direct call on identical work (minimum of
+//! interleaved rounds, single worker thread, so scheduler jitter
+//! cannot masquerade as dispatch cost).
+
+use criterion::{black_box, Criterion};
+use medsec_ec::Toy17;
+use medsec_fleet::{admit_negotiate, run_fleet, run_fleet_on, CurveChoice, FleetConfig};
+use medsec_protocols::suite::{CurveId, ProtocolId, SecurityProfile};
+use std::time::{Duration, Instant};
+
+fn pin_config() -> FleetConfig {
+    FleetConfig {
+        devices: 256,
+        threads: 1,
+        shards: 16,
+        batch_size: 32,
+        curve: CurveChoice::Toy17,
+        seed: 0x5EED_D15B,
+        forged_per_mille: 10,
+        wards: Vec::new(),
+    }
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let cfg = pin_config();
+    let mut group = c.benchmark_group("suite_dispatch");
+    group.sample_size(10);
+    group.bench_function("direct_run_fleet_on_toy17", |b| {
+        b.iter(|| black_box(run_fleet_on::<Toy17>(&cfg)))
+    });
+    group.bench_function("hub_run_fleet_toy17", |b| {
+        b.iter(|| black_box(run_fleet(&cfg)))
+    });
+    group.finish();
+
+    // The admission path in isolation: one Negotiate frame encoded,
+    // decoded and validated (the per-device cost the hub adds).
+    let profile = SecurityProfile::new(CurveId::K163, ProtocolId::Mutual);
+    let frame = profile.negotiate_frame();
+    c.bench_function("suite_dispatch/negotiate_admit", |b| {
+        b.iter(|| black_box(admit_negotiate(&frame, &profile, CurveChoice::K163)))
+    });
+}
+
+/// Interleaved A/B pin: minimum wall time over `rounds` runs of each
+/// path. The minimum estimator strips scheduler noise while keeping
+/// any systematic dispatch overhead; interleaving strips thermal
+/// drift.
+fn pin_dispatch_overhead() {
+    let cfg = pin_config();
+    // Warm both paths (page cache, comb tables, allocator).
+    let _ = run_fleet_on::<Toy17>(&cfg);
+    let _ = run_fleet(&cfg);
+
+    let rounds = 7;
+    let mut direct_min = Duration::MAX;
+    let mut hub_min = Duration::MAX;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        black_box(run_fleet_on::<Toy17>(&cfg));
+        direct_min = direct_min.min(t.elapsed());
+
+        let t = Instant::now();
+        black_box(run_fleet(&cfg));
+        hub_min = hub_min.min(t.elapsed());
+    }
+
+    let overhead = hub_min.as_secs_f64() / direct_min.as_secs_f64() - 1.0;
+    println!(
+        "suite_dispatch pin: direct {direct_min:?}, hub {hub_min:?}, overhead {:+.2}%",
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.02,
+        "hub dispatch overhead {:.2}% exceeds the 2% pin (direct {direct_min:?}, hub {hub_min:?})",
+        overhead * 100.0
+    );
+}
+
+criterion::criterion_group!(benches, bench_dispatch);
+
+fn main() {
+    benches();
+    pin_dispatch_overhead();
+}

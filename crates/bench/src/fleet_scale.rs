@@ -5,9 +5,14 @@
 //! This is the first experiment with a *throughput* trajectory rather
 //! than a paper-reproduction target: the JSON summary it emits
 //! (`BENCH_fleet.json`, written by the `experiments` binary) is the
-//! baseline future PRs optimize against.
+//! baseline future PRs optimize against. Since the SecuritySuite
+//! redesign the campaign covers every fleet-servable curve (Toy17 and
+//! K-163 as the historical trajectory, K-233/K-283 as the
+//! higher-strength pyramid points) plus one **mixed** heterogeneous
+//! run — five curves × four protocols through a single curve-erased
+//! `GatewayHub`, with per-profile breakdowns.
 
-use medsec_fleet::{run_fleet, CurveChoice, FleetConfig, FleetReport};
+use medsec_fleet::{mixed_hospital_wards, run_fleet, CurveChoice, FleetConfig, FleetReport};
 
 use crate::table::{uj, Table};
 
@@ -26,70 +31,68 @@ pub fn trajectory_config(fast: bool) -> FleetConfig {
         curve: CurveChoice::Toy17,
         seed: 0x5EED_F1EE,
         forged_per_mille: 10,
+        wards: Vec::new(),
     }
 }
 
 /// Run the fleet campaign and return `(human report, json summary)`.
 pub fn run_with_json(fast: bool) -> (String, String) {
     let cfg = trajectory_config(fast);
-    let report = run_fleet(&cfg);
+    let toy = run_fleet(&cfg);
 
-    // A K-163 fleet alongside, so the trajectory tracks the
-    // paper-strength curve too. The τNAF variable-base engine (plus the
-    // PR 2 comb) makes 2048 K-163 devices finish in wall time
-    // comparable to the 4096-device toy fleet.
-    let k163_cfg = FleetConfig {
-        devices: if fast { 64 } else { 2048 },
-        curve: CurveChoice::K163,
-        ..cfg.clone()
+    // The paper-strength curves alongside, so the trajectory tracks
+    // every pyramid point the hub can serve. Device counts shrink with
+    // field size: the pinned device-side ladder dominates.
+    let curve_run = |curve: CurveChoice, devices: usize| {
+        run_fleet(&FleetConfig {
+            devices,
+            curve,
+            ..cfg.clone()
+        })
     };
-    let k163 = run_fleet(&k163_cfg);
+    let k163 = curve_run(CurveChoice::K163, if fast { 64 } else { 2048 });
+    let k233 = curve_run(CurveChoice::K233, if fast { 16 } else { 256 });
+    let k283 = curve_run(CurveChoice::K283, if fast { 8 } else { 128 });
+
+    // One mixed heterogeneous run through the curve-erased hub.
+    let mixed = run_fleet(&FleetConfig {
+        wards: mixed_hospital_wards(if fast { 1 } else { 8 }),
+        ..cfg.clone()
+    });
 
     let mut t = Table::new("FLEET: hospital-gateway serving campaign");
-    t.headers(&["quantity", "Toy17 fleet", "K-163 fleet"]);
-    t.row(&[
-        "devices".into(),
-        report.devices.to_string(),
-        k163.devices.to_string(),
-    ]);
-    t.row(&[
-        "threads x shards".into(),
-        format!("{} x {}", report.threads, report.shards),
-        format!("{} x {}", k163.threads, k163.shards),
-    ]);
-    t.row(&[
-        "sessions completed".into(),
-        report.sessions_completed().to_string(),
-        k163.sessions_completed().to_string(),
-    ]);
-    t.row(&[
-        "sessions / s".into(),
-        format!("{:.0}", report.sessions_per_sec),
-        format!("{:.0}", k163.sessions_per_sec),
-    ]);
-    t.row(&[
-        "telemetry frames / s".into(),
-        format!("{:.0}", report.frames_per_sec),
-        format!("{:.0}", k163.frames_per_sec),
-    ]);
-    t.row(&[
-        "device energy / session [uJ]".into(),
-        uj(report.energy_per_session_j),
-        uj(k163.energy_per_session_j),
-    ]);
-    t.row(&[
-        "forged hellos rejected".into(),
-        report.forged_rejected.to_string(),
-        k163.forged_rejected.to_string(),
-    ]);
-    t.row(&[
-        "failures".into(),
-        (report.sessions_failed + report.ph_failed).to_string(),
-        (k163.sessions_failed + k163.ph_failed).to_string(),
-    ]);
-    t.note("sharded session table + batched hellos; serving-side variable-base mults via the strategy seam (tnaf on Koblitz curves)");
+    t.headers(&["quantity", "Toy17", "K-163", "K-233", "K-283", "mixed hub"]);
+    let all = [&toy, &k163, &k233, &k283, &mixed];
+    let row = |t: &mut Table, label: &str, f: &dyn Fn(&FleetReport) -> String| {
+        let mut cells = vec![label.to_string()];
+        cells.extend(all.iter().map(|r| f(r)));
+        t.row(&cells);
+    };
+    row(&mut t, "devices", &|r| r.devices.to_string());
+    row(&mut t, "sessions completed", &|r| {
+        r.sessions_completed().to_string()
+    });
+    row(&mut t, "sessions / s", &|r| {
+        format!("{:.0}", r.sessions_per_sec)
+    });
+    row(&mut t, "telemetry frames / s", &|r| {
+        format!("{:.0}", r.frames_per_sec)
+    });
+    row(&mut t, "device energy / session [uJ]", &|r| {
+        uj(r.energy_per_session_j)
+    });
+    row(&mut t, "forged hellos rejected", &|r| {
+        r.forged_rejected.to_string()
+    });
+    row(&mut t, "failures", &|r| {
+        (r.sessions_failed + r.ph_failed).to_string()
+    });
+    row(&mut t, "profiles served", &|r| {
+        r.profiles.len().max(1).to_string()
+    });
+    t.note("curve-erased GatewayHub: profile negotiation on the wire, per-curve lanes over the batched fast paths (tnaf on Koblitz curves)");
 
-    (t.render(), summary_json(&report, &k163))
+    (t.render(), summary_json(&toy, &k163, &k233, &k283, &mixed))
 }
 
 /// Run the fleet campaign (human-readable report only).
@@ -100,15 +103,29 @@ pub fn run(fast: bool) -> String {
 /// Combined machine-readable summary for `BENCH_fleet.json`. Records
 /// which gf2m backend and which variable-base strategy the serving
 /// path ran on, so a trajectory point is attributable to the exact
-/// compute stack behind it.
-fn summary_json(toy: &FleetReport, k163: &FleetReport) -> String {
+/// compute stack behind it; the `mixed` entry carries the per-profile
+/// breakdown of the heterogeneous run.
+fn summary_json(
+    toy: &FleetReport,
+    k163: &FleetReport,
+    k233: &FleetReport,
+    k283: &FleetReport,
+    mixed: &FleetReport,
+) -> String {
     format!(
-        "{{\"experiment\":\"fleet\",\"backend\":\"{}\",\"varbase\":{{\"toy17\":\"{}\",\"k163\":\"{}\"}},\"toy17\":{},\"k163\":{}}}",
+        "{{\"experiment\":\"fleet\",\"backend\":\"{}\",\
+         \"varbase\":{{\"toy17\":\"{}\",\"k163\":\"{}\",\"k233\":\"{}\",\"k283\":\"{}\"}},\
+         \"toy17\":{},\"k163\":{},\"k233\":{},\"k283\":{},\"mixed\":{}}}",
         medsec_gf2m::backend::active_backend_name(),
         medsec_ec::server_strategy_name::<medsec_ec::Toy17>(),
         medsec_ec::server_strategy_name::<medsec_ec::K163>(),
+        medsec_ec::server_strategy_name::<medsec_ec::K233>(),
+        medsec_ec::server_strategy_name::<medsec_ec::K283>(),
         toy.to_json(),
-        k163.to_json()
+        k163.to_json(),
+        k233.to_json(),
+        k283.to_json(),
+        mixed.to_json()
     )
 }
 
@@ -121,8 +138,17 @@ mod tests {
         assert!(report.contains("forged hellos rejected"));
         assert!(json.contains("\"toy17\":{"));
         assert!(json.contains("\"backend\":\"fast\""));
-        assert!(json.contains("\"varbase\":{\"toy17\":\"ladder\",\"k163\":\"tnaf\"}"));
+        assert!(json.contains(
+            "\"varbase\":{\"toy17\":\"ladder\",\"k163\":\"tnaf\",\"k233\":\"tnaf\",\"k283\":\"tnaf\"}"
+        ));
         assert!(json.contains("\"sessions_per_sec\""));
         assert!(json.contains("\"energy_per_session_j\""));
+        // The new pyramid points and the heterogeneous run are in the
+        // trajectory.
+        assert!(json.contains("\"k233\":{"));
+        assert!(json.contains("\"k283\":{"));
+        assert!(json.contains("\"mixed\":{"));
+        assert!(json.contains("\"profile\":\"mutual@K283\""));
+        assert!(json.contains("\"profile\":\"symmetric@Toy17\""));
     }
 }

@@ -21,10 +21,8 @@ use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 use bytes::Bytes;
 use medsec_ec::{varbase_x_batch, CurveSpec, KeyPair, Point, Scalar};
-use medsec_lwc::{
-    ctr_xor, hmac_sha256, sha256, sha256_hw_profile, verify_tag, Aes128, BlockCipher,
-};
-use medsec_protocols::mutual::{self, Pairing, TELEMETRY_NONCE};
+use medsec_lwc::{Aes128, BlockCipher};
+use medsec_protocols::mutual::{self, Pairing};
 use medsec_protocols::peeters_hermans::{PhReader, PhTranscript};
 use medsec_protocols::wire::{self, DecodeError, MsgType};
 use medsec_protocols::EnergyLedger;
@@ -360,27 +358,16 @@ impl<C: CurveSpec> Gateway<C> {
                 results[i].1 = Err(FleetError::BadEphemeral);
                 continue;
             };
-            let session_key = sha256(&shared.to_bytes());
-            ledger.symmetric("SHA-256", &sha256_hw_profile(), 1);
-            let mac_key = &session_key[16..];
-            let mut mac_input = eph_bytes.to_vec();
-            mac_input.extend_from_slice(ct);
-            let expect = hmac_sha256(mac_key, &mac_input);
-            ledger.symmetric("SHA-256", &sha256_hw_profile(), 2);
-            if !verify_tag(&expect[..16], tag) {
+            // Session-key derivation, HMAC verification and decryption
+            // are the protocol layer's job (shared with the suite
+            // seam); the gateway only manages the session state.
+            let Some((session_key, plaintext)) =
+                mutual::open_telemetry::<C>(&shared, eph_bytes, ct, tag, ledger)
+            else {
                 auth_failures += 1;
                 results[i].1 = Err(FleetError::AuthFailed);
                 continue;
-            }
-            let enc_key: [u8; 16] = session_key[..16].try_into().expect("16 bytes");
-            let aes = Aes128::new(&enc_key);
-            let mut plaintext = ct.to_vec();
-            ctr_xor(&aes, &TELEMETRY_NONCE, &mut plaintext);
-            ledger.symmetric(
-                "AES-128",
-                &Aes128::hw_profile(),
-                (ct.len() as u64).div_ceil(16).max(1),
-            );
+            };
             let prior_frames = pulled[slot].expect("live slot was pulled").1;
             completions
                 .entry(self.sessions.shard_index(id))

@@ -1,0 +1,992 @@
+//! The curve-erased gateway hub: one serving front-end for a
+//! heterogeneous fleet.
+//!
+//! The paper's thesis is that security is a *design dimension*: a
+//! hospital picks a pyramid point per device class, so a real ward
+//! mixes toy test rigs, K-163 pacemakers, K-233 monitors,
+//! symmetric-only sensors and K-283 uplinks in one deployment. The
+//! pre-hub fleet monomorphized everything over a single `CurveChoice`;
+//! the [`GatewayHub`] erases the curve at the API boundary instead:
+//!
+//! * devices advertise their [`SecurityProfile`] in a wire-level
+//!   [`Negotiate`](medsec_protocols::wire::MsgType::Negotiate) hello,
+//!   which the hub validates with reject-on-unknown semantics;
+//! * admitted devices are bucketed into per-curve **lanes** —
+//!   enum-dispatched (`Lane`), so the hot loop pays one `match` per
+//!   *bucket*, never a `dyn` call per device — and each bucket is
+//!   driven through the same batched fast paths as the monomorphized
+//!   [`run_fleet_on`](crate::sim::run_fleet_on): one fixed-base-comb
+//!   batch per hello wave, one inversion per ECDH normalization batch,
+//!   τNAF interleaved `mul_add` for every verification equation;
+//! * symmetric and Schnorr wards are served through the
+//!   [`SecuritySuite`] lifecycle directly, mutual/Peeters–Hermans
+//!   wards through the sharded [`Gateway`] the suites are pinned
+//!   equivalent to.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use medsec_ec::{CurveSpec, Toy17, B163, K163, K233, K283};
+use medsec_power::{EnergyReport, RadioModel};
+use medsec_protocols::mutual::{self, SessionOutcome};
+use medsec_protocols::suite::{
+    ProtocolId, SchnorrSuite, SecurityProfile, SecuritySuite, SuiteError, SuiteOutcome,
+    SymmetricGate, SymmetricSuite,
+};
+use medsec_protocols::wire::{self, MsgType};
+use medsec_protocols::{EnergyLedger, SchnorrVerifier};
+use medsec_rng::SplitMix64;
+
+use crate::gateway::{Gateway, GatewayCounters};
+use crate::registry::{provision_lane, DeviceId, DeviceKind, FleetDevice};
+use crate::report::{FleetReport, ProfileStats};
+use crate::scheduler::BatchScheduler;
+use crate::sim::{is_forged_target, CurveChoice, FleetConfig};
+
+/// One curve's worth of serving state: the sharded mutual/PH gateway,
+/// the Schnorr and symmetric servers, and the devices assigned here.
+#[derive(Debug)]
+pub struct CurveLane<C: CurveSpec> {
+    /// The curve this lane is monomorphized over.
+    pub curve: CurveChoice,
+    /// Mutual-auth + Peeters–Hermans server.
+    pub gateway: Gateway<C>,
+    /// Schnorr verification server.
+    pub schnorr: SchnorrVerifier<C>,
+    /// Symmetric challenge–response server (challenge-binding gate
+    /// over the key table).
+    pub symmetric: SymmetricGate,
+    /// Devices bucketed into this lane, behind per-device locks.
+    pub devices: Vec<Mutex<FleetDevice<C>>>,
+}
+
+/// A lane with its curve erased: enum dispatch, resolved once per
+/// serving bucket (no `dyn` in the per-device hot loop).
+#[derive(Debug)]
+pub enum Lane {
+    /// Toy17 lane.
+    Toy17(CurveLane<Toy17>),
+    /// B-163 lane.
+    B163(CurveLane<B163>),
+    /// K-163 lane.
+    K163(CurveLane<K163>),
+    /// K-233 lane.
+    K233(CurveLane<K233>),
+    /// K-283 lane.
+    K283(CurveLane<K283>),
+}
+
+/// Run `$body` with `$l` bound to the lane's monomorphized
+/// [`CurveLane`].
+macro_rules! with_lane {
+    ($lane:expr, $l:ident => $body:expr) => {
+        match $lane {
+            Lane::Toy17($l) => $body,
+            Lane::B163($l) => $body,
+            Lane::K163($l) => $body,
+            Lane::K233($l) => $body,
+            Lane::K283($l) => $body,
+        }
+    };
+}
+
+/// The curve-erased serving front-end for one (possibly heterogeneous)
+/// fleet.
+#[derive(Debug)]
+pub struct GatewayHub {
+    lanes: Vec<Lane>,
+    /// Global device index → (lane, slot-in-lane).
+    index: Vec<(usize, usize)>,
+}
+
+/// Worker-local tallies merged after the scope joins (the hub's
+/// superset of the monomorphized driver's tally: negotiation and
+/// suite-protocol outcomes ride along, plus a per-profile breakdown).
+#[derive(Debug, Default)]
+struct HubTally {
+    forged_rejected: u64,
+    forged_accepted: u64,
+    device_rejections: u64,
+    mismatches: u64,
+    negotiation_rejected: u64,
+    auth_ok: u64,
+    auth_failed: u64,
+    server_energy_j: f64,
+    /// profile id → (sessions ok, sessions failed).
+    per_profile: HashMap<u8, (u64, u64)>,
+}
+
+impl HubTally {
+    fn ok_profile(&mut self, profile_id: u8) {
+        self.per_profile.entry(profile_id).or_default().0 += 1;
+    }
+
+    fn fail_profile(&mut self, profile_id: u8) {
+        self.per_profile.entry(profile_id).or_default().1 += 1;
+    }
+
+    fn merge(&mut self, other: HubTally) {
+        self.forged_rejected += other.forged_rejected;
+        self.forged_accepted += other.forged_accepted;
+        self.device_rejections += other.device_rejections;
+        self.mismatches += other.mismatches;
+        self.negotiation_rejected += other.negotiation_rejected;
+        self.auth_ok += other.auth_ok;
+        self.auth_failed += other.auth_failed;
+        self.server_energy_j += other.server_energy_j;
+        for (id, (ok, failed)) in other.per_profile {
+            let e = self.per_profile.entry(id).or_default();
+            e.0 += ok;
+            e.1 += failed;
+        }
+    }
+}
+
+/// Validate a device's wire-level Negotiate hello against what the
+/// receiving lane provisioned: the frame must decode (known version,
+/// curve and protocol bytes), resolve to a registry profile that is
+/// self-consistent, land on the lane's curve, and match the profile
+/// the device was actually provisioned at. Anything else is rejected
+/// before a single point multiplication is spent.
+pub fn admit_negotiate(
+    frame: &[u8],
+    provisioned: &SecurityProfile,
+    lane_curve: CurveChoice,
+) -> Result<ProtocolId, SuiteError> {
+    let decoded = wire::decode_negotiate(frame).map_err(SuiteError::Decode)?;
+    let profile = SecurityProfile::from_negotiate(&decoded).ok_or(SuiteError::Negotiation)?;
+    // Match on the wire-carried identity (curve × protocol). The
+    // countermeasure level and energy budget are provisioning-side
+    // policy, not wire state — a ward provisioned at an overridden
+    // budget still negotiates with its canonical profile id.
+    if profile.curve != lane_curve.id() || profile.id() != provisioned.id() {
+        return Err(SuiteError::Negotiation);
+    }
+    Ok(profile.protocol)
+}
+
+/// The gateway's wall-power ledger template (same calibrated models as
+/// the devices; it exists to size the rack).
+fn server_ledger() -> EnergyLedger {
+    EnergyLedger::new(
+        EnergyReport::from_totals(86_000, 5.1e-6, 847_500.0),
+        RadioModel::first_order_default(),
+        2.0,
+    )
+}
+
+impl GatewayHub {
+    /// Provision a hub from a fleet configuration: one lane per curve
+    /// that appears in the ward list (or a single lane for the
+    /// degenerate `wards: []` fleet, which reproduces the pre-hub
+    /// single-curve provisioning bit for bit).
+    pub fn provision(cfg: &FleetConfig) -> GatewayHub {
+        // Expand the config into (global id, kind, profile) per curve,
+        // in ward order so ids stay sequential across the fleet.
+        type Assign = (DeviceId, DeviceKind, SecurityProfile);
+        let mut order: Vec<CurveChoice> = Vec::new();
+        let mut per_curve: HashMap<CurveChoice, Vec<Assign>> = HashMap::new();
+        let mut placement: Vec<(CurveChoice, usize)> = Vec::new(); // global id → (curve, slot)
+
+        let mut push = |curve: CurveChoice, a: Assign, order: &mut Vec<CurveChoice>| {
+            let bucket = per_curve.entry(curve).or_default();
+            if bucket.is_empty() {
+                order.push(curve);
+            }
+            placement.push((curve, bucket.len()));
+            bucket.push(a);
+        };
+
+        if cfg.wards.is_empty() {
+            assert!(cfg.devices > 0, "fleet needs at least one device");
+            for i in 0..cfg.devices {
+                let id = i as DeviceId;
+                let kind = DeviceKind::assign(id);
+                let profile = SecurityProfile::new(cfg.curve.id(), kind.protocol());
+                push(cfg.curve, (id, kind, profile), &mut order);
+            }
+        } else {
+            let total: usize = cfg.wards.iter().map(|w| w.devices).sum();
+            assert!(total > 0, "fleet needs at least one device");
+            let mut next_id: DeviceId = 0;
+            for ward in &cfg.wards {
+                let curve = CurveChoice::from_id(ward.profile.curve);
+                let kind = DeviceKind::for_protocol(ward.profile.protocol);
+                for _ in 0..ward.devices {
+                    push(curve, (next_id, kind, ward.profile), &mut order);
+                    next_id += 1;
+                }
+            }
+        }
+
+        // One lane per curve. The degenerate fleet keeps the exact
+        // legacy seed; heterogeneous lanes get per-curve salts so two
+        // lanes never share a key stream.
+        let lanes: Vec<Lane> = order
+            .iter()
+            .map(|&curve| {
+                let assignments = &per_curve[&curve];
+                let seed = if cfg.wards.is_empty() {
+                    cfg.seed
+                } else {
+                    cfg.seed ^ ((curve.id() as u64) << 56)
+                };
+                build_lane(curve, assignments, cfg.shards, seed)
+            })
+            .collect();
+
+        let lane_of: HashMap<CurveChoice, usize> =
+            order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let index = placement
+            .into_iter()
+            .map(|(curve, slot)| (lane_of[&curve], slot))
+            .collect();
+        GatewayHub { lanes, index }
+    }
+
+    /// Number of devices across all lanes.
+    pub fn device_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// The lanes (read access for tests/benches).
+    pub fn lanes(&self) -> &[Lane] {
+        &self.lanes
+    }
+
+    /// Gateway counters summed over every lane.
+    pub fn counters(&self) -> GatewayCounters {
+        let mut sum = GatewayCounters::default();
+        for lane in &self.lanes {
+            let c = with_lane!(lane, l => l.gateway.counters());
+            sum.hellos += c.hellos;
+            sum.established += c.established;
+            sum.frames += c.frames;
+            sum.auth_failures += c.auth_failures;
+            sum.decode_failures += c.decode_failures;
+            sum.ph_identified += c.ph_identified;
+            sum.ph_failures += c.ph_failures;
+        }
+        sum
+    }
+
+    /// Drive every provisioned device through one authenticated
+    /// session and aggregate the run into a [`FleetReport`] with a
+    /// per-profile breakdown.
+    pub fn run(&self, cfg: &FleetConfig) -> FleetReport {
+        let total = self.device_count();
+        let threads = cfg.threads.max(1);
+        let scheduler = BatchScheduler::new(0..total);
+
+        let start = Instant::now();
+        let tallies: Vec<HubTally> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let scheduler = &scheduler;
+                    scope.spawn(move || self.worker(w, cfg, scheduler))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("hub worker panicked"))
+                .collect()
+        });
+        let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+
+        let mut tally = HubTally::default();
+        for t in tallies {
+            tally.merge(t);
+        }
+
+        // Device-side energy, aggregated fleet-wide and per profile.
+        struct ProfileAgg {
+            profile: SecurityProfile,
+            devices: usize,
+            energy_j: f64,
+        }
+        let mut device_energy_total = 0.0f64;
+        let mut device_energy_max = 0.0f64;
+        let mut bytes_on_air = 0u64;
+        let mut battery_sessions_sum = 0.0f64;
+        let mut battery_sessions_n = 0u64;
+        let mut per_profile: HashMap<u8, ProfileAgg> = HashMap::new();
+        let mut shard_occupancy: Vec<usize> = Vec::new();
+        let mut shards = 0usize;
+        for lane in &self.lanes {
+            with_lane!(lane, l => {
+                for cell in &l.devices {
+                    let d = cell.lock().expect("device poisoned");
+                    let e = d.ledger.total();
+                    device_energy_total += e;
+                    device_energy_max = device_energy_max.max(e);
+                    bytes_on_air += d.ledger.bytes_on_air() as u64;
+                    if e > 0.0 {
+                        battery_sessions_sum += d.profile.battery_j / e;
+                        battery_sessions_n += 1;
+                    }
+                    let agg = per_profile
+                        .entry(d.profile.suite.id())
+                        .or_insert_with(|| ProfileAgg {
+                            profile: d.profile.suite,
+                            devices: 0,
+                            energy_j: 0.0,
+                        });
+                    agg.devices += 1;
+                    agg.energy_j += e;
+                }
+                shards += l.gateway.sessions().shard_count();
+                shard_occupancy.extend(l.gateway.sessions().shard_sizes());
+            });
+        }
+
+        let mut profile_ids: Vec<u8> = per_profile.keys().copied().collect();
+        profile_ids.sort_unstable();
+        let profiles: Vec<ProfileStats> = profile_ids
+            .into_iter()
+            .map(|pid| {
+                let agg = &per_profile[&pid];
+                let (ok, failed) = tally.per_profile.get(&pid).copied().unwrap_or((0, 0));
+                let energy_per_session = if ok > 0 {
+                    agg.energy_j / ok as f64
+                } else {
+                    0.0
+                };
+                ProfileStats {
+                    profile: agg.profile.name(),
+                    curve: agg.profile.curve.name().to_string(),
+                    protocol: agg.profile.protocol.name().to_string(),
+                    countermeasures: agg.profile.countermeasures.name().to_string(),
+                    devices: agg.devices,
+                    sessions_ok: ok,
+                    sessions_failed: failed,
+                    sessions_per_sec: ok as f64 / wall_s,
+                    energy_per_session_j: energy_per_session,
+                    energy_budget_j: agg.profile.energy_budget_j,
+                    within_budget: energy_per_session <= agg.profile.energy_budget_j,
+                }
+            })
+            .collect();
+
+        let counters = self.counters();
+        let completed = counters.established + counters.ph_identified + tally.auth_ok;
+        let mut report = FleetReport {
+            devices: total,
+            threads,
+            shards,
+            sessions_ok: 0,
+            sessions_failed: tally.device_rejections
+                + tally.forged_accepted
+                + tally.mismatches
+                + tally.auth_failed
+                + tally.negotiation_rejected,
+            frames_ok: 0,
+            ph_identified: 0,
+            ph_failed: 0,
+            forged_rejected: tally.forged_rejected,
+            wall_s,
+            sessions_per_sec: completed as f64 / wall_s,
+            frames_per_sec: counters.frames as f64 / wall_s,
+            device_energy_total_j: device_energy_total,
+            energy_per_session_j: if completed > 0 {
+                device_energy_total / completed as f64
+            } else {
+                0.0
+            },
+            device_energy_max_j: device_energy_max,
+            server_energy_j: tally.server_energy_j,
+            bytes_on_air,
+            mean_sessions_per_battery: if battery_sessions_n > 0 {
+                battery_sessions_sum / battery_sessions_n as f64
+            } else {
+                0.0
+            },
+            shard_occupancy,
+            profiles,
+        };
+        report.apply_counters(&counters);
+        // Symmetric/Schnorr wards authenticate outside the gateway
+        // counters; fold them in after the counter-derived fields.
+        report.sessions_ok += tally.auth_ok;
+        report
+    }
+
+    /// One worker: drain the scheduler in batches, bucket each batch
+    /// by lane, and serve every bucket through its lane's batched
+    /// paths.
+    fn worker(
+        &self,
+        worker: usize,
+        cfg: &FleetConfig,
+        scheduler: &BatchScheduler<usize>,
+    ) -> HubTally {
+        let mut tally = HubTally::default();
+        let mut rng = SplitMix64::new(cfg.seed ^ 0xB47C_0000_0000_0000 ^ worker as u64);
+        let mut ledger = server_ledger();
+
+        loop {
+            let batch = scheduler.pop_batch(cfg.batch_size);
+            if batch.is_empty() {
+                break;
+            }
+            // One enum dispatch per (lane, batch) — the per-device hot
+            // loop below is fully monomorphized.
+            let mut buckets: HashMap<usize, Vec<usize>> = HashMap::new();
+            for g in batch {
+                let (lane, slot) = self.index[g];
+                buckets.entry(lane).or_default().push(slot);
+            }
+            for (lane_idx, slots) in buckets {
+                with_lane!(&self.lanes[lane_idx], l => serve_bucket(
+                    l, &slots, cfg, &mut rng, &mut ledger, &mut tally,
+                ));
+            }
+        }
+
+        tally.server_energy_j = ledger.total();
+        tally
+    }
+}
+
+/// Build one lane, dispatching the curve choice into a monomorphized
+/// [`CurveLane`].
+fn build_lane(
+    curve: CurveChoice,
+    assignments: &[(DeviceId, DeviceKind, SecurityProfile)],
+    shards: usize,
+    seed: u64,
+) -> Lane {
+    fn lane<C: CurveSpec>(
+        curve: CurveChoice,
+        assignments: &[(DeviceId, DeviceKind, SecurityProfile)],
+        shards: usize,
+        seed: u64,
+    ) -> CurveLane<C> {
+        let lp = provision_lane::<C>(assignments, shards, curve, seed);
+        CurveLane {
+            curve,
+            gateway: lp.gateway,
+            schnorr: lp.schnorr,
+            symmetric: lp.symmetric,
+            devices: lp.devices.into_iter().map(Mutex::new).collect(),
+        }
+    }
+    match curve {
+        CurveChoice::Toy17 => Lane::Toy17(lane::<Toy17>(curve, assignments, shards, seed)),
+        CurveChoice::B163 => Lane::B163(lane::<B163>(curve, assignments, shards, seed)),
+        CurveChoice::K163 => Lane::K163(lane::<K163>(curve, assignments, shards, seed)),
+        CurveChoice::K233 => Lane::K233(lane::<K233>(curve, assignments, shards, seed)),
+        CurveChoice::K283 => Lane::K283(lane::<K283>(curve, assignments, shards, seed)),
+    }
+}
+
+/// Serve one bucket of same-lane devices: negotiate on the wire,
+/// partition by protocol, then drive each family through its batched
+/// path (the mutual/PH flow matches the monomorphized `worker_loop`;
+/// symmetric and Schnorr run through the [`SecuritySuite`] lifecycle).
+fn serve_bucket<C: CurveSpec>(
+    lane: &CurveLane<C>,
+    slots: &[usize],
+    cfg: &FleetConfig,
+    rng: &mut SplitMix64,
+    server_ledger: &mut EnergyLedger,
+    tally: &mut HubTally,
+) {
+    // Phase 0: wire-level profile negotiation, then partition by the
+    // *negotiated* protocol (not by out-of-band registry state).
+    let mut mutual_jobs: Vec<usize> = Vec::with_capacity(slots.len());
+    let mut ph_jobs: Vec<usize> = Vec::new();
+    let mut sym_jobs: Vec<usize> = Vec::new();
+    let mut schnorr_jobs: Vec<usize> = Vec::new();
+    for &idx in slots {
+        let mut guard = lane.devices[idx].lock().expect("device poisoned");
+        let d = &mut *guard;
+        let frame = d.profile.suite.negotiate_frame();
+        d.ledger.tx(frame.len());
+        server_ledger.rx(frame.len());
+        match admit_negotiate(&frame, &d.profile.suite, lane.curve) {
+            Ok(ProtocolId::Mutual) => mutual_jobs.push(idx),
+            Ok(ProtocolId::Ph) => ph_jobs.push(idx),
+            Ok(ProtocolId::Symmetric) => sym_jobs.push(idx),
+            Ok(ProtocolId::Schnorr) => schnorr_jobs.push(idx),
+            Err(_) => {
+                tally.negotiation_rejected += 1;
+                tally.fail_profile(d.profile.suite.id());
+            }
+        }
+    }
+
+    serve_mutual(lane, &mutual_jobs, cfg, rng, server_ledger, tally);
+    serve_ph(lane, &ph_jobs, rng, server_ledger, tally);
+    serve_symmetric(lane, &sym_jobs, rng, server_ledger, tally);
+    serve_schnorr(lane, &schnorr_jobs, rng, server_ledger, tally);
+}
+
+/// Mutual-auth wave: §4 forged-hello probes, one batched hello pass,
+/// device turns, one batched telemetry verification.
+fn serve_mutual<C: CurveSpec>(
+    lane: &CurveLane<C>,
+    jobs: &[usize],
+    cfg: &FleetConfig,
+    rng: &mut SplitMix64,
+    server_ledger: &mut EnergyLedger,
+    tally: &mut HubTally,
+) {
+    if jobs.is_empty() {
+        return;
+    }
+
+    // §4 flood scenario: a slice of devices first receives a forged
+    // hello, which ServerFirst ordering must reject cheaply.
+    for &idx in jobs {
+        let mut guard = lane.devices[idx].lock().expect("device poisoned");
+        let d = &mut *guard;
+        if !is_forged_target(d.profile.id, cfg.forged_per_mille) {
+            continue;
+        }
+        let forged = mutual::forged_hello::<C>(rng.as_fn());
+        let telemetry = d.profile.kind.telemetry();
+        let out = d
+            .mutual
+            .run_session(&forged, telemetry, d.rng.as_fn(), &mut d.ledger);
+        match out {
+            SessionOutcome::ServerRejected => tally.forged_rejected += 1,
+            SessionOutcome::Established { .. } => tally.forged_accepted += 1,
+        }
+    }
+
+    // Batched genuine hellos, matched back by id (hello_batch may skip
+    // unknown ids, so positional pairing would misalign).
+    let meta_by_id: HashMap<DeviceId, (usize, u8)> = jobs
+        .iter()
+        .map(|&idx| {
+            let guard = lane.devices[idx].lock().expect("device poisoned");
+            (guard.profile.id, (idx, guard.profile.suite.id()))
+        })
+        .collect();
+    let ids: Vec<DeviceId> = meta_by_id.keys().copied().collect();
+    let hellos = lane.gateway.hello_batch(&ids, rng.as_fn(), server_ledger);
+
+    // Device turns, collected into one verification batch.
+    let mut tele_frames: Vec<(DeviceId, bytes::Bytes, &'static [u8], u8)> =
+        Vec::with_capacity(hellos.len());
+    for (id, hello_frame) in hellos {
+        let (idx, profile_id) = meta_by_id[&id];
+        let mut guard = lane.devices[idx].lock().expect("device poisoned");
+        let d = &mut *guard;
+        let payload = match wire::deframe(&hello_frame) {
+            Ok((MsgType::ServerHello, payload)) => payload,
+            _ => {
+                tally.device_rejections += 1;
+                tally.fail_profile(profile_id);
+                continue;
+            }
+        };
+        let telemetry = d.profile.kind.telemetry();
+        let outcome = d
+            .mutual
+            .run_session_frame(payload, telemetry, d.rng.as_fn(), &mut d.ledger);
+        match outcome {
+            SessionOutcome::Established { telemetry_frame } => {
+                let framed = wire::frame(MsgType::Telemetry, &telemetry_frame);
+                tele_frames.push((id, framed, telemetry, profile_id));
+            }
+            SessionOutcome::ServerRejected => {
+                tally.device_rejections += 1;
+                tally.fail_profile(profile_id);
+            }
+        }
+    }
+    let frame_refs: Vec<(DeviceId, &[u8])> = tele_frames
+        .iter()
+        .map(|(id, frame, _, _)| (*id, frame.as_ref()))
+        .collect();
+    let verified = lane.gateway.telemetry_batch(&frame_refs, server_ledger);
+    for ((_, _, expect, profile_id), (_, result)) in tele_frames.iter().zip(verified) {
+        match result {
+            Ok(plaintext) if plaintext == *expect => tally.ok_profile(*profile_id),
+            // Verified but wrong plaintext: invisible to the gateway's
+            // counters, so tally it here.
+            Ok(_) => {
+                tally.mismatches += 1;
+                tally.fail_profile(*profile_id);
+            }
+            // Err cases are in the gateway counters; per-profile stats
+            // still record the failure.
+            Err(_) => tally.fail_profile(*profile_id),
+        }
+    }
+}
+
+/// Peeters–Hermans wave: sequential commit→challenge→respond per tag,
+/// one batched identification pass.
+fn serve_ph<C: CurveSpec>(
+    lane: &CurveLane<C>,
+    jobs: &[usize],
+    rng: &mut SplitMix64,
+    server_ledger: &mut EnergyLedger,
+    tally: &mut HubTally,
+) {
+    if jobs.is_empty() {
+        return;
+    }
+    let mut ph_responses: Vec<(DeviceId, bytes::Bytes, u8)> = Vec::with_capacity(jobs.len());
+    for &idx in jobs {
+        let mut guard = lane.devices[idx].lock().expect("device poisoned");
+        let d = &mut *guard;
+        let id = d.profile.id;
+        let profile_id = d.profile.suite.id();
+        let Some(tag) = d.tag.as_mut() else {
+            continue;
+        };
+        let commitment = tag.commit(d.rng.as_fn(), &mut d.ledger);
+        let commit_frame = wire::encode_point(MsgType::PhCommit, &commitment);
+        let challenge_frame =
+            match lane
+                .gateway
+                .ph_challenge(id, &commit_frame, rng.as_fn(), server_ledger)
+            {
+                Ok(f) => f,
+                Err(_) => {
+                    tally.fail_profile(profile_id);
+                    continue;
+                }
+            };
+        let challenge = match wire::decode_scalar::<C>(MsgType::PhChallenge, &challenge_frame) {
+            Ok(c) => c,
+            Err(_) => {
+                tally.device_rejections += 1;
+                tally.fail_profile(profile_id);
+                continue;
+            }
+        };
+        let response = tag.respond(&challenge, d.rng.as_fn(), &mut d.ledger);
+        ph_responses.push((
+            id,
+            wire::encode_scalar(MsgType::PhResponse, &response),
+            profile_id,
+        ));
+    }
+    let response_refs: Vec<(DeviceId, &[u8])> = ph_responses
+        .iter()
+        .map(|(id, frame, _)| (*id, frame.as_ref()))
+        .collect();
+    let identified = lane
+        .gateway
+        .ph_identify_batch(&response_refs, rng.as_fn(), server_ledger);
+    for ((id, _, profile_id), (_, result)) in ph_responses.iter().zip(identified) {
+        match result {
+            Ok(found) if found == *id => tally.ok_profile(*profile_id),
+            Ok(_) => {
+                tally.mismatches += 1;
+                tally.fail_profile(*profile_id);
+            }
+            Err(_) => tally.fail_profile(*profile_id),
+        }
+    }
+}
+
+/// Symmetric wave, through the [`SymmetricSuite`] lifecycle.
+fn serve_symmetric<C: CurveSpec>(
+    lane: &CurveLane<C>,
+    jobs: &[usize],
+    rng: &mut SplitMix64,
+    server_ledger: &mut EnergyLedger,
+    tally: &mut HubTally,
+) {
+    if jobs.is_empty() {
+        return;
+    }
+    let meta: Vec<(DeviceId, usize, u8)> = jobs
+        .iter()
+        .map(|&idx| {
+            let guard = lane.devices[idx].lock().expect("device poisoned");
+            (guard.profile.id, idx, guard.profile.suite.id())
+        })
+        .collect();
+    let opens: Vec<(DeviceId, Option<&[u8]>)> = meta.iter().map(|&(id, _, _)| (id, None)).collect();
+    let hellos = SymmetricSuite::hello_batch(&lane.symmetric, &opens, rng.as_fn(), server_ledger);
+
+    let mut closings: Vec<(DeviceId, bytes::Bytes, u8)> = Vec::with_capacity(jobs.len());
+    for ((id, idx, profile_id), (_, hello)) in meta.into_iter().zip(hellos) {
+        let Ok(hello) = hello else {
+            tally.auth_failed += 1;
+            tally.fail_profile(profile_id);
+            continue;
+        };
+        let mut guard = lane.devices[idx].lock().expect("device poisoned");
+        let d = &mut *guard;
+        let Some(sym) = d.sym.as_mut() else {
+            continue;
+        };
+        match SymmetricSuite::device_turn(sym, &hello, b"", d.rng.as_fn(), &mut d.ledger) {
+            Ok(frame) => closings.push((id, frame, profile_id)),
+            Err(_) => {
+                tally.device_rejections += 1;
+                tally.fail_profile(profile_id);
+            }
+        }
+    }
+    let frame_refs: Vec<(DeviceId, &[u8])> = closings
+        .iter()
+        .map(|(id, frame, _)| (*id, frame.as_ref()))
+        .collect();
+    let outcomes = SymmetricSuite::server_verify_batch(
+        &lane.symmetric,
+        &frame_refs,
+        rng.as_fn(),
+        server_ledger,
+    );
+    for ((_, _, profile_id), (_, outcome)) in closings.iter().zip(outcomes) {
+        match outcome {
+            Ok(SuiteOutcome::Authenticated) => {
+                tally.auth_ok += 1;
+                tally.ok_profile(*profile_id);
+            }
+            _ => {
+                tally.auth_failed += 1;
+                tally.fail_profile(*profile_id);
+            }
+        }
+    }
+}
+
+/// Schnorr wave, through the [`SchnorrSuite`] lifecycle (commit-first:
+/// `device_open → hello → device_turn → server_verify_batch`).
+fn serve_schnorr<C: CurveSpec>(
+    lane: &CurveLane<C>,
+    jobs: &[usize],
+    rng: &mut SplitMix64,
+    server_ledger: &mut EnergyLedger,
+    tally: &mut HubTally,
+) {
+    if jobs.is_empty() {
+        return;
+    }
+    // Commit-first: collect every tag's opening frame.
+    let mut opens: Vec<(DeviceId, usize, u8, bytes::Bytes)> = Vec::with_capacity(jobs.len());
+    for &idx in jobs {
+        let mut guard = lane.devices[idx].lock().expect("device poisoned");
+        let d = &mut *guard;
+        let id = d.profile.id;
+        let profile_id = d.profile.suite.id();
+        let Some(badge) = d.badge.as_mut() else {
+            continue;
+        };
+        let Some(open) = SchnorrSuite::device_open(badge, d.rng.as_fn(), &mut d.ledger) else {
+            continue;
+        };
+        opens.push((id, idx, profile_id, open));
+    }
+    let open_refs: Vec<(DeviceId, Option<&[u8]>)> = opens
+        .iter()
+        .map(|(id, _, _, frame)| (*id, Some(frame.as_ref())))
+        .collect();
+    let hellos = SchnorrSuite::hello_batch(&lane.schnorr, &open_refs, rng.as_fn(), server_ledger);
+
+    let mut closings: Vec<(DeviceId, bytes::Bytes, u8)> = Vec::with_capacity(opens.len());
+    for ((id, idx, profile_id, _), (_, hello)) in opens.into_iter().zip(hellos) {
+        let Ok(hello) = hello else {
+            tally.auth_failed += 1;
+            tally.fail_profile(profile_id);
+            continue;
+        };
+        let mut guard = lane.devices[idx].lock().expect("device poisoned");
+        let d = &mut *guard;
+        let Some(badge) = d.badge.as_mut() else {
+            continue;
+        };
+        match SchnorrSuite::device_turn(badge, &hello, b"", d.rng.as_fn(), &mut d.ledger) {
+            Ok(frame) => closings.push((id, frame, profile_id)),
+            Err(_) => {
+                tally.device_rejections += 1;
+                tally.fail_profile(profile_id);
+            }
+        }
+    }
+    let frame_refs: Vec<(DeviceId, &[u8])> = closings
+        .iter()
+        .map(|(id, frame, _)| (*id, frame.as_ref()))
+        .collect();
+    let outcomes =
+        SchnorrSuite::server_verify_batch(&lane.schnorr, &frame_refs, rng.as_fn(), server_ledger);
+    for ((_, _, profile_id), (_, outcome)) in closings.iter().zip(outcomes) {
+        match outcome {
+            Ok(SuiteOutcome::Authenticated) => {
+                tally.auth_ok += 1;
+                tally.ok_profile(*profile_id);
+            }
+            _ => {
+                tally.auth_failed += 1;
+                tally.fail_profile(*profile_id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::mixed_hospital_wards;
+    use medsec_protocols::suite::CurveId;
+
+    #[test]
+    fn mixed_fleet_completes_every_session() {
+        let wards = mixed_hospital_wards(1);
+        let total: usize = wards.iter().map(|w| w.devices).sum();
+        let cfg = FleetConfig {
+            threads: 4,
+            shards: 4,
+            batch_size: 8,
+            forged_per_mille: 0,
+            wards,
+            ..FleetConfig::default()
+        };
+        let report = crate::sim::run_fleet(&cfg);
+        assert_eq!(report.devices, total);
+        assert_eq!(report.sessions_completed(), total as u64);
+        assert_eq!(report.sessions_failed + report.ph_failed, 0);
+        // Per-profile rows cover every ward, each within budget.
+        assert_eq!(report.profiles.len(), 7);
+        let curves: std::collections::HashSet<&str> =
+            report.profiles.iter().map(|p| p.curve.as_str()).collect();
+        assert!(curves.len() >= 3, "mixes at least three curves: {curves:?}");
+        let protocols: std::collections::HashSet<&str> = report
+            .profiles
+            .iter()
+            .map(|p| p.protocol.as_str())
+            .collect();
+        assert!(
+            protocols.len() >= 2,
+            "mixes at least two protocols: {protocols:?}"
+        );
+        for p in &report.profiles {
+            assert_eq!(p.sessions_ok, p.devices as u64, "{}", p.profile);
+            assert_eq!(p.sessions_failed, 0, "{}", p.profile);
+            assert!(p.within_budget, "{} exceeded its budget", p.profile);
+            assert!(p.energy_per_session_j > 0.0);
+        }
+        // Symmetric sessions must be far cheaper than PKC ones.
+        let sym = report
+            .profiles
+            .iter()
+            .find(|p| p.protocol == "symmetric")
+            .unwrap();
+        let k163 = report
+            .profiles
+            .iter()
+            .find(|p| p.profile == "mutual@K163")
+            .unwrap();
+        assert!(sym.energy_per_session_j < k163.energy_per_session_j / 2.0);
+    }
+
+    #[test]
+    fn degenerate_hub_fleet_matches_monomorphized_counts() {
+        let cfg = FleetConfig {
+            devices: 96,
+            threads: 2,
+            shards: 8,
+            batch_size: 16,
+            ..FleetConfig::default()
+        };
+        let hub = crate::sim::run_fleet(&cfg);
+        let direct = crate::sim::run_fleet_on::<Toy17>(&cfg);
+        assert_eq!(hub.sessions_ok, direct.sessions_ok);
+        assert_eq!(hub.ph_identified, direct.ph_identified);
+        assert_eq!(hub.sessions_failed, direct.sessions_failed);
+        assert_eq!(hub.frames_ok, direct.frames_ok);
+        assert_eq!(hub.forged_rejected, direct.forged_rejected);
+        // The hub route reports per-profile rows; the direct route
+        // predates them.
+        assert_eq!(hub.profiles.len(), 2); // mutual@Toy17 + ph@Toy17
+        assert!(direct.profiles.is_empty());
+    }
+
+    #[test]
+    fn negotiation_rejects_unknown_and_mismatched_profiles() {
+        let profile = SecurityProfile::new(CurveId::K163, ProtocolId::Mutual);
+        let frame = profile.negotiate_frame();
+        // Happy path.
+        assert_eq!(
+            admit_negotiate(&frame, &profile, CurveChoice::K163),
+            Ok(ProtocolId::Mutual)
+        );
+        // Wrong lane: a K-163 profile knocking on the Toy17 lane.
+        assert_eq!(
+            admit_negotiate(&frame, &profile, CurveChoice::Toy17),
+            Err(SuiteError::Negotiation)
+        );
+        // Provisioned at a different profile than advertised.
+        let other = SecurityProfile::new(CurveId::K163, ProtocolId::Ph);
+        assert_eq!(
+            admit_negotiate(&frame, &other, CurveChoice::K163),
+            Err(SuiteError::Negotiation)
+        );
+        // Unknown version byte.
+        let mut v9 = frame.to_vec();
+        v9[2] = 9;
+        assert!(matches!(
+            admit_negotiate(&v9, &profile, CurveChoice::K163),
+            Err(SuiteError::Decode(_))
+        ));
+        // Garbage frame.
+        assert!(matches!(
+            admit_negotiate(b"zz", &profile, CurveChoice::K163),
+            Err(SuiteError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn overridden_profiles_negotiate_and_serve() {
+        use crate::sim::WardSpec;
+        use medsec_protocols::suite::CountermeasureLevel;
+        // A ward provisioned at a non-canonical pyramid point: the
+        // budget and countermeasure level are provisioning-side
+        // policy, so the canonical profile id on the wire must still
+        // be admitted.
+        let profile = SecurityProfile::new(CurveId::K163, ProtocolId::Mutual)
+            .with_budget(2.0e-4)
+            .with_countermeasures(CountermeasureLevel::SpaHardened);
+        assert_eq!(
+            admit_negotiate(&profile.negotiate_frame(), &profile, CurveChoice::K163),
+            Ok(ProtocolId::Mutual)
+        );
+        let cfg = FleetConfig {
+            threads: 1,
+            shards: 4,
+            forged_per_mille: 0,
+            wards: vec![WardSpec::new(profile, 4)],
+            ..FleetConfig::default()
+        };
+        let report = crate::sim::run_fleet(&cfg);
+        assert_eq!(report.sessions_ok, 4);
+        assert_eq!(report.sessions_failed, 0);
+        // The report carries the overridden policy, not the canonical
+        // defaults.
+        assert_eq!(report.profiles.len(), 1);
+        assert_eq!(report.profiles[0].energy_budget_j, 2.0e-4);
+        assert_eq!(report.profiles[0].countermeasures, "spa-hardened");
+    }
+
+    #[test]
+    fn hub_provision_buckets_by_curve_with_stable_ids() {
+        let cfg = FleetConfig {
+            forged_per_mille: 0,
+            wards: mixed_hospital_wards(1),
+            ..FleetConfig::default()
+        };
+        let hub = GatewayHub::provision(&cfg);
+        assert_eq!(hub.device_count(), 51);
+        // Five curves → five lanes, in first-appearance order.
+        assert_eq!(hub.lanes().len(), 5);
+        // Every global id maps to exactly one (lane, slot) and the
+        // device stored there carries that id.
+        for g in 0..hub.device_count() {
+            let (lane_idx, slot) = hub.index[g];
+            let id = with_lane!(&hub.lanes()[lane_idx], l => {
+                l.devices[slot].lock().unwrap().profile.id
+            });
+            assert_eq!(id as usize, g);
+        }
+    }
+}

@@ -19,6 +19,11 @@
 //!   (the expensive point multiplications are generated in one pass and
 //!   inserted shard-by-shard under one lock acquisition each),
 //!   telemetry verification/decryption, and the Peeters–Hermans reader;
+//! * [`hub`] — the curve-erased [`GatewayHub`]: devices negotiate
+//!   their `SecurityProfile` on the wire and are bucketed into
+//!   enum-dispatched per-curve lanes, so one `run_fleet` serves a
+//!   heterogeneous fleet (mixed curves × mixed protocols) through the
+//!   same batched fast paths;
 //! * [`scheduler`] — a batch scheduler: worker threads pull pending
 //!   session jobs off a shared queue in batches, amortizing queue locks
 //!   and point-multiplication setup;
@@ -49,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod gateway;
+pub mod hub;
 pub mod registry;
 pub mod report;
 pub mod scheduler;
@@ -56,8 +62,12 @@ pub mod shard;
 pub mod sim;
 
 pub use gateway::{FleetError, Gateway};
-pub use registry::{provision, DeviceId, DeviceKind, DeviceProfile, DeviceRegistry, FleetDevice};
-pub use report::FleetReport;
+pub use hub::{admit_negotiate, CurveLane, GatewayHub, Lane};
+pub use registry::{
+    provision, provision_lane, DeviceId, DeviceKind, DeviceProfile, DeviceRegistry, FleetDevice,
+    LaneProvision,
+};
+pub use report::{FleetReport, ProfileStats};
 pub use scheduler::BatchScheduler;
 pub use shard::{SessionPhase, SessionTable};
-pub use sim::{run_fleet, run_fleet_on, CurveChoice, FleetConfig};
+pub use sim::{mixed_hospital_wards, run_fleet, run_fleet_on, CurveChoice, FleetConfig, WardSpec};

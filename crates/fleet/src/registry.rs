@@ -12,6 +12,9 @@ use medsec_ec::CurveSpec;
 use medsec_power::{EnergyReport, RadioModel};
 use medsec_protocols::mutual::{Device, Ordering, Pairing};
 use medsec_protocols::peeters_hermans::{PhReader, PhTag};
+use medsec_protocols::schnorr::SchnorrTag;
+use medsec_protocols::suite::{ProtocolId, SchnorrVerifier, SecurityProfile, SymmetricGate};
+use medsec_protocols::symmetric::{SymmetricDevice, SymmetricServer};
 use medsec_protocols::EnergyLedger;
 use medsec_rng::SplitMix64;
 
@@ -21,7 +24,7 @@ use crate::sim::CurveChoice;
 /// Fleet-wide device identifier (also the Peeters–Hermans tag id).
 pub type DeviceId = u32;
 
-/// The class of implant, which fixes its protocol and radio profile.
+/// The class of device, which fixes its protocol and radio profile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
     /// Pacemaker: mutual authentication + encrypted telemetry uplink.
@@ -33,11 +36,19 @@ pub enum DeviceKind {
     /// Subcutaneous cardiac monitor: mutual authentication with a
     /// larger telemetry payload (an ECG chunk).
     CardiacMonitor,
+    /// Disposable ward sensor: symmetric challenge–response only — the
+    /// bottom of the pyramid (cheap compute, stable identity in the
+    /// clear, key-distribution burden).
+    WardSensor,
+    /// Staff badge: Schnorr identification — PKC-authenticated but
+    /// deliberately traceable (staff, not patients).
+    StaffBadge,
 }
 
 impl DeviceKind {
-    /// Deterministic fleet mix: half pacemakers, a quarter each of
-    /// neurostimulators and cardiac monitors.
+    /// Deterministic single-curve fleet mix: half pacemakers, a quarter
+    /// each of neurostimulators and cardiac monitors (the legacy
+    /// trajectory mix; heterogeneous fleets assign kinds per ward).
     pub fn assign(id: DeviceId) -> Self {
         match id % 4 {
             0 | 1 => DeviceKind::Pacemaker,
@@ -46,10 +57,30 @@ impl DeviceKind {
         }
     }
 
+    /// The protocol this kind speaks.
+    pub fn protocol(&self) -> ProtocolId {
+        match self {
+            DeviceKind::Pacemaker | DeviceKind::CardiacMonitor => ProtocolId::Mutual,
+            DeviceKind::Neurostimulator => ProtocolId::Ph,
+            DeviceKind::WardSensor => ProtocolId::Symmetric,
+            DeviceKind::StaffBadge => ProtocolId::Schnorr,
+        }
+    }
+
+    /// The representative kind for a ward speaking `protocol`.
+    pub fn for_protocol(protocol: ProtocolId) -> Self {
+        match protocol {
+            ProtocolId::Mutual => DeviceKind::Pacemaker,
+            ProtocolId::Ph => DeviceKind::Neurostimulator,
+            ProtocolId::Symmetric => DeviceKind::WardSensor,
+            ProtocolId::Schnorr => DeviceKind::StaffBadge,
+        }
+    }
+
     /// Whether this kind runs the mutual-authentication telemetry
-    /// protocol (vs Peeters–Hermans identification).
+    /// protocol.
     pub fn uses_mutual_auth(&self) -> bool {
-        !matches!(self, DeviceKind::Neurostimulator)
+        self.protocol() == ProtocolId::Mutual
     }
 
     /// Gateway↔device link distance in meters (bedside wand vs ward
@@ -59,6 +90,8 @@ impl DeviceKind {
             DeviceKind::Pacemaker => 2.0,
             DeviceKind::Neurostimulator => 1.0,
             DeviceKind::CardiacMonitor => 5.0,
+            DeviceKind::WardSensor => 8.0,
+            DeviceKind::StaffBadge => 1.0,
         }
     }
 
@@ -69,17 +102,20 @@ impl DeviceKind {
             DeviceKind::Pacemaker => 20_000.0,
             DeviceKind::Neurostimulator => 40_000.0,
             DeviceKind::CardiacMonitor => 5_000.0,
+            DeviceKind::WardSensor => 2_000.0,
+            DeviceKind::StaffBadge => 1_000.0,
         }
     }
 
-    /// One telemetry payload for this kind.
+    /// One telemetry payload for this kind (empty for kinds whose
+    /// protocol carries no telemetry channel).
     pub fn telemetry(&self) -> &'static [u8] {
         match self {
             DeviceKind::Pacemaker => b"hr=062;lead=ok;batt=81%",
-            DeviceKind::Neurostimulator => b"",
             DeviceKind::CardiacMonitor => {
                 b"ecg=[-12,40,112,23,-8,-15,4,88,130,42,-20,-11,2,76,122,38]"
             }
+            DeviceKind::Neurostimulator | DeviceKind::WardSensor | DeviceKind::StaffBadge => b"",
         }
     }
 }
@@ -93,6 +129,9 @@ pub struct DeviceProfile {
     pub kind: DeviceKind,
     /// Curve the device's co-processor is configured for.
     pub curve: CurveChoice,
+    /// The pyramid point this device was provisioned at — the profile
+    /// it advertises in its Negotiate hello and the gateway enforces.
+    pub suite: SecurityProfile,
     /// Link distance to the gateway, meters.
     pub distance_m: f64,
     /// Battery capacity, joules.
@@ -114,6 +153,12 @@ pub struct FleetDevice<C: CurveSpec> {
     /// whole fleet would bloat the reader database every
     /// identification scans.
     pub tag: Option<PhTag<C>>,
+    /// Symmetric challenge–response state — only for symmetric-only
+    /// kinds (ward sensors).
+    pub sym: Option<SymmetricDevice>,
+    /// Schnorr tag state — only for Schnorr-identified kinds (staff
+    /// badges).
+    pub badge: Option<SchnorrTag<C>>,
     /// Device-private deterministic RNG stream.
     pub rng: SplitMix64,
     /// Lifetime energy account.
@@ -159,25 +204,43 @@ fn paper_ecpm() -> EnergyReport {
     EnergyReport::from_totals(86_000, 5.1e-6, 847_500.0)
 }
 
-/// Provision `n` devices and the gateway that serves them.
+/// Everything one curve lane of a gateway hub needs: the provisioned
+/// devices plus the server-side state for every protocol family the
+/// lane can serve.
+#[derive(Debug)]
+pub struct LaneProvision<C: CurveSpec> {
+    /// Devices assigned to this lane, in assignment order.
+    pub devices: Vec<FleetDevice<C>>,
+    /// Mutual-auth + Peeters–Hermans server (pairings, reader DB,
+    /// sharded session table).
+    pub gateway: Gateway<C>,
+    /// Schnorr public-key registry.
+    pub schnorr: SchnorrVerifier<C>,
+    /// Symmetric key table behind the challenge-binding gate.
+    pub symmetric: SymmetricGate,
+}
+
+/// Provision one curve lane from explicit per-device assignments
+/// `(id, kind, profile)` — the heterogeneous-fleet entry point.
 ///
-/// All keys derive from `seed`, so a fleet is exactly reproducible.
-/// The gateway's session table uses `shards` shards (rounded up to a
-/// power of two).
-pub fn provision<C: CurveSpec>(
-    n: usize,
+/// All keys derive from `seed` in assignment order, so a lane is
+/// exactly reproducible; for the legacy assignment
+/// ([`DeviceKind::assign`] over `0..n`) the drawn keys are identical
+/// to the pre-hub `provision`.
+pub fn provision_lane<C: CurveSpec>(
+    assignments: &[(DeviceId, DeviceKind, SecurityProfile)],
     shards: usize,
     curve: CurveChoice,
     seed: u64,
-) -> (DeviceRegistry<C>, Gateway<C>) {
+) -> LaneProvision<C> {
     let mut root = SplitMix64::new(seed);
     let mut reader = PhReader::<C>::new(root.as_fn());
-    let mut gateway_pairings = Vec::with_capacity(n);
-    let mut devices = Vec::with_capacity(n);
+    let mut schnorr = SchnorrVerifier::<C>::new();
+    let mut symmetric = SymmetricServer::new();
+    let mut gateway_pairings = Vec::with_capacity(assignments.len());
+    let mut devices = Vec::with_capacity(assignments.len());
 
-    for i in 0..n {
-        let id = i as DeviceId;
-        let kind = DeviceKind::assign(id);
+    for &(id, kind, suite) in assignments {
         let mut auth_key = [0u8; 16];
         for chunk in auth_key.chunks_mut(8) {
             chunk.copy_from_slice(&root.next_u64().to_be_bytes());
@@ -185,14 +248,27 @@ pub fn provision<C: CurveSpec>(
         let pairing = Pairing { auth_key };
         gateway_pairings.push((id, pairing.clone()));
 
-        // Peeters–Hermans registration writes X = x·P into the reader
-        // database the gateway will hold — only for kinds that use it.
-        let tag = (!kind.uses_mutual_auth()).then(|| reader.register_tag(id, root.as_fn()));
+        // Protocol-specific enrollment: the Peeters–Hermans reader DB,
+        // the Schnorr public-key registry or the symmetric key table.
+        let mut tag = None;
+        let mut sym = None;
+        let mut badge = None;
+        match kind.protocol() {
+            ProtocolId::Ph => tag = Some(reader.register_tag(id, root.as_fn())),
+            ProtocolId::Symmetric => sym = Some(symmetric.register_device(id, root.as_fn())),
+            ProtocolId::Schnorr => {
+                let t = SchnorrTag::<C>::new(root.as_fn());
+                schnorr.register(id, *t.public());
+                badge = Some(t);
+            }
+            ProtocolId::Mutual => {}
+        }
 
         let profile = DeviceProfile {
             id,
             kind,
             curve,
+            suite,
             distance_m: kind.distance_m(),
             battery_j: kind.battery_j(),
         };
@@ -201,6 +277,8 @@ pub fn provision<C: CurveSpec>(
             pairing: pairing.clone(),
             mutual: Device::new(pairing, Ordering::ServerFirst),
             tag,
+            sym,
+            badge,
             rng: SplitMix64::new(seed ^ (0x5EED_0000_0000_0000 | u64::from(id))),
             ledger: EnergyLedger::new(
                 paper_ecpm(),
@@ -211,7 +289,41 @@ pub fn provision<C: CurveSpec>(
     }
 
     let gateway = Gateway::new(gateway_pairings, reader, shards);
-    (DeviceRegistry { devices }, gateway)
+    LaneProvision {
+        devices,
+        gateway,
+        schnorr,
+        symmetric: SymmetricGate::new(symmetric),
+    }
+}
+
+/// Provision `n` devices and the gateway that serves them — the
+/// single-curve fleet shape (the legacy mix of [`DeviceKind::assign`],
+/// every device at the canonical profile of its kind on `curve`).
+///
+/// All keys derive from `seed`, so a fleet is exactly reproducible.
+/// The gateway's session table uses `shards` shards (rounded up to a
+/// power of two).
+pub fn provision<C: CurveSpec>(
+    n: usize,
+    shards: usize,
+    curve: CurveChoice,
+    seed: u64,
+) -> (DeviceRegistry<C>, Gateway<C>) {
+    let assignments: Vec<(DeviceId, DeviceKind, SecurityProfile)> = (0..n)
+        .map(|i| {
+            let id = i as DeviceId;
+            let kind = DeviceKind::assign(id);
+            (id, kind, SecurityProfile::new(curve.id(), kind.protocol()))
+        })
+        .collect();
+    let lane = provision_lane::<C>(&assignments, shards, curve, seed);
+    (
+        DeviceRegistry {
+            devices: lane.devices,
+        },
+        lane.gateway,
+    )
 }
 
 #[cfg(test)]

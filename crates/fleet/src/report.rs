@@ -3,6 +3,57 @@
 
 use crate::gateway::GatewayCounters;
 
+/// Per-profile slice of a fleet run: one row per pyramid point the
+/// fleet was provisioned at, so a heterogeneous trajectory stays
+/// comparable to its degenerate single-profile ancestors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileStats {
+    /// Profile name (`protocol@curve`).
+    pub profile: String,
+    /// Curve name.
+    pub curve: String,
+    /// Protocol name.
+    pub protocol: String,
+    /// Countermeasure level name.
+    pub countermeasures: String,
+    /// Devices provisioned at this profile.
+    pub devices: usize,
+    /// Sessions that completed correctly.
+    pub sessions_ok: u64,
+    /// Sessions that failed (any cause, as seen by the driver).
+    pub sessions_failed: u64,
+    /// Completed sessions per second of (whole-run) wall time.
+    pub sessions_per_sec: f64,
+    /// Mean device energy per completed session, joules.
+    pub energy_per_session_j: f64,
+    /// The profile's planned per-session budget, joules.
+    pub energy_budget_j: f64,
+    /// Whether the measured per-session energy stayed within budget.
+    pub within_budget: bool,
+}
+
+impl ProfileStats {
+    /// Hand-rolled JSON object (no serde in the offline build).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"profile\":\"{}\",\"curve\":\"{}\",\"protocol\":\"{}\",\"countermeasures\":\"{}\",\
+             \"devices\":{},\"sessions_ok\":{},\"sessions_failed\":{},\"sessions_per_sec\":{:.3},\
+             \"energy_per_session_j\":{:.9e},\"energy_budget_j\":{:.9e},\"within_budget\":{}}}",
+            self.profile,
+            self.curve,
+            self.protocol,
+            self.countermeasures,
+            self.devices,
+            self.sessions_ok,
+            self.sessions_failed,
+            self.sessions_per_sec,
+            self.energy_per_session_j,
+            self.energy_budget_j,
+            self.within_budget
+        )
+    }
+}
+
 /// Aggregate result of one [`run_fleet`](crate::sim::run_fleet) call.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
@@ -45,8 +96,12 @@ pub struct FleetReport {
     /// Mean sessions one battery sustains at the measured per-session
     /// draw (fleet-level lifetime figure).
     pub mean_sessions_per_battery: f64,
-    /// Live sessions per shard at the end of the run.
+    /// Live sessions per shard at the end of the run (concatenated
+    /// across curve lanes in a heterogeneous run).
     pub shard_occupancy: Vec<usize>,
+    /// Per-profile breakdown (one row per pyramid point; empty on the
+    /// legacy monomorphized path).
+    pub profiles: Vec<ProfileStats>,
 }
 
 impl FleetReport {
@@ -149,6 +204,18 @@ impl FleetReport {
                     .join(",")
             ),
         );
+        field(
+            &mut s,
+            "profiles",
+            format!(
+                "[{}]",
+                self.profiles
+                    .iter()
+                    .map(ProfileStats::to_json)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        );
         s.push('}');
         s
     }
@@ -201,7 +268,23 @@ impl core::fmt::Display for FleetReport {
             self.shards,
             self.shard_imbalance(),
             self.bytes_on_air
-        )
+        )?;
+        for p in &self.profiles {
+            write!(
+                f,
+                "\n  profile    {:<18} {:>6} devices  {:>8} ok {:>5} failed  \
+                 ({:.0}/s, {:.2} µJ/session, budget {:.2} µJ{})",
+                p.profile,
+                p.devices,
+                p.sessions_ok,
+                p.sessions_failed,
+                p.sessions_per_sec,
+                p.energy_per_session_j * 1e6,
+                p.energy_budget_j * 1e6,
+                if p.within_budget { "" } else { " EXCEEDED" }
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -230,6 +313,19 @@ mod tests {
             bytes_on_air: 1024,
             mean_sessions_per_battery: 2.0e9,
             shard_occupancy: vec![2, 2, 2, 2],
+            profiles: vec![ProfileStats {
+                profile: "mutual@Toy17".into(),
+                curve: "Toy17".into(),
+                protocol: "mutual".into(),
+                countermeasures: "unprotected".into(),
+                devices: 6,
+                sessions_ok: 6,
+                sessions_failed: 0,
+                sessions_per_sec: 12.0,
+                energy_per_session_j: 1.0e-5,
+                energy_budget_j: 8.0e-5,
+                within_budget: true,
+            }],
         }
     }
 
@@ -243,9 +339,13 @@ mod tests {
             "energy_per_session_j",
             "shard_occupancy",
             "forged_rejected",
+            "profiles",
         ] {
             assert!(j.contains(&format!("\"{key}\":")), "missing {key} in {j}");
         }
+        // The per-profile row carries its pyramid point and budget.
+        assert!(j.contains("\"profile\":\"mutual@Toy17\""));
+        assert!(j.contains("\"within_budget\":true"));
         // Balanced quotes and brackets.
         assert_eq!(j.matches('"').count() % 2, 0);
         assert_eq!(j.matches('[').count(), j.matches(']').count());

@@ -6,9 +6,12 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use medsec_ec::{CurveSpec, Toy17, B163, K163};
+use medsec_ec::CurveSpec;
+#[cfg(test)]
+use medsec_ec::Toy17;
 use medsec_power::{EnergyReport, RadioModel};
 use medsec_protocols::mutual::{self, SessionOutcome};
+use medsec_protocols::suite::{CurveId, SecurityProfile};
 use medsec_protocols::wire::{self, MsgType};
 use medsec_protocols::EnergyLedger;
 use medsec_rng::SplitMix64;
@@ -22,7 +25,7 @@ use crate::scheduler::BatchScheduler;
 #[cfg(test)]
 use medsec_protocols::wire::DecodeError;
 
-/// Which curve the fleet's co-processors are configured for.
+/// Which curve a co-processor is configured for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CurveChoice {
     /// The 17-bit toy curve — fast, for functional fleets and tests.
@@ -32,31 +35,123 @@ pub enum CurveChoice {
     K163,
     /// The B-163 random curve.
     B163,
+    /// The K-233 Koblitz curve.
+    K233,
+    /// The K-283 Koblitz curve (gateway-of-gateways strength).
+    K283,
 }
 
 impl CurveChoice {
+    /// Every fleet-servable curve.
+    pub const ALL: [CurveChoice; 5] = [
+        CurveChoice::Toy17,
+        CurveChoice::K163,
+        CurveChoice::B163,
+        CurveChoice::K233,
+        CurveChoice::K283,
+    ];
+
     /// Human-readable curve name.
     pub fn name(&self) -> &'static str {
+        self.id().name()
+    }
+
+    /// The wire-level curve id of this choice.
+    pub fn id(&self) -> CurveId {
         match self {
-            CurveChoice::Toy17 => "Toy17",
-            CurveChoice::K163 => "K163",
-            CurveChoice::B163 => "B163",
+            CurveChoice::Toy17 => CurveId::Toy17,
+            CurveChoice::K163 => CurveId::K163,
+            CurveChoice::B163 => CurveId::B163,
+            CurveChoice::K233 => CurveId::K233,
+            CurveChoice::K283 => CurveId::K283,
         }
     }
+
+    /// The fleet curve for a wire-level curve id.
+    pub fn from_id(id: CurveId) -> Self {
+        match id {
+            CurveId::Toy17 => CurveChoice::Toy17,
+            CurveId::K163 => CurveChoice::K163,
+            CurveId::B163 => CurveChoice::B163,
+            CurveId::K233 => CurveChoice::K233,
+            CurveId::K283 => CurveChoice::K283,
+        }
+    }
+}
+
+/// One homogeneous slice of a heterogeneous fleet: `devices` devices
+/// provisioned at one pyramid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WardSpec {
+    /// The profile every device in this ward is provisioned at.
+    pub profile: SecurityProfile,
+    /// Number of devices in the ward.
+    pub devices: usize,
+}
+
+impl WardSpec {
+    /// A ward of `devices` devices at `profile`.
+    pub fn new(profile: SecurityProfile, devices: usize) -> Self {
+        Self { profile, devices }
+    }
+}
+
+/// The canonical heterogeneous hospital: seven wards spanning five
+/// curves and four protocols (toy test rigs, symmetric-only sensors,
+/// K-163 pacemakers and neurostimulators, B-163 Schnorr staff badges,
+/// K-233 monitors, a K-283 uplink tier). One shared definition drives
+/// the hub tests, the `mixed_ward` example and the fleet bench, so a
+/// ward added here is exercised everywhere. `scale` multiplies every
+/// ward (scale 1 = 51 devices).
+pub fn mixed_hospital_wards(scale: usize) -> Vec<WardSpec> {
+    use medsec_protocols::suite::ProtocolId;
+    vec![
+        WardSpec::new(
+            SecurityProfile::new(CurveId::Toy17, ProtocolId::Mutual),
+            16 * scale,
+        ),
+        WardSpec::new(
+            SecurityProfile::new(CurveId::Toy17, ProtocolId::Symmetric),
+            12 * scale,
+        ),
+        WardSpec::new(
+            SecurityProfile::new(CurveId::K163, ProtocolId::Mutual),
+            8 * scale,
+        ),
+        WardSpec::new(
+            SecurityProfile::new(CurveId::K163, ProtocolId::Ph),
+            6 * scale,
+        ),
+        WardSpec::new(
+            SecurityProfile::new(CurveId::B163, ProtocolId::Schnorr),
+            4 * scale,
+        ),
+        WardSpec::new(
+            SecurityProfile::new(CurveId::K233, ProtocolId::Mutual),
+            3 * scale,
+        ),
+        WardSpec::new(
+            SecurityProfile::new(CurveId::K283, ProtocolId::Mutual),
+            2 * scale,
+        ),
+    ]
 }
 
 /// Parameters of one fleet run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
-    /// Number of devices to provision.
+    /// Number of devices to provision when `wards` is empty (the
+    /// single-curve fleet with the legacy kind mix). Ignored when
+    /// `wards` names explicit profiles.
     pub devices: usize,
     /// Worker threads.
     pub threads: usize,
-    /// Session-table shards (rounded up to a power of two).
+    /// Session-table shards per curve lane (rounded up to a power of
+    /// two).
     pub shards: usize,
     /// Jobs a worker pulls per queue lock.
     pub batch_size: usize,
-    /// Curve every provisioned co-processor uses.
+    /// Curve of the single-curve fleet when `wards` is empty.
     pub curve: CurveChoice,
     /// Root seed; the whole run is a pure function of it.
     pub seed: u64,
@@ -64,6 +159,11 @@ pub struct FleetConfig {
     /// forged `ServerHello` (the §4 flood scenario); devices must
     /// reject it cheaply before their real session runs.
     pub forged_per_mille: u32,
+    /// Heterogeneous fleet composition: one entry per ward, each at
+    /// its own [`SecurityProfile`] (mixing curves and protocols
+    /// freely). Empty = degenerate single-profile fleet from `curve` +
+    /// `devices`.
+    pub wards: Vec<WardSpec>,
 }
 
 impl Default for FleetConfig {
@@ -76,6 +176,7 @@ impl Default for FleetConfig {
             curve: CurveChoice::Toy17,
             seed: 0x5EED_CAFE,
             forged_per_mille: 10,
+            wards: Vec::new(),
         }
     }
 }
@@ -97,15 +198,21 @@ struct WorkerTally {
 }
 
 /// Run a full fleet simulation as configured.
+///
+/// Every run — heterogeneous or degenerate single-profile — goes
+/// through the curve-erased [`GatewayHub`](crate::hub::GatewayHub):
+/// devices advertise their profile in a wire-level Negotiate hello and
+/// the hub buckets them into per-curve lanes, each driven through the
+/// same batched fast paths the monomorphized [`run_fleet_on`] uses.
+/// (`run_fleet_on` is kept as the direct-dispatch reference the
+/// `suite_dispatch` bench pins the hub's overhead against.)
 pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
-    match cfg.curve {
-        CurveChoice::Toy17 => run_fleet_on::<Toy17>(cfg),
-        CurveChoice::K163 => run_fleet_on::<K163>(cfg),
-        CurveChoice::B163 => run_fleet_on::<B163>(cfg),
-    }
+    crate::hub::GatewayHub::provision(cfg).run(cfg)
 }
 
-/// Monomorphized fleet run.
+/// Monomorphized single-curve fleet run — the pre-hub code path,
+/// kept as the dispatch-overhead baseline and for curve-generic
+/// callers.
 pub fn run_fleet_on<C: CurveSpec>(cfg: &FleetConfig) -> FleetReport {
     assert!(cfg.devices > 0, "fleet needs at least one device");
     let threads = cfg.threads.max(1);
@@ -192,6 +299,9 @@ pub fn run_fleet_on<C: CurveSpec>(cfg: &FleetConfig) -> FleetReport {
             0.0
         },
         shard_occupancy: gateway.sessions().shard_sizes(),
+        // The monomorphized reference path predates per-profile
+        // reporting; the hub path fills these.
+        profiles: Vec::new(),
     };
     report.apply_counters(&counters);
     report
@@ -370,7 +480,7 @@ fn worker_loop<C: CurveSpec>(
 
 /// Deterministically mark ~`per_mille`/1000 of devices as forged-hello
 /// targets.
-fn is_forged_target(id: DeviceId, per_mille: u32) -> bool {
+pub(crate) fn is_forged_target(id: DeviceId, per_mille: u32) -> bool {
     id.wrapping_mul(2_654_435_761) % 1000 < per_mille
 }
 

@@ -15,7 +15,11 @@
 //!   encrypted/authenticated telemetry and the server-first ordering
 //!   rule;
 //! * [`privacy`] — the tracking game quantifying location privacy;
-//! * [`energy`] — the per-party energy ledger.
+//! * [`energy`] — the per-party energy ledger;
+//! * [`suite`] — the security-suite seam: every protocol above behind
+//!   one profile-negotiated [`suite::SecuritySuite`] lifecycle
+//!   (`device_open → hello → device_turn → server_verify`, batched),
+//!   so a curve-erased gateway can serve heterogeneous fleets.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +31,7 @@ pub mod peeters_hermans;
 pub mod privacy;
 pub mod schnorr;
 pub mod signature;
+pub mod suite;
 pub mod symmetric;
 pub mod wire;
 
@@ -34,6 +39,13 @@ pub use ecdsa::{ecdsa_verify, EcdsaKey, EcdsaSignature};
 pub use energy::{EnergyLedger, LedgerEvent};
 pub use peeters_hermans::{PhReader, PhTag, PhTranscript, TagId};
 pub use privacy::{ph_tracking_game, schnorr_tracking_game, symmetric_tracking_game, GameResult};
-pub use schnorr::{extract_public_key, schnorr_verify, SchnorrTag, SchnorrTranscript};
+pub use schnorr::{
+    extract_public_key, schnorr_verify, schnorr_verify_batch, SchnorrTag, SchnorrTranscript,
+};
 pub use signature::{verify as verify_signature, Signature, SigningKey};
+pub use suite::{
+    CountermeasureLevel, CurveId, MutualServer, MutualSuite, PhServer, PhSuite, ProtocolId,
+    SchnorrSuite, SchnorrVerifier, SecurityProfile, SecuritySuite, SuiteError, SuiteOutcome,
+    SymmetricGate, SymmetricSuite,
+};
 pub use symmetric::{SymmetricDevice, SymmetricServer, SymmetricTranscript};

@@ -298,6 +298,42 @@ pub fn server_hello_batch<C: CurveSpec>(
         .collect()
 }
 
+/// Server-side opening of one telemetry payload, given the ECDH
+/// shared-secret x-coordinate for the session: derive the session key,
+/// verify the truncated HMAC over `ephemeral ‖ ciphertext`, decrypt.
+/// Returns `None` on a tag mismatch. Books one SHA-256 (key
+/// derivation), two SHA-256 blocks (HMAC) and the AES-CTR blocks on
+/// `ledger` — exactly the cost sequence of the pre-suite gateway loop,
+/// which now calls this too.
+pub fn open_telemetry<C: CurveSpec>(
+    shared_x: &medsec_gf2m::Element<C::Field>,
+    eph_bytes: &[u8],
+    ct: &[u8],
+    tag: &[u8],
+    ledger: &mut EnergyLedger,
+) -> Option<([u8; 32], Vec<u8>)> {
+    let session_key = sha256(&shared_x.to_bytes());
+    ledger.symmetric("SHA-256", &sha256_hw_profile(), 1);
+    let mac_key = &session_key[16..];
+    let mut mac_input = eph_bytes.to_vec();
+    mac_input.extend_from_slice(ct);
+    let expect = hmac_sha256(mac_key, &mac_input);
+    ledger.symmetric("SHA-256", &sha256_hw_profile(), 2);
+    if !verify_tag(&expect[..16], tag) {
+        return None;
+    }
+    let enc_key: [u8; 16] = session_key[..16].try_into().expect("16 bytes");
+    let aes = Aes128::new(&enc_key);
+    let mut plaintext = ct.to_vec();
+    ctr_xor(&aes, &TELEMETRY_NONCE, &mut plaintext);
+    ledger.symmetric(
+        "AES-128",
+        &Aes128::hw_profile(),
+        (ct.len() as u64).div_ceil(16).max(1),
+    );
+    Some((session_key, plaintext))
+}
+
 /// Forged hello from an attacker who does not know the pairing key.
 pub fn forged_hello<C: CurveSpec>(mut next_u64: impl FnMut() -> u64) -> ServerHello<C> {
     let kp = KeyPair::<C>::generate(&mut next_u64);

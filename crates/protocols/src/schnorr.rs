@@ -10,7 +10,7 @@
 use medsec_ec::{
     generator_mul,
     ladder::{ladder_mul, CoordinateBlinding},
-    varbase_mul_add_gen, CurveSpec, Point, Scalar,
+    varbase_mul_add_gen, varbase_mul_add_gen_batch, CurveSpec, Point, Scalar,
 };
 
 use crate::energy::EnergyLedger;
@@ -105,6 +105,27 @@ pub fn schnorr_verify<C: CurveSpec>(
     lhs == transcript.commitment
 }
 
+/// Verify a whole batch of Schnorr transcripts, each against its own
+/// public key, in one pass through the variable-base engine's batched
+/// interleaved `mul_add` (`s_i·P − e_i·X_i` for every entry, one
+/// shared inversion for the normalization — the serving-side shape
+/// the suite layer's `server_verify_batch` relies on). Entry `i` of
+/// the result corresponds to `items[i]`.
+pub fn schnorr_verify_batch<C: CurveSpec>(
+    items: &[(SchnorrTranscript<C>, Point<C>)],
+    mut next_u64: impl FnMut() -> u64,
+) -> Vec<bool> {
+    let terms: Vec<(Scalar<C>, Scalar<C>, Point<C>)> = items
+        .iter()
+        .map(|(t, public)| (t.response, -t.challenge, *public))
+        .collect();
+    varbase_mul_add_gen_batch(&terms, &mut next_u64)
+        .into_iter()
+        .zip(items)
+        .map(|(lhs, (t, _))| lhs == t.commitment)
+        .collect()
+}
+
 /// The tracking computation available to ANY eavesdropper:
 /// `X = e⁻¹·(s·P − R)`. Returns `None` only for a zero challenge.
 pub fn extract_public_key<C: CurveSpec>(
@@ -174,6 +195,37 @@ mod tests {
         let mut l = ledger();
         let (_, t) = run_session(&mut tag, &mut l, rng.as_fn());
         assert!(!schnorr_verify(&t, other.public(), rng.as_fn()));
+    }
+
+    #[test]
+    fn batch_verify_matches_singles() {
+        let mut rng = SplitMix64::new(6105);
+        let mut tags: Vec<SchnorrTag<Toy17>> =
+            (0..5).map(|_| SchnorrTag::new(rng.as_fn())).collect();
+        let mut items = Vec::new();
+        for tag in tags.iter_mut() {
+            let mut l = ledger();
+            let commitment = tag.commit(rng.as_fn(), &mut l);
+            let challenge = Scalar::random_nonzero(rng.as_fn());
+            let response = tag.respond(&challenge, &mut l);
+            items.push((
+                SchnorrTranscript {
+                    commitment,
+                    challenge,
+                    response,
+                },
+                *tag.public(),
+            ));
+        }
+        // Corrupt one transcript so the batch carries a failure.
+        items[2].0.response += Scalar::one();
+        let batch = schnorr_verify_batch(&items, rng.as_fn());
+        assert_eq!(batch.len(), items.len());
+        for (i, ((t, public), got)) in items.iter().zip(&batch).enumerate() {
+            assert_eq!(*got, schnorr_verify(t, public, rng.as_fn()), "entry {i}");
+            assert_eq!(*got, i != 2);
+        }
+        assert!(schnorr_verify_batch::<Toy17>(&[], rng.as_fn()).is_empty());
     }
 
     #[test]

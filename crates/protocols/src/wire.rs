@@ -10,8 +10,14 @@ use bytes::{BufMut, Bytes, BytesMut};
 use medsec_ec::{CurveSpec, Point, Scalar};
 
 use crate::peeters_hermans::PhTranscript;
+use crate::suite::{CurveId, ProtocolId};
 
 /// Message type tags.
+///
+/// `PhCommit`/`PhChallenge`/`PhResponse` are the generic
+/// sigma-protocol frames — Schnorr identification reuses them (the
+/// Negotiate frame already named the protocol, so the tag bytes don't
+/// have to).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum MsgType {
@@ -25,6 +31,13 @@ pub enum MsgType {
     ServerHello = 0x10,
     /// Device → server: encrypted telemetry frame.
     Telemetry = 0x11,
+    /// Server → device: symmetric challenge nonce.
+    SymChallenge = 0x12,
+    /// Device → server: symmetric challenge–response transcript.
+    SymResponse = 0x13,
+    /// Device → gateway: versioned profile negotiation hello
+    /// (profile id ‖ curve id ‖ protocol id).
+    Negotiate = 0x20,
 }
 
 impl MsgType {
@@ -36,6 +49,9 @@ impl MsgType {
             0x03 => MsgType::PhResponse,
             0x10 => MsgType::ServerHello,
             0x11 => MsgType::Telemetry,
+            0x12 => MsgType::SymChallenge,
+            0x13 => MsgType::SymResponse,
+            0x20 => MsgType::Negotiate,
             _ => return None,
         })
     }
@@ -50,6 +66,9 @@ pub enum DecodeError {
     UnknownType(u8),
     /// Payload is not a valid encoding for the expected type.
     Malformed,
+    /// A versioned frame from a protocol revision this gateway does
+    /// not speak.
+    UnsupportedVersion(u8),
 }
 
 impl core::fmt::Display for DecodeError {
@@ -58,6 +77,7 @@ impl core::fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "frame shorter than its header claims"),
             DecodeError::UnknownType(t) => write!(f, "unknown message type 0x{t:02x}"),
             DecodeError::Malformed => write!(f, "payload failed validation"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported frame version {v}"),
         }
     }
 }
@@ -150,6 +170,63 @@ pub fn encode_server_hello_payload<C: CurveSpec>(eph_bytes: &[u8], mac: &[u8; 16
     buf[..n].copy_from_slice(eph_bytes);
     buf[n..n + 16].copy_from_slice(mac);
     frame(MsgType::ServerHello, &buf[..n + 16])
+}
+
+/// Version byte the current negotiation codec emits and accepts.
+pub const NEGOTIATE_VERSION: u8 = 1;
+
+/// A decoded profile-negotiation hello.
+///
+/// The triple is deliberately redundant — the profile id encodes the
+/// curve and protocol, which the frame also carries explicitly — so a
+/// receiver can reject inconsistent frames instead of trusting any one
+/// field (see `SecurityProfile::from_negotiate`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NegotiateFrame {
+    /// Negotiation codec version (only [`NEGOTIATE_VERSION`] decodes).
+    pub version: u8,
+    /// Profile id byte (resolved by the suite layer's registry).
+    pub profile: u8,
+    /// Curve the device claims to be configured for.
+    pub curve: CurveId,
+    /// Protocol the device claims to speak.
+    pub protocol: ProtocolId,
+}
+
+/// Encode a profile-negotiation hello:
+/// `[version, profile, curve, protocol]`.
+pub fn encode_negotiate(profile: u8, curve: CurveId, protocol: ProtocolId) -> Bytes {
+    frame(
+        MsgType::Negotiate,
+        &[NEGOTIATE_VERSION, profile, curve as u8, protocol as u8],
+    )
+}
+
+/// Decode a profile-negotiation hello with reject-on-unknown
+/// semantics: wrong payload size or unknown curve/protocol bytes are
+/// [`DecodeError::Malformed`]; an unknown version is
+/// [`DecodeError::UnsupportedVersion`] (so a future gateway can
+/// distinguish "garbage" from "newer than me").
+pub fn decode_negotiate(bytes: &[u8]) -> Result<NegotiateFrame, DecodeError> {
+    let (ty, payload) = deframe(bytes)?;
+    if ty != MsgType::Negotiate || payload.is_empty() {
+        return Err(DecodeError::Malformed);
+    }
+    // Version is classified before the v1 payload shape is enforced —
+    // a future revision may well change the payload size, and it must
+    // still read as "newer than me", not as garbage.
+    if payload[0] != NEGOTIATE_VERSION {
+        return Err(DecodeError::UnsupportedVersion(payload[0]));
+    }
+    if payload.len() != 4 {
+        return Err(DecodeError::Malformed);
+    }
+    Ok(NegotiateFrame {
+        version: payload[0],
+        profile: payload[1],
+        curve: CurveId::from_u8(payload[2]).ok_or(DecodeError::Malformed)?,
+        protocol: ProtocolId::from_u8(payload[3]).ok_or(DecodeError::Malformed)?,
+    })
 }
 
 /// Decode a scalar message.
@@ -261,6 +338,43 @@ mod tests {
         );
         // Wrong expected type is rejected.
         assert!(decode_scalar::<Toy17>(MsgType::PhChallenge, &enc).is_err());
+    }
+
+    #[test]
+    fn negotiate_round_trip_and_rejections() {
+        let f = encode_negotiate(0x32, CurveId::K163, ProtocolId::Mutual);
+        assert_eq!(f.len(), 6);
+        let n = decode_negotiate(&f).unwrap();
+        assert_eq!(n.version, NEGOTIATE_VERSION);
+        assert_eq!(n.profile, 0x32);
+        assert_eq!(n.curve, CurveId::K163);
+        assert_eq!(n.protocol, ProtocolId::Mutual);
+        // Unknown version is distinguishable from garbage.
+        let mut v2 = f.to_vec();
+        v2[2] = 2;
+        assert_eq!(
+            decode_negotiate(&v2),
+            Err(DecodeError::UnsupportedVersion(2))
+        );
+        // …even when the newer version changed the payload size.
+        let v2_wide = frame(MsgType::Negotiate, &[2, 0x32, 3, 2, 0xAA]);
+        assert_eq!(
+            decode_negotiate(&v2_wide),
+            Err(DecodeError::UnsupportedVersion(2))
+        );
+        // A v1 frame with the wrong payload size is still garbage.
+        let v1_wide = frame(MsgType::Negotiate, &[1, 0x32, 3, 2, 0xAA]);
+        assert_eq!(decode_negotiate(&v1_wide), Err(DecodeError::Malformed));
+        // Unknown curve / protocol bytes fail closed.
+        let mut bad_curve = f.to_vec();
+        bad_curve[4] = 0x7F;
+        assert_eq!(decode_negotiate(&bad_curve), Err(DecodeError::Malformed));
+        let mut bad_proto = f.to_vec();
+        bad_proto[5] = 0x00;
+        assert_eq!(decode_negotiate(&bad_proto), Err(DecodeError::Malformed));
+        // Wrong frame type fails closed.
+        let other = frame(MsgType::Telemetry, &[1, 2, 3, 4]);
+        assert_eq!(decode_negotiate(&other), Err(DecodeError::Malformed));
     }
 
     #[test]

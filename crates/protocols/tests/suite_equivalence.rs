@@ -1,0 +1,322 @@
+//! The suite seam's contract: every [`SecuritySuite`] implementation
+//! must be a *re-plumbing* of its protocol, not a re-implementation.
+//!
+//! For each protocol, this test drives the pre-suite entry points
+//! (`server_hello`/`run_session`, `commit`/`challenge`/`respond`/
+//! `identify`, …) and the suite lifecycle from identical RNG streams
+//! and identical provisioning, and asserts byte-identical wire
+//! payloads, identical outcomes and identical device-side energy.
+//! New profiles/suites must pass the same shape of test before a
+//! gateway may serve them (see ROADMAP, "the suite seam").
+
+use medsec_ec::{CurveSpec, Toy17, K163};
+use medsec_power::{EnergyReport, RadioModel};
+use medsec_protocols::mutual::{self, Ordering, Pairing, SessionOutcome};
+use medsec_protocols::peeters_hermans::{self, PhReader};
+use medsec_protocols::schnorr::{self, SchnorrTag};
+use medsec_protocols::suite::{
+    MutualServer, MutualSuite, PhServer, PhSuite, SchnorrSuite, SchnorrVerifier, SecuritySuite,
+    SuiteOutcome, SymmetricGate, SymmetricSuite,
+};
+use medsec_protocols::symmetric::{self, SymmetricServer};
+use medsec_protocols::wire::{self, MsgType};
+use medsec_protocols::EnergyLedger;
+use medsec_rng::SplitMix64;
+
+fn ledger() -> EnergyLedger {
+    EnergyLedger::new(
+        EnergyReport::from_totals(86_000, 5.1e-6, 847_500.0),
+        RadioModel::first_order_default(),
+        2.0,
+    )
+}
+
+fn payload_of(frame: &[u8], expect: MsgType) -> Vec<u8> {
+    let (ty, payload) = wire::deframe(frame).expect("suite frames are well-formed");
+    assert_eq!(ty, expect, "suite frame type");
+    payload.to_vec()
+}
+
+/// Mutual authentication: the suite hello must be byte-identical to a
+/// `server_hello` built from the same RNG stream, the device's closing
+/// frame byte-identical to `run_session`'s telemetry frame, and the
+/// suite verification must recover the exact plaintext.
+fn mutual_equivalence<C: CurveSpec>(seed: u64) {
+    let pairing = Pairing {
+        auth_key: *b"equivalence-key!",
+    };
+    let telemetry: &[u8] = b"hr=062;lead=ok";
+
+    // Pre-suite flow, one shared stream.
+    let mut legacy_rng = SplitMix64::new(seed);
+    let legacy_device = mutual::Device::<C>::new(pairing.clone(), Ordering::ServerFirst);
+    let mut legacy_ledger = ledger();
+    let (_kp, hello) = mutual::server_hello::<C>(&pairing, legacy_rng.as_fn());
+    let legacy_hello_payload = {
+        let mut p = hello.ephemeral.compress();
+        p.extend_from_slice(&hello.mac);
+        p
+    };
+    let SessionOutcome::Established { telemetry_frame } =
+        legacy_device.run_session(&hello, telemetry, legacy_rng.as_fn(), &mut legacy_ledger)
+    else {
+        panic!("legacy session must establish");
+    };
+
+    // Suite flow, fresh identical stream.
+    let mut suite_rng = SplitMix64::new(seed);
+    let server = MutualServer::<C>::new(vec![(42, pairing.clone())]);
+    let mut suite_device = mutual::Device::<C>::new(pairing, Ordering::ServerFirst);
+    let (mut dl, mut sl) = (ledger(), ledger());
+    assert!(MutualSuite::<C>::device_open(&mut suite_device, suite_rng.as_fn(), &mut dl).is_none());
+    let suite_hello =
+        MutualSuite::<C>::hello(&server, 42, None, suite_rng.as_fn(), &mut sl).unwrap();
+    assert_eq!(
+        payload_of(&suite_hello, MsgType::ServerHello),
+        legacy_hello_payload,
+        "hello payload must be byte-identical"
+    );
+    let closing = MutualSuite::device_turn(
+        &mut suite_device,
+        &suite_hello,
+        telemetry,
+        suite_rng.as_fn(),
+        &mut dl,
+    )
+    .unwrap();
+    assert_eq!(
+        payload_of(&closing, MsgType::Telemetry),
+        telemetry_frame,
+        "telemetry frame must be byte-identical"
+    );
+    assert!(
+        (dl.total() - legacy_ledger.total()).abs() < 1e-15,
+        "device energy must match the pre-suite booking"
+    );
+    let outcome =
+        MutualSuite::<C>::server_verify(&server, 42, &closing, suite_rng.as_fn(), &mut sl);
+    assert_eq!(
+        outcome,
+        Ok(SuiteOutcome::Established {
+            telemetry: telemetry.to_vec()
+        })
+    );
+}
+
+/// Mutual hello batching: a suite `hello_batch` over N devices must
+/// produce the same bytes as N sequential `server_hello` calls drawing
+/// from the same stream (the comb-batch and parity-inversion sharing
+/// must not change a single bit on the wire).
+fn mutual_batch_equivalence<C: CurveSpec>(seed: u64) {
+    let pairings: Vec<Pairing> = (0..5)
+        .map(|i| Pairing {
+            auth_key: [0x40 + i as u8; 16],
+        })
+        .collect();
+
+    let mut legacy_rng = SplitMix64::new(seed);
+    let legacy: Vec<Vec<u8>> = pairings
+        .iter()
+        .map(|p| {
+            let (_kp, hello) = mutual::server_hello::<C>(p, legacy_rng.as_fn());
+            let mut payload = hello.ephemeral.compress();
+            payload.extend_from_slice(&hello.mac);
+            payload
+        })
+        .collect();
+
+    let mut suite_rng = SplitMix64::new(seed);
+    let server = MutualServer::<C>::new(
+        pairings
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u32, p.clone()))
+            .collect(),
+    );
+    let mut sl = ledger();
+    let opens: Vec<(u32, Option<&[u8]>)> = (0..5).map(|i| (i, None)).collect();
+    let hellos = MutualSuite::<C>::hello_batch(&server, &opens, suite_rng.as_fn(), &mut sl);
+    for ((_, frame), want) in hellos.iter().zip(&legacy) {
+        let frame = frame.as_ref().expect("known device");
+        assert_eq!(&payload_of(frame, MsgType::ServerHello), want);
+    }
+}
+
+/// Peeters–Hermans: suite transcripts must match `run_session`'s
+/// (commitment, challenge, response) byte for byte, and identify the
+/// same tag.
+fn ph_equivalence<C: CurveSpec>(seed: u64) {
+    // Identical provisioning on both sides.
+    let mut setup = SplitMix64::new(seed ^ 0xAB);
+    let mut legacy_reader = PhReader::<C>::new(setup.as_fn());
+    let mut legacy_tag = legacy_reader.register_tag(7, setup.as_fn());
+    let mut setup = SplitMix64::new(seed ^ 0xAB);
+    let mut suite_reader = PhReader::<C>::new(setup.as_fn());
+    let mut suite_tag = suite_reader.register_tag(7, setup.as_fn());
+
+    let mut legacy_rng = SplitMix64::new(seed);
+    let mut legacy_ledger = ledger();
+    let (legacy_id, legacy_t) = peeters_hermans::run_session(
+        &mut legacy_tag,
+        &legacy_reader,
+        &mut legacy_ledger,
+        legacy_rng.as_fn(),
+    );
+    assert_eq!(legacy_id, Some(7));
+
+    let mut suite_rng = SplitMix64::new(seed);
+    let server = PhServer::new(suite_reader);
+    let (mut dl, mut sl) = (ledger(), ledger());
+    let open = PhSuite::<C>::device_open(&mut suite_tag, suite_rng.as_fn(), &mut dl)
+        .expect("PH is commit-first");
+    assert_eq!(
+        payload_of(&open, MsgType::PhCommit),
+        legacy_t.commitment.compress(),
+        "commitment must be byte-identical"
+    );
+    let hello = PhSuite::<C>::hello(&server, 7, Some(&open), suite_rng.as_fn(), &mut sl).unwrap();
+    assert_eq!(
+        payload_of(&hello, MsgType::PhChallenge),
+        legacy_t.challenge.to_bytes(),
+        "challenge must be byte-identical"
+    );
+    let closing =
+        PhSuite::device_turn(&mut suite_tag, &hello, b"", suite_rng.as_fn(), &mut dl).unwrap();
+    assert_eq!(
+        payload_of(&closing, MsgType::PhResponse),
+        legacy_t.response.to_bytes(),
+        "response must be byte-identical"
+    );
+    assert!(
+        (dl.total() - legacy_ledger.total()).abs() < 1e-15,
+        "tag energy must match the pre-suite booking"
+    );
+    assert_eq!(
+        PhSuite::<C>::server_verify(&server, 7, &closing, suite_rng.as_fn(), &mut sl),
+        Ok(SuiteOutcome::Identified(7))
+    );
+}
+
+/// Schnorr: same transcript-byte and verdict equivalence against the
+/// pre-suite `run_session`.
+fn schnorr_equivalence<C: CurveSpec>(seed: u64) {
+    let mut setup = SplitMix64::new(seed ^ 0xCD);
+    let mut legacy_tag = SchnorrTag::<C>::new(setup.as_fn());
+    let mut setup = SplitMix64::new(seed ^ 0xCD);
+    let mut suite_tag = SchnorrTag::<C>::new(setup.as_fn());
+
+    let mut legacy_rng = SplitMix64::new(seed);
+    let mut legacy_ledger = ledger();
+    let (ok, legacy_t) =
+        schnorr::run_session(&mut legacy_tag, &mut legacy_ledger, legacy_rng.as_fn());
+    assert!(ok);
+
+    let mut suite_rng = SplitMix64::new(seed);
+    let mut server = SchnorrVerifier::<C>::new();
+    server.register(3, *suite_tag.public());
+    let (mut dl, mut sl) = (ledger(), ledger());
+    let open = SchnorrSuite::<C>::device_open(&mut suite_tag, suite_rng.as_fn(), &mut dl)
+        .expect("Schnorr is commit-first");
+    assert_eq!(
+        payload_of(&open, MsgType::PhCommit),
+        legacy_t.commitment.compress()
+    );
+    let hello =
+        SchnorrSuite::<C>::hello(&server, 3, Some(&open), suite_rng.as_fn(), &mut sl).unwrap();
+    assert_eq!(
+        payload_of(&hello, MsgType::PhChallenge),
+        legacy_t.challenge.to_bytes()
+    );
+    let closing =
+        SchnorrSuite::device_turn(&mut suite_tag, &hello, b"", suite_rng.as_fn(), &mut dl).unwrap();
+    assert_eq!(
+        payload_of(&closing, MsgType::PhResponse),
+        legacy_t.response.to_bytes()
+    );
+    assert!((dl.total() - legacy_ledger.total()).abs() < 1e-15);
+    assert_eq!(
+        SchnorrSuite::<C>::server_verify(&server, 3, &closing, suite_rng.as_fn(), &mut sl),
+        Ok(SuiteOutcome::Authenticated)
+    );
+}
+
+/// Symmetric: nonces, MAC and verdict must match the pre-suite
+/// `run_session` transcript exactly.
+fn symmetric_equivalence(seed: u64) {
+    let mut setup = SplitMix64::new(seed ^ 0xEF);
+    let mut legacy_server = SymmetricServer::new();
+    let legacy_device = legacy_server.register_device(12, setup.as_fn());
+    let mut setup = SplitMix64::new(seed ^ 0xEF);
+    let mut suite_table = SymmetricServer::new();
+    let mut suite_device = suite_table.register_device(12, setup.as_fn());
+    let suite_server = SymmetricGate::new(suite_table);
+
+    let mut legacy_rng = SplitMix64::new(seed);
+    let mut legacy_ledger = ledger();
+    let (ok, legacy_t) = symmetric::run_session(
+        &legacy_device,
+        &legacy_server,
+        &mut legacy_ledger,
+        legacy_rng.as_fn(),
+    );
+    assert!(ok);
+
+    let mut suite_rng = SplitMix64::new(seed);
+    let (mut dl, mut sl) = (ledger(), ledger());
+    assert!(SymmetricSuite::device_open(&mut suite_device, suite_rng.as_fn(), &mut dl).is_none());
+    let hello = SymmetricSuite::hello(&suite_server, 12, None, suite_rng.as_fn(), &mut sl).unwrap();
+    assert_eq!(
+        payload_of(&hello, MsgType::SymChallenge),
+        legacy_t.server_nonce
+    );
+    let closing =
+        SymmetricSuite::device_turn(&mut suite_device, &hello, b"", suite_rng.as_fn(), &mut dl)
+            .unwrap();
+    let payload = payload_of(&closing, MsgType::SymResponse);
+    assert_eq!(&payload[..4], legacy_t.device_id.to_be_bytes());
+    assert_eq!(&payload[4..12], legacy_t.server_nonce);
+    assert_eq!(&payload[12..20], legacy_t.device_nonce);
+    assert_eq!(&payload[20..], legacy_t.mac);
+    assert!((dl.total() - legacy_ledger.total()).abs() < 1e-15);
+    assert_eq!(
+        SymmetricSuite::server_verify(&suite_server, 12, &closing, suite_rng.as_fn(), &mut sl),
+        Ok(SuiteOutcome::Authenticated)
+    );
+}
+
+#[test]
+fn mutual_suite_equivalent_on_toy17_and_k163() {
+    for seed in [1u64, 0x5EED, 0xDEAD_BEEF] {
+        mutual_equivalence::<Toy17>(seed);
+        mutual_equivalence::<K163>(seed);
+    }
+}
+
+#[test]
+fn mutual_hello_batch_equivalent_on_toy17_and_k163() {
+    mutual_batch_equivalence::<Toy17>(0x5EED_0001);
+    mutual_batch_equivalence::<K163>(0x5EED_0002);
+}
+
+#[test]
+fn ph_suite_equivalent_on_toy17_and_k163() {
+    for seed in [2u64, 0x5EED, 0xCAFE_F00D] {
+        ph_equivalence::<Toy17>(seed);
+        ph_equivalence::<K163>(seed);
+    }
+}
+
+#[test]
+fn schnorr_suite_equivalent_on_toy17_and_k163() {
+    for seed in [3u64, 0x5EED, 0xFEED_FACE] {
+        schnorr_equivalence::<Toy17>(seed);
+        schnorr_equivalence::<K163>(seed);
+    }
+}
+
+#[test]
+fn symmetric_suite_equivalent() {
+    for seed in [4u64, 0x5EED, 0xB00C_F00D] {
+        symmetric_equivalence(seed);
+    }
+}

@@ -7,20 +7,25 @@
 
 use medsec_ec::{ladder, CoordinateBlinding, Scalar, Toy17, K163};
 use medsec_protocols::peeters_hermans::PhTranscript;
+use medsec_protocols::suite::{CurveId, ProtocolId, SecurityProfile};
 use medsec_protocols::wire::{
-    decode_ph_transcript, decode_point, decode_scalar, deframe, encode_ph_transcript, encode_point,
-    encode_scalar, frame, DecodeError, MsgType,
+    decode_negotiate, decode_ph_transcript, decode_point, decode_scalar, deframe,
+    encode_ph_transcript, encode_point, encode_scalar, frame, DecodeError, MsgType,
+    NEGOTIATE_VERSION,
 };
 use medsec_rng::SplitMix64;
 use proptest::prelude::*;
 
 /// Every message type tag.
-const ALL_TYPES: [MsgType; 5] = [
+const ALL_TYPES: [MsgType; 8] = [
     MsgType::PhCommit,
     MsgType::PhChallenge,
     MsgType::PhResponse,
     MsgType::ServerHello,
     MsgType::Telemetry,
+    MsgType::SymChallenge,
+    MsgType::SymResponse,
+    MsgType::Negotiate,
 ];
 
 fn arb_msg_type() -> impl Strategy<Value = MsgType> {
@@ -113,6 +118,67 @@ proptest! {
             decode_scalar::<Toy17>(MsgType::PhChallenge, &enc),
             Err(DecodeError::Malformed)
         );
+    }
+
+    #[test]
+    fn negotiate_round_trip_every_profile(
+        curve in prop::sample::select(CurveId::ALL.to_vec()),
+        protocol in prop::sample::select(ProtocolId::ALL.to_vec()),
+    ) {
+        let profile = SecurityProfile::new(curve, protocol);
+        let f = profile.negotiate_frame();
+        let n = decode_negotiate(&f).expect("canonical frames decode");
+        prop_assert_eq!(n.version, NEGOTIATE_VERSION);
+        prop_assert_eq!(n.curve, curve);
+        prop_assert_eq!(n.protocol, protocol);
+        prop_assert_eq!(SecurityProfile::from_negotiate(&n), Some(profile));
+        // Truncation anywhere fails closed.
+        let cut = (curve as usize * 7 + protocol as usize) % (f.len() - 1) + 1;
+        prop_assert!(decode_negotiate(&f[..cut]).is_err());
+    }
+
+    #[test]
+    fn negotiate_rejects_unknown_bytes(
+        version in any::<u8>(),
+        profile in any::<u8>(),
+        curve_byte in any::<u8>(),
+        protocol_byte in any::<u8>(),
+    ) {
+        let f = frame(MsgType::Negotiate, &[version, profile, curve_byte, protocol_byte]);
+        match decode_negotiate(&f) {
+            Ok(n) => {
+                // Anything that decodes was fully known…
+                prop_assert_eq!(version, NEGOTIATE_VERSION);
+                prop_assert!(CurveId::from_u8(curve_byte).is_some());
+                prop_assert!(ProtocolId::from_u8(protocol_byte).is_some());
+                // …and anything the registry then accepts is
+                // self-consistent across all three id fields.
+                if let Some(p) = SecurityProfile::from_negotiate(&n) {
+                    prop_assert_eq!(p.id(), profile);
+                    prop_assert_eq!(p.curve as u8, curve_byte);
+                    prop_assert_eq!(p.protocol as u8, protocol_byte);
+                }
+            }
+            Err(DecodeError::UnsupportedVersion(v)) => {
+                prop_assert_eq!(v, version);
+                prop_assert_ne!(version, NEGOTIATE_VERSION);
+            }
+            Err(DecodeError::Malformed) => {
+                prop_assert!(
+                    CurveId::from_u8(curve_byte).is_none()
+                        || ProtocolId::from_u8(protocol_byte).is_none()
+                );
+            }
+            Err(e) => panic!("unexpected decode error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn negotiate_rejects_wrong_payload_len(len in 0usize..12, fill in any::<u8>()) {
+        if len != 4 {
+            let f = frame(MsgType::Negotiate, &vec![fill; len]);
+            prop_assert!(decode_negotiate(&f).is_err());
+        }
     }
 
     #[test]

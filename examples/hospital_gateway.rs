@@ -8,6 +8,12 @@
 //! of the fleet is probed with forged hellos first; ServerFirst
 //! ordering keeps those rejections nearly free.
 //!
+//! Every run goes through the curve-erased `GatewayHub`: devices
+//! advertise their `SecurityProfile` in a wire-level Negotiate hello
+//! and are bucketed into per-curve lanes (see
+//! `examples/mixed_ward.rs` for a fleet that mixes five curves and
+//! four protocols in one run).
+//!
 //! ```text
 //! cargo run --release --example hospital_gateway
 //! cargo run --release --example hospital_gateway -- 20000 8   # devices, threads
@@ -33,6 +39,7 @@ fn main() {
         curve: CurveChoice::Toy17,
         seed: 0x5EED_CAFE,
         forged_per_mille: 25,
+        wards: Vec::new(),
     };
 
     println!(
