@@ -239,12 +239,20 @@ impl<C: CurveSpec> Point<C> {
 
     /// Decompress many encodings at once, sharing **one** field
     /// inversion across the whole batch (the `rhs/x²` division every
-    /// non-trivial decompression needs). Entry `i` of the result
-    /// corresponds to `encodings[i]`; malformed or off-curve encodings
-    /// yield `None`, exactly like [`decompress`](Self::decompress).
+    /// non-trivial decompression needs).
+    ///
+    /// Error propagation is strictly per-entry: entry `i` of the result
+    /// corresponds to `encodings[i]`, and a malformed or off-curve
+    /// encoding yields `None` in *its own slot only* — it is excluded
+    /// from the shared inversion before the chain is built, so one bad
+    /// encoding can neither poison the batch nor shift a neighbouring
+    /// entry onto the wrong inverse. Each entry decodes to exactly what
+    /// [`decompress`](Self::decompress) would return for it alone.
     pub fn decompress_batch(encodings: &[&[u8]]) -> Vec<Option<Self>> {
         let mut out: Vec<Option<Self>> = vec![None; encodings.len()];
         // (result slot, x, parity tag) for entries that need the solve.
+        // Malformed encodings never enter `live`, so the slot↔inverse
+        // pairing below stays aligned no matter where they fall.
         let mut live: Vec<(usize, Element<C::Field>, bool)> = Vec::new();
         let mut x2s: Vec<Element<C::Field>> = Vec::new();
         for (slot, &bytes) in encodings.iter().enumerate() {
@@ -263,8 +271,11 @@ impl<C: CurveSpec> Point<C> {
                 }
             }
         }
-        // One inversion chain for every x² in the batch.
-        medsec_gf2m::batch_invert(&mut x2s);
+        // One inversion chain for every x² in the batch. Every entry is
+        // nonzero (x = 0 took the ZeroX arm), so all of them invert and
+        // the positional zip with `live` is exact.
+        let inverted = medsec_gf2m::batch_invert(&mut x2s);
+        debug_assert_eq!(inverted, x2s.len(), "live x² entries must all be units");
         for ((slot, x, parity), x2inv) in live.into_iter().zip(x2s) {
             out[slot] = Self::decompress_solve(x, parity, x2inv);
         }
@@ -536,6 +547,76 @@ mod tests {
         let mut bad = vec![0xffu8; 22];
         bad[5] = 1;
         assert!(Point::<K163>::decompress(&bad).is_none());
+    }
+
+    /// One invalid encoding in a batch rejects only its own slot: every
+    /// other entry must decode to exactly what a solo `decompress`
+    /// returns, no matter where the invalid entries fall. Invalid
+    /// entries of every flavour ride along — wrong width, bad tag,
+    /// off-curve x, corrupted infinity — interleaved with valid points,
+    /// the canonical infinity encoding, and duplicates.
+    #[test]
+    fn decompress_batch_isolates_invalid_entries() {
+        let mut r = rng_from(22);
+        let g = K163::generator();
+        let valid: Vec<Vec<u8>> = (0..6)
+            .map(|_| {
+                g.mul_double_and_add(&Scalar::<K163>::random_nonzero(&mut r))
+                    .compress()
+            })
+            .collect();
+
+        // An off-curve x: flip bits until decompression fails solo.
+        let mut off_curve = valid[0].clone();
+        let mut i = 1;
+        while Point::<K163>::decompress(&off_curve).is_some() {
+            off_curve = valid[0].clone();
+            off_curve[1 + (i % 21)] ^= (i as u8) | 1;
+            i += 1;
+        }
+        let mut bad_inf = vec![0xffu8; 22];
+        bad_inf[5] = 1;
+
+        let all_ff = [0xffu8; 22];
+        let encodings: Vec<&[u8]> = vec![
+            &off_curve, // invalid leading entry
+            &valid[0],
+            &[], // wrong width
+            &valid[1],
+            &[2u8; 22], // bad tag byte
+            &valid[2],
+            &bad_inf, // corrupted infinity
+            &valid[3],
+            &valid[3],  // duplicate of the previous entry
+            &off_curve, // invalid interior repeat
+            &valid[4],
+            &all_ff,   // 0xff tag with a saturated (non-infinity) tail
+            &valid[5], // valid trailing entry
+        ];
+        let batch = Point::<K163>::decompress_batch(&encodings);
+        assert_eq!(batch.len(), encodings.len());
+        for (slot, (&enc, got)) in encodings.iter().zip(&batch).enumerate() {
+            assert_eq!(
+                *got,
+                Point::<K163>::decompress(enc),
+                "slot {slot} diverged from solo decompress"
+            );
+        }
+        // The specific contract: invalid slots are None, valid
+        // neighbours are Some and on-curve.
+        for slot in [0, 2, 4, 6, 9, 11] {
+            assert!(batch[slot].is_none(), "slot {slot} should be rejected");
+        }
+        for slot in [1, 3, 5, 7, 8, 10, 12] {
+            let p = batch[slot].expect("valid entry must decode");
+            assert!(p.is_on_curve(), "slot {slot} off-curve");
+        }
+        // True canonical infinity in a batch still decodes.
+        let inf_enc = Point::<K163>::infinity().compress();
+        let with_inf = Point::<K163>::decompress_batch(&[&inf_enc, &off_curve, &valid[0]]);
+        assert_eq!(with_inf[0], Some(Point::infinity()));
+        assert_eq!(with_inf[1], None);
+        assert_eq!(with_inf[2], Point::<K163>::decompress(&valid[0]));
     }
 
     #[test]

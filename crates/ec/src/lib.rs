@@ -10,6 +10,19 @@
 //! kept alongside the protected [`ladder::ladder_mul`] so the evaluation
 //! crates can demonstrate the timing/SPA gap the paper discusses.
 //!
+//! # Field-backend threading
+//!
+//! Every field operation in this crate — the fixed-base [`comb`], the
+//! τNAF engine ([`tnaf`]), the shared LD-projective kernel (`proj`),
+//! batched x-affine normalization and point (de)compression — goes
+//! through `medsec_gf2m::Element`'s operators, which dispatch on the
+//! process-wide `medsec_gf2m::select_backend()` choice. On CLMUL-capable
+//! x86_64 hosts the whole serving stack therefore runs on hardware
+//! carry-less multiplication with no change here; the SCA/energy
+//! experiments bypass the seam entirely (they drive the digit-serial
+//! MALU model and `Element`'s `*_model` methods, which pin the bit-exact
+//! reference path).
+//!
 //! # Example
 //!
 //! ```

@@ -182,6 +182,9 @@ impl GatewayHub {
     /// degenerate `wards: []` fleet, which reproduces the pre-hub
     /// single-curve provisioning bit for bit).
     pub fn provision(cfg: &FleetConfig) -> GatewayHub {
+        // Resolve the gf2m backend selection (env read + CPUID) during
+        // provisioning, outside any timed serving region.
+        medsec_gf2m::select_backend();
         // Expand the config into (global id, kind, profile) per curve,
         // in ward order so ids stay sequential across the fleet.
         type Assign = (DeviceId, DeviceKind, SecurityProfile);
@@ -374,6 +377,7 @@ impl GatewayHub {
             devices: total,
             threads,
             shards,
+            backend: medsec_gf2m::backend::active_backend_name(),
             sessions_ok: 0,
             sessions_failed: tally.device_rejections
                 + tally.forged_accepted
@@ -966,6 +970,124 @@ mod tests {
         assert_eq!(report.profiles.len(), 1);
         assert_eq!(report.profiles[0].energy_budget_j, 2.0e-4);
         assert_eq!(report.profiles[0].countermeasures, "spa-hardened");
+    }
+
+    /// The small-N edge: a heterogeneous fleet with exactly one device
+    /// per lane, more worker threads than devices, and far more shards
+    /// than devices. Every session must still complete — the Fibonacci
+    /// shard hash, the batched paths (batch size 1) and the per-profile
+    /// accounting all have to behave at N=1.
+    #[test]
+    fn one_device_per_lane_mixed_fleet() {
+        use crate::sim::WardSpec;
+        use medsec_protocols::suite::CurveId;
+        let wards = vec![
+            WardSpec::new(SecurityProfile::new(CurveId::Toy17, ProtocolId::Mutual), 1),
+            WardSpec::new(SecurityProfile::new(CurveId::B163, ProtocolId::Schnorr), 1),
+            WardSpec::new(SecurityProfile::new(CurveId::K163, ProtocolId::Ph), 1),
+            WardSpec::new(SecurityProfile::new(CurveId::K233, ProtocolId::Mutual), 1),
+            WardSpec::new(SecurityProfile::new(CurveId::K283, ProtocolId::Mutual), 1),
+        ];
+        let cfg = FleetConfig {
+            threads: 4, // more workers than devices
+            shards: 64, // far more shards than devices
+            batch_size: 1,
+            forged_per_mille: 0,
+            wards,
+            ..FleetConfig::default()
+        };
+        let hub = GatewayHub::provision(&cfg);
+        assert_eq!(hub.lanes().len(), 5);
+        assert_eq!(hub.device_count(), 5);
+        let report = hub.run(&cfg);
+        assert_eq!(report.devices, 5);
+        assert_eq!(report.sessions_completed(), 5);
+        assert_eq!(report.sessions_failed + report.ph_failed, 0);
+        assert_eq!(report.profiles.len(), 5);
+        for p in &report.profiles {
+            assert_eq!(p.devices, 1);
+            assert_eq!(p.sessions_ok, 1, "{}", p.profile);
+            assert_eq!(p.sessions_failed, 0, "{}", p.profile);
+        }
+        // Five lanes of 64 shards each; occupancy stays accounted even
+        // with 63+ empty shards per lane.
+        assert_eq!(report.shards, 5 * 64);
+        assert_eq!(report.shard_occupancy.len(), 5 * 64);
+        assert_eq!(report.backend, medsec_gf2m::backend::active_backend_name());
+    }
+
+    /// Drive every mutual-auth device of one provisioned lane through a
+    /// full hello → telemetry session against its own gateway.
+    fn run_lane_sessions<C: CurveSpec>(lp: crate::registry::LaneProvision<C>) {
+        let mut rng = SplitMix64::new(0x1D5);
+        let mut ledger = server_ledger();
+        let crate::registry::LaneProvision {
+            mut devices,
+            gateway,
+            ..
+        } = lp;
+        let ids: Vec<DeviceId> = devices.iter().map(|d| d.profile.id).collect();
+        let hellos = gateway.hello_batch(&ids, rng.as_fn(), &mut ledger);
+        assert_eq!(hellos.len(), ids.len());
+        for (id, hello_frame) in hellos {
+            let d = devices
+                .iter_mut()
+                .find(|d| d.profile.id == id)
+                .expect("hello for a provisioned id");
+            let Ok((MsgType::ServerHello, payload)) = wire::deframe(&hello_frame) else {
+                panic!("hello frame must deframe");
+            };
+            let telemetry = d.profile.kind.telemetry();
+            let SessionOutcome::Established { telemetry_frame } =
+                d.mutual
+                    .run_session_frame(payload, telemetry, d.rng.as_fn(), &mut d.ledger)
+            else {
+                panic!("genuine hello must establish for id {id}");
+            };
+            let framed = wire::frame(MsgType::Telemetry, &telemetry_frame);
+            let plain = gateway
+                .handle_telemetry(id, &framed, &mut ledger)
+                .expect("telemetry must verify");
+            assert_eq!(plain, telemetry);
+        }
+        assert_eq!(gateway.counters().established, ids.len() as u64);
+        assert_eq!(gateway.counters().auth_failures, 0);
+    }
+
+    /// Device ids are global (the hub assigns them sequentially), but
+    /// `provision_lane` is public API and nothing stops two lanes of a
+    /// multi-hub deployment from reusing an id space. Sessions keyed by
+    /// the same id in different lanes must stay fully isolated: each
+    /// lane's gateway holds its own pairing table and session shards.
+    #[test]
+    fn colliding_ids_across_lanes_stay_isolated() {
+        use medsec_protocols::suite::CurveId;
+        let kinds = [(0, DeviceKind::Pacemaker), (7, DeviceKind::CardiacMonitor)];
+        let toy_assignments: Vec<_> = kinds
+            .iter()
+            .map(|&(id, kind)| {
+                (
+                    id,
+                    kind,
+                    SecurityProfile::new(CurveId::Toy17, ProtocolId::Mutual),
+                )
+            })
+            .collect();
+        let k_assignments: Vec<_> = kinds
+            .iter()
+            .map(|&(id, kind)| {
+                (
+                    id,
+                    kind,
+                    SecurityProfile::new(CurveId::K163, ProtocolId::Mutual),
+                )
+            })
+            .collect();
+        // Same ids, different lanes, different key streams.
+        let toy = provision_lane::<Toy17>(&toy_assignments, 8, CurveChoice::Toy17, 42);
+        let k163 = provision_lane::<K163>(&k_assignments, 8, CurveChoice::K163, 43);
+        run_lane_sessions(toy);
+        run_lane_sessions(k163);
     }
 
     #[test]

@@ -63,6 +63,11 @@ pub struct FleetReport {
     pub threads: usize,
     /// Session-table shards.
     pub shards: usize,
+    /// The gf2m backend the serving stack's field arithmetic ran on
+    /// (`clmul`, `fast`, or a forced override — see
+    /// `medsec_gf2m::select_backend`), so every trajectory point is
+    /// attributable to the exact compute stack behind it.
+    pub backend: &'static str,
     /// Mutual-auth sessions established (telemetry verified).
     pub sessions_ok: u64,
     /// Mutual-auth sessions that failed (forged hello rejected by the
@@ -149,6 +154,7 @@ impl FleetReport {
         field(&mut s, "devices", self.devices.to_string());
         field(&mut s, "threads", self.threads.to_string());
         field(&mut s, "shards", self.shards.to_string());
+        field(&mut s, "backend", format!("\"{}\"", self.backend));
         field(&mut s, "sessions_ok", self.sessions_ok.to_string());
         field(&mut s, "sessions_failed", self.sessions_failed.to_string());
         field(&mut s, "frames_ok", self.frames_ok.to_string());
@@ -225,8 +231,8 @@ impl core::fmt::Display for FleetReport {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         writeln!(
             f,
-            "fleet: {} devices, {} threads, {} shards",
-            self.devices, self.threads, self.shards
+            "fleet: {} devices, {} threads, {} shards, {} gf2m backend",
+            self.devices, self.threads, self.shards, self.backend
         )?;
         writeln!(
             f,
@@ -297,6 +303,7 @@ mod tests {
             devices: 8,
             threads: 2,
             shards: 4,
+            backend: "fast",
             sessions_ok: 6,
             sessions_failed: 0,
             frames_ok: 6,
@@ -340,9 +347,11 @@ mod tests {
             "shard_occupancy",
             "forged_rejected",
             "profiles",
+            "backend",
         ] {
             assert!(j.contains(&format!("\"{key}\":")), "missing {key} in {j}");
         }
+        assert!(j.contains("\"backend\":\"fast\""));
         // The per-profile row carries its pyramid point and budget.
         assert!(j.contains("\"profile\":\"mutual@Toy17\""));
         assert!(j.contains("\"within_budget\":true"));

@@ -173,6 +173,42 @@ mod tests {
         );
     }
 
+    /// Fewer devices than shards: the Fibonacci hash must still assign
+    /// every id a valid shard, ids must map stably, and occupancy
+    /// accounting must see exactly the inserted sessions — no shard
+    /// index out of range, no double-count, down to a single device in
+    /// a 64-shard table.
+    #[test]
+    fn device_count_below_shard_count() {
+        for n_devices in [1usize, 2, 3, 5] {
+            let table = SessionTable::<Toy17>::new(64);
+            for id in 0..n_devices as DeviceId {
+                let shard = table.shard_index(id);
+                assert!(shard < table.shard_count());
+                // Stable: the same id always lands on the same shard.
+                assert_eq!(shard, table.shard_index(id));
+                table.with_shard(id, |m| {
+                    m.insert(
+                        id,
+                        SessionPhase::Established {
+                            session_key: [0u8; 32],
+                            frames: 0,
+                        },
+                    );
+                });
+            }
+            assert_eq!(table.len(), n_devices);
+            let sizes = table.shard_sizes();
+            assert_eq!(sizes.iter().sum::<usize>(), n_devices);
+            assert_eq!(sizes.len(), 64);
+            // Each session is findable through the same hash it was
+            // inserted under.
+            for id in 0..n_devices as DeviceId {
+                assert!(table.with_shard(id, |m| m.contains_key(&id)));
+            }
+        }
+    }
+
     #[test]
     fn table_tracks_phases() {
         let table = SessionTable::<Toy17>::new(4);

@@ -275,6 +275,7 @@ pub fn run_fleet_on<C: CurveSpec>(cfg: &FleetConfig) -> FleetReport {
         devices: cfg.devices,
         threads,
         shards: gateway.sessions().shard_count(),
+        backend: medsec_gf2m::backend::active_backend_name(),
         sessions_ok: 0,
         sessions_failed: tally.device_rejections + tally.forged_accepted + tally.mismatches,
         frames_ok: 0,

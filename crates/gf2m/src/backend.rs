@@ -1,6 +1,6 @@
 //! The backend seam: *what* the field computes, decoupled from *how*.
 //!
-//! Two implementations of the same F(2^m) arithmetic live behind
+//! Three implementations of the same F(2^m) arithmetic live behind
 //! [`FieldBackend`]:
 //!
 //! * [`ModelBackend`] — the bit-exact reference path (windowed-comb
@@ -8,18 +8,31 @@
 //!   paper's MALU reduces every cycle. The digit-serial multiplier model
 //!   in [`crate::digit_serial`] and the SCA/energy experiments stay on
 //!   this path; its per-cycle states never change.
-//! * [`FastBackend`] — the serving path: word-bounded comb
+//! * [`FastBackend`] — the portable serving path: word-bounded comb
 //!   multiplication (only `ceil(m/64)` limbs do work), compile-time
 //!   squaring-spread tables, and word-level sparse-polynomial reduction.
-//!   Both backends produce identical canonical elements (proven by the
-//!   exhaustive/property equivalence tests); only the instruction count
-//!   differs.
+//! * [`ClmulBackend`] — the hardware serving path: `PCLMULQDQ`
+//!   carry-less 64×64→128 multiplies under a word-level Karatsuba
+//!   (see [`crate::clmul`]), feeding the same word-level sparse
+//!   reduction. Runtime-detected; on hosts without the instruction it
+//!   falls back to a portable shift-and-add schoolbook, so the backend
+//!   is *correct* everywhere and *fast* where the silicon allows.
+//!
+//! All backends produce identical canonical elements (proven by the
+//! exhaustive/property equivalence tests); only the instruction count
+//! differs.
 //!
 //! [`Element`](crate::Element)'s operators route through
-//! [`ActiveBackend`] (= [`FastBackend`]); the `*_model` methods on
-//! `Element` pin the reference path. Future backends (SIMD carry-less
-//! multiply, alternative fields, hardware offload) plug into the same
-//! trait.
+//! [`ActiveBackend`], which dispatches on the process-wide
+//! [`select_backend`] choice — `clmul` where the CPU supports it,
+//! `fast` otherwise, overridable through the
+//! [`BACKEND_ENV`](crate::backend::BACKEND_ENV) environment variable
+//! (the CI matrix forces `fast` so the portable path cannot rot). The
+//! `*_model` methods on `Element` pin the reference path regardless of
+//! selection. Future backends (alternative fields, hardware offload)
+//! plug into the same trait.
+
+use std::sync::atomic::{AtomicU8, Ordering};
 
 use crate::field::{Element, FieldSpec};
 use crate::limbs;
@@ -93,34 +106,187 @@ impl FieldBackend for FastBackend {
     /// of m−1 dependent squarings. Same addition chain, same value —
     /// the equivalence suite pins it against [`ModelBackend::invert`].
     fn invert<F: FieldSpec>(a: &Element<F>) -> Option<Element<F>> {
-        if a.is_zero() {
-            return None;
-        }
-        let e = F::M - 1;
-        let bits = usize::BITS - e.leading_zeros();
-        let mut t = *a; // = a^(2^1 - 1), covered exponent ecov = 1
-        let mut ecov = 1usize;
-        for i in (0..bits - 1).rev() {
-            let t2 = crate::multisquare::frobenius_pow(&t, ecov);
-            t = Self::mul(&t, &t2);
-            ecov *= 2;
-            if (e >> i) & 1 == 1 {
-                t = Self::mul(&Self::square(&t), a);
-                ecov += 1;
-            }
-        }
-        debug_assert_eq!(ecov, e);
-        Some(Self::square(&t))
+        itoh_tsujii_multisquare::<Self, F>(a)
     }
 }
 
-/// The backend `Element`'s operators use (the serving default).
-pub type ActiveBackend = FastBackend;
+/// Hardware carry-less-multiply backend: `PCLMULQDQ` Karatsuba products
+/// (portable shift-and-add on non-CLMUL hosts — see [`crate::clmul`])
+/// with the fast path's word-level sparse reduction and multi-squaring
+/// inversions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClmulBackend;
+
+impl FieldBackend for ClmulBackend {
+    const NAME: &'static str = "clmul";
+
+    fn mul<F: FieldSpec>(a: &Element<F>, b: &Element<F>) -> Element<F> {
+        let nw = F::M.div_ceil(64);
+        let prod = crate::clmul::clmul_accel(a.limbs(), b.limbs(), nw);
+        Element::from_raw_limbs(limbs::reduce_fast(prod, F::REDUCTION))
+    }
+
+    fn square<F: FieldSpec>(a: &Element<F>) -> Element<F> {
+        let nw = F::M.div_ceil(64);
+        let prod = crate::clmul::clsquare_accel(a.limbs(), nw);
+        Element::from_raw_limbs(limbs::reduce_fast(prod, F::REDUCTION))
+    }
+
+    /// Multi-squaring-table Itoh–Tsujii over the CLMUL primitives (same
+    /// chain as [`FastBackend::invert`]).
+    fn invert<F: FieldSpec>(a: &Element<F>) -> Option<Element<F>> {
+        itoh_tsujii_multisquare::<Self, F>(a)
+    }
+}
+
+/// Itoh–Tsujii exponentiation to 2^m − 2 with the squaring runs
+/// collapsed into cached multi-squaring tables, over backend `B`'s
+/// `mul`/`square` primitives (shared by the fast and CLMUL backends).
+fn itoh_tsujii_multisquare<B: FieldBackend + ?Sized, F: FieldSpec>(
+    a: &Element<F>,
+) -> Option<Element<F>> {
+    if a.is_zero() {
+        return None;
+    }
+    let e = F::M - 1;
+    let bits = usize::BITS - e.leading_zeros();
+    let mut t = *a; // = a^(2^1 - 1), covered exponent ecov = 1
+    let mut ecov = 1usize;
+    for i in (0..bits - 1).rev() {
+        let t2 = crate::multisquare::frobenius_pow(&t, ecov);
+        t = B::mul(&t, &t2);
+        ecov *= 2;
+        if (e >> i) & 1 == 1 {
+            t = B::mul(&B::square(&t), a);
+            ecov += 1;
+        }
+    }
+    debug_assert_eq!(ecov, e);
+    Some(B::square(&t))
+}
+
+/// Which concrete backend the serving stack runs on — the value behind
+/// the process-wide [`select_backend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// Bit-exact reference path ([`ModelBackend`]).
+    Model,
+    /// Portable word-bounded comb path ([`FastBackend`]).
+    Fast,
+    /// Hardware carry-less-multiply path ([`ClmulBackend`]).
+    Clmul,
+}
+
+impl BackendChoice {
+    /// Short name, matching the backend's `NAME` (recorded in
+    /// `FleetReport`/`BENCH_fleet.json`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendChoice::Model => ModelBackend::NAME,
+            BackendChoice::Fast => FastBackend::NAME,
+            BackendChoice::Clmul => ClmulBackend::NAME,
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            BackendChoice::Model => 1,
+            BackendChoice::Fast => 2,
+            BackendChoice::Clmul => 3,
+        }
+    }
+}
+
+/// Environment variable overriding the serving backend: `model`,
+/// `fast` or `clmul` (anything else — including `auto` — selects by
+/// CPU feature detection). Read once per process, at the first field
+/// operation.
+pub const BACKEND_ENV: &str = "MEDSEC_GF2M_BACKEND";
+
+/// Resolved process-wide choice: 0 = unresolved, else `BackendChoice::code`.
+static SELECTED: AtomicU8 = AtomicU8::new(0);
+
+/// The process-wide serving-backend selection: `clmul` when the CPU
+/// supports `PCLMULQDQ`, `fast` otherwise, overridable via
+/// [`BACKEND_ENV`]. Resolved once (env read + CPUID) on first call and
+/// cached; every [`Element`](crate::Element) operator dispatches on the
+/// cached value, so the per-operation cost is one relaxed atomic load.
+///
+/// The SCA/energy paths never consult this — they pin the model
+/// backend through `Element`'s `*_model` methods and the digit-serial
+/// multiplier model, whose instruction streams are the measurement.
+pub fn select_backend() -> BackendChoice {
+    match SELECTED.load(Ordering::Relaxed) {
+        1 => BackendChoice::Model,
+        2 => BackendChoice::Fast,
+        3 => BackendChoice::Clmul,
+        _ => resolve_backend(),
+    }
+}
+
+#[cold]
+fn resolve_backend() -> BackendChoice {
+    let auto = || {
+        if crate::clmul::hardware_available() {
+            BackendChoice::Clmul
+        } else {
+            BackendChoice::Fast
+        }
+    };
+    let choice = match std::env::var(BACKEND_ENV) {
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "model" => BackendChoice::Model,
+            "fast" => BackendChoice::Fast,
+            "clmul" => BackendChoice::Clmul,
+            _ => auto(),
+        },
+        Err(_) => auto(),
+    };
+    SELECTED.store(choice.code(), Ordering::Relaxed);
+    choice
+}
+
+/// The backend `Element`'s operators use: a zero-state dispatcher over
+/// the process-wide [`select_backend`] choice. One relaxed load and a
+/// predictable branch per field operation — noise next to the
+/// multiplication itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ActiveBackend;
+
+impl FieldBackend for ActiveBackend {
+    const NAME: &'static str = "active";
+
+    #[inline]
+    fn mul<F: FieldSpec>(a: &Element<F>, b: &Element<F>) -> Element<F> {
+        match select_backend() {
+            BackendChoice::Clmul => ClmulBackend::mul(a, b),
+            BackendChoice::Fast => FastBackend::mul(a, b),
+            BackendChoice::Model => ModelBackend::mul(a, b),
+        }
+    }
+
+    #[inline]
+    fn square<F: FieldSpec>(a: &Element<F>) -> Element<F> {
+        match select_backend() {
+            BackendChoice::Clmul => ClmulBackend::square(a),
+            BackendChoice::Fast => FastBackend::square(a),
+            BackendChoice::Model => ModelBackend::square(a),
+        }
+    }
+
+    fn invert<F: FieldSpec>(a: &Element<F>) -> Option<Element<F>> {
+        match select_backend() {
+            BackendChoice::Clmul => ClmulBackend::invert(a),
+            BackendChoice::Fast => FastBackend::invert(a),
+            BackendChoice::Model => ModelBackend::invert(a),
+        }
+    }
+}
 
 /// Name of the backend behind `Element`'s operators — recorded by the
 /// fleet experiment next to its throughput numbers.
 pub fn active_backend_name() -> &'static str {
-    ActiveBackend::NAME
+    select_backend().name()
 }
 
 /// Itoh–Tsujii exponentiation to 2^m − 2 over backend `B`.
@@ -152,15 +318,24 @@ fn itoh_tsujii<B: FieldBackend + ?Sized, F: FieldSpec>(a: &Element<F>) -> Option
 
 /// Batched multiplicative inversion (Montgomery's trick): inverts every
 /// nonzero element of `elems` in place with **one** field inversion and
-/// `3·(n−1)` multiplications, instead of `n` inversions. Zero elements
-/// are left as zero (matching `inverse() == None` semantics without
-/// poisoning the batch).
+/// `3·(n−1)` multiplications, instead of `n` inversions.
+///
+/// # Zero-element contract
+///
+/// Zero elements are *skipped*, not poisoned: each stays exactly zero
+/// in place (matching `inverse() == None` semantics), contributes
+/// nothing to the shared prefix-product chain, and does not perturb the
+/// inverses written to any other slot — regardless of where zeros fall
+/// (leading, trailing, interleaved, or the entire batch). The returned
+/// count is the number of elements that were actually inverted, i.e.
+/// the number of nonzero inputs — `0` for an empty or all-zero batch,
+/// in which case no field inversion is performed at all. Equivalently:
+/// after the call, `elems[i]` is `orig[i].inverse().unwrap_or(zero)`
+/// for every `i`, and the return value is the count of `Some`s.
 ///
 /// This is the primitive the serving layer leans on: normalizing a whole
 /// shard's worth of ladder outputs or comb accumulators costs one
 /// Itoh–Tsujii chain total.
-///
-/// Returns the number of elements actually inverted.
 ///
 /// # Example
 ///
@@ -262,8 +437,77 @@ mod tests {
         assert!(zeros.iter().all(Element::is_zero));
     }
 
+    /// The zero-element contract at batch boundaries: every 3-element
+    /// pattern over {0, a, b} (zeros leading, trailing, interleaved,
+    /// repeated values, all-zero) must invert exactly the nonzero slots
+    /// and leave zeros untouched. Exhaustive over the pattern space so
+    /// no boundary case hides behind a random draw.
     #[test]
-    fn active_backend_is_fast() {
-        assert_eq!(active_backend_name(), "fast");
+    fn batch_invert_exhaustive_zero_patterns_f17() {
+        let a = Element::<F17>::from_u64(0x1_2345 & 0x1ffff);
+        let b = Element::<F17>::from_u64(0x0_beef);
+        let panel = [Element::<F17>::zero(), a, b];
+        for i in 0..3 {
+            for j in 0..3 {
+                for k in 0..3 {
+                    let mut v = vec![panel[i], panel[j], panel[k]];
+                    let orig = v.clone();
+                    let n = batch_invert(&mut v);
+                    let expect_n = orig.iter().filter(|e| !e.is_zero()).count();
+                    assert_eq!(n, expect_n, "pattern ({i},{j},{k})");
+                    for (slot, (got, src)) in v.iter().zip(&orig).enumerate() {
+                        match src.inverse() {
+                            Some(inv) => {
+                                assert_eq!(*got, inv, "pattern ({i},{j},{k}) slot {slot}")
+                            }
+                            None => {
+                                assert!(got.is_zero(), "pattern ({i},{j},{k}) slot {slot}")
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clmul_backend_agrees_with_model_f163() {
+        let mut r = rng_from(103);
+        for _ in 0..64 {
+            let a = Element::<F163>::random(&mut r);
+            let b = Element::<F163>::random(&mut r);
+            assert_eq!(ClmulBackend::mul(&a, &b), ModelBackend::mul(&a, &b));
+            assert_eq!(ClmulBackend::square(&a), ModelBackend::square(&a));
+            assert_eq!(ClmulBackend::invert(&a), ModelBackend::invert(&a));
+        }
+    }
+
+    #[test]
+    fn active_backend_matches_selection_rules() {
+        let name = active_backend_name();
+        // Match the resolver's case-insensitive env handling.
+        let env = std::env::var(BACKEND_ENV)
+            .ok()
+            .map(|v| v.to_ascii_lowercase());
+        match env.as_deref() {
+            Some("model") => assert_eq!(name, "model"),
+            Some("fast") => assert_eq!(name, "fast"),
+            Some("clmul") => assert_eq!(name, "clmul"),
+            // Unset or unrecognized: auto-select by CPU feature.
+            _ => {
+                let expect = if crate::clmul::hardware_available() {
+                    "clmul"
+                } else {
+                    "fast"
+                };
+                assert_eq!(name, expect);
+            }
+        }
+        assert_eq!(select_backend().name(), name);
+        // The dispatcher and the selected backend agree on values.
+        let mut r = rng_from(104);
+        let a = Element::<F163>::random(&mut r);
+        let b = Element::<F163>::random(&mut r);
+        assert_eq!(ActiveBackend::mul(&a, &b), ModelBackend::mul(&a, &b));
     }
 }

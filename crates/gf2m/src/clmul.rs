@@ -1,0 +1,328 @@
+//! Hardware carry-less multiplication for the serving backend.
+//!
+//! The paper's MALU is small *because* GF(2^m) multiplication is
+//! carry-free; on the gateway side the same property means one x86
+//! `PCLMULQDQ` instruction replaces an entire 64×64 windowed-comb pass.
+//! This module provides the wide (unreduced) products the
+//! [`ClmulBackend`](crate::ClmulBackend) feeds into the existing
+//! word-level sparse reduction:
+//!
+//! * on x86_64 with the `pclmulqdq` CPU feature (runtime-detected, no
+//!   compile-time flags), a word-level **Karatsuba** over
+//!   `_mm_clmulepi64_si128`: 1/3/7/9/17 carry-less multiplies for
+//!   operand widths 1–5 words instead of the schoolbook 1/4/9/16/25;
+//! * everywhere else, a portable shift-and-add u64 schoolbook, so
+//!   non-x86 builds (and x86 CPUs without CLMUL) stay correct — merely
+//!   slower, which the auto-selection in [`crate::backend`] accounts
+//!   for by preferring [`FastBackend`](crate::FastBackend) when the
+//!   hardware path is absent.
+//!
+//! Everything here produces bit-identical products to
+//! [`limbs::clmul`](crate::limbs) — the backend-equivalence suite pins
+//! the whole stack against the model path on every field.
+
+// The only unsafe code in this crate: calling the CPU-feature-gated
+// intrinsic path after `is_x86_feature_detected!` has proven it safe.
+#![allow(unsafe_code)]
+
+use crate::{LIMBS, PROD_LIMBS};
+
+/// Whether the host CPU offers the hardware carry-less-multiply path
+/// (`PCLMULQDQ` on x86_64). Always `false` on other architectures.
+pub fn hardware_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("pclmulqdq")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Carry-less multiplication over the low `nw` words of each operand,
+/// through the hardware path when available and the portable
+/// shift-and-add fallback otherwise.
+#[inline]
+pub(crate) fn clmul_accel(a: &[u64; LIMBS], b: &[u64; LIMBS], nw: usize) -> [u64; PROD_LIMBS] {
+    debug_assert!((1..=LIMBS).contains(&nw));
+    #[cfg(target_arch = "x86_64")]
+    if hardware_available() {
+        // SAFETY: `pclmulqdq` was just detected on this CPU.
+        return unsafe { x86::clmul_wide(a, b, nw) };
+    }
+    clmul_wide_portable(a, b, nw)
+}
+
+/// Carry-less squaring over the low `nw` words — one `PCLMULQDQ` per
+/// word on the hardware path (squaring never crosses word boundaries).
+#[inline]
+pub(crate) fn clsquare_accel(a: &[u64; LIMBS], nw: usize) -> [u64; PROD_LIMBS] {
+    debug_assert!((1..=LIMBS).contains(&nw));
+    #[cfg(target_arch = "x86_64")]
+    if hardware_available() {
+        // SAFETY: `pclmulqdq` was just detected on this CPU.
+        return unsafe { x86::clsquare_wide(a, nw) };
+    }
+    let mut out = [0u64; PROD_LIMBS];
+    for i in 0..nw {
+        let (lo, hi) = cl_portable(a[i], a[i]);
+        out[2 * i] = lo;
+        out[2 * i + 1] = hi;
+    }
+    out
+}
+
+/// Portable 64×64→128 carry-less multiply: shift-and-add over the set
+/// bits of `y`. The fallback primitive behind [`clmul_accel`] on
+/// non-CLMUL hosts.
+fn cl_portable(x: u64, y: u64) -> (u64, u64) {
+    let mut lo = 0u64;
+    let mut hi = 0u64;
+    let mut rest = y;
+    while rest != 0 {
+        let i = rest.trailing_zeros();
+        rest &= rest - 1;
+        lo ^= x << i;
+        if i != 0 {
+            hi ^= x >> (64 - i);
+        }
+    }
+    (lo, hi)
+}
+
+/// Portable word-level schoolbook over [`cl_portable`].
+fn clmul_wide_portable(a: &[u64; LIMBS], b: &[u64; LIMBS], nw: usize) -> [u64; PROD_LIMBS] {
+    let mut out = [0u64; PROD_LIMBS];
+    for i in 0..nw {
+        for (j, &bw) in b.iter().enumerate().take(nw) {
+            let (lo, hi) = cl_portable(a[i], bw);
+            out[i + j] ^= lo;
+            out[i + j + 1] ^= hi;
+        }
+    }
+    out
+}
+
+/// The x86_64 `PCLMULQDQ` path: word-level Karatsuba, each helper
+/// compiled with the feature enabled so the intrinsics inline into one
+/// straight-line block per operand width.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::{
+        _mm_clmulepi64_si128, _mm_cvtsi128_si64, _mm_set_epi64x, _mm_srli_si128,
+    };
+
+    use crate::{LIMBS, PROD_LIMBS};
+
+    /// One 64×64→128 carry-less multiply.
+    #[inline]
+    #[target_feature(enable = "pclmulqdq")]
+    fn cl(a: u64, b: u64) -> (u64, u64) {
+        let p = _mm_clmulepi64_si128(_mm_set_epi64x(0, a as i64), _mm_set_epi64x(0, b as i64), 0);
+        (
+            _mm_cvtsi128_si64(p) as u64,
+            _mm_cvtsi128_si64(_mm_srli_si128(p, 8)) as u64,
+        )
+    }
+
+    /// 2×2-word Karatsuba: 3 multiplies instead of 4.
+    #[inline]
+    #[target_feature(enable = "pclmulqdq")]
+    fn m2(a0: u64, a1: u64, b0: u64, b1: u64) -> [u64; 4] {
+        let (p0l, p0h) = cl(a0, b0);
+        let (p1l, p1h) = cl(a1, b1);
+        let (pml, pmh) = cl(a0 ^ a1, b0 ^ b1);
+        [p0l, p0h ^ pml ^ p0l ^ p1l, p1l ^ pmh ^ p0h ^ p1h, p1h]
+    }
+
+    /// 3×3 words, split (2, 1): 7 multiplies instead of 9.
+    #[inline]
+    #[target_feature(enable = "pclmulqdq")]
+    fn m3(a: &[u64], b: &[u64]) -> [u64; 6] {
+        let p0 = m2(a[0], a[1], b[0], b[1]);
+        let (p1l, p1h) = cl(a[2], b[2]);
+        let pm = m2(a[0] ^ a[2], a[1], b[0] ^ b[2], b[1]);
+        let mut out = [p0[0], p0[1], p0[2], p0[3], p1l, p1h];
+        out[2] ^= pm[0] ^ p0[0] ^ p1l;
+        out[3] ^= pm[1] ^ p0[1] ^ p1h;
+        out[4] ^= pm[2] ^ p0[2];
+        out[5] ^= pm[3] ^ p0[3];
+        out
+    }
+
+    /// 4×4 words, split (2, 2): 9 multiplies instead of 16.
+    #[inline]
+    #[target_feature(enable = "pclmulqdq")]
+    fn m4(a: &[u64], b: &[u64]) -> [u64; 8] {
+        let p0 = m2(a[0], a[1], b[0], b[1]);
+        let p1 = m2(a[2], a[3], b[2], b[3]);
+        let pm = m2(a[0] ^ a[2], a[1] ^ a[3], b[0] ^ b[2], b[1] ^ b[3]);
+        let mut out = [p0[0], p0[1], p0[2], p0[3], p1[0], p1[1], p1[2], p1[3]];
+        for i in 0..4 {
+            out[2 + i] ^= pm[i] ^ p0[i] ^ p1[i];
+        }
+        out
+    }
+
+    /// 5×5 words, split (3, 2): 17 multiplies instead of 25.
+    #[inline]
+    #[target_feature(enable = "pclmulqdq")]
+    fn m5(a: &[u64], b: &[u64]) -> [u64; 10] {
+        let p0 = m3(&a[..3], &b[..3]);
+        let p1 = m2(a[3], a[4], b[3], b[4]);
+        let sa = [a[0] ^ a[3], a[1] ^ a[4], a[2]];
+        let sb = [b[0] ^ b[3], b[1] ^ b[4], b[2]];
+        let pm = m3(&sa, &sb);
+        let mut out = [
+            p0[0], p0[1], p0[2], p0[3], p0[4], p0[5], p1[0], p1[1], p1[2], p1[3],
+        ];
+        for i in 0..6 {
+            let p1w = if i < 4 { p1[i] } else { 0 };
+            out[3 + i] ^= pm[i] ^ p0[i] ^ p1w;
+        }
+        out
+    }
+
+    /// Width-dispatched Karatsuba product of the low `nw` words.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support `pclmulqdq` (checked by the caller via
+    /// [`super::hardware_available`]).
+    #[target_feature(enable = "pclmulqdq")]
+    pub(super) unsafe fn clmul_wide(
+        a: &[u64; LIMBS],
+        b: &[u64; LIMBS],
+        nw: usize,
+    ) -> [u64; PROD_LIMBS] {
+        let mut out = [0u64; PROD_LIMBS];
+        match nw {
+            1 => {
+                let (lo, hi) = cl(a[0], b[0]);
+                out[0] = lo;
+                out[1] = hi;
+            }
+            2 => out[..4].copy_from_slice(&m2(a[0], a[1], b[0], b[1])),
+            3 => out[..6].copy_from_slice(&m3(&a[..3], &b[..3])),
+            4 => out[..8].copy_from_slice(&m4(&a[..4], &b[..4])),
+            _ => out.copy_from_slice(&m5(&a[..5], &b[..5])),
+        }
+        out
+    }
+
+    /// Per-word carry-less squaring of the low `nw` words.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support `pclmulqdq` (checked by the caller via
+    /// [`super::hardware_available`]).
+    #[target_feature(enable = "pclmulqdq")]
+    pub(super) unsafe fn clsquare_wide(a: &[u64; LIMBS], nw: usize) -> [u64; PROD_LIMBS] {
+        let mut out = [0u64; PROD_LIMBS];
+        for (i, &w) in a.iter().take(nw).enumerate() {
+            let (lo, hi) = cl(w, w);
+            out[2 * i] = lo;
+            out[2 * i + 1] = hi;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::limbs;
+
+    fn rng_from(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    fn random_limbs(r: &mut impl FnMut() -> u64, nw: usize) -> [u64; LIMBS] {
+        let mut v = [0u64; LIMBS];
+        for w in v.iter_mut().take(nw) {
+            *w = r();
+        }
+        v
+    }
+
+    #[test]
+    fn portable_primitive_matches_reference_comb() {
+        let mut r = rng_from(31);
+        for _ in 0..64 {
+            let a = random_limbs(&mut r, 1);
+            let b = random_limbs(&mut r, 1);
+            let (lo, hi) = cl_portable(a[0], b[0]);
+            let reference = limbs::clmul(&a, &b);
+            assert_eq!([lo, hi], [reference[0], reference[1]]);
+        }
+        assert_eq!(cl_portable(0, u64::MAX), (0, 0));
+        assert_eq!(cl_portable(u64::MAX, 1), (u64::MAX, 0));
+        assert_eq!(cl_portable(1 << 63, 1 << 63), (0, 1 << 62));
+    }
+
+    #[test]
+    fn portable_wide_matches_reference_all_widths() {
+        let mut r = rng_from(32);
+        for nw in 1..=LIMBS {
+            for _ in 0..32 {
+                let a = random_limbs(&mut r, nw);
+                let b = random_limbs(&mut r, nw);
+                assert_eq!(
+                    clmul_wide_portable(&a, &b, nw),
+                    limbs::clmul(&a, &b),
+                    "nw={nw}"
+                );
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn hardware_karatsuba_matches_reference_all_widths() {
+        if !hardware_available() {
+            eprintln!("pclmulqdq not available; hardware path untested on this host");
+            return;
+        }
+        let mut r = rng_from(33);
+        for nw in 1..=LIMBS {
+            for _ in 0..64 {
+                let a = random_limbs(&mut r, nw);
+                let b = random_limbs(&mut r, nw);
+                // SAFETY: feature detected above.
+                let hw = unsafe { x86::clmul_wide(&a, &b, nw) };
+                assert_eq!(hw, limbs::clmul(&a, &b), "nw={nw}");
+                let sq = unsafe { x86::clsquare_wide(&a, nw) };
+                assert_eq!(sq, limbs::clsquare(&a), "square nw={nw}");
+            }
+            // Saturated operands stress every carry path in the split.
+            let ones = {
+                let mut v = [0u64; LIMBS];
+                for w in v.iter_mut().take(nw) {
+                    *w = u64::MAX;
+                }
+                v
+            };
+            let hw = unsafe { x86::clmul_wide(&ones, &ones, nw) };
+            assert_eq!(hw, limbs::clmul(&ones, &ones), "saturated nw={nw}");
+        }
+    }
+
+    #[test]
+    fn accel_entry_points_match_reference() {
+        let mut r = rng_from(34);
+        for nw in 1..=LIMBS {
+            let a = random_limbs(&mut r, nw);
+            let b = random_limbs(&mut r, nw);
+            assert_eq!(clmul_accel(&a, &b, nw), limbs::clmul(&a, &b));
+            assert_eq!(clsquare_accel(&a, nw), limbs::clsquare(&a));
+        }
+    }
+}

@@ -16,10 +16,13 @@
 //!   paper's architecture level, exposing per-cycle accumulator states so
 //!   the co-processor simulator can derive switching activity;
 //! * a **backend seam** ([`backend`]) separating what the field computes
-//!   from how: the bit-exact model path above, and a fast serving
+//!   from how: the bit-exact model path above, a fast portable serving
 //!   backend (word-bounded comb multiplication, table-driven squaring,
-//!   word-level sparse reduction, [`batch_invert`]) that `Element`'s
-//!   operators use.
+//!   word-level sparse reduction, [`batch_invert`]), and a CLMUL
+//!   hardware backend (`PCLMULQDQ` Karatsuba, runtime-detected with a
+//!   portable fallback). `Element`'s operators dispatch on the
+//!   process-wide [`select_backend`] choice (env-overridable via
+//!   `MEDSEC_GF2M_BACKEND`).
 //!
 //! # Example
 //!
@@ -33,7 +36,10 @@
 //! # Ok::<(), medsec_gf2m::ParseElementError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and re-allowed in exactly one module:
+// `clmul`, whose CPU-feature-gated intrinsic calls are guarded by
+// runtime detection.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod field;
@@ -42,10 +48,14 @@ mod limbs;
 
 pub mod backend;
 pub mod cache;
+pub mod clmul;
 pub mod digit_serial;
 mod multisquare;
 
-pub use backend::{batch_invert, FastBackend, FieldBackend, ModelBackend};
+pub use backend::{
+    batch_invert, select_backend, BackendChoice, ClmulBackend, FastBackend, FieldBackend,
+    ModelBackend, BACKEND_ENV,
+};
 pub use cache::Registry;
 pub use field::{Element, FieldSpec, ParseElementError};
 pub use fields::{F163, F17, F233, F283};

@@ -1,15 +1,20 @@
-//! Fast-backend ⇄ model-backend equivalence.
+//! Serving-backend ⇄ model-backend equivalence.
 //!
-//! The serving stack runs on [`FastBackend`]; the SCA/energy experiments
-//! run on the bit-exact model path. These tests are the contract that
-//! lets both coexist: on the brute-forceable toy field the equivalence
-//! is **exhaustive**, on the NIST fields it is property-based, and the
-//! digit-serial MALU model is cross-checked against both.
+//! The serving stack runs on [`FastBackend`] or [`ClmulBackend`]
+//! (whichever [`medsec_gf2m::select_backend`] resolves to); the
+//! SCA/energy experiments run on the bit-exact model path. These tests
+//! are the contract that lets them coexist: on the brute-forceable toy
+//! field the equivalence is **exhaustive**, on the NIST fields it is
+//! property-based, and the digit-serial MALU model is cross-checked
+//! against all of them. The CLMUL backend is exercised on whatever
+//! primitive the host resolves to (hardware `PCLMULQDQ` where detected,
+//! the portable shift-and-add fallback elsewhere) — both must be
+//! bit-exact against the model.
 
 use medsec_gf2m::digit_serial::mul_digit_serial;
 use medsec_gf2m::{
-    batch_invert, Element, FastBackend, FieldBackend, FieldSpec, ModelBackend, F163, F17, F233,
-    F283,
+    batch_invert, ClmulBackend, Element, FastBackend, FieldBackend, FieldSpec, ModelBackend, F163,
+    F17, F233, F283,
 };
 use proptest::prelude::*;
 
@@ -21,10 +26,12 @@ fn f17_all() -> impl Iterator<Item = Element<F17>> {
 #[test]
 fn f17_square_agrees_exhaustively() {
     for a in f17_all() {
+        let model = ModelBackend::square(&a);
+        assert_eq!(FastBackend::square(&a), model, "square mismatch at {a}");
         assert_eq!(
-            FastBackend::square(&a),
-            ModelBackend::square(&a),
-            "square mismatch at {a}"
+            ClmulBackend::square(&a),
+            model,
+            "clmul square mismatch at {a}"
         );
     }
 }
@@ -35,6 +42,7 @@ fn f17_inverse_agrees_exhaustively() {
         let fast = FastBackend::invert(&a);
         let model = ModelBackend::invert(&a);
         assert_eq!(fast, model, "inverse mismatch at {a}");
+        assert_eq!(ClmulBackend::invert(&a), model, "clmul inverse at {a}");
         if let Some(inv) = fast {
             assert_eq!(a * inv, Element::one(), "not an inverse at {a}");
         }
@@ -52,10 +60,12 @@ fn f17_mul_agrees_on_dense_grid() {
         .collect();
     for a in f17_all() {
         for &b in &panel {
+            let model = ModelBackend::mul(&a, &b);
+            assert_eq!(FastBackend::mul(&a, &b), model, "mul mismatch at {a} * {b}");
             assert_eq!(
-                FastBackend::mul(&a, &b),
-                ModelBackend::mul(&a, &b),
-                "mul mismatch at {a} * {b}"
+                ClmulBackend::mul(&a, &b),
+                model,
+                "clmul mul mismatch at {a} * {b}"
             );
         }
     }
@@ -63,7 +73,9 @@ fn f17_mul_agrees_on_dense_grid() {
         let a = Element::<F17>::from_u64(av);
         for bv in 0u64..512 {
             let b = Element::<F17>::from_u64(bv);
-            assert_eq!(FastBackend::mul(&a, &b), ModelBackend::mul(&a, &b));
+            let model = ModelBackend::mul(&a, &b);
+            assert_eq!(FastBackend::mul(&a, &b), model);
+            assert_eq!(ClmulBackend::mul(&a, &b), model);
         }
     }
 }
@@ -98,15 +110,16 @@ macro_rules! field_equivalence {
         proptest! {
             #[test]
             fn $name(a in arb_element::<$field>(), b in arb_element::<$field>()) {
-                prop_assert_eq!(
-                    FastBackend::mul(&a, &b),
-                    ModelBackend::mul(&a, &b)
-                );
+                let model_mul = ModelBackend::mul(&a, &b);
+                prop_assert_eq!(FastBackend::mul(&a, &b), model_mul);
+                prop_assert_eq!(ClmulBackend::mul(&a, &b), model_mul);
                 prop_assert_eq!(FastBackend::square(&a), ModelBackend::square(&a));
+                prop_assert_eq!(ClmulBackend::square(&a), ModelBackend::square(&a));
                 prop_assert_eq!(FastBackend::invert(&a), ModelBackend::invert(&a));
+                prop_assert_eq!(ClmulBackend::invert(&a), ModelBackend::invert(&a));
                 // The ring laws hold across the seam: (a·b)² = a²·b².
-                let lhs = FastBackend::square(&ModelBackend::mul(&a, &b));
-                let rhs = ModelBackend::mul(&FastBackend::square(&a), &FastBackend::square(&b));
+                let lhs = FastBackend::square(&model_mul);
+                let rhs = ModelBackend::mul(&ClmulBackend::square(&a), &FastBackend::square(&b));
                 prop_assert_eq!(lhs, rhs);
             }
         }
@@ -127,6 +140,31 @@ proptest! {
         if !v.is_empty() {
             let idx = (zero_at as usize) % v.len();
             v[idx] = Element::zero();
+        }
+        let orig = v.clone();
+        let inverted = batch_invert(&mut v);
+        prop_assert_eq!(inverted, orig.iter().filter(|e| !e.is_zero()).count());
+        for (got, a) in v.iter().zip(&orig) {
+            match a.inverse() {
+                Some(expect) => prop_assert_eq!(*got, expect),
+                None => prop_assert!(got.is_zero()),
+            }
+        }
+    }
+
+    /// Zero elements interleaved arbitrarily with units — including
+    /// runs of zeros at either batch boundary — must be skipped without
+    /// perturbing any other slot's inverse or the returned count.
+    #[test]
+    fn batch_invert_interleaved_zeros_f163(
+        elems in prop::collection::vec(arb_element::<F163>(), 1..32),
+        zero_mask in any::<u32>(),
+    ) {
+        let mut v = elems;
+        for (i, e) in v.iter_mut().enumerate() {
+            if (zero_mask >> (i % 32)) & 1 == 1 {
+                *e = Element::zero();
+            }
         }
         let orig = v.clone();
         let inverted = batch_invert(&mut v);

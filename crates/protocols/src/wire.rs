@@ -100,14 +100,26 @@ pub fn frame(ty: MsgType, payload: &[u8]) -> Bytes {
 }
 
 /// Split a frame into its type and payload.
+///
+/// Classification is exact: fewer bytes than the header promises
+/// (including a frame cut mid-payload, or mid-header) is
+/// [`DecodeError::Truncated`]; *more* bytes than the header promises is
+/// [`DecodeError::Malformed`] — trailing data is smuggled suffix bytes,
+/// not a shorter capture of a valid frame, and a gateway must not
+/// conflate the two. Neither case is ever classified by payload
+/// content (e.g. as an unknown version), because an incomplete payload
+/// has no trustworthy content to classify.
 pub fn deframe(bytes: &[u8]) -> Result<(MsgType, &[u8]), DecodeError> {
     if bytes.len() < 2 {
         return Err(DecodeError::Truncated);
     }
     let ty = MsgType::from_u8(bytes[0]).ok_or(DecodeError::UnknownType(bytes[0]))?;
     let len = bytes[1] as usize;
-    if bytes.len() != 2 + len {
+    if bytes.len() < 2 + len {
         return Err(DecodeError::Truncated);
+    }
+    if bytes.len() > 2 + len {
+        return Err(DecodeError::Malformed);
     }
     Ok((ty, &bytes[2..]))
 }
@@ -207,6 +219,13 @@ pub fn encode_negotiate(profile: u8, curve: CurveId, protocol: ProtocolId) -> By
 /// [`DecodeError::Malformed`]; an unknown version is
 /// [`DecodeError::UnsupportedVersion`] (so a future gateway can
 /// distinguish "garbage" from "newer than me").
+///
+/// Version classification only ever sees *complete* frames: a frame
+/// cut mid-payload (or mid-header) fails [`deframe`]'s length check
+/// first and classifies as [`DecodeError::Truncated`], never as an
+/// unknown version — a cut capture whose first payload byte happens to
+/// differ from [`NEGOTIATE_VERSION`] must not masquerade as a newer
+/// protocol revision.
 pub fn decode_negotiate(bytes: &[u8]) -> Result<NegotiateFrame, DecodeError> {
     let (ty, payload) = deframe(bytes)?;
     if ty != MsgType::Negotiate || payload.is_empty() {
@@ -303,8 +322,10 @@ mod tests {
         assert_eq!(deframe(&[0x01]), Err(DecodeError::Truncated));
         assert_eq!(deframe(&[0xEE, 0]), Err(DecodeError::UnknownType(0xEE)));
         assert_eq!(deframe(&[0x01, 5, 1, 2]), Err(DecodeError::Truncated));
-        // Trailing bytes beyond the declared length are also an error.
-        assert_eq!(deframe(&[0x01, 1, 7, 8]), Err(DecodeError::Truncated));
+        // Trailing bytes beyond the declared length are an error too,
+        // but classified as Malformed (smuggled suffix data), not as a
+        // short capture.
+        assert_eq!(deframe(&[0x01, 1, 7, 8]), Err(DecodeError::Malformed));
     }
 
     #[test]

@@ -76,10 +76,66 @@ proptest! {
         extra in prop::collection::vec(any::<u8>(), 1..16),
     ) {
         // Trailing bytes beyond the declared length fail closed too: a
-        // gateway must not silently accept smuggled suffix data.
+        // gateway must not silently accept smuggled suffix data. The
+        // classification is Malformed — a short capture of a longer
+        // frame (Truncated) is a different failure than suffix bytes.
         let mut long = frame(ty, &payload).to_vec();
         long.extend_from_slice(&extra);
-        prop_assert_eq!(deframe(&long), Err(DecodeError::Truncated));
+        prop_assert_eq!(deframe(&long), Err(DecodeError::Malformed));
+    }
+
+    /// Every strict prefix of every kind of valid encoded frame must
+    /// fail closed in every decoder — no panic, no Ok, and for the
+    /// Negotiate codec never a version classification (a cut capture
+    /// has no trustworthy version byte).
+    #[test]
+    fn every_prefix_of_every_frame_fails_closed(seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let p = point_from_seed::<Toy17>(seed ^ 0x51AB);
+        let s = Scalar::<Toy17>::random_nonzero(rng.as_fn());
+        let frames: Vec<bytes::Bytes> = vec![
+            encode_point(MsgType::PhCommit, &p),
+            encode_scalar(MsgType::PhChallenge, &s),
+            SecurityProfile::new(CurveId::K163, ProtocolId::Mutual).negotiate_frame(),
+            medsec_protocols::wire::encode_server_hello(&p, &[0xAB; 16]),
+        ];
+        for f in &frames {
+            for cut in 0..f.len() {
+                let pre = &f[..cut];
+                prop_assert!(deframe(pre).is_err(), "prefix {cut} of {f:02x?} deframed");
+                prop_assert!(decode_point::<Toy17>(MsgType::PhCommit, pre).is_err());
+                prop_assert!(decode_scalar::<Toy17>(MsgType::PhChallenge, pre).is_err());
+                prop_assert!(decode_ph_transcript::<Toy17>(pre).is_err());
+                match decode_negotiate(pre) {
+                    Err(DecodeError::UnsupportedVersion(v)) => prop_assert!(
+                        false,
+                        "prefix {cut} of {f:02x?} misclassified as version {v}"
+                    ),
+                    Ok(n) => prop_assert!(false, "prefix {cut} decoded as {n:?}"),
+                    Err(_) => {}
+                }
+            }
+        }
+    }
+
+    /// A frame cut mid-payload classifies as Truncated even when the
+    /// surviving payload prefix *looks like* a newer version — only
+    /// complete frames may be classified UnsupportedVersion.
+    #[test]
+    fn truncated_future_version_never_classifies_as_version(
+        version in 2u8..=255,
+        cut_seed in any::<u64>(),
+    ) {
+        let full = frame(MsgType::Negotiate, &[version, 0x32, 3, 2, 0xAA]);
+        prop_assert_eq!(
+            decode_negotiate(&full),
+            Err(DecodeError::UnsupportedVersion(version))
+        );
+        let cut = 1 + (cut_seed as usize) % (full.len() - 1);
+        prop_assert_eq!(
+            decode_negotiate(&full[..cut]),
+            Err(DecodeError::Truncated)
+        );
     }
 
     #[test]
