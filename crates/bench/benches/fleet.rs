@@ -90,6 +90,7 @@ fn bench_fleet_throughput(c: &mut Criterion) {
                     seed: 0x5EED,
                     forged_per_mille: 10,
                     wards: Vec::new(),
+                    ..FleetConfig::default()
                 };
                 b.iter(|| black_box(run_fleet_on::<Toy17>(&cfg)))
             },

@@ -9,6 +9,14 @@
 //! more than 2% over the direct call on identical work (minimum of
 //! interleaved rounds, single worker thread, so scheduler jitter
 //! cannot masquerade as dispatch cost).
+//!
+//! A second pin covers the observability seam: with telemetry *off*
+//! (the default), the disabled recorder hooks must compile down to
+//! branches that keep the hub inside the same 2% envelope — the
+//! "zero-overhead when disabled" contract. A third pin bounds the
+//! *enabled* recorder at 5% over the unobserved hub on this
+//! deliberately tiny single-threaded fleet (the fleet-scale campaign
+//! measures the realistic figure, <3%, on full-size runs).
 
 use criterion::{black_box, Criterion};
 use medsec_ec::Toy17;
@@ -26,6 +34,8 @@ fn pin_config() -> FleetConfig {
         seed: 0x5EED_D15B,
         forged_per_mille: 10,
         wards: Vec::new(),
+        observe: false,
+        event_capacity: 1024,
     }
 }
 
@@ -50,19 +60,30 @@ fn bench_dispatch(c: &mut Criterion) {
     });
 }
 
-/// Interleaved A/B pin: minimum wall time over `rounds` runs of each
+/// Interleaved A/B/C pin: minimum wall time over `rounds` runs of each
 /// path. The minimum estimator strips scheduler noise while keeping
 /// any systematic dispatch overhead; interleaving strips thermal
 /// drift.
+///
+/// The hub legs run with the observability hooks compiled in but
+/// disabled — holding the hub inside the 2% envelope is exactly the
+/// assertion that a disabled recorder costs one branch, not a clock
+/// read. The third leg turns full telemetry on.
 fn pin_dispatch_overhead() {
     let cfg = pin_config();
-    // Warm both paths (page cache, comb tables, allocator).
+    let obs_cfg = FleetConfig {
+        observe: true,
+        ..pin_config()
+    };
+    // Warm all paths (page cache, comb tables, allocator).
     let _ = run_fleet_on::<Toy17>(&cfg);
     let _ = run_fleet(&cfg);
+    let _ = run_fleet(&obs_cfg);
 
     let rounds = 7;
     let mut direct_min = Duration::MAX;
     let mut hub_min = Duration::MAX;
+    let mut obs_min = Duration::MAX;
     for _ in 0..rounds {
         let t = Instant::now();
         black_box(run_fleet_on::<Toy17>(&cfg));
@@ -71,6 +92,10 @@ fn pin_dispatch_overhead() {
         let t = Instant::now();
         black_box(run_fleet(&cfg));
         hub_min = hub_min.min(t.elapsed());
+
+        let t = Instant::now();
+        black_box(run_fleet(&obs_cfg));
+        obs_min = obs_min.min(t.elapsed());
     }
 
     let overhead = hub_min.as_secs_f64() / direct_min.as_secs_f64() - 1.0;
@@ -82,6 +107,17 @@ fn pin_dispatch_overhead() {
         overhead < 0.02,
         "hub dispatch overhead {:.2}% exceeds the 2% pin (direct {direct_min:?}, hub {hub_min:?})",
         overhead * 100.0
+    );
+
+    let obs_overhead = obs_min.as_secs_f64() / hub_min.as_secs_f64() - 1.0;
+    println!(
+        "suite_dispatch obs pin: hub {hub_min:?}, observed {obs_min:?}, overhead {:+.2}%",
+        obs_overhead * 100.0
+    );
+    assert!(
+        obs_overhead < 0.05,
+        "enabled-recorder overhead {:.2}% exceeds the 5% pin (hub {hub_min:?}, observed {obs_min:?})",
+        obs_overhead * 100.0
     );
 }
 

@@ -32,6 +32,8 @@ pub fn trajectory_config(fast: bool) -> FleetConfig {
         seed: 0x5EED_F1EE,
         forged_per_mille: 10,
         wards: Vec::new(),
+        observe: false,
+        event_capacity: 4096,
     }
 }
 
@@ -60,9 +62,27 @@ pub fn run_with_json(fast: bool) -> (String, String) {
         ..cfg.clone()
     });
 
+    // The same mixed fleet with full telemetry on: per-lane latency
+    // percentiles, stage spans and the forensic event ring. Comparing
+    // its throughput against the unobserved run above is the measured
+    // recorder overhead the observability PR pins below 3%.
+    let observed = run_fleet(&FleetConfig {
+        wards: mixed_hospital_wards(if fast { 1 } else { 8 }),
+        observe: true,
+        ..cfg.clone()
+    });
+
     let mut t = Table::new("FLEET: hospital-gateway serving campaign");
-    t.headers(&["quantity", "Toy17", "K-163", "K-233", "K-283", "mixed hub"]);
-    let all = [&toy, &k163, &k233, &k283, &mixed];
+    t.headers(&[
+        "quantity",
+        "Toy17",
+        "K-163",
+        "K-233",
+        "K-283",
+        "mixed hub",
+        "mixed+obs",
+    ]);
+    let all = [&toy, &k163, &k233, &k283, &mixed, &observed];
     let row = |t: &mut Table, label: &str, f: &dyn Fn(&FleetReport) -> String| {
         let mut cells = vec![label.to_string()];
         cells.extend(all.iter().map(|r| f(r)));
@@ -91,8 +111,25 @@ pub fn run_with_json(fast: bool) -> (String, String) {
         r.profiles.len().max(1).to_string()
     });
     t.note("curve-erased GatewayHub: profile negotiation on the wire, per-curve lanes over the batched fast paths (tnaf on Koblitz curves)");
+    t.note(format!(
+        "mixed+obs: full telemetry on (histograms + stage spans + event ring), recorder overhead {:.2}% sessions/s",
+        obs_overhead_pct(&mixed, &observed)
+    ));
 
-    (t.render(), summary_json(&toy, &k163, &k233, &k283, &mixed))
+    (
+        t.render(),
+        summary_json(&toy, &k163, &k233, &k283, &mixed, &observed),
+    )
+}
+
+/// Throughput cost of turning telemetry on, percent of the unobserved
+/// run (negative means the observed run was faster — run-to-run noise
+/// on small fast-mode fleets).
+fn obs_overhead_pct(baseline: &FleetReport, observed: &FleetReport) -> f64 {
+    if baseline.sessions_per_sec <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - observed.sessions_per_sec / baseline.sessions_per_sec) * 100.0
 }
 
 /// Run the fleet campaign (human-readable report only).
@@ -111,11 +148,15 @@ fn summary_json(
     k233: &FleetReport,
     k283: &FleetReport,
     mixed: &FleetReport,
+    observed: &FleetReport,
 ) -> String {
     format!(
         "{{\"experiment\":\"fleet\",\"backend\":\"{}\",\
          \"varbase\":{{\"toy17\":\"{}\",\"k163\":\"{}\",\"k233\":\"{}\",\"k283\":\"{}\"}},\
-         \"toy17\":{},\"k163\":{},\"k233\":{},\"k283\":{},\"mixed\":{}}}",
+         \"toy17\":{},\"k163\":{},\"k233\":{},\"k283\":{},\"mixed\":{},\
+         \"mixed_observed\":{},\
+         \"obs_overhead\":{{\"baseline_sessions_per_sec\":{:.3},\
+         \"observed_sessions_per_sec\":{:.3},\"overhead_pct\":{:.3}}}}}",
         medsec_gf2m::backend::active_backend_name(),
         medsec_ec::server_strategy_name::<medsec_ec::Toy17>(),
         medsec_ec::server_strategy_name::<medsec_ec::K163>(),
@@ -125,7 +166,11 @@ fn summary_json(
         k163.to_json(),
         k233.to_json(),
         k283.to_json(),
-        mixed.to_json()
+        mixed.to_json(),
+        observed.to_json(),
+        mixed.sessions_per_sec,
+        observed.sessions_per_sec,
+        obs_overhead_pct(mixed, observed)
     )
 }
 
@@ -155,5 +200,14 @@ mod tests {
         assert!(json.contains("\"mixed\":{"));
         assert!(json.contains("\"profile\":\"mutual@K283\""));
         assert!(json.contains("\"profile\":\"symmetric@Toy17\""));
+        // The observed mixed run carries the full telemetry block:
+        // per-lane latency percentiles, stage breakdown, event summary.
+        assert!(json.contains("\"mixed_observed\":{"));
+        assert!(json.contains("\"p999_ns\":"));
+        assert!(json.contains("\"batch_invert\":{\"ns\":"));
+        assert!(json.contains("\"session_open\":"));
+        assert!(json.contains("\"obs_overhead\":{\"baseline_sessions_per_sec\":"));
+        assert!(json.contains("\"overhead_pct\":"));
+        medsec_obs::json::validate(&json).expect("BENCH_fleet summary must parse");
     }
 }

@@ -28,6 +28,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use medsec_ec::{CurveSpec, Toy17, B163, K163, K233, K283};
+use medsec_obs::{Event, EventKind, EventLog, Stage, Telemetry};
 use medsec_power::{EnergyReport, RadioModel};
 use medsec_protocols::mutual::{self, SessionOutcome};
 use medsec_protocols::suite::{
@@ -42,7 +43,8 @@ use crate::gateway::{Gateway, GatewayCounters};
 use crate::registry::{provision_lane, DeviceId, DeviceKind, FleetDevice};
 use crate::report::{FleetReport, ProfileStats};
 use crate::scheduler::BatchScheduler;
-use crate::sim::{is_forged_target, CurveChoice, FleetConfig};
+use crate::sim::{is_forged_target, unix_ms_now, CurveChoice, FleetConfig};
+use crate::telemetry::WorkerObs;
 
 /// One curve's worth of serving state: the sharded mutual/PH gateway,
 /// the Schnorr and symmetric servers, and the devices assigned here.
@@ -276,18 +278,48 @@ impl GatewayHub {
 
     /// Drive every provisioned device through one authenticated
     /// session and aggregate the run into a [`FleetReport`] with a
-    /// per-profile breakdown.
+    /// per-profile breakdown. The run's wall-clock start is stamped
+    /// here, once, outside every serving path.
     pub fn run(&self, cfg: &FleetConfig) -> FleetReport {
+        self.run_at(cfg, unix_ms_now())
+    }
+
+    /// [`run`](Self::run) with the wall-clock start passed in (so
+    /// callers batching several runs stamp the clock themselves and no
+    /// hot path ever touches `SystemTime`).
+    pub fn run_at(&self, cfg: &FleetConfig, started_unix_ms: u64) -> FleetReport {
         let total = self.device_count();
         let threads = cfg.threads.max(1);
         let scheduler = BatchScheduler::new(0..total);
 
+        // Observability is provisioned cold: the event ring is the
+        // only allocation, and the invclock window opens before any
+        // worker can reach batch_invert.
+        let events: Option<EventLog> = cfg
+            .observe
+            .then(|| EventLog::new(cfg.event_capacity.max(2)));
+        if let Some(ev) = &events {
+            let name = medsec_gf2m::backend::active_backend_name();
+            let mut tag = [0u8; 8];
+            for (slot, b) in tag.iter_mut().zip(name.bytes()) {
+                *slot = b;
+            }
+            ev.log(Event::new(
+                EventKind::BackendSelected,
+                0,
+                0,
+                u64::from_le_bytes(tag),
+            ));
+            medsec_gf2m::invclock::set_enabled(true);
+        }
+
         let start = Instant::now();
-        let tallies: Vec<HubTally> = std::thread::scope(|scope| {
+        let outcomes: Vec<(HubTally, WorkerObs)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
                     let scheduler = &scheduler;
-                    scope.spawn(move || self.worker(w, cfg, scheduler))
+                    let events = events.as_ref();
+                    scope.spawn(move || self.worker(w, cfg, scheduler, events))
                 })
                 .collect();
             handles
@@ -296,10 +328,25 @@ impl GatewayHub {
                 .collect()
         });
         let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+        if events.is_some() {
+            medsec_gf2m::invclock::set_enabled(false);
+        }
 
         let mut tally = HubTally::default();
-        for t in tallies {
+        let telemetry: Option<Telemetry> = events.map(|ev| {
+            let labels: Vec<String> = self
+                .lanes
+                .iter()
+                .map(|lane| with_lane!(lane, l => l.curve.name().to_string()))
+                .collect();
+            Telemetry::new(&labels, ev.snapshot())
+        });
+        let mut telemetry = telemetry;
+        for (t, obs) in outcomes {
             tally.merge(t);
+            if let (Some(tele), Some(rec)) = (telemetry.as_mut(), obs.into_recorder()) {
+                tele.absorb(&rec);
+            }
         }
 
         // Device-side energy, aggregated fleet-wide and per profile.
@@ -407,6 +454,8 @@ impl GatewayHub {
             },
             shard_occupancy,
             profiles,
+            started_unix_ms,
+            telemetry,
         };
         report.apply_counters(&counters);
         // Symmetric/Schnorr wards authenticate outside the gateway
@@ -423,10 +472,14 @@ impl GatewayHub {
         worker: usize,
         cfg: &FleetConfig,
         scheduler: &BatchScheduler<usize>,
-    ) -> HubTally {
+        events: Option<&EventLog>,
+    ) -> (HubTally, WorkerObs) {
         let mut tally = HubTally::default();
         let mut rng = SplitMix64::new(cfg.seed ^ 0xB47C_0000_0000_0000 ^ worker as u64);
         let mut ledger = server_ledger();
+        // Thread-local by ownership: this worker's recorder is merged
+        // by the hub after the scope joins.
+        let mut obs = WorkerObs::new(events.is_some(), self.lanes.len());
 
         loop {
             let batch = scheduler.pop_batch(cfg.batch_size);
@@ -442,13 +495,14 @@ impl GatewayHub {
             }
             for (lane_idx, slots) in buckets {
                 with_lane!(&self.lanes[lane_idx], l => serve_bucket(
-                    l, &slots, cfg, &mut rng, &mut ledger, &mut tally,
+                    l, lane_idx, &slots, cfg, &mut rng, &mut ledger, &mut tally,
+                    &mut obs, events,
                 ));
             }
         }
 
         tally.server_energy_j = ledger.total();
-        tally
+        (tally, obs)
     }
 }
 
@@ -488,16 +542,26 @@ fn build_lane(
 /// partition by protocol, then drive each family through its batched
 /// path (the mutual/PH flow matches the monomorphized `worker_loop`;
 /// symmetric and Schnorr run through the [`SecuritySuite`] lifecycle).
+///
+/// When observability is on, each protocol family books one
+/// elapsed-since-wave-start latency measurement per session it
+/// completed (a batch wave finishes its sessions together, so they
+/// honestly share one wall-clock observation).
+#[allow(clippy::too_many_arguments)]
 fn serve_bucket<C: CurveSpec>(
     lane: &CurveLane<C>,
+    lane_idx: usize,
     slots: &[usize],
     cfg: &FleetConfig,
     rng: &mut SplitMix64,
     server_ledger: &mut EnergyLedger,
     tally: &mut HubTally,
+    obs: &mut WorkerObs,
+    events: Option<&EventLog>,
 ) {
     // Phase 0: wire-level profile negotiation, then partition by the
     // *negotiated* protocol (not by out-of-band registry state).
+    let span = obs.begin();
     let mut mutual_jobs: Vec<usize> = Vec::with_capacity(slots.len());
     let mut ph_jobs: Vec<usize> = Vec::new();
     let mut sym_jobs: Vec<usize> = Vec::new();
@@ -509,39 +573,125 @@ fn serve_bucket<C: CurveSpec>(
         d.ledger.tx(frame.len());
         server_ledger.rx(frame.len());
         match admit_negotiate(&frame, &d.profile.suite, lane.curve) {
-            Ok(ProtocolId::Mutual) => mutual_jobs.push(idx),
-            Ok(ProtocolId::Ph) => ph_jobs.push(idx),
-            Ok(ProtocolId::Symmetric) => sym_jobs.push(idx),
-            Ok(ProtocolId::Schnorr) => schnorr_jobs.push(idx),
+            Ok(proto) => {
+                if let Some(ev) = events {
+                    ev.log(Event::new(
+                        EventKind::SessionOpen,
+                        lane_idx as u8,
+                        d.profile.id,
+                        proto as u64,
+                    ));
+                }
+                match proto {
+                    ProtocolId::Mutual => mutual_jobs.push(idx),
+                    ProtocolId::Ph => ph_jobs.push(idx),
+                    ProtocolId::Symmetric => sym_jobs.push(idx),
+                    ProtocolId::Schnorr => schnorr_jobs.push(idx),
+                }
+            }
             Err(_) => {
                 tally.negotiation_rejected += 1;
                 tally.fail_profile(d.profile.suite.id());
+                if let Some(ev) = events {
+                    ev.log(Event::new(
+                        EventKind::NegotiateRejected,
+                        lane_idx as u8,
+                        d.profile.id,
+                        0,
+                    ));
+                }
             }
         }
     }
+    obs.end(span, lane_idx, Stage::Admit);
 
-    serve_mutual(lane, &mutual_jobs, cfg, rng, server_ledger, tally);
-    serve_ph(lane, &ph_jobs, rng, server_ledger, tally);
-    serve_symmetric(lane, &sym_jobs, rng, server_ledger, tally);
-    serve_schnorr(lane, &schnorr_jobs, rng, server_ledger, tally);
+    let wave = obs.wave_start();
+    let done = serve_mutual(
+        lane,
+        lane_idx,
+        &mutual_jobs,
+        cfg,
+        rng,
+        server_ledger,
+        tally,
+        obs,
+        events,
+    );
+    record_wave(obs, lane_idx, wave, done);
+
+    let wave = obs.wave_start();
+    let done = serve_ph(
+        lane,
+        lane_idx,
+        &ph_jobs,
+        rng,
+        server_ledger,
+        tally,
+        obs,
+        events,
+    );
+    record_wave(obs, lane_idx, wave, done);
+
+    let wave = obs.wave_start();
+    let done = serve_symmetric(
+        lane,
+        lane_idx,
+        &sym_jobs,
+        rng,
+        server_ledger,
+        tally,
+        obs,
+        events,
+    );
+    record_wave(obs, lane_idx, wave, done);
+
+    let wave = obs.wave_start();
+    let done = serve_schnorr(
+        lane,
+        lane_idx,
+        &schnorr_jobs,
+        rng,
+        server_ledger,
+        tally,
+        obs,
+        events,
+    );
+    record_wave(obs, lane_idx, wave, done);
+}
+
+/// Book one wave's elapsed wall time as the latency of each of its
+/// `done` completed sessions.
+#[inline]
+fn record_wave(obs: &mut WorkerObs, lane_idx: usize, wave: Option<Instant>, done: u64) {
+    if let (Some(t0), true) = (wave, done > 0) {
+        obs.session_latency(lane_idx, t0.elapsed().as_nanos() as u64, done);
+    }
 }
 
 /// Mutual-auth wave: §4 forged-hello probes, one batched hello pass,
-/// device turns, one batched telemetry verification.
+/// device turns, one batched telemetry verification. Returns the
+/// number of sessions that completed correctly.
+#[allow(clippy::too_many_arguments)]
 fn serve_mutual<C: CurveSpec>(
     lane: &CurveLane<C>,
+    lane_idx: usize,
     jobs: &[usize],
     cfg: &FleetConfig,
     rng: &mut SplitMix64,
     server_ledger: &mut EnergyLedger,
     tally: &mut HubTally,
-) {
+    obs: &mut WorkerObs,
+    events: Option<&EventLog>,
+) -> u64 {
     if jobs.is_empty() {
-        return;
+        return 0;
     }
 
     // §4 flood scenario: a slice of devices first receives a forged
-    // hello, which ServerFirst ordering must reject cheaply.
+    // hello, which ServerFirst ordering must reject cheaply. The
+    // rejection is device-side ladder work, so it books as DeviceTurn;
+    // the (by-design) MAC failure is a forensic AuthFailure event.
+    let span = obs.begin();
     for &idx in jobs {
         let mut guard = lane.devices[idx].lock().expect("device poisoned");
         let d = &mut *guard;
@@ -554,13 +704,25 @@ fn serve_mutual<C: CurveSpec>(
             .mutual
             .run_session(&forged, telemetry, d.rng.as_fn(), &mut d.ledger);
         match out {
-            SessionOutcome::ServerRejected => tally.forged_rejected += 1,
+            SessionOutcome::ServerRejected => {
+                tally.forged_rejected += 1;
+                if let Some(ev) = events {
+                    ev.log(Event::new(
+                        EventKind::AuthFailure,
+                        lane_idx as u8,
+                        d.profile.id,
+                        FORGED_PROBE,
+                    ));
+                }
+            }
             SessionOutcome::Established { .. } => tally.forged_accepted += 1,
         }
     }
+    obs.end(span, lane_idx, Stage::DeviceTurn);
 
     // Batched genuine hellos, matched back by id (hello_batch may skip
     // unknown ids, so positional pairing would misalign).
+    let span = obs.begin();
     let meta_by_id: HashMap<DeviceId, (usize, u8)> = jobs
         .iter()
         .map(|&idx| {
@@ -568,10 +730,27 @@ fn serve_mutual<C: CurveSpec>(
             (guard.profile.id, (idx, guard.profile.suite.id()))
         })
         .collect();
+    if meta_by_id.len() != jobs.len() {
+        // Two slots carried the same id: the map keeps one, the others
+        // silently miss their hello. Forensically notable.
+        if let Some(ev) = events {
+            ev.log(Event::new(
+                EventKind::IdCollision,
+                lane_idx as u8,
+                0,
+                (jobs.len() - meta_by_id.len()) as u64,
+            ));
+        }
+    }
     let ids: Vec<DeviceId> = meta_by_id.keys().copied().collect();
+    obs.end(span, lane_idx, Stage::Assemble);
+
+    let span = obs.begin();
     let hellos = lane.gateway.hello_batch(&ids, rng.as_fn(), server_ledger);
+    obs.end(span, lane_idx, Stage::Hello);
 
     // Device turns, collected into one verification batch.
+    let span = obs.begin();
     let mut tele_frames: Vec<(DeviceId, bytes::Bytes, &'static [u8], u8)> =
         Vec::with_capacity(hellos.len());
     for (id, hello_frame) in hellos {
@@ -583,6 +762,7 @@ fn serve_mutual<C: CurveSpec>(
             _ => {
                 tally.device_rejections += 1;
                 tally.fail_profile(profile_id);
+                log_auth_failure(events, lane_idx, id);
                 continue;
             }
         };
@@ -598,42 +778,87 @@ fn serve_mutual<C: CurveSpec>(
             SessionOutcome::ServerRejected => {
                 tally.device_rejections += 1;
                 tally.fail_profile(profile_id);
+                log_auth_failure(events, lane_idx, id);
             }
         }
     }
+    obs.end(span, lane_idx, Stage::DeviceTurn);
+
+    let span = obs.begin();
     let frame_refs: Vec<(DeviceId, &[u8])> = tele_frames
         .iter()
         .map(|(id, frame, _, _)| (*id, frame.as_ref()))
         .collect();
+    obs.end(span, lane_idx, Stage::Assemble);
+
+    let span = obs.begin();
+    let mut completed = 0u64;
     let verified = lane.gateway.telemetry_batch(&frame_refs, server_ledger);
-    for ((_, _, expect, profile_id), (_, result)) in tele_frames.iter().zip(verified) {
+    for ((id, _, expect, profile_id), (_, result)) in tele_frames.iter().zip(verified) {
         match result {
-            Ok(plaintext) if plaintext == *expect => tally.ok_profile(*profile_id),
+            Ok(plaintext) if plaintext == *expect => {
+                tally.ok_profile(*profile_id);
+                completed += 1;
+                log_session_close(events, lane_idx, *id);
+            }
             // Verified but wrong plaintext: invisible to the gateway's
             // counters, so tally it here.
             Ok(_) => {
                 tally.mismatches += 1;
                 tally.fail_profile(*profile_id);
+                log_auth_failure(events, lane_idx, *id);
             }
             // Err cases are in the gateway counters; per-profile stats
             // still record the failure.
-            Err(_) => tally.fail_profile(*profile_id),
+            Err(_) => {
+                tally.fail_profile(*profile_id);
+                log_auth_failure(events, lane_idx, *id);
+            }
         }
+    }
+    obs.end(span, lane_idx, Stage::Verify);
+    completed
+}
+
+/// Detail word marking an [`EventKind::AuthFailure`] caused by a
+/// deliberately forged probe (expected to fail), distinguishing it
+/// from organic failures (detail 0) in the forensic trail.
+const FORGED_PROBE: u64 = 1;
+
+#[inline]
+fn log_session_close(events: Option<&EventLog>, lane_idx: usize, id: DeviceId) {
+    if let Some(ev) = events {
+        ev.log(Event::new(EventKind::SessionClose, lane_idx as u8, id, 0));
+    }
+}
+
+#[inline]
+fn log_auth_failure(events: Option<&EventLog>, lane_idx: usize, id: DeviceId) {
+    if let Some(ev) = events {
+        ev.log(Event::new(EventKind::AuthFailure, lane_idx as u8, id, 0));
     }
 }
 
 /// Peeters–Hermans wave: sequential commit→challenge→respond per tag,
-/// one batched identification pass.
+/// one batched identification pass. Returns the number of tags
+/// identified correctly.
+#[allow(clippy::too_many_arguments)]
 fn serve_ph<C: CurveSpec>(
     lane: &CurveLane<C>,
+    lane_idx: usize,
     jobs: &[usize],
     rng: &mut SplitMix64,
     server_ledger: &mut EnergyLedger,
     tally: &mut HubTally,
-) {
+    obs: &mut WorkerObs,
+    events: Option<&EventLog>,
+) -> u64 {
     if jobs.is_empty() {
-        return;
+        return 0;
     }
+    // The commit→challenge→respond round trips are dominated by the
+    // tag's point multiplications: DeviceTurn.
+    let span = obs.begin();
     let mut ph_responses: Vec<(DeviceId, bytes::Bytes, u8)> = Vec::with_capacity(jobs.len());
     for &idx in jobs {
         let mut guard = lane.devices[idx].lock().expect("device poisoned");
@@ -653,6 +878,7 @@ fn serve_ph<C: CurveSpec>(
                 Ok(f) => f,
                 Err(_) => {
                     tally.fail_profile(profile_id);
+                    log_auth_failure(events, lane_idx, id);
                     continue;
                 }
             };
@@ -661,6 +887,7 @@ fn serve_ph<C: CurveSpec>(
             Err(_) => {
                 tally.device_rejections += 1;
                 tally.fail_profile(profile_id);
+                log_auth_failure(events, lane_idx, id);
                 continue;
             }
         };
@@ -671,36 +898,59 @@ fn serve_ph<C: CurveSpec>(
             profile_id,
         ));
     }
+    obs.end(span, lane_idx, Stage::DeviceTurn);
+
+    let span = obs.begin();
     let response_refs: Vec<(DeviceId, &[u8])> = ph_responses
         .iter()
         .map(|(id, frame, _)| (*id, frame.as_ref()))
         .collect();
+    obs.end(span, lane_idx, Stage::Assemble);
+
+    let span = obs.begin();
+    let mut completed = 0u64;
     let identified = lane
         .gateway
         .ph_identify_batch(&response_refs, rng.as_fn(), server_ledger);
     for ((id, _, profile_id), (_, result)) in ph_responses.iter().zip(identified) {
         match result {
-            Ok(found) if found == *id => tally.ok_profile(*profile_id),
+            Ok(found) if found == *id => {
+                tally.ok_profile(*profile_id);
+                completed += 1;
+                log_session_close(events, lane_idx, *id);
+            }
             Ok(_) => {
                 tally.mismatches += 1;
                 tally.fail_profile(*profile_id);
+                log_auth_failure(events, lane_idx, *id);
             }
-            Err(_) => tally.fail_profile(*profile_id),
+            Err(_) => {
+                tally.fail_profile(*profile_id);
+                log_auth_failure(events, lane_idx, *id);
+            }
         }
     }
+    obs.end(span, lane_idx, Stage::Verify);
+    completed
 }
 
-/// Symmetric wave, through the [`SymmetricSuite`] lifecycle.
+/// Symmetric wave, through the [`SymmetricSuite`] lifecycle. Returns
+/// the number of sessions authenticated.
+#[allow(clippy::too_many_arguments)]
 fn serve_symmetric<C: CurveSpec>(
     lane: &CurveLane<C>,
+    lane_idx: usize,
     jobs: &[usize],
     rng: &mut SplitMix64,
     server_ledger: &mut EnergyLedger,
     tally: &mut HubTally,
-) {
+    obs: &mut WorkerObs,
+    events: Option<&EventLog>,
+) -> u64 {
     if jobs.is_empty() {
-        return;
+        return 0;
     }
+    let span = obs.begin();
     let meta: Vec<(DeviceId, usize, u8)> = jobs
         .iter()
         .map(|&idx| {
@@ -709,13 +959,19 @@ fn serve_symmetric<C: CurveSpec>(
         })
         .collect();
     let opens: Vec<(DeviceId, Option<&[u8]>)> = meta.iter().map(|&(id, _, _)| (id, None)).collect();
-    let hellos = SymmetricSuite::hello_batch(&lane.symmetric, &opens, rng.as_fn(), server_ledger);
+    obs.end(span, lane_idx, Stage::Assemble);
 
+    let span = obs.begin();
+    let hellos = SymmetricSuite::hello_batch(&lane.symmetric, &opens, rng.as_fn(), server_ledger);
+    obs.end(span, lane_idx, Stage::Hello);
+
+    let span = obs.begin();
     let mut closings: Vec<(DeviceId, bytes::Bytes, u8)> = Vec::with_capacity(jobs.len());
     for ((id, idx, profile_id), (_, hello)) in meta.into_iter().zip(hellos) {
         let Ok(hello) = hello else {
             tally.auth_failed += 1;
             tally.fail_profile(profile_id);
+            log_auth_failure(events, lane_idx, id);
             continue;
         };
         let mut guard = lane.devices[idx].lock().expect("device poisoned");
@@ -728,46 +984,63 @@ fn serve_symmetric<C: CurveSpec>(
             Err(_) => {
                 tally.device_rejections += 1;
                 tally.fail_profile(profile_id);
+                log_auth_failure(events, lane_idx, id);
             }
         }
     }
+    obs.end(span, lane_idx, Stage::DeviceTurn);
+
+    let span = obs.begin();
     let frame_refs: Vec<(DeviceId, &[u8])> = closings
         .iter()
         .map(|(id, frame, _)| (*id, frame.as_ref()))
         .collect();
+    let mut completed = 0u64;
     let outcomes = SymmetricSuite::server_verify_batch(
         &lane.symmetric,
         &frame_refs,
         rng.as_fn(),
         server_ledger,
     );
-    for ((_, _, profile_id), (_, outcome)) in closings.iter().zip(outcomes) {
+    for ((id, _, profile_id), (_, outcome)) in closings.iter().zip(outcomes) {
         match outcome {
             Ok(SuiteOutcome::Authenticated) => {
                 tally.auth_ok += 1;
                 tally.ok_profile(*profile_id);
+                completed += 1;
+                log_session_close(events, lane_idx, *id);
             }
             _ => {
                 tally.auth_failed += 1;
                 tally.fail_profile(*profile_id);
+                log_auth_failure(events, lane_idx, *id);
             }
         }
     }
+    obs.end(span, lane_idx, Stage::Verify);
+    completed
 }
 
 /// Schnorr wave, through the [`SchnorrSuite`] lifecycle (commit-first:
-/// `device_open → hello → device_turn → server_verify_batch`).
+/// `device_open → hello → device_turn → server_verify_batch`). Returns
+/// the number of sessions authenticated.
+#[allow(clippy::too_many_arguments)]
 fn serve_schnorr<C: CurveSpec>(
     lane: &CurveLane<C>,
+    lane_idx: usize,
     jobs: &[usize],
     rng: &mut SplitMix64,
     server_ledger: &mut EnergyLedger,
     tally: &mut HubTally,
-) {
+    obs: &mut WorkerObs,
+    events: Option<&EventLog>,
+) -> u64 {
     if jobs.is_empty() {
-        return;
+        return 0;
     }
-    // Commit-first: collect every tag's opening frame.
+    // Commit-first: collect every tag's opening frame (badge-side
+    // commitment crypto: DeviceTurn).
+    let span = obs.begin();
     let mut opens: Vec<(DeviceId, usize, u8, bytes::Bytes)> = Vec::with_capacity(jobs.len());
     for &idx in jobs {
         let mut guard = lane.devices[idx].lock().expect("device poisoned");
@@ -786,13 +1059,19 @@ fn serve_schnorr<C: CurveSpec>(
         .iter()
         .map(|(id, _, _, frame)| (*id, Some(frame.as_ref())))
         .collect();
-    let hellos = SchnorrSuite::hello_batch(&lane.schnorr, &open_refs, rng.as_fn(), server_ledger);
+    obs.end(span, lane_idx, Stage::DeviceTurn);
 
+    let span = obs.begin();
+    let hellos = SchnorrSuite::hello_batch(&lane.schnorr, &open_refs, rng.as_fn(), server_ledger);
+    obs.end(span, lane_idx, Stage::Hello);
+
+    let span = obs.begin();
     let mut closings: Vec<(DeviceId, bytes::Bytes, u8)> = Vec::with_capacity(opens.len());
     for ((id, idx, profile_id, _), (_, hello)) in opens.into_iter().zip(hellos) {
         let Ok(hello) = hello else {
             tally.auth_failed += 1;
             tally.fail_profile(profile_id);
+            log_auth_failure(events, lane_idx, id);
             continue;
         };
         let mut guard = lane.devices[idx].lock().expect("device poisoned");
@@ -805,27 +1084,37 @@ fn serve_schnorr<C: CurveSpec>(
             Err(_) => {
                 tally.device_rejections += 1;
                 tally.fail_profile(profile_id);
+                log_auth_failure(events, lane_idx, id);
             }
         }
     }
+    obs.end(span, lane_idx, Stage::DeviceTurn);
+
+    let span = obs.begin();
     let frame_refs: Vec<(DeviceId, &[u8])> = closings
         .iter()
         .map(|(id, frame, _)| (*id, frame.as_ref()))
         .collect();
+    let mut completed = 0u64;
     let outcomes =
         SchnorrSuite::server_verify_batch(&lane.schnorr, &frame_refs, rng.as_fn(), server_ledger);
-    for ((_, _, profile_id), (_, outcome)) in closings.iter().zip(outcomes) {
+    for ((id, _, profile_id), (_, outcome)) in closings.iter().zip(outcomes) {
         match outcome {
             Ok(SuiteOutcome::Authenticated) => {
                 tally.auth_ok += 1;
                 tally.ok_profile(*profile_id);
+                completed += 1;
+                log_session_close(events, lane_idx, *id);
             }
             _ => {
                 tally.auth_failed += 1;
                 tally.fail_profile(*profile_id);
+                log_auth_failure(events, lane_idx, *id);
             }
         }
     }
+    obs.end(span, lane_idx, Stage::Verify);
+    completed
 }
 
 #[cfg(test)]
@@ -882,6 +1171,79 @@ mod tests {
             .find(|p| p.profile == "mutual@K163")
             .unwrap();
         assert!(sym.energy_per_session_j < k163.energy_per_session_j / 2.0);
+        // Telemetry is strictly opt-in.
+        assert!(report.telemetry.is_none());
+        assert!(report.started_unix_ms > 0);
+    }
+
+    #[test]
+    fn observed_mixed_fleet_attributes_every_session_and_stage() {
+        let wards = mixed_hospital_wards(1);
+        let total: u64 = wards.iter().map(|w| w.devices as u64).sum();
+        let cfg = FleetConfig {
+            threads: 2,
+            shards: 4,
+            batch_size: 8,
+            forged_per_mille: 25,
+            wards,
+            observe: true,
+            event_capacity: 512,
+            ..FleetConfig::default()
+        };
+        let report = crate::sim::run_fleet(&cfg);
+        assert_eq!(report.sessions_completed(), total);
+        let t = report.telemetry.as_ref().expect("observe was on");
+
+        // One telemetry lane per serving lane, labelled by curve, and
+        // every completed session appears in exactly one latency
+        // histogram.
+        assert_eq!(t.lanes.len(), 5);
+        let recorded: u64 = t.lanes.iter().map(|l| l.latency.count()).sum();
+        assert_eq!(recorded, total, "every session gets a latency sample");
+        for lane in &t.lanes {
+            assert!(!lane.label.is_empty());
+            if lane.latency.count() == 0 {
+                continue;
+            }
+            let s = lane.latency.snapshot();
+            assert!(s.p50_ns <= s.p99_ns && s.p99_ns <= s.p999_ns);
+            assert!(s.p999_ns <= s.max_ns);
+            // A served lane booked time somewhere in the pipeline.
+            assert!(
+                lane.total_stage_ns() > 0,
+                "lane {} booked no time",
+                lane.label
+            );
+            assert!(lane.stage_calls[Stage::DeviceTurn.index()] > 0);
+        }
+        // The ECC lanes share batch inversions; the attribution seam
+        // must surface them as their own stage.
+        assert!(
+            t.lanes
+                .iter()
+                .any(|l| l.stage_ns[Stage::BatchInvert.index()] > 0),
+            "batch_invert time must be attributed"
+        );
+
+        // Forensics: one open + one close per completed session, the
+        // backend-selection event, and the forged probes as failures.
+        assert_eq!(t.events.count(EventKind::SessionOpen), total);
+        assert_eq!(t.events.count(EventKind::SessionClose), total);
+        assert_eq!(t.events.count(EventKind::BackendSelected), 1);
+        assert!(t.events.count(EventKind::AuthFailure) > 0, "forged probes");
+        assert_eq!(t.events.dropped, 0, "512-slot ring holds this run");
+        // Sequence numbers in the snapshot are strictly increasing.
+        for pair in t.events.events.windows(2) {
+            assert!(pair[0].seq < pair[1].seq);
+        }
+
+        // The JSON and Prometheus exports materialize the same frame.
+        let j = report.to_json();
+        medsec_obs::json::validate(&j).expect("observed report JSON parses");
+        assert!(j.contains("\"telemetry\":{\"lanes\":["));
+        let prom = report.prometheus().expect("observed");
+        assert!(prom.contains("medsec_session_latency_seconds_count"));
+        assert!(prom.contains("medsec_events_total{kind=\"session_open\"}"));
     }
 
     #[test]

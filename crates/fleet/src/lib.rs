@@ -60,6 +60,7 @@ pub mod report;
 pub mod scheduler;
 pub mod shard;
 pub mod sim;
+mod telemetry;
 
 pub use gateway::{FleetError, Gateway};
 pub use hub::{admit_negotiate, CurveLane, GatewayHub, Lane};

@@ -1,7 +1,23 @@
 //! The aggregated outcome of a fleet run: throughput, energy, failures
 //! and shard balance, with hand-rolled JSON for the bench trajectory.
+//!
+//! All JSON goes through `medsec_obs::json`: strings are escaped and
+//! non-finite floats are emitted as `null`, so a pathological run (zero
+//! wall time, quoted profile names) still produces parseable output.
 
 use crate::gateway::GatewayCounters;
+use medsec_obs::{json, EventLogSnapshot, LaneTelemetry, PrometheusExposition, Telemetry, STAGES};
+
+/// Render a float with the given pre-formatted representation, falling
+/// back to JSON `null` when the value is not finite (NaN/±inf have no
+/// JSON encoding).
+fn finite_or_null(v: f64, rendered: String) -> String {
+    if v.is_finite() {
+        rendered
+    } else {
+        "null".to_string()
+    }
+}
 
 /// Per-profile slice of a fleet run: one row per pyramid point the
 /// fleet was provisioned at, so a heterogeneous trajectory stays
@@ -33,22 +49,32 @@ pub struct ProfileStats {
 }
 
 impl ProfileStats {
-    /// Hand-rolled JSON object (no serde in the offline build).
+    /// Hand-rolled JSON object (no serde in the offline build). Names
+    /// are escaped and non-finite floats become `null`.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"profile\":\"{}\",\"curve\":\"{}\",\"protocol\":\"{}\",\"countermeasures\":\"{}\",\
-             \"devices\":{},\"sessions_ok\":{},\"sessions_failed\":{},\"sessions_per_sec\":{:.3},\
-             \"energy_per_session_j\":{:.9e},\"energy_budget_j\":{:.9e},\"within_budget\":{}}}",
-            self.profile,
-            self.curve,
-            self.protocol,
-            self.countermeasures,
+            "{{\"profile\":{},\"curve\":{},\"protocol\":{},\"countermeasures\":{},\
+             \"devices\":{},\"sessions_ok\":{},\"sessions_failed\":{},\"sessions_per_sec\":{},\
+             \"energy_per_session_j\":{},\"energy_budget_j\":{},\"within_budget\":{}}}",
+            json::string(&self.profile),
+            json::string(&self.curve),
+            json::string(&self.protocol),
+            json::string(&self.countermeasures),
             self.devices,
             self.sessions_ok,
             self.sessions_failed,
-            self.sessions_per_sec,
-            self.energy_per_session_j,
-            self.energy_budget_j,
+            finite_or_null(
+                self.sessions_per_sec,
+                format!("{:.3}", self.sessions_per_sec)
+            ),
+            finite_or_null(
+                self.energy_per_session_j,
+                format!("{:.9e}", self.energy_per_session_j)
+            ),
+            finite_or_null(
+                self.energy_budget_j,
+                format!("{:.9e}", self.energy_budget_j)
+            ),
             self.within_budget
         )
     }
@@ -107,6 +133,13 @@ pub struct FleetReport {
     /// Per-profile breakdown (one row per pyramid point; empty on the
     /// legacy monomorphized path).
     pub profiles: Vec<ProfileStats>,
+    /// Wall-clock start of the run, milliseconds since the Unix epoch
+    /// (read once before workers spawn — never in a hot path).
+    pub started_unix_ms: u64,
+    /// Merged observability frame: per-lane latency percentiles, stage
+    /// attribution and the forensic event summary. `None` unless the
+    /// run was configured with `FleetConfig::observe`.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl FleetReport {
@@ -161,42 +194,65 @@ impl FleetReport {
         field(&mut s, "ph_identified", self.ph_identified.to_string());
         field(&mut s, "ph_failed", self.ph_failed.to_string());
         field(&mut s, "forged_rejected", self.forged_rejected.to_string());
-        field(&mut s, "wall_s", format!("{:.6}", self.wall_s));
+        field(&mut s, "started_unix_ms", self.started_unix_ms.to_string());
+        field(
+            &mut s,
+            "wall_s",
+            finite_or_null(self.wall_s, format!("{:.6}", self.wall_s)),
+        );
         field(
             &mut s,
             "sessions_per_sec",
-            format!("{:.3}", self.sessions_per_sec),
+            finite_or_null(
+                self.sessions_per_sec,
+                format!("{:.3}", self.sessions_per_sec),
+            ),
         );
         field(
             &mut s,
             "frames_per_sec",
-            format!("{:.3}", self.frames_per_sec),
+            finite_or_null(self.frames_per_sec, format!("{:.3}", self.frames_per_sec)),
         );
         field(
             &mut s,
             "device_energy_total_j",
-            format!("{:.9e}", self.device_energy_total_j),
+            finite_or_null(
+                self.device_energy_total_j,
+                format!("{:.9e}", self.device_energy_total_j),
+            ),
         );
         field(
             &mut s,
             "energy_per_session_j",
-            format!("{:.9e}", self.energy_per_session_j),
+            finite_or_null(
+                self.energy_per_session_j,
+                format!("{:.9e}", self.energy_per_session_j),
+            ),
         );
         field(
             &mut s,
             "device_energy_max_j",
-            format!("{:.9e}", self.device_energy_max_j),
+            finite_or_null(
+                self.device_energy_max_j,
+                format!("{:.9e}", self.device_energy_max_j),
+            ),
         );
         field(
             &mut s,
             "server_energy_j",
-            format!("{:.9e}", self.server_energy_j),
+            finite_or_null(
+                self.server_energy_j,
+                format!("{:.9e}", self.server_energy_j),
+            ),
         );
         field(&mut s, "bytes_on_air", self.bytes_on_air.to_string());
         field(
             &mut s,
             "mean_sessions_per_battery",
-            format!("{:.1}", self.mean_sessions_per_battery),
+            finite_or_null(
+                self.mean_sessions_per_battery,
+                format!("{:.1}", self.mean_sessions_per_battery),
+            ),
         );
         field(
             &mut s,
@@ -222,9 +278,86 @@ impl FleetReport {
                     .join(",")
             ),
         );
+        field(
+            &mut s,
+            "telemetry",
+            match &self.telemetry {
+                Some(t) => telemetry_json(t),
+                None => "null".to_string(),
+            },
+        );
         s.push('}');
         s
     }
+
+    /// Prometheus text exposition of the run's telemetry (`None` when
+    /// the run was not observed).
+    pub fn prometheus(&self) -> Option<String> {
+        self.telemetry
+            .as_ref()
+            .map(|t| PrometheusExposition::new(t).to_string())
+    }
+}
+
+/// The `"telemetry"` JSON object: per-lane latency percentiles + stage
+/// breakdown, fleet counters and the forensic event summary.
+fn telemetry_json(t: &Telemetry) -> String {
+    let lanes = t
+        .lanes
+        .iter()
+        .map(lane_telemetry_json)
+        .collect::<Vec<_>>()
+        .join(",");
+    let counters = t
+        .counters
+        .iter()
+        .map(|(k, n)| format!("{}:{}", json::string(k), n))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"lanes\":[{lanes}],\"counters\":{{{counters}}},\"events\":{}}}",
+        events_json(&t.events)
+    )
+}
+
+fn lane_telemetry_json(l: &LaneTelemetry) -> String {
+    let snap = l.latency.snapshot();
+    let stages = STAGES
+        .iter()
+        .map(|st| {
+            format!(
+                "{}:{{\"ns\":{},\"calls\":{}}}",
+                json::string(st.name()),
+                l.stage_ns[st.index()],
+                l.stage_calls[st.index()]
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"lane\":{},\"latency\":{{\"count\":{},\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{},\
+         \"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{}}},\"stages\":{{{stages}}}}}",
+        json::string(&l.label),
+        snap.count,
+        snap.min_ns,
+        json::num(snap.mean_ns),
+        snap.max_ns,
+        snap.p50_ns,
+        snap.p99_ns,
+        snap.p999_ns,
+    )
+}
+
+fn events_json(ev: &EventLogSnapshot) -> String {
+    let kinds = medsec_obs::ALL_EVENT_KINDS
+        .iter()
+        .map(|k| format!("{}:{}", json::string(k.name()), ev.count(*k)))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"capacity\":{},\"logged\":{},\"dropped\":{},\"kinds\":{{{kinds}}}}}",
+        ev.capacity, ev.logged, ev.dropped
+    )
 }
 
 impl core::fmt::Display for FleetReport {
@@ -290,6 +423,29 @@ impl core::fmt::Display for FleetReport {
                 if p.within_budget { "" } else { " EXCEEDED" }
             )?;
         }
+        if let Some(t) = &self.telemetry {
+            for lane in &t.lanes {
+                if lane.latency.count() == 0 {
+                    continue;
+                }
+                let s = lane.latency.snapshot();
+                write!(
+                    f,
+                    "\n  latency    {:<18} p50 {:>8.1} µs  p99 {:>8.1} µs  p999 {:>8.1} µs  \
+                     ({} sessions)",
+                    lane.label,
+                    s.p50_ns as f64 / 1e3,
+                    s.p99_ns as f64 / 1e3,
+                    s.p999_ns as f64 / 1e3,
+                    s.count
+                )?;
+            }
+            write!(
+                f,
+                "\n  forensics  {} events logged, {} dropped (ring capacity {})",
+                t.events.logged, t.events.dropped, t.events.capacity
+            )?;
+        }
         Ok(())
     }
 }
@@ -333,6 +489,8 @@ mod tests {
                 energy_budget_j: 8.0e-5,
                 within_budget: true,
             }],
+            started_unix_ms: 1_754_600_000_000,
+            telemetry: None,
         }
     }
 
@@ -348,16 +506,66 @@ mod tests {
             "forged_rejected",
             "profiles",
             "backend",
+            "started_unix_ms",
+            "telemetry",
         ] {
             assert!(j.contains(&format!("\"{key}\":")), "missing {key} in {j}");
         }
         assert!(j.contains("\"backend\":\"fast\""));
+        assert!(j.contains("\"telemetry\":null"));
         // The per-profile row carries its pyramid point and budget.
         assert!(j.contains("\"profile\":\"mutual@Toy17\""));
         assert!(j.contains("\"within_budget\":true"));
-        // Balanced quotes and brackets.
+        // Balanced quotes and brackets, and a real parse.
         assert_eq!(j.matches('"').count() % 2, 0);
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+        json::validate(&j).expect("report JSON must parse");
+    }
+
+    #[test]
+    fn hostile_strings_and_nonfinite_floats_stay_valid_json() {
+        let mut r = sample();
+        r.profiles[0].profile = "mutual@\"Toy\\17\"".into();
+        r.profiles[0].sessions_per_sec = f64::NAN;
+        r.wall_s = f64::INFINITY;
+        r.mean_sessions_per_battery = f64::NEG_INFINITY;
+        let j = r.to_json();
+        json::validate(&j).unwrap_or_else(|e| panic!("invalid JSON ({e}): {j}"));
+        assert!(j.contains("\"wall_s\":null"));
+        assert!(j.contains("\"sessions_per_sec\":null"));
+        assert!(j.contains(r#""profile":"mutual@\"Toy\\17\"""#));
+    }
+
+    #[test]
+    fn observed_report_emits_telemetry_block_and_prometheus() {
+        use medsec_obs::{Event, EventKind, EventLog, Recorder, Stage, StageRecorder};
+        let mut r = sample();
+        let log = EventLog::new(16);
+        log.log(Event::new(EventKind::SessionOpen, 0, 7, 1));
+        let mut rec = StageRecorder::new(1);
+        rec.stage(0, Stage::Hello, 5_000);
+        rec.session_latency(0, 42_000, 3);
+        let mut t = Telemetry::new(&["Toy17".into()], log.snapshot());
+        t.absorb(&rec);
+        r.telemetry = Some(t);
+
+        let j = r.to_json();
+        json::validate(&j).unwrap_or_else(|e| panic!("invalid JSON ({e}): {j}"));
+        for key in [
+            "\"lanes\":",
+            "\"p99_ns\":",
+            "\"hello\":",
+            "\"session_open\":1",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        let prom = r.prometheus().expect("observed run exposes metrics");
+        assert!(prom.contains("medsec_session_latency_seconds"));
+        assert!(prom.contains("medsec_events_total"));
+        // Display grows latency + forensics rows.
+        let text = r.to_string();
+        assert!(text.contains("latency"));
+        assert!(text.contains("forensics"));
     }
 
     #[test]

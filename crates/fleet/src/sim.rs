@@ -164,6 +164,15 @@ pub struct FleetConfig {
     /// freely). Empty = degenerate single-profile fleet from `curve` +
     /// `devices`.
     pub wards: Vec<WardSpec>,
+    /// Record telemetry (per-lane latency histograms, pipeline stage
+    /// spans, the forensic event ring) for this run. Off by default:
+    /// the disabled serving path pays one branch per hook and never
+    /// reads a clock.
+    pub observe: bool,
+    /// Capacity of the forensic event ring when `observe` is on
+    /// (rounded up to a power of two; older events are overwritten and
+    /// counted as dropped).
+    pub event_capacity: usize,
 }
 
 impl Default for FleetConfig {
@@ -177,8 +186,19 @@ impl Default for FleetConfig {
             seed: 0x5EED_CAFE,
             forged_per_mille: 10,
             wards: Vec::new(),
+            observe: false,
+            event_capacity: 1024,
         }
     }
+}
+
+/// Milliseconds since the Unix epoch, read once per run in cold code
+/// (never inside a serving path) so trajectory points are orderable.
+pub(crate) fn unix_ms_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
 }
 
 /// Worker-local tallies merged into the report after the scope joins.
@@ -216,6 +236,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
 pub fn run_fleet_on<C: CurveSpec>(cfg: &FleetConfig) -> FleetReport {
     assert!(cfg.devices > 0, "fleet needs at least one device");
     let threads = cfg.threads.max(1);
+    let started_unix_ms = unix_ms_now();
 
     let (registry, gateway) = provision::<C>(cfg.devices, cfg.shards, cfg.curve, cfg.seed);
     let devices: Vec<Mutex<FleetDevice<C>>> = registry
@@ -301,8 +322,10 @@ pub fn run_fleet_on<C: CurveSpec>(cfg: &FleetConfig) -> FleetReport {
         },
         shard_occupancy: gateway.sessions().shard_sizes(),
         // The monomorphized reference path predates per-profile
-        // reporting; the hub path fills these.
+        // reporting and telemetry; the hub path fills these.
         profiles: Vec::new(),
+        started_unix_ms,
+        telemetry: None,
     };
     report.apply_counters(&counters);
     report

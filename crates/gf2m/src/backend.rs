@@ -353,36 +353,42 @@ fn itoh_tsujii<B: FieldBackend + ?Sized, F: FieldSpec>(a: &Element<F>) -> Option
 /// assert_eq!(v[2] * orig[2], Element::one());
 /// ```
 pub fn batch_invert<F: FieldSpec>(elems: &mut [Element<F>]) -> usize {
-    // Prefix products over the nonzero entries.
-    let mut prefix: Vec<Element<F>> = Vec::with_capacity(elems.len());
-    let mut acc = Element::<F>::one();
-    for e in elems.iter() {
-        if !e.is_zero() {
-            acc = ActiveBackend::mul(&acc, e);
-            prefix.push(acc);
+    // The invclock wrapper books wall time for the observability
+    // stack's BatchInvert stage; disabled (the default) it costs one
+    // relaxed atomic load for the whole batch.
+    crate::invclock::time(|| {
+        // Prefix products over the nonzero entries.
+        let mut prefix: Vec<Element<F>> = Vec::with_capacity(elems.len());
+        let mut acc = Element::<F>::one();
+        for e in elems.iter() {
+            if !e.is_zero() {
+                acc = ActiveBackend::mul(&acc, e);
+                prefix.push(acc);
+            }
         }
-    }
-    let n = prefix.len();
-    if n == 0 {
-        return 0;
-    }
-    let mut inv = ActiveBackend::invert::<F>(&acc).expect("product of nonzero elements is nonzero");
-    // Walk back: peel one element per step.
-    let mut k = n;
-    for i in (0..elems.len()).rev() {
-        if elems[i].is_zero() {
-            continue;
+        let n = prefix.len();
+        if n == 0 {
+            return 0;
         }
-        k -= 1;
-        let this_inv = if k == 0 {
-            inv
-        } else {
-            ActiveBackend::mul(&inv, &prefix[k - 1])
-        };
-        inv = ActiveBackend::mul(&inv, &elems[i]);
-        elems[i] = this_inv;
-    }
-    n
+        let mut inv =
+            ActiveBackend::invert::<F>(&acc).expect("product of nonzero elements is nonzero");
+        // Walk back: peel one element per step.
+        let mut k = n;
+        for i in (0..elems.len()).rev() {
+            if elems[i].is_zero() {
+                continue;
+            }
+            k -= 1;
+            let this_inv = if k == 0 {
+                inv
+            } else {
+                ActiveBackend::mul(&inv, &prefix[k - 1])
+            };
+            inv = ActiveBackend::mul(&inv, &elems[i]);
+            elems[i] = this_inv;
+        }
+        n
+    })
 }
 
 #[cfg(test)]

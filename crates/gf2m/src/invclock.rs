@@ -1,0 +1,103 @@
+//! Opt-in wall-clock attribution for [`batch_invert`](crate::batch_invert).
+//!
+//! The serving layer's one-inversion-per-batch contract is a headline
+//! claim, so the observability stack wants inversion time visible as
+//! its *own* pipeline stage rather than smeared into whichever serving
+//! stage happened to call it. This module is the seam: when enabled
+//! (process-wide), `batch_invert` books its wall time into a
+//! thread-local nanosecond accumulator that the instrumented worker
+//! reads as deltas around its own stage spans and subtracts from the
+//! containing stage.
+//!
+//! Cost when disabled — the default, and the state restored after every
+//! observed run — is **one relaxed atomic load per `batch_invert`
+//! call** (not per element), which is noise next to the Itoh–Tsujii
+//! chain the call amortizes.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Instant;
+
+// A refcount, not a bool: two concurrent observed runs (e.g. parallel
+// tests) each enable/disable around their own window, and neither can
+// turn timing off under the other.
+static ENABLED: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    static SPENT_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Enable (`true`) or release (`false`) inversion timing process-wide.
+/// Enables are counted, so paired enable/disable windows nest and
+/// overlap safely; timing is live while any window is open.
+pub fn set_enabled(on: bool) {
+    if on {
+        ENABLED.fetch_add(1, Ordering::Relaxed);
+    } else {
+        let _ = ENABLED.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| c.checked_sub(1));
+    }
+}
+
+/// Whether inversion timing is currently on.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed) > 0
+}
+
+/// Nanoseconds this thread has spent inside `batch_invert` since the
+/// last [`take`]. Monotone between takes; wraps only after ~584 years.
+pub fn spent_ns() -> u64 {
+    SPENT_NS.with(Cell::get)
+}
+
+/// Read and reset this thread's accumulator (span-delta idiom).
+pub fn take() -> u64 {
+    SPENT_NS.with(|c| c.replace(0))
+}
+
+/// Run `f`, booking its wall time into this thread's accumulator when
+/// timing is enabled. The disabled path is one relaxed load.
+#[inline]
+pub(crate) fn time<T>(f: impl FnOnce() -> T) -> T {
+    if ENABLED.load(Ordering::Relaxed) == 0 {
+        return f();
+    }
+    let start = Instant::now();
+    let out = f();
+    let ns = start.elapsed().as_nanos() as u64;
+    SPENT_NS.with(|c| c.set(c.get().wrapping_add(ns)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test, not several: the enable flag is process-wide and the
+    // test harness runs threads in parallel, so phases must sequence.
+    #[test]
+    fn clock_phases() {
+        // Disabled: nothing is booked.
+        set_enabled(false);
+        let before = spent_ns();
+        let v = time(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(spent_ns(), before);
+
+        // Enabled: time accumulates, take() drains.
+        set_enabled(true);
+        take();
+        let v = time(|| {
+            // Enough work for a nonzero Instant delta on any clock.
+            let mut x = 1u64;
+            for i in 1..50_000u64 {
+                x = x.wrapping_mul(i) ^ (x >> 7);
+            }
+            x
+        });
+        assert!(v != 0);
+        let spent = take();
+        set_enabled(false);
+        assert!(spent > 0, "timed section booked no time");
+        assert_eq!(spent_ns(), 0, "take() must reset");
+    }
+}

@@ -50,6 +50,7 @@ pub mod backend;
 pub mod cache;
 pub mod clmul;
 pub mod digit_serial;
+pub mod invclock;
 mod multisquare;
 
 pub use backend::{

@@ -1,0 +1,304 @@
+//! A bounded, never-blocking, allocation-free forensic event log.
+//!
+//! The e-SAFE deployment argument (PAPERS.md) is that medical-device
+//! access needs a forensics-enabled audit trail. This ring is the seed
+//! of that: a fixed-capacity buffer of security-relevant events
+//! (session open/close, auth failure, rejected Negotiate, id
+//! collision, backend selection), written entirely through atomics so
+//! a writer on the serving hot path **never blocks and never
+//! allocates** after construction. Sequence numbers are global and
+//! monotone; when the ring wraps, the oldest events are overwritten
+//! and counted as dropped — the drop counter is part of the forensic
+//! record (a gap in the trail is itself evidence).
+//!
+//! Concurrency contract: any number of threads may [`log`](EventLog::log)
+//! concurrently. [`snapshot`](EventLog::snapshot) is designed for
+//! quiescent points (after a run joins); taken concurrently it simply
+//! skips slots whose write is still in flight, never tears an event —
+//! each slot publishes its sequence word last with `Release` ordering
+//! and the reader validates it against the generation it expects.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What happened. Explicitly numbered: the discriminant is packed into
+/// the ring slot and is part of the forensic wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A device's Negotiate hello was admitted; a session opened.
+    SessionOpen = 0,
+    /// A session completed (telemetry verified / tag identified /
+    /// suite authenticated).
+    SessionClose = 1,
+    /// A MAC/tag verification failed.
+    AuthFailure = 2,
+    /// A wire-level Negotiate hello was rejected.
+    NegotiateRejected = 3,
+    /// Two devices in one serving batch carried the same id.
+    IdCollision = 4,
+    /// The field backend was resolved for a serving run.
+    BackendSelected = 5,
+}
+
+/// Number of event kinds.
+pub const EVENT_KINDS: usize = 6;
+
+/// Every kind, discriminant order.
+pub const ALL_EVENT_KINDS: [EventKind; EVENT_KINDS] = [
+    EventKind::SessionOpen,
+    EventKind::SessionClose,
+    EventKind::AuthFailure,
+    EventKind::NegotiateRejected,
+    EventKind::IdCollision,
+    EventKind::BackendSelected,
+];
+
+impl EventKind {
+    /// Stable snake_case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::SessionOpen => "session_open",
+            EventKind::SessionClose => "session_close",
+            EventKind::AuthFailure => "auth_failure",
+            EventKind::NegotiateRejected => "negotiate_rejected",
+            EventKind::IdCollision => "id_collision",
+            EventKind::BackendSelected => "backend_selected",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<EventKind> {
+        ALL_EVENT_KINDS.get(v as usize).copied()
+    }
+}
+
+/// One forensic event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number (0-based, gapless across the fleet).
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Serving lane index (curve lane in the fleet).
+    pub lane: u8,
+    /// Device id involved, when meaningful.
+    pub device: u32,
+    /// Kind-specific detail word (e.g. a count, a backend id).
+    pub detail: u64,
+}
+
+impl Event {
+    /// An event with no sequence number yet (assigned by the log).
+    pub fn new(kind: EventKind, lane: u8, device: u32, detail: u64) -> Self {
+        Self {
+            seq: 0,
+            kind,
+            lane,
+            device,
+            detail,
+        }
+    }
+
+    // Slot word A layout: kind(8) | lane(8) | reserved(16) | device(32).
+    fn pack_a(&self) -> u64 {
+        ((self.kind as u64) << 56) | ((self.lane as u64) << 48) | self.device as u64
+    }
+
+    fn unpack(seq: u64, a: u64, b: u64) -> Option<Event> {
+        Some(Event {
+            seq,
+            kind: EventKind::from_u8((a >> 56) as u8)?,
+            lane: (a >> 48) as u8,
+            device: a as u32,
+            detail: b,
+        })
+    }
+}
+
+/// One ring slot. `seq` holds `event.seq + 1` (0 = never written) and
+/// is published last, so a reader can detect an in-flight write.
+#[derive(Debug)]
+struct Slot {
+    seq: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+/// The bounded forensic event ring. All methods take `&self`.
+#[derive(Debug)]
+pub struct EventLog {
+    slots: Box<[Slot]>,
+    mask: u64,
+    head: AtomicU64,
+    kind_counts: [AtomicU64; EVENT_KINDS],
+}
+
+impl EventLog {
+    /// A ring holding the `capacity.next_power_of_two()` most recent
+    /// events (minimum 2). All memory is allocated here; logging never
+    /// allocates.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(2);
+        Self {
+            slots: (0..cap)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    a: AtomicU64::new(0),
+                    b: AtomicU64::new(0),
+                })
+                .collect(),
+            mask: cap as u64 - 1,
+            head: AtomicU64::new(0),
+            kind_counts: [const { AtomicU64::new(0) }; EVENT_KINDS],
+        }
+    }
+
+    /// Ring capacity (power of two).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Append an event, assigning it the next global sequence number.
+    /// Wait-free: one `fetch_add` plus three plain stores; when the
+    /// ring is full the oldest event is overwritten (and shows up in
+    /// [`dropped`](Self::dropped)).
+    pub fn log(&self, e: Event) -> u64 {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq & self.mask) as usize];
+        let stamped = Event { seq, ..e };
+        slot.a.store(stamped.pack_a(), Ordering::Relaxed);
+        slot.b.store(stamped.detail, Ordering::Relaxed);
+        // Published last: a reader accepts the slot only when this
+        // matches the generation it expects.
+        slot.seq.store(seq + 1, Ordering::Release);
+        self.kind_counts[e.kind as usize].fetch_add(1, Ordering::Relaxed);
+        seq
+    }
+
+    /// Total events ever logged.
+    pub fn logged(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Events overwritten by ring wrap-around (forensic gap size).
+    pub fn dropped(&self) -> u64 {
+        self.logged().saturating_sub(self.capacity() as u64)
+    }
+
+    /// Copy out the surviving events (oldest first) plus the lifetime
+    /// per-kind counters. Designed for quiescent points; concurrent
+    /// in-flight writes are skipped, never torn.
+    pub fn snapshot(&self) -> EventLogSnapshot {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.capacity() as u64;
+        let start = head.saturating_sub(cap);
+        let mut events = Vec::with_capacity((head - start) as usize);
+        for seq in start..head {
+            let slot = &self.slots[(seq & self.mask) as usize];
+            if slot.seq.load(Ordering::Acquire) != seq + 1 {
+                continue; // overwritten or still in flight
+            }
+            let a = slot.a.load(Ordering::Relaxed);
+            let b = slot.b.load(Ordering::Relaxed);
+            // Re-validate: the slot must not have been reclaimed by a
+            // newer generation while we read it.
+            if slot.seq.load(Ordering::Acquire) != seq + 1 {
+                continue;
+            }
+            if let Some(e) = Event::unpack(seq, a, b) {
+                events.push(e);
+            }
+        }
+        let mut kind_counts = [0u64; EVENT_KINDS];
+        for (c, a) in kind_counts.iter_mut().zip(&self.kind_counts) {
+            *c = a.load(Ordering::Relaxed);
+        }
+        EventLogSnapshot {
+            capacity: self.capacity(),
+            logged: head,
+            dropped: head.saturating_sub(cap),
+            kind_counts,
+            events,
+        }
+    }
+}
+
+/// Point-in-time copy of the ring: counters plus surviving events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventLogSnapshot {
+    /// Ring capacity.
+    pub capacity: usize,
+    /// Total events ever logged.
+    pub logged: u64,
+    /// Events lost to wrap-around (the forensic gap).
+    pub dropped: u64,
+    /// Lifetime count per [`EventKind`] (discriminant-indexed).
+    pub kind_counts: [u64; EVENT_KINDS],
+    /// Surviving events, oldest first.
+    pub events: Vec<Event>,
+}
+
+impl EventLogSnapshot {
+    /// An empty snapshot (no log attached).
+    pub fn empty() -> Self {
+        Self {
+            capacity: 0,
+            logged: 0,
+            dropped: 0,
+            kind_counts: [0; EVENT_KINDS],
+            events: Vec::new(),
+        }
+    }
+
+    /// Lifetime count of one kind.
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.kind_counts[kind as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_and_sequence() {
+        let log = EventLog::new(8);
+        assert_eq!(log.capacity(), 8);
+        let s0 = log.log(Event::new(EventKind::SessionOpen, 2, 41, 7));
+        let s1 = log.log(Event::new(EventKind::AuthFailure, 0, 9, 0xdead));
+        assert_eq!((s0, s1), (0, 1));
+        let snap = log.snapshot();
+        assert_eq!(snap.logged, 2);
+        assert_eq!(snap.dropped, 0);
+        assert_eq!(snap.events.len(), 2);
+        let e = snap.events[1];
+        assert_eq!(e.seq, 1);
+        assert_eq!(e.kind, EventKind::AuthFailure);
+        assert_eq!(e.lane, 0);
+        assert_eq!(e.device, 9);
+        assert_eq!(e.detail, 0xdead);
+        assert_eq!(snap.count(EventKind::AuthFailure), 1);
+    }
+
+    #[test]
+    fn wraparound_drops_oldest_and_counts() {
+        let log = EventLog::new(4);
+        for i in 0..10u32 {
+            log.log(Event::new(EventKind::SessionClose, 0, i, 0));
+        }
+        assert_eq!(log.logged(), 10);
+        assert_eq!(log.dropped(), 6);
+        let snap = log.snapshot();
+        assert_eq!(snap.events.len(), 4);
+        // The four most recent, oldest first, gapless.
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(snap.count(EventKind::SessionClose), 10);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(EventLog::new(0).capacity(), 2);
+        assert_eq!(EventLog::new(3).capacity(), 4);
+        assert_eq!(EventLog::new(1024).capacity(), 1024);
+    }
+}

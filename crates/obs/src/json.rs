@@ -1,0 +1,289 @@
+//! Dependency-free JSON helpers shared by every hand-rolled report
+//! writer in the workspace.
+//!
+//! The fleet reports are emitted by `format!`-based builders; the two
+//! classic bugs with that approach are (a) strings containing `"` or
+//! `\` producing invalid documents, and (b) `NaN`/`inf` f64s being
+//! formatted verbatim, which JSON forbids. [`escape`] and [`num`] fix
+//! both at the call site, and [`validate`] is a tiny recursive-descent
+//! checker so CI can assert an emitted document actually parses
+//! without pulling in a JSON dependency.
+
+use std::fmt::Write as _;
+
+/// Escape `s` for embedding inside a JSON string literal (quotes not
+/// included). Handles `"` and `\`, the named control escapes, and
+/// `\u00XX` for the remaining control range.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an f64 as a JSON number, or `null` for non-finite values
+/// (JSON has no NaN/Infinity).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` round-trips and always includes a decimal point or
+        // exponent, keeping the token unambiguously a number.
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Quote and escape a string as a full JSON string token.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// Validate that `s` is one complete JSON document (object, array,
+/// string, number, or literal). Returns a position-annotated error on
+/// the first violation. This is a checker, not a parser — it builds no
+/// values, so it stays a few dozen lines and allocation-free.
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn err(what: &str, pos: usize) -> String {
+    format!("{what} at byte {pos}")
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string_token(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        _ => Err(err("expected a JSON value", *pos)),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, word: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(())
+    } else {
+        Err(err("bad literal", *pos))
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        string_token(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(err("expected ':'", *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(err("expected ',' or '}'", *pos)),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(err("expected ',' or ']'", *pos)),
+        }
+    }
+}
+
+fn string_token(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(err("expected '\"'", *pos));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match b.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => return Err(err("bad \\u escape", *pos)),
+                            }
+                        }
+                    }
+                    _ => return Err(err("bad escape", *pos)),
+                }
+            }
+            0x00..=0x1f => return Err(err("raw control char in string", *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err(err("unterminated string", *pos))
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    // Integer part: "0" or [1-9][0-9]*.
+    match b.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(c) if c.is_ascii_digit() => {
+            while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+                *pos += 1;
+            }
+        }
+        _ => return Err(err("bad number", start)),
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            return Err(err("bad fraction", *pos));
+        }
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            return Err(err("bad exponent", *pos));
+        }
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(escape(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape(r"a\b"), r"a\\b");
+        assert_eq!(escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(f64::NEG_INFINITY), "null");
+        assert_eq!(num(1.5), "1.5");
+        assert_eq!(num(3.0), "3.0");
+        // The rendered token must itself be valid JSON in value position.
+        assert!(validate(&num(f64::NAN)).is_ok());
+        assert!(validate(&num(2.5e-8)).is_ok());
+    }
+
+    #[test]
+    fn string_helper_is_always_valid_json() {
+        for s in [r#"he said "hi""#, "back\\slash", "ctrl\u{2}", "плейн"] {
+            assert!(validate(&string(s)).is_ok(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn validator_accepts_well_formed_documents() {
+        for doc in [
+            "{}",
+            "[]",
+            r#"{"a": 1, "b": [true, false, null], "c": {"d": -1.5e3}}"#,
+            r#""just a string""#,
+            "0.25",
+            "[1,2,3]",
+            r#"{"x": "a\"b\\cÿ"}"#,
+        ] {
+            assert!(validate(doc).is_ok(), "{doc}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            r#"{"a" 1}"#,
+            r#"{"a": NaN}"#,
+            "01",
+            "1.",
+            "\"unterminated",
+            "\"raw\u{1}control\"",
+            "{} extra",
+            r#"{"a": inf}"#,
+        ] {
+            assert!(validate(doc).is_err(), "{doc:?} should be rejected");
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Property coverage for the log-bucketed latency histogram.
+//!
+//! The serving stack relies on two structural guarantees: merging
+//! per-worker recorders is *exactly* equivalent to having recorded the
+//! union stream into one histogram (so thread-local recording loses
+//! nothing), and reported percentiles are monotone in the quantile
+//! (so p50 ≤ p99 ≤ p999 can be asserted by dashboards). Both are
+//! checked here over randomized sample streams spanning the full
+//! `u64` dynamic range.
+
+use medsec_obs::Histogram;
+use proptest::prelude::*;
+
+/// Samples spanning every octave: a raw u64 shifted by a random
+/// amount, so tiny (exact-bucket) and huge values both appear.
+fn arb_samples(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        (any::<u64>(), 0u32..64).prop_map(|(v, s)| v >> s),
+        0..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merged_recorders_equal_single_recorder(
+        a in arb_samples(64),
+        b in arb_samples(64),
+    ) {
+        let mut single = Histogram::new();
+        for &v in a.iter().chain(&b) {
+            single.record(v);
+        }
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for &v in &a {
+            left.record(v);
+        }
+        for &v in &b {
+            right.record(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(&left, &single);
+        // Snapshots therefore agree too.
+        prop_assert_eq!(left.snapshot(), single.snapshot());
+    }
+
+    #[test]
+    fn percentiles_are_monotone(samples in arb_samples(128)) {
+        let mut h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert!(s.p50_ns <= s.p99_ns, "p50 {} > p99 {}", s.p50_ns, s.p99_ns);
+        prop_assert!(s.p99_ns <= s.p999_ns, "p99 {} > p999 {}", s.p99_ns, s.p999_ns);
+        prop_assert!(s.p999_ns <= s.max_ns, "p999 {} > max {}", s.p999_ns, s.max_ns);
+        prop_assert!(s.min_ns <= s.p50_ns || s.count == 0);
+        // A denser sweep of the quantile axis, same invariant.
+        let mut prev = 0u64;
+        for q in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+            let p = h.percentile(q);
+            prop_assert!(p >= prev, "percentile({q}) = {p} < {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn percentile_brackets_true_quantile(samples in arb_samples(128)) {
+        // The reported percentile never undershoots the true order
+        // statistic and overshoots it by at most the 3.2% bucket bound
+        // (quantization is 2^-5, but use a hair of slack for rounding).
+        let mut h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.99].into_iter().filter(|_| !sorted.is_empty()) {
+            let rank = ((q * sorted.len() as f64).ceil() as usize)
+                .clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let got = h.percentile(q);
+            prop_assert!(got >= truth, "percentile({q}) = {got} < true {truth}");
+            let bound = truth.saturating_add(truth / 32).saturating_add(1);
+            prop_assert!(
+                got <= bound,
+                "percentile({q}) = {got} above bound {bound} (true {truth})"
+            );
+        }
+    }
+
+    #[test]
+    fn count_sum_minmax_survive_merge_chains(
+        chunks in prop::collection::vec(arb_samples(16), 0..8),
+    ) {
+        let mut merged = Histogram::new();
+        let mut expect_count = 0u64;
+        let mut expect_min = u64::MAX;
+        let mut expect_max = 0u64;
+        for chunk in &chunks {
+            let mut h = Histogram::new();
+            for &v in chunk {
+                h.record(v);
+                expect_count += 1;
+                expect_min = expect_min.min(v);
+                expect_max = expect_max.max(v);
+            }
+            merged.merge(&h);
+        }
+        prop_assert_eq!(merged.count(), expect_count);
+        if expect_count > 0 {
+            prop_assert_eq!(merged.min(), expect_min);
+            prop_assert_eq!(merged.max(), expect_max);
+        }
+    }
+}

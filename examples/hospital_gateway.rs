@@ -40,6 +40,7 @@ fn main() {
         seed: 0x5EED_CAFE,
         forged_per_mille: 25,
         wards: Vec::new(),
+        ..FleetConfig::default()
     };
 
     println!(

@@ -48,3 +48,7 @@ pub use medsec_core as core;
 /// Hospital-gateway fleet serving layer: sharded sessions, batched
 /// crypto, throughput/energy reports.
 pub use medsec_fleet as fleet;
+
+/// Zero-overhead observability: latency histograms, pipeline stage
+/// spans, forensic event log, Prometheus text exposition.
+pub use medsec_obs as obs;
