@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use medsec_ec::Toy17;
-use medsec_fleet::{provision, run_fleet_on, BatchScheduler, CurveChoice, FleetConfig};
+use medsec_fleet::{
+    provision, run_fleet_on, BatchScheduler, CurveChoice, FleetConfig, LaneScheduler, StealStats,
+};
 use medsec_power::{EnergyReport, RadioModel};
 use medsec_protocols::mutual::SessionOutcome;
 use medsec_protocols::wire::{self, MsgType};
@@ -57,18 +59,35 @@ fn bench_gateway_paths(c: &mut Criterion) {
         })
     });
 
+    // The legacy mutex queue, drained through the allocation-free
+    // `pop_batch_into` path (one caller-owned buffer for the run).
     c.bench_function("fleet/scheduler_pop_batch", |b| {
+        let mut buf = Vec::with_capacity(64);
         b.iter(|| {
             let s = BatchScheduler::new(0..4096usize);
             let mut n = 0;
             loop {
-                let batch = s.pop_batch(64);
-                if batch.is_empty() {
+                s.pop_batch_into(64, &mut buf);
+                if buf.is_empty() {
                     break;
                 }
-                n += batch.len();
+                n += buf.len();
             }
             black_box(n)
+        })
+    });
+
+    // The lane-affine claim path the hub actually serves from: same
+    // 4096 jobs split over 5 lanes, drained by lock-free chunk claims
+    // (the baseline the mutex queue above is measured against).
+    c.bench_function("fleet/scheduler_lane_claims", |b| {
+        b.iter(|| {
+            let s = LaneScheduler::new(&[2048usize, 1024, 512, 384, 128], 64);
+            let mut stats = StealStats::default();
+            while let Some(batch) = s.next_batch(0, &mut stats) {
+                black_box(&batch);
+            }
+            black_box(stats.jobs)
         })
     });
 }

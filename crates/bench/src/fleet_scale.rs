@@ -11,10 +11,25 @@
 //! higher-strength pyramid points) plus one **mixed** heterogeneous
 //! run — five curves × four protocols through a single curve-erased
 //! `GatewayHub`, with per-profile breakdowns.
+//!
+//! Since the lane-affine scheduler PR the campaign also measures how
+//! the hub *scales*: a thread sweep over {1, 2, 4, 8, 16} workers on
+//! the mixed fleet (recording per-point speedup and scaling
+//! efficiency), a ≥100k-device mixed run in full mode, and a scaling
+//! gate asserting the 4-thread mixed throughput reaches ≥2.5× the
+//! 1-thread run on hosts that expose at least 4 hardware threads
+//! (skipped, but still recorded, on smaller machines).
 
 use medsec_fleet::{mixed_hospital_wards, run_fleet, CurveChoice, FleetConfig, FleetReport};
 
 use crate::table::{uj, Table};
+
+/// The thread counts the scaling sweep measures.
+pub const SWEEP_THREADS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Minimum 4-thread/1-thread mixed-fleet speedup the scaling gate
+/// demands on hosts with at least 4 hardware threads.
+pub const SCALING_GATE_MIN_SPEEDUP_4T: f64 = 2.5;
 
 /// The configuration the trajectory is measured at.
 pub fn trajectory_config(fast: bool) -> FleetConfig {
@@ -22,10 +37,7 @@ pub fn trajectory_config(fast: bool) -> FleetConfig {
         devices: if fast { 512 } else { 4096 },
         // One worker per hardware thread: oversubscribing a small host
         // only adds context switches to a compute-bound workload.
-        threads: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .clamp(1, 16),
+        threads: host_parallelism().clamp(1, 16),
         shards: 64,
         batch_size: 64,
         curve: CurveChoice::Toy17,
@@ -34,6 +46,96 @@ pub fn trajectory_config(fast: bool) -> FleetConfig {
         wards: Vec::new(),
         observe: false,
         event_capacity: 4096,
+    }
+}
+
+/// Hardware threads the host exposes (1 if unknown).
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One point of the thread sweep: the best-of-N mixed-fleet run at a
+/// fixed worker count, with its speedup over the sweep's 1-thread
+/// baseline and the per-worker scaling efficiency (`speedup/threads`).
+#[derive(Debug)]
+pub struct SweepPoint {
+    /// Worker threads this point ran with.
+    pub threads: usize,
+    /// Best run (by sessions/s) among the repetitions.
+    pub report: FleetReport,
+    /// Throughput relative to the 1-thread point.
+    pub speedup: f64,
+    /// `speedup / threads` — 1.0 is perfect linear scaling.
+    pub scaling_efficiency: f64,
+}
+
+/// Sweep the mixed fleet across [`SWEEP_THREADS`], best-of-`reps` per
+/// point so a background hiccup does not masquerade as a scaling cliff.
+fn thread_sweep(cfg: &FleetConfig, reps: usize) -> Vec<SweepPoint> {
+    let reports: Vec<FleetReport> = SWEEP_THREADS
+        .iter()
+        .map(|&threads| {
+            (0..reps.max(1))
+                .map(|_| {
+                    run_fleet(&FleetConfig {
+                        threads,
+                        ..cfg.clone()
+                    })
+                })
+                .max_by(|a, b| a.sessions_per_sec.total_cmp(&b.sessions_per_sec))
+                .expect("at least one repetition")
+        })
+        .collect();
+    let base = reports[0].sessions_per_sec;
+    reports
+        .into_iter()
+        .map(|report| {
+            let speedup = if base > 0.0 {
+                report.sessions_per_sec / base
+            } else {
+                0.0
+            };
+            SweepPoint {
+                threads: report.threads,
+                speedup,
+                scaling_efficiency: speedup / report.threads as f64,
+                report,
+            }
+        })
+        .collect()
+}
+
+/// The scaling gate: on a host with ≥4 hardware threads the 4-thread
+/// mixed run must reach [`SCALING_GATE_MIN_SPEEDUP_4T`]× the 1-thread
+/// run (panics otherwise — this is the bench-level regression fence CI
+/// leans on); smaller hosts record the measured speedup without
+/// asserting. Returns the human-readable gate verdict either way.
+fn scaling_gate(sweep: &[SweepPoint]) -> String {
+    let host = host_parallelism();
+    let p4 = sweep
+        .iter()
+        .find(|p| p.threads == 4)
+        .expect("sweep covers 4 threads");
+    if host >= 4 {
+        assert!(
+            p4.speedup >= SCALING_GATE_MIN_SPEEDUP_4T,
+            "scaling gate failed: 4-thread mixed fleet reached only {:.2}x the 1-thread \
+             throughput (gate {SCALING_GATE_MIN_SPEEDUP_4T}x, host parallelism {host})",
+            p4.speedup
+        );
+        format!(
+            "scaling gate: 4-thread speedup {:.2}x >= {SCALING_GATE_MIN_SPEEDUP_4T}x \
+             (host parallelism {host})",
+            p4.speedup
+        )
+    } else {
+        format!(
+            "scaling gate skipped: host exposes {host} hardware thread(s) (<4); \
+             4-thread speedup {:.2}x recorded, not asserted",
+            p4.speedup
+        )
     }
 }
 
@@ -56,21 +158,49 @@ pub fn run_with_json(fast: bool) -> (String, String) {
     let k233 = curve_run(CurveChoice::K233, if fast { 16 } else { 256 });
     let k283 = curve_run(CurveChoice::K283, if fast { 8 } else { 128 });
 
-    // One mixed heterogeneous run through the curve-erased hub.
-    let mixed = run_fleet(&FleetConfig {
+    // One mixed heterogeneous run through the curve-erased hub, pinned
+    // at 4 workers so the obs-overhead comparison below exercises the
+    // multi-worker scheduler path (the threads=1..16 behaviour is the
+    // sweep's job).
+    let mixed_cfg = FleetConfig {
         wards: mixed_hospital_wards(if fast { 1 } else { 8 }),
+        threads: 4,
         ..cfg.clone()
-    });
+    };
+    let mixed = run_fleet(&mixed_cfg);
 
     // The same mixed fleet with full telemetry on: per-lane latency
-    // percentiles, stage spans and the forensic event ring. Comparing
-    // its throughput against the unobserved run above is the measured
+    // percentiles, stage spans, the forensic event ring and the
+    // scheduler's sched_* steal/queue-depth counters. Comparing its
+    // throughput against the unobserved run above is the measured
     // recorder overhead the observability PR pins below 3%.
     let observed = run_fleet(&FleetConfig {
-        wards: mixed_hospital_wards(if fast { 1 } else { 8 }),
         observe: true,
-        ..cfg.clone()
+        ..mixed_cfg.clone()
     });
+
+    // The scaling sweep: same ward mix, thread count varied.
+    let sweep_cfg = FleetConfig {
+        wards: mixed_hospital_wards(if fast { 8 } else { 24 }),
+        ..cfg.clone()
+    };
+    let sweep = thread_sweep(&sweep_cfg, if fast { 2 } else { 3 });
+    let gate = scaling_gate(&sweep);
+
+    // The headline fleet: ≥100k devices across all five curves and
+    // four protocols through one hub (full mode only — it is a
+    // multi-second serve on a small host).
+    let fleet_100k = if fast {
+        None
+    } else {
+        let r = run_fleet(&FleetConfig {
+            wards: mixed_hospital_wards(1962), // 51 * 1962 = 100_062
+            shards: 256,
+            ..cfg.clone()
+        });
+        assert!(r.devices >= 100_000, "headline run must reach 100k devices");
+        Some(r)
+    };
 
     let mut t = Table::new("FLEET: hospital-gateway serving campaign");
     t.headers(&[
@@ -112,13 +242,49 @@ pub fn run_with_json(fast: bool) -> (String, String) {
     });
     t.note("curve-erased GatewayHub: profile negotiation on the wire, per-curve lanes over the batched fast paths (tnaf on Koblitz curves)");
     t.note(format!(
-        "mixed+obs: full telemetry on (histograms + stage spans + event ring), recorder overhead {:.2}% sessions/s",
+        "mixed+obs: full telemetry on (histograms + stage spans + event ring), recorder overhead {:.2}% sessions/s at 4 threads",
         obs_overhead_pct(&mixed, &observed)
     ));
 
+    let mut st = Table::new("FLEET: lane-affine scheduler thread sweep (mixed fleet)");
+    st.headers(&[
+        "threads",
+        "devices",
+        "wall [ms]",
+        "sessions / s",
+        "speedup",
+        "efficiency",
+    ]);
+    for p in &sweep {
+        st.row(&[
+            p.threads.to_string(),
+            p.report.devices.to_string(),
+            format!("{:.1}", p.report.wall_s * 1e3),
+            format!("{:.0}", p.report.sessions_per_sec),
+            format!("{:.2}x", p.speedup),
+            format!("{:.0}%", p.scaling_efficiency * 100.0),
+        ]);
+    }
+    st.note(gate.clone());
+    if let Some(r) = &fleet_100k {
+        st.note(format!(
+            "100k headline: {} devices served at {:.0} sessions/s on {} threads ({:.1} s wall)",
+            r.devices, r.sessions_per_sec, r.threads, r.wall_s
+        ));
+    }
+
     (
-        t.render(),
-        summary_json(&toy, &k163, &k233, &k283, &mixed, &observed),
+        format!("{}\n{}", t.render(), st.render()),
+        summary_json(
+            &toy,
+            &k163,
+            &k233,
+            &k283,
+            &mixed,
+            &observed,
+            &sweep,
+            fleet_100k.as_ref(),
+        ),
     )
 }
 
@@ -137,11 +303,43 @@ pub fn run(fast: bool) -> String {
     run_with_json(fast).0
 }
 
+/// The `"thread_sweep"` JSON object: host parallelism, the swept fleet
+/// shape, and one compact row per thread count (full reports would
+/// quintuple the file for numbers the sweep table already carries).
+fn sweep_json(sweep: &[SweepPoint]) -> String {
+    let runs = sweep
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"threads\":{},\"wall_s\":{:.6},\"sessions_per_sec\":{:.3},\
+                 \"frames_per_sec\":{:.3},\"speedup\":{:.4},\"scaling_efficiency\":{:.4}}}",
+                p.threads,
+                p.report.wall_s,
+                p.report.sessions_per_sec,
+                p.report.frames_per_sec,
+                p.speedup,
+                p.scaling_efficiency
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"host_parallelism\":{},\"devices\":{},\"batch_size\":{},\
+         \"gate_min_speedup_4t\":{SCALING_GATE_MIN_SPEEDUP_4T},\"runs\":[{runs}]}}",
+        host_parallelism(),
+        sweep[0].report.devices,
+        64
+    )
+}
+
 /// Combined machine-readable summary for `BENCH_fleet.json`. Records
 /// which gf2m backend and which variable-base strategy the serving
 /// path ran on, so a trajectory point is attributable to the exact
 /// compute stack behind it; the `mixed` entry carries the per-profile
-/// breakdown of the heterogeneous run.
+/// breakdown of the heterogeneous run, `thread_sweep` the scaling
+/// trajectory, and `fleet_100k` the ≥100k-device headline run (`null`
+/// in fast mode).
+#[allow(clippy::too_many_arguments)]
 fn summary_json(
     toy: &FleetReport,
     k163: &FleetReport,
@@ -149,14 +347,17 @@ fn summary_json(
     k283: &FleetReport,
     mixed: &FleetReport,
     observed: &FleetReport,
+    sweep: &[SweepPoint],
+    fleet_100k: Option<&FleetReport>,
 ) -> String {
     format!(
         "{{\"experiment\":\"fleet\",\"backend\":\"{}\",\
          \"varbase\":{{\"toy17\":\"{}\",\"k163\":\"{}\",\"k233\":\"{}\",\"k283\":\"{}\"}},\
          \"toy17\":{},\"k163\":{},\"k233\":{},\"k283\":{},\"mixed\":{},\
          \"mixed_observed\":{},\
-         \"obs_overhead\":{{\"baseline_sessions_per_sec\":{:.3},\
-         \"observed_sessions_per_sec\":{:.3},\"overhead_pct\":{:.3}}}}}",
+         \"obs_overhead\":{{\"threads\":{},\"baseline_sessions_per_sec\":{:.3},\
+         \"observed_sessions_per_sec\":{:.3},\"overhead_pct\":{:.3}}},\
+         \"thread_sweep\":{},\"fleet_100k\":{}}}",
         medsec_gf2m::backend::active_backend_name(),
         medsec_ec::server_strategy_name::<medsec_ec::Toy17>(),
         medsec_ec::server_strategy_name::<medsec_ec::K163>(),
@@ -168,9 +369,12 @@ fn summary_json(
         k283.to_json(),
         mixed.to_json(),
         observed.to_json(),
+        mixed.threads,
         mixed.sessions_per_sec,
         observed.sessions_per_sec,
-        obs_overhead_pct(mixed, observed)
+        obs_overhead_pct(mixed, observed),
+        sweep_json(sweep),
+        fleet_100k.map_or("null".to_string(), FleetReport::to_json),
     )
 }
 
@@ -181,6 +385,8 @@ mod tests {
         let (report, json) = super::run_with_json(true);
         assert!(report.contains("sessions / s"));
         assert!(report.contains("forged hellos rejected"));
+        assert!(report.contains("thread sweep"));
+        assert!(report.contains("scaling gate"));
         assert!(json.contains("\"toy17\":{"));
         // The recorded backend is whatever the process resolved to
         // (clmul on CLMUL-capable hosts, fast otherwise, or the
@@ -201,13 +407,24 @@ mod tests {
         assert!(json.contains("\"profile\":\"mutual@K283\""));
         assert!(json.contains("\"profile\":\"symmetric@Toy17\""));
         // The observed mixed run carries the full telemetry block:
-        // per-lane latency percentiles, stage breakdown, event summary.
+        // per-lane latency percentiles, stage breakdown, event summary,
+        // and the lane scheduler's steal telemetry.
         assert!(json.contains("\"mixed_observed\":{"));
         assert!(json.contains("\"p999_ns\":"));
         assert!(json.contains("\"batch_invert\":{\"ns\":"));
         assert!(json.contains("\"session_open\":"));
-        assert!(json.contains("\"obs_overhead\":{\"baseline_sessions_per_sec\":"));
+        assert!(json.contains("\"sched_batches_home\":"));
+        assert!(json.contains("\"sched_jobs_served\":"));
+        assert!(json.contains("\"obs_overhead\":{\"threads\":4,\"baseline_sessions_per_sec\":"));
         assert!(json.contains("\"overhead_pct\":"));
+        // The scaling sweep covers every thread count with efficiency
+        // figures, and fast mode skips the 100k headline run.
+        assert!(json.contains("\"thread_sweep\":{\"host_parallelism\":"));
+        for threads in super::SWEEP_THREADS {
+            assert!(json.contains(&format!("{{\"threads\":{threads},")));
+        }
+        assert!(json.contains("\"scaling_efficiency\":"));
+        assert!(json.contains("\"fleet_100k\":null"));
         medsec_obs::json::validate(&json).expect("BENCH_fleet summary must parse");
     }
 }

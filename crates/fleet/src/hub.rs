@@ -42,9 +42,10 @@ use medsec_rng::SplitMix64;
 use crate::gateway::{Gateway, GatewayCounters};
 use crate::registry::{provision_lane, DeviceId, DeviceKind, FleetDevice};
 use crate::report::{FleetReport, ProfileStats};
-use crate::scheduler::BatchScheduler;
+use crate::scheduler::{LaneScheduler, LaneWorker};
 use crate::sim::{is_forged_target, unix_ms_now, CurveChoice, FleetConfig};
 use crate::telemetry::WorkerObs;
+use std::ops::Range;
 
 /// One curve's worth of serving state: the sharded mutual/PH gateway,
 /// the Schnorr and symmetric servers, and the devices assigned here.
@@ -290,7 +291,16 @@ impl GatewayHub {
     pub fn run_at(&self, cfg: &FleetConfig, started_unix_ms: u64) -> FleetReport {
         let total = self.device_count();
         let threads = cfg.threads.max(1);
-        let scheduler = BatchScheduler::new(0..total);
+        // Lane-affine scheduling: one chunked queue per curve lane, so
+        // a claimed batch never mixes lanes (the batched crypto paths
+        // keep their full amortization) and chunk boundaries — hence
+        // the exact crypto work — are identical at every thread count.
+        let lane_sizes: Vec<usize> = self
+            .lanes
+            .iter()
+            .map(|lane| with_lane!(lane, l => l.devices.len()))
+            .collect();
+        let scheduler = LaneScheduler::new(&lane_sizes, cfg.batch_size);
 
         // Observability is provisioned cold: the event ring is the
         // only allocation, and the invclock window opens before any
@@ -314,19 +324,8 @@ impl GatewayHub {
         }
 
         let start = Instant::now();
-        let outcomes: Vec<(HubTally, WorkerObs)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|w| {
-                    let scheduler = &scheduler;
-                    let events = events.as_ref();
-                    scope.spawn(move || self.worker(w, cfg, scheduler, events))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("hub worker panicked"))
-                .collect()
-        });
+        let outcomes: Vec<(HubTally, WorkerObs)> =
+            scheduler.run_workers(threads, |w| self.worker(w, cfg, events.as_ref()));
         let wall_s = start.elapsed().as_secs_f64().max(1e-9);
         if events.is_some() {
             medsec_gf2m::invclock::set_enabled(false);
@@ -464,45 +463,64 @@ impl GatewayHub {
         report
     }
 
-    /// One worker: drain the scheduler in batches, bucket each batch
-    /// by lane, and serve every bucket through its lane's batched
-    /// paths.
+    /// One worker: claim same-lane batches from the lane-affine
+    /// scheduler (home lane first, whole-chunk steals once drained)
+    /// and serve each through its lane's batched paths. A batch is a
+    /// contiguous slot range inside one lane, so the per-worker
+    /// partition scratch is reused and the dispatch is one lane
+    /// `match` per batch — the hot loop below is fully monomorphized.
     fn worker(
         &self,
-        worker: usize,
+        mut w: LaneWorker<'_>,
         cfg: &FleetConfig,
-        scheduler: &BatchScheduler<usize>,
         events: Option<&EventLog>,
     ) -> (HubTally, WorkerObs) {
         let mut tally = HubTally::default();
-        let mut rng = SplitMix64::new(cfg.seed ^ 0xB47C_0000_0000_0000 ^ worker as u64);
+        let mut rng = SplitMix64::new(cfg.seed ^ 0xB47C_0000_0000_0000 ^ w.index as u64);
         let mut ledger = server_ledger();
-        // Thread-local by ownership: this worker's recorder is merged
-        // by the hub after the scope joins.
+        // Thread-local by ownership: this worker's recorder and
+        // protocol-partition scratch are merged/dropped after the
+        // scope joins, so nothing here is shared across cores.
         let mut obs = WorkerObs::new(events.is_some(), self.lanes.len());
+        let mut scratch = ProtoScratch::default();
 
-        loop {
-            let batch = scheduler.pop_batch(cfg.batch_size);
-            if batch.is_empty() {
-                break;
-            }
-            // One enum dispatch per (lane, batch) — the per-device hot
-            // loop below is fully monomorphized.
-            let mut buckets: HashMap<usize, Vec<usize>> = HashMap::new();
-            for g in batch {
-                let (lane, slot) = self.index[g];
-                buckets.entry(lane).or_default().push(slot);
-            }
-            for (lane_idx, slots) in buckets {
-                with_lane!(&self.lanes[lane_idx], l => serve_bucket(
-                    l, lane_idx, &slots, cfg, &mut rng, &mut ledger, &mut tally,
-                    &mut obs, events,
-                ));
-            }
+        while let Some(batch) = w.next_batch() {
+            with_lane!(&self.lanes[batch.lane], l => serve_bucket(
+                l, batch.lane, batch.slots.clone(), cfg, &mut rng, &mut ledger,
+                &mut tally, &mut scratch, &mut obs, events,
+            ));
         }
 
         tally.server_energy_j = ledger.total();
+        // Scheduler telemetry rides the existing recorder seam: how
+        // much of this worker's work was home-lane vs stolen, and how
+        // drained the queues were at claim time.
+        let s = w.stats();
+        obs.count("sched_batches_home", s.home_batches);
+        obs.count("sched_batches_stolen", s.stolen_batches);
+        obs.count("sched_jobs_served", s.jobs);
+        obs.count("sched_queue_depth_sum", s.queue_depth_sum);
         (tally, obs)
+    }
+}
+
+/// Per-worker protocol-partition scratch, reused across buckets so the
+/// steady-state serving loop performs no per-batch allocation for the
+/// partition step.
+#[derive(Debug, Default)]
+struct ProtoScratch {
+    mutual: Vec<usize>,
+    ph: Vec<usize>,
+    sym: Vec<usize>,
+    schnorr: Vec<usize>,
+}
+
+impl ProtoScratch {
+    fn clear(&mut self) {
+        self.mutual.clear();
+        self.ph.clear();
+        self.sym.clear();
+        self.schnorr.clear();
     }
 }
 
@@ -551,22 +569,28 @@ fn build_lane(
 fn serve_bucket<C: CurveSpec>(
     lane: &CurveLane<C>,
     lane_idx: usize,
-    slots: &[usize],
+    slots: Range<usize>,
     cfg: &FleetConfig,
     rng: &mut SplitMix64,
     server_ledger: &mut EnergyLedger,
     tally: &mut HubTally,
+    scratch: &mut ProtoScratch,
     obs: &mut WorkerObs,
     events: Option<&EventLog>,
 ) {
+    // A batch from the lane-affine scheduler is a slot range strictly
+    // inside this lane — re-checked here so a scheduler regression
+    // that mixes lanes trips immediately in debug builds.
+    debug_assert!(
+        slots.end <= lane.devices.len(),
+        "batch {slots:?} escapes lane {lane_idx} ({} devices)",
+        lane.devices.len()
+    );
     // Phase 0: wire-level profile negotiation, then partition by the
     // *negotiated* protocol (not by out-of-band registry state).
     let span = obs.begin();
-    let mut mutual_jobs: Vec<usize> = Vec::with_capacity(slots.len());
-    let mut ph_jobs: Vec<usize> = Vec::new();
-    let mut sym_jobs: Vec<usize> = Vec::new();
-    let mut schnorr_jobs: Vec<usize> = Vec::new();
-    for &idx in slots {
+    scratch.clear();
+    for idx in slots {
         let mut guard = lane.devices[idx].lock().expect("device poisoned");
         let d = &mut *guard;
         let frame = d.profile.suite.negotiate_frame();
@@ -583,10 +607,10 @@ fn serve_bucket<C: CurveSpec>(
                     ));
                 }
                 match proto {
-                    ProtocolId::Mutual => mutual_jobs.push(idx),
-                    ProtocolId::Ph => ph_jobs.push(idx),
-                    ProtocolId::Symmetric => sym_jobs.push(idx),
-                    ProtocolId::Schnorr => schnorr_jobs.push(idx),
+                    ProtocolId::Mutual => scratch.mutual.push(idx),
+                    ProtocolId::Ph => scratch.ph.push(idx),
+                    ProtocolId::Symmetric => scratch.sym.push(idx),
+                    ProtocolId::Schnorr => scratch.schnorr.push(idx),
                 }
             }
             Err(_) => {
@@ -609,7 +633,7 @@ fn serve_bucket<C: CurveSpec>(
     let done = serve_mutual(
         lane,
         lane_idx,
-        &mutual_jobs,
+        &scratch.mutual,
         cfg,
         rng,
         server_ledger,
@@ -623,7 +647,7 @@ fn serve_bucket<C: CurveSpec>(
     let done = serve_ph(
         lane,
         lane_idx,
-        &ph_jobs,
+        &scratch.ph,
         rng,
         server_ledger,
         tally,
@@ -636,7 +660,7 @@ fn serve_bucket<C: CurveSpec>(
     let done = serve_symmetric(
         lane,
         lane_idx,
-        &sym_jobs,
+        &scratch.sym,
         rng,
         server_ledger,
         tally,
@@ -649,7 +673,7 @@ fn serve_bucket<C: CurveSpec>(
     let done = serve_schnorr(
         lane,
         lane_idx,
-        &schnorr_jobs,
+        &scratch.schnorr,
         rng,
         server_ledger,
         tally,

@@ -24,9 +24,12 @@
 //!   enum-dispatched per-curve lanes, so one `run_fleet` serves a
 //!   heterogeneous fleet (mixed curves × mixed protocols) through the
 //!   same batched fast paths;
-//! * [`scheduler`] — a batch scheduler: worker threads pull pending
-//!   session jobs off a shared queue in batches, amortizing queue locks
-//!   and point-multiplication setup;
+//! * [`scheduler`] — the lane-affine work-stealing [`LaneScheduler`]:
+//!   per-lane chunked work queues with cache-padded lock-free chunk
+//!   cursors, workers pinned to a home lane and stealing whole chunks
+//!   across lanes once it drains, so batches never mix curve lanes and
+//!   big lanes keep every core busy (plus the legacy mutex-guarded
+//!   [`BatchScheduler`] for generic producer/consumer work);
 //! * [`sim`] — the fleet driver wiring devices ↔ gateway through the
 //!   real `medsec_protocols::wire` codec on `std::thread` scoped
 //!   workers;
@@ -69,6 +72,6 @@ pub use registry::{
     LaneProvision,
 };
 pub use report::{FleetReport, ProfileStats};
-pub use scheduler::BatchScheduler;
+pub use scheduler::{BatchScheduler, LaneBatch, LaneScheduler, LaneWorker, StealStats};
 pub use shard::{SessionPhase, SessionTable};
 pub use sim::{mixed_hospital_wards, run_fleet, run_fleet_on, CurveChoice, FleetConfig, WardSpec};

@@ -1,15 +1,294 @@
-//! Batch scheduler: a shared work queue drained in batches.
+//! Work schedulers: the lane-affine work-stealing scheduler the hub
+//! and the monomorphized driver both serve from, plus the legacy
+//! mutex-guarded [`BatchScheduler`].
 //!
-//! Workers pull up to `batch_size` jobs per lock acquisition instead of
-//! one, so the queue mutex is taken `N / batch_size` times rather than
-//! `N` times, and downstream batch APIs
-//! ([`Gateway::hello_batch`](crate::gateway::Gateway::hello_batch)) can
-//! amortize their point-multiplication setup over the whole batch.
+//! # The lane-affine scheduler
+//!
+//! The pre-multicore fleet drained one global `Mutex<VecDeque>` of
+//! *global* device indices. That design has three scaling defects:
+//! every worker contends on one lock, a popped batch mixes curve lanes
+//! (fragmenting the one-inversion-per-batch and comb-amortization
+//! contracts into per-lane sub-batches), and each pop allocates a
+//! fresh `Vec`.
+//!
+//! [`LaneScheduler`] replaces it with per-lane chunked work queues:
+//!
+//! * each lane's jobs are pre-chunked into fixed `batch_size` chunks
+//!   at construction, so a batch **never crosses a lane** (debug
+//!   asserted on every claim) and chunk boundaries are identical for
+//!   every worker count — batched crypto work is bit-for-bit the same
+//!   at 1 thread and at 16;
+//! * a claim is one `fetch_add` on the lane's chunk cursor — no lock,
+//!   no allocation; the batch is handed off as a slot [`Range`], not a
+//!   `Vec`;
+//! * each cursor lives on its own cache line ([`CachePadded`]), so
+//!   workers hammering different lanes never false-share;
+//! * workers are pinned to a **home lane** (assigned greedily in
+//!   proportion to lane size by [`LaneScheduler::home_lanes`]) and
+//!   **steal whole chunks** from other lanes once home is drained — a
+//!   big K-163 lane keeps every core busy instead of serializing
+//!   behind drained small lanes, and a stolen chunk still never mixes
+//!   lanes.
+//!
+//! Per-worker [`StealStats`] (home/stolen batch counts, served jobs,
+//! integrated queue depth) are returned to the caller, which threads
+//! them into the observability counters when telemetry is on.
 
 use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// A shared FIFO of pending jobs.
+/// Pads (and aligns) its contents to 128 bytes — two 64-byte lines, so
+/// adjacent cursors stay apart even under the adjacent-line prefetcher.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+/// One lane's chunked work queue. Chunks are implicit — chunk `i`
+/// covers slots `i*chunk .. min((i+1)*chunk, jobs)` — so the whole
+/// queue is a job count plus one cache-padded claim cursor.
+#[derive(Debug)]
+struct LaneQueue {
+    /// Jobs (device slots) in this lane.
+    jobs: usize,
+    /// Chunk size (the scheduler-wide batch size).
+    chunk: usize,
+    /// Total chunks: `ceil(jobs / chunk)`.
+    chunks: usize,
+    /// Next unclaimed chunk index. May race past `chunks`; claims
+    /// compare against `chunks` so overshoot is harmless.
+    head: CachePadded<AtomicUsize>,
+}
+
+/// One claimed batch: a contiguous slot range inside exactly one lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneBatch {
+    /// The lane every slot in this batch belongs to.
+    pub lane: usize,
+    /// Lane-local device slots (contiguous; never crosses the lane).
+    pub slots: Range<usize>,
+    /// Whether this batch was stolen from a non-home lane.
+    pub stolen: bool,
+}
+
+/// Per-worker scheduler telemetry, owned by the worker (no sharing, so
+/// no false sharing) and folded into the run's counters afterwards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StealStats {
+    /// Batches claimed from the worker's home lane.
+    pub home_batches: u64,
+    /// Batches stolen from other lanes after home drained.
+    pub stolen_batches: u64,
+    /// Total jobs served across all claimed batches.
+    pub jobs: u64,
+    /// Sum over claims of the claimed lane's post-claim queue depth
+    /// (in chunks); divided by total claims it gives the mean depth
+    /// the scheduler was drained at.
+    pub queue_depth_sum: u64,
+}
+
+impl StealStats {
+    /// Total batches claimed (home + stolen).
+    pub fn batches(&self) -> u64 {
+        self.home_batches + self.stolen_batches
+    }
+}
+
+/// The lane-affine work-stealing scheduler. See the module docs for
+/// the design; the short version: per-lane chunk cursors, lock-free
+/// allocation-free claims, whole-chunk steals across lanes.
+#[derive(Debug)]
+pub struct LaneScheduler {
+    lanes: Box<[LaneQueue]>,
+}
+
+impl LaneScheduler {
+    /// A scheduler over `lane_jobs[l]` jobs per lane, chunked into
+    /// `batch_size` batches (clamped to at least 1).
+    pub fn new(lane_jobs: &[usize], batch_size: usize) -> Self {
+        assert!(!lane_jobs.is_empty(), "scheduler needs at least one lane");
+        let chunk = batch_size.max(1);
+        let lanes = lane_jobs
+            .iter()
+            .map(|&jobs| LaneQueue {
+                jobs,
+                chunk,
+                chunks: jobs.div_ceil(chunk),
+                head: CachePadded(AtomicUsize::new(0)),
+            })
+            .collect();
+        Self { lanes }
+    }
+
+    /// Number of lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Total jobs across all lanes.
+    pub fn total_jobs(&self) -> usize {
+        self.lanes.iter().map(|l| l.jobs).sum()
+    }
+
+    /// Unclaimed chunks currently queued on `lane`.
+    pub fn queue_depth(&self, lane: usize) -> usize {
+        let q = &self.lanes[lane];
+        q.chunks.saturating_sub(q.head.0.load(Ordering::Relaxed))
+    }
+
+    /// Jobs not yet claimed by any worker (snapshot; racy by nature).
+    pub fn remaining(&self) -> usize {
+        self.lanes
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let depth = self.queue_depth(i);
+                if depth == 0 {
+                    0
+                } else {
+                    // The deepest queued chunk may be the ragged tail.
+                    (depth - 1) * q.chunk + (q.jobs - (q.chunks - 1) * q.chunk).min(q.chunk)
+                }
+            })
+            .sum()
+    }
+
+    /// Claim the next batch for a worker whose home lane is `home`:
+    /// the home lane first, then cyclically probing the other lanes
+    /// (whole-chunk steals). `None` means every lane is drained.
+    pub fn next_batch(&self, home: usize, stats: &mut StealStats) -> Option<LaneBatch> {
+        let n = self.lanes.len();
+        for probe in 0..n {
+            let lane = (home + probe) % n;
+            let q = &self.lanes[lane];
+            // Cheap pre-check keeps drained lanes read-only (no
+            // cross-core cursor bouncing once a lane empties).
+            if q.chunks == 0 || q.head.0.load(Ordering::Relaxed) >= q.chunks {
+                continue;
+            }
+            let claimed = q.head.0.fetch_add(1, Ordering::Relaxed);
+            if claimed >= q.chunks {
+                continue; // lost the race for the lane's last chunk
+            }
+            let start = claimed * q.chunk;
+            let end = (start + q.chunk).min(q.jobs);
+            // The no-lane-crossing contract: a batch is a non-empty
+            // slot range strictly inside its lane.
+            debug_assert!(
+                start < end && end <= q.jobs,
+                "batch {start}..{end} escapes lane {lane} ({} jobs)",
+                q.jobs
+            );
+            let stolen = probe != 0;
+            if stolen {
+                stats.stolen_batches += 1;
+            } else {
+                stats.home_batches += 1;
+            }
+            stats.jobs += (end - start) as u64;
+            stats.queue_depth_sum += (q.chunks - claimed - 1) as u64;
+            return Some(LaneBatch {
+                lane,
+                slots: start..end,
+                stolen,
+            });
+        }
+        None
+    }
+
+    /// Greedy proportional home-lane assignment for `workers` workers:
+    /// each worker homes on the lane with the most jobs per already
+    /// assigned worker, so big lanes get more workers while every lane
+    /// with work tends to get at least one (steals cover the rest).
+    pub fn home_lanes(&self, workers: usize) -> Vec<usize> {
+        let mut assigned = vec![0usize; self.lanes.len()];
+        (0..workers.max(1))
+            .map(|_| {
+                let mut best = 0usize;
+                for (l, q) in self.lanes.iter().enumerate().skip(1) {
+                    // jobs/(assigned+1) compared by cross-multiplication
+                    // (exact); ties go to the lane with fewer workers so
+                    // coverage spreads before lanes double up.
+                    let lhs = q.jobs as u128 * (assigned[best] + 1) as u128;
+                    let rhs = self.lanes[best].jobs as u128 * (assigned[l] + 1) as u128;
+                    if lhs > rhs || (lhs == rhs && assigned[l] < assigned[best]) {
+                        best = l;
+                    }
+                }
+                assigned[best] += 1;
+                best
+            })
+            .collect()
+    }
+
+    /// Spawn `workers` scoped worker threads over this scheduler, each
+    /// pinned to its greedy home lane, and hand every thread its
+    /// [`LaneWorker`] claim handle. Both the curve-erased hub and the
+    /// monomorphized `run_fleet_on` drive their serving loops through
+    /// this one harness, so they measure the same execution model.
+    pub fn run_workers<R, F>(&self, workers: usize, worker: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(LaneWorker<'_>) -> R + Sync,
+    {
+        let workers = workers.max(1);
+        let homes = self.home_lanes(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let worker = &worker;
+                    let home = homes[w];
+                    scope.spawn(move || {
+                        worker(LaneWorker {
+                            sched: self,
+                            index: w,
+                            home,
+                            stats: StealStats::default(),
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("lane worker panicked"))
+                .collect()
+        })
+    }
+}
+
+/// One worker's claim handle: its index, home lane, and the stats its
+/// claims accumulate (worker-owned, merged after the scope joins).
+#[derive(Debug)]
+pub struct LaneWorker<'a> {
+    sched: &'a LaneScheduler,
+    /// This worker's index (stable across the run; seeds its RNG).
+    pub index: usize,
+    /// The lane this worker drains before stealing.
+    pub home: usize,
+    stats: StealStats,
+}
+
+impl LaneWorker<'_> {
+    /// Claim the next batch (home lane first, then steals).
+    #[inline]
+    pub fn next_batch(&mut self) -> Option<LaneBatch> {
+        self.sched.next_batch(self.home, &mut self.stats)
+    }
+
+    /// The stats accumulated by this worker's claims so far.
+    pub fn stats(&self) -> StealStats {
+        self.stats
+    }
+}
+
+/// A shared FIFO of pending jobs, drained in batches under one mutex.
+///
+/// This is the legacy scheduler the fleet served from before the
+/// lane-affine [`LaneScheduler`]; it remains for generic producer/
+/// consumer workloads (it supports `push`, which the static lane
+/// scheduler does not need) and as the baseline the fleet bench
+/// measures the lock-free claim path against.
 #[derive(Debug, Default)]
 pub struct BatchScheduler<T> {
     queue: Mutex<VecDeque<T>>,
@@ -31,12 +310,24 @@ impl<T> BatchScheduler<T> {
             .push_back(job);
     }
 
-    /// Dequeue up to `max` jobs in one lock acquisition. An empty
+    /// Dequeue up to `max` jobs in one lock acquisition into `out`
+    /// (cleared first), reusing the caller's buffer so a worker loop
+    /// allocates once instead of once per pop. An empty `out` on
     /// return means the queue is drained.
-    pub fn pop_batch(&self, max: usize) -> Vec<T> {
+    pub fn pop_batch_into(&self, max: usize, out: &mut Vec<T>) {
+        out.clear();
         let mut q = self.queue.lock().expect("scheduler queue poisoned");
         let take = max.max(1).min(q.len());
-        q.drain(..take).collect()
+        out.extend(q.drain(..take));
+    }
+
+    /// Dequeue up to `max` jobs into a fresh `Vec`. Prefer
+    /// [`pop_batch_into`](Self::pop_batch_into) in loops — this
+    /// convenience form allocates per call.
+    pub fn pop_batch(&self, max: usize) -> Vec<T> {
+        let mut out = Vec::new();
+        self.pop_batch_into(max, &mut out);
+        out
     }
 
     /// Jobs still queued.
@@ -70,21 +361,164 @@ mod tests {
     }
 
     #[test]
+    fn pop_batch_into_reuses_the_buffer() {
+        let s = BatchScheduler::new(0..100u32);
+        let mut buf: Vec<u32> = Vec::with_capacity(64);
+        let ptr = buf.as_ptr();
+        let mut seen = 0usize;
+        loop {
+            s.pop_batch_into(32, &mut buf);
+            if buf.is_empty() {
+                break;
+            }
+            seen += buf.len();
+        }
+        assert_eq!(seen, 100);
+        // Capacity was never exceeded, so the allocation is the one the
+        // caller made up front.
+        assert_eq!(buf.as_ptr(), ptr);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
     fn concurrent_workers_process_each_job_once() {
         let s = BatchScheduler::new(0..1000u32);
         let done = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..4 {
-                scope.spawn(|| loop {
-                    let batch = s.pop_batch(16);
-                    if batch.is_empty() {
-                        break;
+                scope.spawn(|| {
+                    let mut buf = Vec::with_capacity(16);
+                    loop {
+                        s.pop_batch_into(16, &mut buf);
+                        if buf.is_empty() {
+                            break;
+                        }
+                        done.fetch_add(buf.len(), Ordering::Relaxed);
                     }
-                    done.fetch_add(batch.len(), Ordering::Relaxed);
                 });
             }
         });
         assert_eq!(done.load(Ordering::Relaxed), 1000);
         assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn lane_scheduler_chunks_never_cross_lanes() {
+        let sizes = [10usize, 0, 33, 7];
+        let s = LaneScheduler::new(&sizes, 8);
+        assert_eq!(s.lane_count(), 4);
+        assert_eq!(s.total_jobs(), 50);
+        assert_eq!(s.remaining(), 50);
+        let mut stats = StealStats::default();
+        let mut seen: Vec<Vec<bool>> = sizes.iter().map(|&n| vec![false; n]).collect();
+        while let Some(b) = s.next_batch(0, &mut stats) {
+            assert!(b.slots.end <= sizes[b.lane], "batch escaped its lane");
+            assert!(b.slots.len() <= 8);
+            for slot in b.slots {
+                assert!(!seen[b.lane][slot], "slot delivered twice");
+                seen[b.lane][slot] = true;
+            }
+        }
+        assert!(seen.iter().flatten().all(|&x| x));
+        assert_eq!(stats.jobs, 50);
+        // Chunk counts: ceil(10/8)+0+ceil(33/8)+ceil(7/8) = 2+0+5+1.
+        assert_eq!(stats.batches(), 8);
+        assert_eq!(s.remaining(), 0);
+        assert_eq!(s.queue_depth(2), 0);
+    }
+
+    #[test]
+    fn home_lane_assignment_is_proportional() {
+        let s = LaneScheduler::new(&[4096, 64, 2048], 64);
+        // 4 workers: lane0 (4096), lane2 (2048), lane0 (2048/worker
+        // beats 2048/2), lane2 tie-break… greedy by jobs/(assigned+1).
+        let homes = s.home_lanes(4);
+        assert_eq!(homes.len(), 4);
+        assert_eq!(homes[0], 0);
+        assert_eq!(homes[1], 2);
+        // Every worker homes on a lane that has work.
+        assert!(homes.iter().all(|&h| [0usize, 2].contains(&h)));
+        // One worker still reaches lane 1 by stealing.
+        let mut stats = StealStats::default();
+        let mut lanes_served = std::collections::HashSet::new();
+        while let Some(b) = s.next_batch(homes[0], &mut stats) {
+            lanes_served.insert(b.lane);
+        }
+        assert_eq!(lanes_served.len(), 3);
+        assert!(stats.stolen_batches > 0);
+    }
+
+    #[test]
+    fn skewed_lane_is_drained_by_stealing() {
+        // The deliberately skewed fleet: one big lane (4096) and one
+        // small (64). A worker homed on the small lane drains its 4
+        // chunks, then steals all 256 big-lane chunks whole.
+        let s = LaneScheduler::new(&[4096, 64], 16);
+        let mut stats = StealStats::default();
+        let mut home_jobs = 0u64;
+        let mut stolen_jobs = 0u64;
+        while let Some(b) = s.next_batch(1, &mut stats) {
+            if b.stolen {
+                assert_eq!(b.lane, 0, "steals come from the big lane");
+                stolen_jobs += b.slots.len() as u64;
+            } else {
+                assert_eq!(b.lane, 1);
+                home_jobs += b.slots.len() as u64;
+            }
+        }
+        assert_eq!(stats.home_batches, 4);
+        assert_eq!(stats.stolen_batches, 256);
+        assert_eq!(home_jobs, 64);
+        assert_eq!(stolen_jobs, 4096);
+        assert_eq!(stats.jobs, 4160);
+    }
+
+    #[test]
+    fn run_workers_delivers_every_job_exactly_once() {
+        for workers in [1usize, 2, 8, 16] {
+            for sizes in [vec![977usize], vec![401, 128, 64, 16, 1]] {
+                let s = LaneScheduler::new(&sizes, 8);
+                let cells: Vec<Vec<AtomicUsize>> = sizes
+                    .iter()
+                    .map(|&n| (0..n).map(|_| AtomicUsize::new(0)).collect())
+                    .collect();
+                let stats = s.run_workers(workers, |mut w| {
+                    while let Some(b) = w.next_batch() {
+                        for slot in b.slots {
+                            cells[b.lane][slot].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    w.stats()
+                });
+                for lane in &cells {
+                    for c in lane {
+                        assert_eq!(c.load(Ordering::Relaxed), 1, "{workers} workers");
+                    }
+                }
+                let total: u64 = stats.iter().map(|s| s.jobs).sum();
+                assert_eq!(total, sizes.iter().sum::<usize>() as u64);
+                assert_eq!(s.remaining(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries_are_identical_for_any_worker_count() {
+        // The determinism backbone: the multiset of claimed batches is
+        // a pure function of (lane sizes, batch size).
+        let collect = |workers: usize| {
+            let s = LaneScheduler::new(&[100, 37], 16);
+            let mut batches = Mutex::new(Vec::new());
+            s.run_workers(workers, |mut w| {
+                while let Some(b) = w.next_batch() {
+                    batches.lock().unwrap().push((b.lane, b.slots));
+                }
+            });
+            let mut v = batches.get_mut().unwrap().clone();
+            v.sort_by_key(|(lane, r)| (*lane, r.start));
+            v
+        };
+        assert_eq!(collect(1), collect(4));
+        assert_eq!(collect(1), collect(16));
     }
 }

@@ -21,7 +21,7 @@ use crate::gateway::FleetError;
 use crate::gateway::Gateway;
 use crate::registry::{provision, DeviceId, FleetDevice};
 use crate::report::FleetReport;
-use crate::scheduler::BatchScheduler;
+use crate::scheduler::{LaneScheduler, LaneWorker};
 #[cfg(test)]
 use medsec_protocols::wire::DecodeError;
 
@@ -244,23 +244,15 @@ pub fn run_fleet_on<C: CurveSpec>(cfg: &FleetConfig) -> FleetReport {
         .into_iter()
         .map(Mutex::new)
         .collect();
-    let scheduler = BatchScheduler::new(0..devices.len());
+    // The monomorphized driver is the degenerate single-lane case of
+    // the same lane-affine scheduler the hub serves from, so the two
+    // paths measure one execution model (the `suite_dispatch` bench
+    // relies on this when it pins the hub's overhead).
+    let scheduler = LaneScheduler::new(&[devices.len()], cfg.batch_size);
 
     let start = Instant::now();
-    let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|w| {
-                let gateway = &gateway;
-                let devices = &devices;
-                let scheduler = &scheduler;
-                scope.spawn(move || worker_loop(w, cfg, gateway, devices, scheduler))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("fleet worker panicked"))
-            .collect()
-    });
+    let tallies: Vec<WorkerTally> =
+        scheduler.run_workers(threads, |w| worker_loop(w, cfg, &gateway, &devices));
     let wall_s = start.elapsed().as_secs_f64().max(1e-9);
 
     // Aggregate device-side energy.
@@ -331,17 +323,18 @@ pub fn run_fleet_on<C: CurveSpec>(cfg: &FleetConfig) -> FleetReport {
     report
 }
 
-/// One worker: drain the scheduler in batches, running each device's
-/// session against the gateway.
+/// One worker: claim batches from the (single-lane) scheduler, running
+/// each device's session against the gateway. The partition buffers
+/// are reused across batches — the steady-state loop allocates nothing
+/// for scheduling or partitioning.
 fn worker_loop<C: CurveSpec>(
-    worker: usize,
+    mut w: LaneWorker<'_>,
     cfg: &FleetConfig,
     gateway: &Gateway<C>,
     devices: &[Mutex<FleetDevice<C>>],
-    scheduler: &BatchScheduler<usize>,
 ) -> WorkerTally {
     let mut tally = WorkerTally::default();
-    let mut rng = SplitMix64::new(cfg.seed ^ 0xB47C_0000_0000_0000 ^ worker as u64);
+    let mut rng = SplitMix64::new(cfg.seed ^ 0xB47C_0000_0000_0000 ^ w.index as u64);
     // The gateway is wall-powered; its ledger exists to size the rack,
     // using the same calibrated models.
     let mut server_ledger = EnergyLedger::new(
@@ -349,17 +342,14 @@ fn worker_loop<C: CurveSpec>(
         RadioModel::first_order_default(),
         2.0,
     );
+    let mut mutual_jobs: Vec<usize> = Vec::new();
+    let mut ph_jobs: Vec<usize> = Vec::new();
 
-    loop {
-        let batch = scheduler.pop_batch(cfg.batch_size);
-        if batch.is_empty() {
-            break;
-        }
-
+    while let Some(batch) = w.next_batch() {
         // Partition by protocol family so hello generation can batch.
-        let mut mutual_jobs: Vec<usize> = Vec::with_capacity(batch.len());
-        let mut ph_jobs: Vec<usize> = Vec::new();
-        for idx in batch {
+        mutual_jobs.clear();
+        ph_jobs.clear();
+        for idx in batch.slots {
             let kind = devices[idx].lock().expect("device poisoned").profile.kind;
             if kind.uses_mutual_auth() {
                 mutual_jobs.push(idx);
@@ -455,7 +445,7 @@ fn worker_loop<C: CurveSpec>(
         // machine is sequential by design, but the expensive round-3
         // identifications all go through one gateway batch.
         let mut ph_responses: Vec<(DeviceId, bytes::Bytes)> = Vec::with_capacity(ph_jobs.len());
-        for idx in ph_jobs {
+        for &idx in &ph_jobs {
             let mut guard = devices[idx].lock().expect("device poisoned");
             let d = &mut *guard;
             let id = d.profile.id;

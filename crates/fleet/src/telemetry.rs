@@ -90,6 +90,18 @@ impl WorkerObs {
         }
     }
 
+    /// Bump the free-form counter `key` by `n` (dropped when disabled
+    /// or zero — absent counters read as zero in the merged view).
+    #[inline]
+    pub(crate) fn count(&mut self, key: &'static str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let WorkerObs::On(rec) = self {
+            rec.count(key, n);
+        }
+    }
+
     /// The live recorder, if any (for post-join merging).
     pub(crate) fn into_recorder(self) -> Option<Box<StageRecorder>> {
         match self {
@@ -110,6 +122,7 @@ mod tests {
         assert!(obs.begin().is_none());
         obs.end(None, 0, Stage::Hello);
         obs.session_latency(0, 1234, 1);
+        obs.count("sched_stolen_batches", 7);
         assert!(obs.into_recorder().is_none());
     }
 
@@ -120,7 +133,11 @@ mod tests {
         std::hint::black_box((0..10_000u64).sum::<u64>());
         obs.end(t, 1, Stage::Verify);
         obs.session_latency(1, 500, 4);
+        obs.count("sched_home_batches", 3);
+        obs.count("sched_home_batches", 2);
+        obs.count("sched_stolen_batches", 0); // zero: dropped
         let rec = obs.into_recorder().expect("enabled");
+        assert_eq!(rec.counters(), &[("sched_home_batches", 5)]);
         let lane = &rec.lanes()[1];
         assert_eq!(lane.stage_calls[Stage::Verify.index()], 1);
         assert!(lane.stage_ns[Stage::Verify.index()] > 0);
