@@ -389,10 +389,11 @@ mod tests {
         assert!(report.contains("scaling gate"));
         assert!(json.contains("\"toy17\":{"));
         // The recorded backend is whatever the process resolved to
-        // (clmul on CLMUL-capable hosts, fast otherwise, or the
-        // MEDSEC_GF2M_BACKEND override the CI matrix forces).
+        // (vpclmul on AVX-512 hosts, clmul on CLMUL-capable hosts,
+        // bitsliced otherwise, or the MEDSEC_GF2M_BACKEND override the
+        // CI matrix forces).
         let backend = medsec_gf2m::backend::active_backend_name();
-        assert!(["clmul", "fast", "model"].contains(&backend));
+        assert!(["vpclmul", "clmul", "bitsliced", "fast", "model"].contains(&backend));
         assert!(json.contains(&format!("\"backend\":\"{backend}\"")));
         assert!(json.contains(
             "\"varbase\":{\"toy17\":\"ladder\",\"k163\":\"tnaf\",\"k233\":\"tnaf\",\"k283\":\"tnaf\"}"

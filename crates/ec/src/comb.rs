@@ -29,7 +29,7 @@ use std::sync::Arc;
 use medsec_gf2m::{batch_invert, Element, Registry};
 
 use crate::curve::{CurveSpec, Point};
-use crate::proj::LdPoint;
+use crate::proj::{add_affine_batch, double_batch, LdPoint, PointScratch};
 use crate::scalar::Scalar;
 
 /// Precomputed Lim–Lee comb for multiples of one fixed base point.
@@ -115,12 +115,21 @@ impl<C: CurveSpec> FixedBaseComb<C> {
 
     /// `k·G` for every scalar in `ks`, sharing the per-column structure
     /// and normalizing all results with a single batched inversion.
+    ///
+    /// The column loop runs SoA-style across the whole batch: one
+    /// [`double_batch`] per column (all accumulators), then one
+    /// [`add_affine_batch`] over the scalars whose digit is nonzero —
+    /// so every field operation is a batched plane op eligible for the
+    /// `VPCLMULQDQ`/bitsliced backends.
     pub fn mul_batch(&self, ks: &[Scalar<C>]) -> Vec<Point<C>> {
         let b = C::b();
         let mut accs: Vec<LdPoint<C>> = vec![LdPoint::infinity(); ks.len()];
+        let mut scratch = PointScratch::default();
+        let mut jobs: Vec<(usize, Point<C>)> = Vec::with_capacity(ks.len());
         for col in (0..self.spacing).rev() {
-            for (acc, k) in accs.iter_mut().zip(ks) {
-                *acc = acc.double(b);
+            double_batch(&mut accs, b, &mut scratch);
+            jobs.clear();
+            for (i, k) in ks.iter().enumerate() {
                 let mut digit = 0usize;
                 for tooth in 0..self.window {
                     if k.bit(tooth * self.spacing + col) {
@@ -128,9 +137,10 @@ impl<C: CurveSpec> FixedBaseComb<C> {
                     }
                 }
                 if digit != 0 {
-                    *acc = acc.add_affine(&self.table[digit - 1], b);
+                    jobs.push((i, self.table[digit - 1]));
                 }
             }
+            add_affine_batch(&mut accs, &jobs, b, &mut scratch);
         }
         // One inversion for the whole batch.
         let mut zs: Vec<Element<C::Field>> = accs.iter().map(|p| p.z).collect();

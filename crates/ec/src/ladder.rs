@@ -296,13 +296,58 @@ pub fn ladder_x_affine<C: CurveSpec>(state: &LadderState<C>) -> Option<Element<C
 /// worth of ECDH frames runs all the x-only ladders first, then pays
 /// one inversion to normalize every shared secret.
 pub fn batch_x_affine<C: CurveSpec>(states: &[LadderState<C>]) -> Vec<Option<Element<C::Field>>> {
-    let mut zs: Vec<Element<C::Field>> = states.iter().map(|s| s.z1).collect();
-    medsec_gf2m::batch_invert(&mut zs);
-    states
-        .iter()
-        .zip(zs)
-        .map(|(s, zinv)| (!s.z1.is_zero()).then(|| s.x1 * zinv))
-        .collect()
+    let mut out = Vec::with_capacity(states.len());
+    batch_x_affine_into(states, &mut XAffineScratch::default(), &mut out);
+    out
+}
+
+/// Reusable scratch for [`batch_x_affine_into`]: the Z plane batch, the
+/// X plane batch, the product planes, and the batch-inversion scratch.
+/// Non-generic, so one instance serves every curve a worker handles —
+/// hub workers hold one per thread and steady-state normalization does
+/// no allocation.
+#[derive(Debug, Clone, Default)]
+pub struct XAffineScratch {
+    zs: medsec_gf2m::Planes,
+    xs: medsec_gf2m::Planes,
+    prod: medsec_gf2m::Planes,
+    inv: medsec_gf2m::InvScratch,
+}
+
+impl XAffineScratch {
+    /// Core of the `x·Z⁻¹` normalization shared by the ladder and τNAF
+    /// x-batch paths: fills `out` with `Some(x_i / z_i)` per pair
+    /// (`None` where `z_i = 0`), one batched inversion plus one batched
+    /// plane multiplication, zero steady-state allocation.
+    pub(crate) fn x_over_z<F: medsec_gf2m::FieldSpec>(
+        &mut self,
+        pairs: impl ExactSizeIterator<Item = (Element<F>, Element<F>)>,
+        out: &mut Vec<Option<Element<F>>>,
+    ) {
+        let n = pairs.len();
+        self.zs.reset(n);
+        self.xs.reset(n);
+        for (i, (x, z)) in pairs.enumerate() {
+            self.xs.set(i, &x);
+            self.zs.set(i, &z);
+        }
+        medsec_gf2m::batch_invert_planes::<F>(&mut self.zs, &mut self.inv);
+        medsec_gf2m::mul_planes::<F>(&mut self.prod, &self.xs, &self.zs);
+        out.clear();
+        out.extend((0..n).map(|i| (!self.zs.is_zero_at(i)).then(|| self.prod.get(i))));
+    }
+}
+
+/// [`batch_x_affine`] with caller-owned scratch and output buffer: the
+/// inversion runs on the plane-major batch path
+/// ([`medsec_gf2m::batch_invert_planes`]) and the final `x·Z⁻¹` is one
+/// batched plane multiplication. `out` is cleared and refilled.
+pub fn batch_x_affine_into<C: CurveSpec>(
+    states: &[LadderState<C>],
+    scratch: &mut XAffineScratch,
+    out: &mut Vec<Option<Element<C::Field>>>,
+) {
+    scratch.x_over_z::<C::Field>(states.iter().map(|s| (s.x1, s.z1)), out);
 }
 
 /// Field-operation budget of one combined ladder iteration, used by the

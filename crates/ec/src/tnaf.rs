@@ -47,7 +47,7 @@ use std::sync::Arc;
 use medsec_gf2m::{batch_invert, Element, FieldSpec, Registry};
 
 use crate::curve::{CurveSpec, Point};
-use crate::proj::{batch_to_affine, LdPoint};
+use crate::proj::{add_affine_batch, batch_to_affine, tau_batch, LdPoint, PointScratch};
 use crate::scalar::Scalar;
 
 /// Window width for variable-base tables (built per call: the table is
@@ -652,27 +652,43 @@ struct Stream<'a, C: CurveSpec> {
     table: &'a [Point<C>],
 }
 
-/// Horner evaluation of one or more τNAF digit streams sharing the τ
-/// applications: `acc ← τ(acc)` once per position, plus one mixed
-/// addition per nonzero digit of any stream.
-fn eval_streams<C: CurveSpec>(streams: &[Stream<'_, C>]) -> LdPoint<C> {
+/// Lockstep Horner evaluation of a whole batch of τNAF accumulators,
+/// each driven by one or more digit streams (`item_streams[i]` are the
+/// streams of accumulator `i`). Per position, `τ` is applied to every
+/// accumulator in one [`tau_batch`] (three batched squarings), then
+/// each stream *slot* contributes one [`add_affine_batch`] over the
+/// accumulators whose digit at that position is nonzero — slots keep
+/// accumulator indices distinct within a jobs list. All field work runs
+/// on the plane-major batch entry points.
+fn eval_streams_batch<C: CurveSpec>(item_streams: &[Vec<Stream<'_, C>>]) -> Vec<LdPoint<C>> {
     let b = C::b();
-    let len = streams.iter().map(|s| s.digits.len()).max().unwrap_or(0);
-    let mut acc = LdPoint::<C>::infinity();
+    let len = item_streams
+        .iter()
+        .flat_map(|ss| ss.iter().map(|s| s.digits.len()))
+        .max()
+        .unwrap_or(0);
+    let slots = item_streams.iter().map(|ss| ss.len()).max().unwrap_or(0);
+    let mut accs = vec![LdPoint::<C>::infinity(); item_streams.len()];
+    let mut scratch = PointScratch::default();
+    let mut jobs: Vec<(usize, Point<C>)> = Vec::new();
     for i in (0..len).rev() {
-        acc = acc.tau();
-        for s in streams {
-            let Some(&u) = s.digits.get(i) else { continue };
-            if u == 0 {
-                continue;
+        tau_batch(&mut accs, &mut scratch);
+        for slot in 0..slots {
+            jobs.clear();
+            for (a, ss) in item_streams.iter().enumerate() {
+                let Some(s) = ss.get(slot) else { continue };
+                let Some(&u) = s.digits.get(i) else { continue };
+                if u == 0 {
+                    continue;
+                }
+                let idx = (u.unsigned_abs() as usize) / 2;
+                let entry = s.table[idx];
+                jobs.push((a, if u > 0 { entry } else { -entry }));
             }
-            let idx = (u.unsigned_abs() as usize) / 2;
-            let entry = s.table[idx];
-            let addend = if u > 0 { entry } else { -entry };
-            acc = acc.add_affine(&addend, b);
+            add_affine_batch(&mut accs, &jobs, b, &mut scratch);
         }
     }
-    acc
+    accs
 }
 
 // ---------------------------------------------------------------------
@@ -704,13 +720,26 @@ pub fn tnaf_mul_batch<C: CurveSpec>(items: &[(Scalar<C>, Point<C>)]) -> Vec<Poin
 pub fn tnaf_x_batch<C: CurveSpec>(
     items: &[(Scalar<C>, Point<C>)],
 ) -> Vec<Option<Element<C::Field>>> {
+    let mut out = Vec::with_capacity(items.len());
+    tnaf_x_batch_with(
+        items,
+        &mut crate::ladder::XAffineScratch::default(),
+        &mut out,
+    );
+    out
+}
+
+/// [`tnaf_x_batch`] with caller-owned normalization scratch — the
+/// hub-worker shape: the final `x·Z⁻¹` pass reuses the worker's
+/// [`XAffineScratch`](crate::ladder::XAffineScratch) buffers across
+/// batches. `out` is cleared and refilled.
+pub fn tnaf_x_batch_with<C: CurveSpec>(
+    items: &[(Scalar<C>, Point<C>)],
+    scratch: &mut crate::ladder::XAffineScratch,
+    out: &mut Vec<Option<Element<C::Field>>>,
+) {
     let accs = tnaf_mul_batch_proj(items);
-    let mut zs: Vec<Element<C::Field>> = accs.iter().map(|a| a.z).collect();
-    batch_invert(&mut zs);
-    accs.iter()
-        .zip(zs)
-        .map(|(a, zinv)| (!a.is_infinity()).then(|| a.x * zinv))
-        .collect()
+    scratch.x_over_z::<C::Field>(accs.iter().map(|a| (a.x, a.z)), out);
 }
 
 fn tnaf_mul_batch_proj<C: CurveSpec>(items: &[(Scalar<C>, Point<C>)]) -> Vec<LdPoint<C>> {
@@ -725,12 +754,14 @@ fn tnaf_mul_batch_proj<C: CurveSpec>(items: &[(Scalar<C>, Point<C>)]) -> Vec<LdP
     }
     // Phase 2: one inversion normalizes every table entry of the batch.
     let tables = normalize_tables(tables_proj);
-    // Phase 3: evaluation (projective; caller normalizes results).
-    digit_sets
+    // Phase 3: lockstep batched evaluation (projective; caller
+    // normalizes results).
+    let streams: Vec<Vec<Stream<'_, C>>> = digit_sets
         .iter()
         .zip(&tables)
-        .map(|(digits, table)| eval_streams(&[Stream { digits, table }]))
-        .collect()
+        .map(|(digits, table)| vec![Stream { digits, table }])
+        .collect();
+    eval_streams_batch(&streams)
 }
 
 /// `a·G + b·Q` in one interleaved (Strauss) pass: both scalars are
@@ -762,11 +793,9 @@ pub fn tnaf_mul_add_gen_batch<C: CurveSpec>(
         tables_proj.push(odd_multiples_proj(q, count));
     }
     let tables = normalize_tables(tables_proj);
-    let accs: Vec<LdPoint<C>> = items
-        .iter()
-        .enumerate()
-        .map(|(i, _)| {
-            eval_streams(&[
+    let streams: Vec<Vec<Stream<'_, C>>> = (0..items.len())
+        .map(|i| {
+            vec![
                 Stream {
                     digits: &gen_digits[i],
                     table: &gen_table,
@@ -775,10 +804,10 @@ pub fn tnaf_mul_add_gen_batch<C: CurveSpec>(
                     digits: &var_digits[i],
                     table: &tables[i],
                 },
-            ])
+            ]
         })
         .collect();
-    batch_to_affine(&accs)
+    batch_to_affine(&eval_streams_batch(&streams))
 }
 
 #[cfg(test)]

@@ -27,7 +27,9 @@
 use medsec_gf2m::{Element, FieldSpec};
 
 use crate::curve::{CurveSpec, Point};
-use crate::ladder::{batch_x_affine, ladder_mul, ladder_x_only, CoordinateBlinding, LadderState};
+use crate::ladder::{
+    batch_x_affine_into, ladder_mul, ladder_x_only, CoordinateBlinding, LadderState, XAffineScratch,
+};
 use crate::scalar::Scalar;
 use crate::tnaf;
 
@@ -109,13 +111,30 @@ pub fn varbase_mul_batch<C: CurveSpec>(
 /// normalized by one shared inversion — the gateway's ECDH shape.
 pub fn varbase_x_batch<C: CurveSpec>(
     items: &[(Scalar<C>, Point<C>)],
-    mut next_u64: impl FnMut() -> u64,
+    next_u64: impl FnMut() -> u64,
 ) -> Vec<Option<Element<C::Field>>> {
+    let mut out = Vec::with_capacity(items.len());
+    varbase_x_batch_with(items, next_u64, &mut XAffineScratch::default(), &mut out);
+    out
+}
+
+/// [`varbase_x_batch`] with caller-owned normalization scratch and
+/// output buffer — the hub-worker entry point: the batched-inversion
+/// and plane-multiplication buffers live in the worker's
+/// [`XAffineScratch`] and are reused across batches on both
+/// strategies. `out` is cleared and refilled.
+pub fn varbase_x_batch_with<C: CurveSpec>(
+    items: &[(Scalar<C>, Point<C>)],
+    mut next_u64: impl FnMut() -> u64,
+    scratch: &mut XAffineScratch,
+    out: &mut Vec<Option<Element<C::Field>>>,
+) {
+    out.clear();
     if items.is_empty() {
-        return Vec::new();
+        return;
     }
     match VarBaseStrategy::server_default::<C>() {
-        VarBaseStrategy::ServerTnaf => tnaf::tnaf_x_batch(items),
+        VarBaseStrategy::ServerTnaf => tnaf::tnaf_x_batch_with(items, scratch, out),
         VarBaseStrategy::ProtectedLadder => {
             // Mirror of the pre-seam gateway code: x-only ladders, one
             // batched inversion. Bases at infinity have no x and yield
@@ -133,12 +152,12 @@ pub fn varbase_x_batch<C: CurveSpec>(
                     live.push(i);
                 }
             }
-            let xs = batch_x_affine(&states);
-            let mut out = vec![None; items.len()];
+            let mut xs = Vec::with_capacity(states.len());
+            batch_x_affine_into(&states, scratch, &mut xs);
+            out.resize(items.len(), None);
             for (slot, x) in live.into_iter().zip(xs) {
                 out[slot] = x;
             }
-            out
         }
     }
 }

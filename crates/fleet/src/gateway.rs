@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 use bytes::Bytes;
-use medsec_ec::{varbase_x_batch, CurveSpec, KeyPair, Point, Scalar};
+use medsec_ec::{varbase_x_batch_with, CurveSpec, KeyPair, Point, Scalar, XAffineScratch};
 use medsec_lwc::{Aes128, BlockCipher};
 use medsec_protocols::mutual::{self, Pairing};
 use medsec_protocols::peeters_hermans::{PhReader, PhTranscript};
@@ -243,6 +243,20 @@ impl<C: CurveSpec> Gateway<C> {
         frames: &[(DeviceId, &[u8])],
         ledger: &mut EnergyLedger,
     ) -> Vec<(DeviceId, Result<Vec<u8>, FleetError>)> {
+        self.telemetry_batch_with(frames, ledger, &mut XAffineScratch::default())
+    }
+
+    /// [`telemetry_batch`](Self::telemetry_batch) with caller-owned
+    /// normalization scratch: hub workers thread their per-thread
+    /// [`XAffineScratch`] through here so the batched inversion and
+    /// `x·Z⁻¹` plane buffers are reused across serving waves instead of
+    /// reallocated per batch.
+    pub fn telemetry_batch_with(
+        &self,
+        frames: &[(DeviceId, &[u8])],
+        ledger: &mut EnergyLedger,
+        ec: &mut XAffineScratch,
+    ) -> Vec<(DeviceId, Result<Vec<u8>, FleetError>)> {
         let mut results: Vec<(DeviceId, Result<Vec<u8>, FleetError>)> = frames
             .iter()
             .map(|&(id, _)| (id, Err(FleetError::NoSession(id))))
@@ -345,7 +359,8 @@ impl<C: CurveSpec> Gateway<C> {
         // Blinding stream for the ladder-fallback path only (the τNAF
         // path is deterministic; these are not device secrets).
         let mut seq = self.derive_seq(live.first().map(|&s| decoded[s].1).unwrap_or(0));
-        let shared_xs = varbase_x_batch(&items, &mut seq);
+        let mut shared_xs = Vec::with_capacity(items.len());
+        varbase_x_batch_with(&items, &mut seq, ec, &mut shared_xs);
 
         // Phase 4: symmetric verification + decryption per frame, and
         // completions grouped by shard for the write-back.
@@ -470,8 +485,21 @@ impl<C: CurveSpec> Gateway<C> {
     pub fn ph_identify_batch(
         &self,
         responses: &[(DeviceId, &[u8])],
+        next_u64: impl FnMut() -> u64,
+        ledger: &mut EnergyLedger,
+    ) -> Vec<(DeviceId, Result<DeviceId, FleetError>)> {
+        self.ph_identify_batch_with(responses, next_u64, ledger, &mut XAffineScratch::default())
+    }
+
+    /// [`ph_identify_batch`](Self::ph_identify_batch) with caller-owned
+    /// normalization scratch (see
+    /// [`telemetry_batch_with`](Self::telemetry_batch_with)).
+    pub fn ph_identify_batch_with(
+        &self,
+        responses: &[(DeviceId, &[u8])],
         mut next_u64: impl FnMut() -> u64,
         ledger: &mut EnergyLedger,
+        ec: &mut XAffineScratch,
     ) -> Vec<(DeviceId, Result<DeviceId, FleetError>)> {
         let mut results: Vec<(DeviceId, Result<DeviceId, FleetError>)> = responses
             .iter()
@@ -532,7 +560,9 @@ impl<C: CurveSpec> Gateway<C> {
             .collect();
         let transcripts: Vec<PhTranscript<C>> =
             live.iter().map(|&s| pulled[s].expect("live")).collect();
-        let found = self.reader.identify_batch(&transcripts, &mut next_u64);
+        let found = self
+            .reader
+            .identify_batch_with(&transcripts, &mut next_u64, ec);
 
         let mut identified = 0u64;
         let mut failures = 0u64;

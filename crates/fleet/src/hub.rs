@@ -27,7 +27,7 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use medsec_ec::{CurveSpec, Toy17, B163, K163, K233, K283};
+use medsec_ec::{CurveSpec, Toy17, XAffineScratch, B163, K163, K233, K283};
 use medsec_obs::{Event, EventKind, EventLog, Stage, Telemetry};
 use medsec_power::{EnergyReport, RadioModel};
 use medsec_protocols::mutual::{self, SessionOutcome};
@@ -513,6 +513,10 @@ struct ProtoScratch {
     ph: Vec<usize>,
     sym: Vec<usize>,
     schnorr: Vec<usize>,
+    /// Batched-inversion / plane-multiplication buffers for the ECDH
+    /// and PH normalization passes — non-generic, so the one instance
+    /// serves every curve lane this worker touches.
+    ec: XAffineScratch,
 }
 
 impl ProtoScratch {
@@ -638,6 +642,7 @@ fn serve_bucket<C: CurveSpec>(
         rng,
         server_ledger,
         tally,
+        &mut scratch.ec,
         obs,
         events,
     );
@@ -651,6 +656,7 @@ fn serve_bucket<C: CurveSpec>(
         rng,
         server_ledger,
         tally,
+        &mut scratch.ec,
         obs,
         events,
     );
@@ -704,6 +710,7 @@ fn serve_mutual<C: CurveSpec>(
     rng: &mut SplitMix64,
     server_ledger: &mut EnergyLedger,
     tally: &mut HubTally,
+    ec: &mut XAffineScratch,
     obs: &mut WorkerObs,
     events: Option<&EventLog>,
 ) -> u64 {
@@ -817,7 +824,9 @@ fn serve_mutual<C: CurveSpec>(
 
     let span = obs.begin();
     let mut completed = 0u64;
-    let verified = lane.gateway.telemetry_batch(&frame_refs, server_ledger);
+    let verified = lane
+        .gateway
+        .telemetry_batch_with(&frame_refs, server_ledger, ec);
     for ((id, _, expect, profile_id), (_, result)) in tele_frames.iter().zip(verified) {
         match result {
             Ok(plaintext) if plaintext == *expect => {
@@ -874,6 +883,7 @@ fn serve_ph<C: CurveSpec>(
     rng: &mut SplitMix64,
     server_ledger: &mut EnergyLedger,
     tally: &mut HubTally,
+    ec: &mut XAffineScratch,
     obs: &mut WorkerObs,
     events: Option<&EventLog>,
 ) -> u64 {
@@ -933,9 +943,9 @@ fn serve_ph<C: CurveSpec>(
 
     let span = obs.begin();
     let mut completed = 0u64;
-    let identified = lane
-        .gateway
-        .ph_identify_batch(&response_refs, rng.as_fn(), server_ledger);
+    let identified =
+        lane.gateway
+            .ph_identify_batch_with(&response_refs, rng.as_fn(), server_ledger, ec);
     for ((id, _, profile_id), (_, result)) in ph_responses.iter().zip(identified) {
         match result {
             Ok(found) if found == *id => {

@@ -1,6 +1,6 @@
 //! The backend seam: *what* the field computes, decoupled from *how*.
 //!
-//! Three implementations of the same F(2^m) arithmetic live behind
+//! Five implementations of the same F(2^m) arithmetic live behind
 //! [`FieldBackend`]:
 //!
 //! * [`ModelBackend`] — the bit-exact reference path (windowed-comb
@@ -11,12 +11,19 @@
 //! * [`FastBackend`] — the portable serving path: word-bounded comb
 //!   multiplication (only `ceil(m/64)` limbs do work), compile-time
 //!   squaring-spread tables, and word-level sparse-polynomial reduction.
-//! * [`ClmulBackend`] — the hardware serving path: `PCLMULQDQ`
+//! * [`ClmulBackend`] — the scalar hardware path: `PCLMULQDQ`
 //!   carry-less 64×64→128 multiplies under a word-level Karatsuba
 //!   (see [`crate::clmul`]), feeding the same word-level sparse
 //!   reduction. Runtime-detected; on hosts without the instruction it
 //!   falls back to a portable shift-and-add schoolbook, so the backend
 //!   is *correct* everywhere and *fast* where the silicon allows.
+//! * [`VpclmulBackend`] — the wide hardware path: scalar ops ride
+//!   CLMUL, but the batch entry points multiply four elements per
+//!   AVX-512 `VPCLMULQDQ` instruction over the plane-major SoA layout
+//!   of [`crate::batch`] (see [`crate::vpclmul`]).
+//! * [`BitslicedBackend`] — the wide portable path: batch entry points
+//!   run 64 products at once across `u64` bit-planes
+//!   (see [`crate::bitslice`]); scalar ops ride the fast comb.
 //!
 //! All backends produce identical canonical elements (proven by the
 //! exhaustive/property equivalence tests); only the instruction count
@@ -24,18 +31,21 @@
 //!
 //! [`Element`](crate::Element)'s operators route through
 //! [`ActiveBackend`], which dispatches on the process-wide
-//! [`select_backend`] choice — `clmul` where the CPU supports it,
-//! `fast` otherwise, overridable through the
-//! [`BACKEND_ENV`](crate::backend::BACKEND_ENV) environment variable
-//! (the CI matrix forces `fast` so the portable path cannot rot). The
-//! `*_model` methods on `Element` pin the reference path regardless of
-//! selection. Future backends (alternative fields, hardware offload)
-//! plug into the same trait.
+//! [`select_backend`] choice — `vpclmul` where the CPU supports the
+//! AVX-512 path, else `clmul`, else `bitsliced` — overridable through
+//! the [`BACKEND_ENV`](crate::backend::BACKEND_ENV) environment
+//! variable (the CI matrix forces `fast` and `bitsliced` legs so the
+//! portable paths cannot rot). The `*_model` methods on `Element` pin
+//! the reference path regardless of selection. Future backends
+//! (alternative fields, hardware offload) plug into the same trait.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU8, Ordering};
 
+use crate::batch::{self, Planes};
 use crate::field::{Element, FieldSpec};
 use crate::limbs;
+use crate::LIMBS;
 
 /// One way of carrying out F(2^m) arithmetic on canonical elements.
 ///
@@ -59,6 +69,41 @@ pub trait FieldBackend {
     /// only through their `mul`/`square` primitives.
     fn invert<F: FieldSpec>(a: &Element<F>) -> Option<Element<F>> {
         itoh_tsujii::<Self, F>(a)
+    }
+
+    /// Batched field multiplication over plane-major SoA slices (see
+    /// [`crate::batch`] for the layout): `out[i] = a[i] * b[i]` for
+    /// `n = out.len() / LIMBS` elements. `a` and `b` may alias each
+    /// other (not `out`). The default is a scalar gather/compute/
+    /// scatter loop over `Self::mul`; wide backends override it.
+    fn mul_batch<F: FieldSpec>(out: &mut [u64], a: &[u64], b: &[u64]) {
+        let n = batch::width(out);
+        debug_assert_eq!(a.len(), out.len());
+        debug_assert_eq!(b.len(), out.len());
+        for i in 0..n {
+            let x = batch::gather::<F>(a, n, i);
+            let y = batch::gather::<F>(b, n, i);
+            batch::scatter(out, n, i, &Self::mul(&x, &y));
+        }
+    }
+
+    /// Batched field squaring over plane-major SoA slices:
+    /// `out[i] = a[i]²`. Same layout contract as [`Self::mul_batch`].
+    fn sqr_batch<F: FieldSpec>(out: &mut [u64], a: &[u64]) {
+        let n = batch::width(out);
+        debug_assert_eq!(a.len(), out.len());
+        for i in 0..n {
+            let x = batch::gather::<F>(a, n, i);
+            batch::scatter(out, n, i, &Self::square(&x));
+        }
+    }
+
+    /// Batched sparse reduction: `PROD_LIMBS` unreduced product planes
+    /// in `prod` fold to `LIMBS` canonical planes in `out`. Shared by
+    /// all backends — the plane-wise transpose of the word-level
+    /// reduction (see [`batch::reduce_planes`]); `prod` is clobbered.
+    fn reduce_batch<F: FieldSpec>(prod: &mut [u64], out: &mut [u64]) {
+        batch::reduce_planes(prod, out, F::REDUCTION);
     }
 }
 
@@ -139,6 +184,69 @@ impl FieldBackend for ClmulBackend {
     }
 }
 
+/// Wide hardware backend: scalar operations ride the CLMUL path, batch
+/// operations multiply four elements per AVX-512 `VPCLMULQDQ`
+/// instruction (see [`crate::vpclmul`]). Runtime-detected; without the
+/// features every element takes the scalar CLMUL path, so selection is
+/// safe everywhere.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VpclmulBackend;
+
+impl FieldBackend for VpclmulBackend {
+    const NAME: &'static str = "vpclmul";
+
+    fn mul<F: FieldSpec>(a: &Element<F>, b: &Element<F>) -> Element<F> {
+        ClmulBackend::mul(a, b)
+    }
+
+    fn square<F: FieldSpec>(a: &Element<F>) -> Element<F> {
+        ClmulBackend::square(a)
+    }
+
+    fn invert<F: FieldSpec>(a: &Element<F>) -> Option<Element<F>> {
+        ClmulBackend::invert(a)
+    }
+
+    fn mul_batch<F: FieldSpec>(out: &mut [u64], a: &[u64], b: &[u64]) {
+        crate::vpclmul::mul_batch_planes::<F>(out, a, b);
+    }
+
+    fn sqr_batch<F: FieldSpec>(out: &mut [u64], a: &[u64]) {
+        crate::vpclmul::sqr_batch_planes::<F>(out, a);
+    }
+}
+
+/// Wide portable backend: scalar operations ride the fast comb path,
+/// batch operations run 64 products at once across `u64` bit-planes
+/// (see [`crate::bitslice`]). No intrinsics, no feature gates — the
+/// data-parallel fallback for hosts without `VPCLMULQDQ`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BitslicedBackend;
+
+impl FieldBackend for BitslicedBackend {
+    const NAME: &'static str = "bitsliced";
+
+    fn mul<F: FieldSpec>(a: &Element<F>, b: &Element<F>) -> Element<F> {
+        FastBackend::mul(a, b)
+    }
+
+    fn square<F: FieldSpec>(a: &Element<F>) -> Element<F> {
+        FastBackend::square(a)
+    }
+
+    fn invert<F: FieldSpec>(a: &Element<F>) -> Option<Element<F>> {
+        FastBackend::invert(a)
+    }
+
+    fn mul_batch<F: FieldSpec>(out: &mut [u64], a: &[u64], b: &[u64]) {
+        crate::bitslice::mul_batch_planes::<F>(out, a, b);
+    }
+
+    fn sqr_batch<F: FieldSpec>(out: &mut [u64], a: &[u64]) {
+        crate::bitslice::sqr_batch_planes::<F>(out, a);
+    }
+}
+
 /// Itoh–Tsujii exponentiation to 2^m − 2 with the squaring runs
 /// collapsed into cached multi-squaring tables, over backend `B`'s
 /// `mul`/`square` primitives (shared by the fast and CLMUL backends).
@@ -173,8 +281,12 @@ pub enum BackendChoice {
     Model,
     /// Portable word-bounded comb path ([`FastBackend`]).
     Fast,
-    /// Hardware carry-less-multiply path ([`ClmulBackend`]).
+    /// Scalar hardware carry-less-multiply path ([`ClmulBackend`]).
     Clmul,
+    /// Portable bitsliced batch path ([`BitslicedBackend`]).
+    Bitsliced,
+    /// AVX-512 `VPCLMULQDQ` batch path ([`VpclmulBackend`]).
+    Vpclmul,
 }
 
 impl BackendChoice {
@@ -185,6 +297,8 @@ impl BackendChoice {
             BackendChoice::Model => ModelBackend::NAME,
             BackendChoice::Fast => FastBackend::NAME,
             BackendChoice::Clmul => ClmulBackend::NAME,
+            BackendChoice::Bitsliced => BitslicedBackend::NAME,
+            BackendChoice::Vpclmul => VpclmulBackend::NAME,
         }
     }
 
@@ -193,24 +307,28 @@ impl BackendChoice {
             BackendChoice::Model => 1,
             BackendChoice::Fast => 2,
             BackendChoice::Clmul => 3,
+            BackendChoice::Bitsliced => 4,
+            BackendChoice::Vpclmul => 5,
         }
     }
 }
 
 /// Environment variable overriding the serving backend: `model`,
-/// `fast` or `clmul` (anything else — including `auto` — selects by
-/// CPU feature detection). Read once per process, at the first field
-/// operation.
+/// `fast`, `clmul`, `bitsliced` or `vpclmul` (anything else —
+/// including `auto` — selects by CPU feature detection). Read once per
+/// process, at the first field operation.
 pub const BACKEND_ENV: &str = "MEDSEC_GF2M_BACKEND";
 
 /// Resolved process-wide choice: 0 = unresolved, else `BackendChoice::code`.
 static SELECTED: AtomicU8 = AtomicU8::new(0);
 
-/// The process-wide serving-backend selection: `clmul` when the CPU
-/// supports `PCLMULQDQ`, `fast` otherwise, overridable via
-/// [`BACKEND_ENV`]. Resolved once (env read + CPUID) on first call and
-/// cached; every [`Element`](crate::Element) operator dispatches on the
-/// cached value, so the per-operation cost is one relaxed atomic load.
+/// The process-wide serving-backend selection: `vpclmul` when the CPU
+/// supports `AVX512F`+`VPCLMULQDQ`, else `clmul` when it supports
+/// `PCLMULQDQ`, else `bitsliced` (fast scalar comb + bitsliced batch),
+/// overridable via [`BACKEND_ENV`]. Resolved once (env read + CPUID)
+/// on first call and cached; every [`Element`](crate::Element)
+/// operator dispatches on the cached value, so the per-operation cost
+/// is one relaxed atomic load.
 ///
 /// The SCA/energy paths never consult this — they pin the model
 /// backend through `Element`'s `*_model` methods and the digit-serial
@@ -220,6 +338,8 @@ pub fn select_backend() -> BackendChoice {
         1 => BackendChoice::Model,
         2 => BackendChoice::Fast,
         3 => BackendChoice::Clmul,
+        4 => BackendChoice::Bitsliced,
+        5 => BackendChoice::Vpclmul,
         _ => resolve_backend(),
     }
 }
@@ -227,10 +347,12 @@ pub fn select_backend() -> BackendChoice {
 #[cold]
 fn resolve_backend() -> BackendChoice {
     let auto = || {
-        if crate::clmul::hardware_available() {
+        if crate::vpclmul::hardware_available() {
+            BackendChoice::Vpclmul
+        } else if crate::clmul::hardware_available() {
             BackendChoice::Clmul
         } else {
-            BackendChoice::Fast
+            BackendChoice::Bitsliced
         }
     };
     let choice = match std::env::var(BACKEND_ENV) {
@@ -238,6 +360,8 @@ fn resolve_backend() -> BackendChoice {
             "model" => BackendChoice::Model,
             "fast" => BackendChoice::Fast,
             "clmul" => BackendChoice::Clmul,
+            "bitsliced" => BackendChoice::Bitsliced,
+            "vpclmul" => BackendChoice::Vpclmul,
             _ => auto(),
         },
         Err(_) => auto(),
@@ -259,7 +383,9 @@ impl FieldBackend for ActiveBackend {
     #[inline]
     fn mul<F: FieldSpec>(a: &Element<F>, b: &Element<F>) -> Element<F> {
         match select_backend() {
+            BackendChoice::Vpclmul => VpclmulBackend::mul(a, b),
             BackendChoice::Clmul => ClmulBackend::mul(a, b),
+            BackendChoice::Bitsliced => BitslicedBackend::mul(a, b),
             BackendChoice::Fast => FastBackend::mul(a, b),
             BackendChoice::Model => ModelBackend::mul(a, b),
         }
@@ -268,7 +394,9 @@ impl FieldBackend for ActiveBackend {
     #[inline]
     fn square<F: FieldSpec>(a: &Element<F>) -> Element<F> {
         match select_backend() {
+            BackendChoice::Vpclmul => VpclmulBackend::square(a),
             BackendChoice::Clmul => ClmulBackend::square(a),
+            BackendChoice::Bitsliced => BitslicedBackend::square(a),
             BackendChoice::Fast => FastBackend::square(a),
             BackendChoice::Model => ModelBackend::square(a),
         }
@@ -276,9 +404,33 @@ impl FieldBackend for ActiveBackend {
 
     fn invert<F: FieldSpec>(a: &Element<F>) -> Option<Element<F>> {
         match select_backend() {
+            BackendChoice::Vpclmul => VpclmulBackend::invert(a),
             BackendChoice::Clmul => ClmulBackend::invert(a),
+            BackendChoice::Bitsliced => BitslicedBackend::invert(a),
             BackendChoice::Fast => FastBackend::invert(a),
             BackendChoice::Model => ModelBackend::invert(a),
+        }
+    }
+
+    #[inline]
+    fn mul_batch<F: FieldSpec>(out: &mut [u64], a: &[u64], b: &[u64]) {
+        match select_backend() {
+            BackendChoice::Vpclmul => VpclmulBackend::mul_batch::<F>(out, a, b),
+            BackendChoice::Clmul => ClmulBackend::mul_batch::<F>(out, a, b),
+            BackendChoice::Bitsliced => BitslicedBackend::mul_batch::<F>(out, a, b),
+            BackendChoice::Fast => FastBackend::mul_batch::<F>(out, a, b),
+            BackendChoice::Model => ModelBackend::mul_batch::<F>(out, a, b),
+        }
+    }
+
+    #[inline]
+    fn sqr_batch<F: FieldSpec>(out: &mut [u64], a: &[u64]) {
+        match select_backend() {
+            BackendChoice::Vpclmul => VpclmulBackend::sqr_batch::<F>(out, a),
+            BackendChoice::Clmul => ClmulBackend::sqr_batch::<F>(out, a),
+            BackendChoice::Bitsliced => BitslicedBackend::sqr_batch::<F>(out, a),
+            BackendChoice::Fast => FastBackend::sqr_batch::<F>(out, a),
+            BackendChoice::Model => ModelBackend::sqr_batch::<F>(out, a),
         }
     }
 }
@@ -353,42 +505,185 @@ fn itoh_tsujii<B: FieldBackend + ?Sized, F: FieldSpec>(a: &Element<F>) -> Option
 /// assert_eq!(v[2] * orig[2], Element::one());
 /// ```
 pub fn batch_invert<F: FieldSpec>(elems: &mut [Element<F>]) -> usize {
-    // The invclock wrapper books wall time for the observability
-    // stack's BatchInvert stage; disabled (the default) it costs one
-    // relaxed atomic load for the whole batch.
-    crate::invclock::time(|| {
-        // Prefix products over the nonzero entries.
-        let mut prefix: Vec<Element<F>> = Vec::with_capacity(elems.len());
-        let mut acc = Element::<F>::one();
-        for e in elems.iter() {
-            if !e.is_zero() {
-                acc = ActiveBackend::mul(&acc, e);
-                prefix.push(acc);
+    thread_local! {
+        static INV_TLS: RefCell<(Planes, InvScratch)> =
+            RefCell::new((Planes::new(), InvScratch::default()));
+    }
+    INV_TLS.with(|cell| {
+        let (planes, scratch) = &mut *cell.borrow_mut();
+        // The invclock wrapper books wall time for the observability
+        // stack's BatchInvert stage; disabled (the default) it costs
+        // one relaxed atomic load for the whole batch.
+        crate::invclock::time(|| {
+            planes.reset(elems.len());
+            for (i, e) in elems.iter().enumerate() {
+                planes.set(i, e);
             }
+            let count = batch_invert_planes_inner::<F>(planes, scratch);
+            for (i, e) in elems.iter_mut().enumerate() {
+                *e = planes.get(i);
+            }
+            count
+        })
+    })
+}
+
+/// Lanes walked in lockstep by the blocked Montgomery pass: wide
+/// enough to fill a bitsliced tail reasonably and two `VPCLMULQDQ`
+/// chunks exactly.
+const INV_LANES: usize = 8;
+
+/// Below this many nonzero elements the blocked pass cannot pay for
+/// its padding; a scalar Montgomery chain runs instead.
+const INV_SCALAR_CUTOFF: usize = 16;
+
+/// Reusable scratch for [`batch_invert_planes`]: index list, per-step
+/// operand/prefix slabs and the two walk-back slabs. Deliberately
+/// non-generic (raw plane words only), so one instance can serve
+/// batches over different fields — e.g. embedded in the hub's
+/// curve-erased per-worker scratch.
+#[derive(Debug, Clone, Default)]
+pub struct InvScratch {
+    idx: Vec<usize>,
+    c: Vec<u64>,
+    prefix: Vec<u64>,
+    run: Vec<u64>,
+    tmp: Vec<u64>,
+}
+
+/// [`batch_invert`] over a plane-major [`Planes`] batch with
+/// caller-owned scratch: same zero-element contract and single field
+/// inversion, no per-call allocation in steady state, and the
+/// Montgomery prefix/suffix product passes run through the selected
+/// backend's `mul_batch` — [`INV_LANES`] lanes of independent
+/// prefix chains walked in lockstep, lane totals combined by one
+/// scalar Montgomery chain around the single inversion.
+pub fn batch_invert_planes<F: FieldSpec>(elems: &mut Planes, scratch: &mut InvScratch) -> usize {
+    crate::invclock::time(|| batch_invert_planes_inner::<F>(elems, scratch))
+}
+
+fn batch_invert_planes_inner<F: FieldSpec>(elems: &mut Planes, scratch: &mut InvScratch) -> usize {
+    let n = elems.len();
+    scratch.idx.clear();
+    for i in 0..n {
+        if !elems.is_zero_at(i) {
+            scratch.idx.push(i);
         }
-        let n = prefix.len();
-        if n == 0 {
-            return 0;
+    }
+    let k = scratch.idx.len();
+    if k == 0 {
+        return 0;
+    }
+    if k < INV_SCALAR_CUTOFF {
+        // Scalar Montgomery chain over the gathered nonzero elements.
+        scratch.prefix.clear();
+        let mut acc = Element::<F>::one();
+        for &i in &scratch.idx {
+            acc = ActiveBackend::mul(&acc, &elems.get(i));
+            scratch.prefix.extend_from_slice(acc.limbs());
         }
         let mut inv =
             ActiveBackend::invert::<F>(&acc).expect("product of nonzero elements is nonzero");
-        // Walk back: peel one element per step.
-        let mut k = n;
-        for i in (0..elems.len()).rev() {
-            if elems[i].is_zero() {
-                continue;
-            }
-            k -= 1;
-            let this_inv = if k == 0 {
+        for t in (0..k).rev() {
+            let i = scratch.idx[t];
+            let this_inv = if t == 0 {
                 inv
             } else {
-                ActiveBackend::mul(&inv, &prefix[k - 1])
+                let mut limbs = [0u64; LIMBS];
+                limbs.copy_from_slice(&scratch.prefix[(t - 1) * LIMBS..t * LIMBS]);
+                ActiveBackend::mul(&inv, &Element::from_raw_limbs(limbs))
             };
-            inv = ActiveBackend::mul(&inv, &elems[i]);
-            elems[i] = this_inv;
+            inv = ActiveBackend::mul(&inv, &elems.get(i));
+            elems.set(i, &this_inv);
         }
-        n
-    })
+        return k;
+    }
+    // Blocked path: split the k nonzero elements into INV_LANES
+    // independent Montgomery chains of `steps` elements each (ragged
+    // tail padded with ones), so every prefix/suffix product step is
+    // one width-INV_LANES `mul_batch`. Step t's operands live in slab
+    // t — itself a width-INV_LANES plane-major batch.
+    let steps = k.div_ceil(INV_LANES);
+    let slab = LIMBS * INV_LANES;
+    let one = Element::<F>::one();
+    scratch.c.clear();
+    scratch.c.resize(steps * slab, 0);
+    scratch.prefix.clear();
+    scratch.prefix.resize(steps * slab, 0);
+    for l in 0..INV_LANES {
+        for t in 0..steps {
+            let s = l * steps + t;
+            let e = if s < k {
+                elems.get(scratch.idx[s])
+            } else {
+                one
+            };
+            batch::scatter(&mut scratch.c[t * slab..(t + 1) * slab], INV_LANES, l, &e);
+        }
+    }
+    // Forward: prefix[t] = prefix[t-1] * c[t], all lanes at once.
+    scratch.prefix[..slab].copy_from_slice(&scratch.c[..slab]);
+    for t in 1..steps {
+        let (done, rest) = scratch.prefix.split_at_mut(t * slab);
+        ActiveBackend::mul_batch::<F>(
+            &mut rest[..slab],
+            &done[(t - 1) * slab..],
+            &scratch.c[t * slab..(t + 1) * slab],
+        );
+    }
+    // Lane totals: one scalar Montgomery chain around the single
+    // inversion of the whole batch's product.
+    let last = &scratch.prefix[(steps - 1) * slab..];
+    let mut tot = [one; INV_LANES];
+    let mut tpref = [one; INV_LANES];
+    let mut acc = one;
+    for (l, (t, p)) in tot.iter_mut().zip(tpref.iter_mut()).enumerate() {
+        *t = batch::gather(last, INV_LANES, l);
+        acc = ActiveBackend::mul(&acc, t);
+        *p = acc;
+    }
+    let mut inv = ActiveBackend::invert::<F>(&acc).expect("product of nonzero elements is nonzero");
+    scratch.run.clear();
+    scratch.run.resize(slab, 0);
+    scratch.tmp.clear();
+    scratch.tmp.resize(slab, 0);
+    for l in (0..INV_LANES).rev() {
+        let lane_inv = if l == 0 {
+            inv
+        } else {
+            ActiveBackend::mul(&inv, &tpref[l - 1])
+        };
+        inv = ActiveBackend::mul(&inv, &tot[l]);
+        batch::scatter(&mut scratch.run, INV_LANES, l, &lane_inv);
+    }
+    // Walk back in lockstep; `run` holds inv(prefix[t]) entering step t.
+    for t in (0..steps).rev() {
+        if t > 0 {
+            ActiveBackend::mul_batch::<F>(
+                &mut scratch.tmp,
+                &scratch.run,
+                &scratch.prefix[(t - 1) * slab..t * slab],
+            );
+        } else {
+            scratch.tmp.copy_from_slice(&scratch.run);
+        }
+        for l in 0..INV_LANES {
+            let s = l * steps + t;
+            if s < k {
+                let e: Element<F> = batch::gather(&scratch.tmp, INV_LANES, l);
+                elems.set(scratch.idx[s], &e);
+            }
+        }
+        if t > 0 {
+            ActiveBackend::mul_batch::<F>(
+                &mut scratch.tmp,
+                &scratch.run,
+                &scratch.c[t * slab..(t + 1) * slab],
+            );
+            std::mem::swap(&mut scratch.run, &mut scratch.tmp);
+        }
+    }
+    k
 }
 
 #[cfg(test)]
@@ -499,12 +794,16 @@ mod tests {
             Some("model") => assert_eq!(name, "model"),
             Some("fast") => assert_eq!(name, "fast"),
             Some("clmul") => assert_eq!(name, "clmul"),
+            Some("bitsliced") => assert_eq!(name, "bitsliced"),
+            Some("vpclmul") => assert_eq!(name, "vpclmul"),
             // Unset or unrecognized: auto-select by CPU feature.
             _ => {
-                let expect = if crate::clmul::hardware_available() {
+                let expect = if crate::vpclmul::hardware_available() {
+                    "vpclmul"
+                } else if crate::clmul::hardware_available() {
                     "clmul"
                 } else {
-                    "fast"
+                    "bitsliced"
                 };
                 assert_eq!(name, expect);
             }

@@ -18,10 +18,14 @@
 //! * a **backend seam** ([`backend`]) separating what the field computes
 //!   from how: the bit-exact model path above, a fast portable serving
 //!   backend (word-bounded comb multiplication, table-driven squaring,
-//!   word-level sparse reduction, [`batch_invert`]), and a CLMUL
-//!   hardware backend (`PCLMULQDQ` Karatsuba, runtime-detected with a
-//!   portable fallback). `Element`'s operators dispatch on the
-//!   process-wide [`select_backend`] choice (env-overridable via
+//!   word-level sparse reduction, [`batch_invert`]), a CLMUL hardware
+//!   backend (`PCLMULQDQ` Karatsuba, runtime-detected with a portable
+//!   fallback), and two **batch-wide** backends over the plane-major
+//!   SoA layout of [`batch`]: AVX-512 `VPCLMULQDQ` (four carry-less
+//!   multiplies per instruction, see [`vpclmul`]) with a portable
+//!   bitsliced fallback (64 products across `u64` bit-planes, see
+//!   [`bitslice`]). `Element`'s operators dispatch on the process-wide
+//!   [`select_backend`] choice (env-overridable via
 //!   `MEDSEC_GF2M_BACKEND`).
 //!
 //! # Example
@@ -36,9 +40,9 @@
 //! # Ok::<(), medsec_gf2m::ParseElementError>(())
 //! ```
 
-// Unsafe is denied crate-wide and re-allowed in exactly one module:
-// `clmul`, whose CPU-feature-gated intrinsic calls are guarded by
-// runtime detection.
+// Unsafe is denied crate-wide and re-allowed in exactly two modules:
+// `clmul` and `vpclmul`, whose CPU-feature-gated intrinsic calls are
+// guarded by runtime detection.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -47,16 +51,20 @@ mod fields;
 mod limbs;
 
 pub mod backend;
+pub mod batch;
+pub mod bitslice;
 pub mod cache;
 pub mod clmul;
 pub mod digit_serial;
 pub mod invclock;
 mod multisquare;
+pub mod vpclmul;
 
 pub use backend::{
-    batch_invert, select_backend, BackendChoice, ClmulBackend, FastBackend, FieldBackend,
-    ModelBackend, BACKEND_ENV,
+    batch_invert, batch_invert_planes, select_backend, BackendChoice, BitslicedBackend,
+    ClmulBackend, FastBackend, FieldBackend, InvScratch, ModelBackend, VpclmulBackend, BACKEND_ENV,
 };
+pub use batch::{add_planes, mul_planes, sqr_planes, Planes};
 pub use cache::Registry;
 pub use field::{Element, FieldSpec, ParseElementError};
 pub use fields::{F163, F17, F233, F283};

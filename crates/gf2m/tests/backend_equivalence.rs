@@ -13,10 +13,87 @@
 
 use medsec_gf2m::digit_serial::mul_digit_serial;
 use medsec_gf2m::{
-    batch_invert, ClmulBackend, Element, FastBackend, FieldBackend, FieldSpec, ModelBackend, F163,
-    F17, F233, F283,
+    batch_invert, batch_invert_planes, BitslicedBackend, ClmulBackend, Element, FastBackend,
+    FieldBackend, FieldSpec, InvScratch, ModelBackend, Planes, VpclmulBackend, F163, F17, F233,
+    F283, LIMBS,
 };
 use proptest::prelude::*;
+
+/// Packs elements into a plane-major SoA batch.
+fn to_planes<F: FieldSpec>(elems: &[Element<F>]) -> Vec<u64> {
+    let n = elems.len();
+    let mut planes = vec![0u64; LIMBS * n];
+    for (i, e) in elems.iter().enumerate() {
+        for (j, l) in e.limbs().iter().enumerate() {
+            planes[j * n + i] = *l;
+        }
+    }
+    planes
+}
+
+/// Unpacks slot `i` of a plane-major SoA batch as raw limbs.
+fn from_planes(planes: &[u64], n: usize, i: usize) -> [u64; LIMBS] {
+    let mut limbs = [0u64; LIMBS];
+    for (j, l) in limbs.iter_mut().enumerate() {
+        *l = planes[j * n + i];
+    }
+    limbs
+}
+
+/// Runs every backend's batch entry points on the same operands and
+/// pins each slot against the scalar model product.
+fn assert_batch_matches_model<F: FieldSpec>(xs: &[Element<F>], ys: &[Element<F>]) {
+    let n = xs.len();
+    let ap = to_planes(xs);
+    let bp = to_planes(ys);
+    let expect_mul: Vec<[u64; LIMBS]> = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| *ModelBackend::mul(x, y).limbs())
+        .collect();
+    let expect_sqr: Vec<[u64; LIMBS]> = xs
+        .iter()
+        .map(|x| *ModelBackend::square(x).limbs())
+        .collect();
+    let mut out = vec![0u64; LIMBS * n];
+    macro_rules! check {
+        ($backend:ty) => {
+            <$backend>::mul_batch::<F>(&mut out, &ap, &bp);
+            for i in 0..n {
+                assert_eq!(
+                    from_planes(&out, n, i),
+                    expect_mul[i],
+                    "{} mul_batch n={n} i={i}",
+                    <$backend>::NAME
+                );
+            }
+            <$backend>::sqr_batch::<F>(&mut out, &ap);
+            for i in 0..n {
+                assert_eq!(
+                    from_planes(&out, n, i),
+                    expect_sqr[i],
+                    "{} sqr_batch n={n} i={i}",
+                    <$backend>::NAME
+                );
+            }
+            // Aliased inputs: mul_batch(out, a, a) must square.
+            <$backend>::mul_batch::<F>(&mut out, &ap, &ap);
+            for i in 0..n {
+                assert_eq!(
+                    from_planes(&out, n, i),
+                    expect_sqr[i],
+                    "{} aliased mul_batch n={n} i={i}",
+                    <$backend>::NAME
+                );
+            }
+        };
+    }
+    check!(ModelBackend);
+    check!(FastBackend);
+    check!(ClmulBackend);
+    check!(BitslicedBackend);
+    check!(VpclmulBackend);
+}
 
 /// Every element of F(2^17), 0..2^17.
 fn f17_all() -> impl Iterator<Item = Element<F17>> {
@@ -163,6 +240,127 @@ proptest! {
         let mut v = elems;
         for (i, e) in v.iter_mut().enumerate() {
             if (zero_mask >> (i % 32)) & 1 == 1 {
+                *e = Element::zero();
+            }
+        }
+        let orig = v.clone();
+        let inverted = batch_invert(&mut v);
+        prop_assert_eq!(inverted, orig.iter().filter(|e| !e.is_zero()).count());
+        for (got, a) in v.iter().zip(&orig) {
+            match a.inverse() {
+                Some(expect) => prop_assert_eq!(*got, expect),
+                None => prop_assert!(got.is_zero()),
+            }
+        }
+    }
+}
+
+/// Exhaustive F17 batch sweep: every element rides through the batch
+/// entry points of every backend (in bitslice-block-sized chunks plus
+/// a deliberately ragged final tail) against a structurally diverse
+/// multiplier panel.
+#[test]
+fn f17_batch_agrees_exhaustively() {
+    let all: Vec<Element<F17>> = f17_all().collect();
+    let panel: Vec<Element<F17>> = [0u64, 1, 2, 0x1_0000, 0x1_ffff, 0x15555, 0x1e240]
+        .into_iter()
+        .map(Element::from_u64)
+        .collect();
+    // 131072 elements = 2048 bitslice blocks; chunk to keep each call's
+    // planes cache-resident and to exercise many widths, including a
+    // non-multiple-of-64/4 tail (131072 mod 173 != 0).
+    for chunk in all.chunks(173) {
+        for &b in &panel {
+            let ys = vec![b; chunk.len()];
+            assert_batch_matches_model(chunk, &ys);
+        }
+    }
+}
+
+#[test]
+fn batch_entry_points_handle_empty_batches() {
+    let empty: Vec<Element<F163>> = Vec::new();
+    assert_batch_matches_model(&empty, &empty);
+}
+
+macro_rules! field_batch_equivalence {
+    ($name:ident, $field:ty) => {
+        proptest! {
+            /// Batch entry points of every backend vs the scalar model,
+            /// at widths straddling the VPCLMULQDQ chunk (4) and the
+            /// bitslice block (64) including ragged tails on both.
+            #[test]
+            fn $name(
+                pairs in prop::collection::vec(
+                    (arb_element::<$field>(), arb_element::<$field>()),
+                    0..=70,
+                ),
+            ) {
+                let xs: Vec<Element<$field>> = pairs.iter().map(|p| p.0).collect();
+                let ys: Vec<Element<$field>> = pairs.iter().map(|p| p.1).collect();
+                assert_batch_matches_model(&xs, &ys);
+            }
+        }
+    };
+}
+
+field_batch_equivalence!(f163_batch_backends_agree, F163);
+field_batch_equivalence!(f233_batch_backends_agree, F233);
+field_batch_equivalence!(f283_batch_backends_agree, F283);
+
+proptest! {
+    /// The planes-level batch inversion with caller scratch: same zero
+    /// contract as `batch_invert`, exercised across the scalar-cutoff
+    /// and the blocked lockstep path (ragged lane tails included).
+    #[test]
+    fn batch_invert_planes_matches_singles_f163(
+        elems in prop::collection::vec(arb_element::<F163>(), 0..96),
+        zero_mask in any::<u64>(),
+    ) {
+        let mut v = elems;
+        for (i, e) in v.iter_mut().enumerate() {
+            if (zero_mask >> (i % 64)) & 1 == 1 {
+                *e = Element::zero();
+            }
+        }
+        let mut planes = Planes::new();
+        planes.reset(v.len());
+        for (i, e) in v.iter().enumerate() {
+            planes.set(i, e);
+        }
+        let mut scratch = InvScratch::default();
+        let inverted = batch_invert_planes::<F163>(&mut planes, &mut scratch);
+        prop_assert_eq!(inverted, v.iter().filter(|e| !e.is_zero()).count());
+        for (i, a) in v.iter().enumerate() {
+            let got: Element<F163> = planes.get(i);
+            match a.inverse() {
+                Some(expect) => prop_assert_eq!(got, expect),
+                None => prop_assert!(got.is_zero()),
+            }
+        }
+        // Scratch reuse must not leak state between batches.
+        let mut again = Planes::new();
+        again.reset(v.len());
+        for (i, e) in v.iter().enumerate() {
+            again.set(i, e);
+        }
+        let inverted2 = batch_invert_planes::<F163>(&mut again, &mut scratch);
+        prop_assert_eq!(inverted2, inverted);
+        for i in 0..v.len() {
+            prop_assert_eq!(again.get::<F163>(i), planes.get::<F163>(i));
+        }
+    }
+
+    /// Large batches cross the blocked-Montgomery threshold; pin the
+    /// count and every slot against scalar inversion.
+    #[test]
+    fn batch_invert_large_batches_f233(
+        elems in prop::collection::vec(arb_element::<F233>(), 48..80),
+        zero_mask in any::<u64>(),
+    ) {
+        let mut v = elems;
+        for (i, e) in v.iter_mut().enumerate() {
+            if (zero_mask >> (i % 64)) & 1 == 1 {
                 *e = Element::zero();
             }
         }

@@ -18,7 +18,8 @@
 use medsec_ec::{
     generator_mul,
     ladder::{ladder_x_affine, ladder_x_only, CoordinateBlinding},
-    varbase_mul_add_gen_batch, varbase_x_batch, xcoord_to_scalar, CurveSpec, Point, Scalar,
+    varbase_mul_add_gen_batch, varbase_x_batch_with, xcoord_to_scalar, CurveSpec, Point, Scalar,
+    XAffineScratch,
 };
 
 use crate::energy::EnergyLedger;
@@ -207,7 +208,7 @@ impl<C: CurveSpec> PhReader<C> {
     /// ladder elsewhere), keeping the one-inversion-per-batch
     /// normalization contract:
     ///
-    /// 1. every ḋ = xcoord(y·R) in one [`varbase_x_batch`] call;
+    /// 1. every ḋ = xcoord(y·R) in one [`varbase_x_batch_with`] call;
     /// 2. every candidate `X̂ = s·P − ḋ·P − e·R`, rewritten as the
     ///    single two-scalar form `(s − ḋ)·P + (−e)·R`, in one
     ///    [`varbase_mul_add_gen_batch`] call — one interleaved pass per
@@ -218,7 +219,20 @@ impl<C: CurveSpec> PhReader<C> {
     pub fn identify_batch(
         &self,
         transcripts: &[PhTranscript<C>],
+        next_u64: impl FnMut() -> u64,
+    ) -> Vec<Option<TagId>> {
+        self.identify_batch_with(transcripts, next_u64, &mut XAffineScratch::default())
+    }
+
+    /// [`identify_batch`](Self::identify_batch) with caller-owned
+    /// normalization scratch — hub workers thread their per-thread
+    /// [`XAffineScratch`] through here so phase 1's batched inversion
+    /// reuses its buffers across serving batches.
+    pub fn identify_batch_with(
+        &self,
+        transcripts: &[PhTranscript<C>],
         mut next_u64: impl FnMut() -> u64,
+        scratch: &mut XAffineScratch,
     ) -> Vec<Option<TagId>> {
         // Phase 1: ḋ = xcoord(y·R) for every commitment, one engine
         // batch (commitments at infinity yield None and fail below).
@@ -226,7 +240,9 @@ impl<C: CurveSpec> PhReader<C> {
             .iter()
             .map(|t| (self.secret, t.commitment))
             .collect();
-        let ds: Vec<Option<Scalar<C>>> = varbase_x_batch(&d_items, &mut next_u64)
+        let mut d_xs = Vec::with_capacity(d_items.len());
+        varbase_x_batch_with(&d_items, &mut next_u64, scratch, &mut d_xs);
+        let ds: Vec<Option<Scalar<C>>> = d_xs
             .into_iter()
             .map(|x| x.map(|x| xcoord_to_scalar::<C>(&x)))
             .collect();
