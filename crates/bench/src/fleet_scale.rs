@@ -20,8 +20,12 @@
 //! 1-thread run on hosts that expose at least 4 hardware threads
 //! (skipped, but still recorded, on smaller machines).
 
-use medsec_fleet::{mixed_hospital_wards, run_fleet, CurveChoice, FleetConfig, FleetReport};
+use medsec_fleet::{
+    mixed_hospital_wards, run_fleet, CurveChoice, FleetConfig, FleetReport, GatewayHub,
+    StreamingConfig, StreamingOutcome,
+};
 
+use crate::loadgen;
 use crate::table::{uj, Table};
 
 /// The thread counts the scaling sweep measures.
@@ -139,6 +143,88 @@ fn scaling_gate(sweep: &[SweepPoint]) -> String {
     }
 }
 
+/// The p99 arrival→completion latency SLO the streaming run is judged
+/// against, in milliseconds.
+pub const STREAMING_SLO_P99_MS: f64 = 50.0;
+
+/// The streaming-front-end pair: a provisioned-capacity run judged
+/// against [`STREAMING_SLO_P99_MS`], and a deliberately
+/// under-provisioned overload run that must shed gracefully (bounded
+/// queues, typed rejects, crypto only on admitted frames).
+fn streaming_runs(cfg: &FleetConfig, fast: bool) -> (StreamingOutcome, StreamingOutcome) {
+    let stream_cfg = FleetConfig {
+        wards: mixed_hospital_wards(if fast { 2 } else { 8 }),
+        threads: 4,
+        ..cfg.clone()
+    };
+    let hub = GatewayHub::provision(&stream_cfg);
+    let devices = hub.device_count();
+    let ward_sizes: Vec<usize> = stream_cfg.wards.iter().map(|w| w.devices).collect();
+
+    // Offered load at provisioned capacity: synchronized reconnect
+    // bursts over a background trickle, plus staggered ward wake-ups
+    // (correlated within each ward's admission class).
+    let mut schedule = loadgen::bursty(devices, 4, 25, 0.35, 0.5, stream_cfg.seed);
+    schedule.extend(loadgen::ward_correlated(
+        &ward_sizes,
+        10,
+        5,
+        stream_cfg.seed ^ 1,
+    ));
+    let slo = hub.run_streaming(
+        &stream_cfg,
+        &StreamingConfig {
+            slo_p99_ms: STREAMING_SLO_P99_MS,
+            ..StreamingConfig::default()
+        },
+        &schedule,
+    );
+
+    // Overload: the whole fleet renegotiates twice in quick succession
+    // into shallow queues with a slow drain. The fence is *graceful*
+    // shedding: queues never exceed the high-water mark, every shed
+    // arrival gets a typed reject, and the expensive field arithmetic
+    // runs only for admitted frames.
+    let storm = loadgen::bursty(devices, 2, 10, 1.0, 0.0, stream_cfg.seed ^ 2);
+    let overload_scfg = StreamingConfig {
+        queue_high_water: 8,
+        drain_per_tick: 4,
+        slo_p99_ms: STREAMING_SLO_P99_MS,
+        ..StreamingConfig::default()
+    };
+    // Fresh provisioning for the overload run: gateway session counters
+    // are cumulative per hub, and the fences below compare this run's
+    // completions against this run's admissions.
+    let hub = GatewayHub::provision(&stream_cfg);
+    let overload = hub.run_streaming(&stream_cfg, &overload_scfg, &storm);
+    assert!(
+        overload.stats.shed > 0,
+        "overload run must exercise load shedding"
+    );
+    assert!(
+        overload
+            .stats
+            .lane_queue_high_water
+            .iter()
+            .all(|&m| m <= overload_scfg.queue_high_water),
+        "lane queues must stay bounded at the high-water mark"
+    );
+    assert_eq!(
+        overload.report.sessions_completed(),
+        overload.stats.admitted,
+        "crypto must run only for admitted frames"
+    );
+    assert_eq!(
+        overload.stats.reject_frames,
+        overload.stats.shed
+            + overload.stats.rate_limited
+            + overload.stats.admission_denied
+            + overload.stats.violations,
+        "every turned-away arrival gets exactly one typed reject frame"
+    );
+    (slo, overload)
+}
+
 /// Run the fleet campaign and return `(human report, json summary)`.
 pub fn run_with_json(fast: bool) -> (String, String) {
     let cfg = trajectory_config(fast);
@@ -201,6 +287,10 @@ pub fn run_with_json(fast: bool) -> (String, String) {
         assert!(r.devices >= 100_000, "headline run must reach 100k devices");
         Some(r)
     };
+
+    // The streaming wire front end: framed byte ingestion, admission
+    // control and backpressure in front of the same hub.
+    let (streaming, streaming_overload) = streaming_runs(&cfg, fast);
 
     let mut t = Table::new("FLEET: hospital-gateway serving campaign");
     t.headers(&[
@@ -273,8 +363,58 @@ pub fn run_with_json(fast: bool) -> (String, String) {
         ));
     }
 
+    let mut wt = Table::new("FLEET: streaming wire front end (mixed fleet, framed ingestion)");
+    wt.headers(&["quantity", "at capacity (SLO run)", "overload (shed run)"]);
+    let pair = [&streaming, &streaming_overload];
+    let wrow = |wt: &mut Table, label: &str, f: &dyn Fn(&StreamingOutcome) -> String| {
+        let mut cells = vec![label.to_string()];
+        cells.extend(pair.iter().map(|o| f(o)));
+        wt.row(&cells);
+    };
+    wrow(&mut wt, "arrivals offered", &|o| {
+        o.stats.arrivals.to_string()
+    });
+    wrow(&mut wt, "admitted", &|o| o.stats.admitted.to_string());
+    wrow(&mut wt, "rate limited", &|o| {
+        o.stats.rate_limited.to_string()
+    });
+    wrow(&mut wt, "shed at high-water", &|o| o.stats.shed.to_string());
+    wrow(&mut wt, "shed rate", &|o| {
+        format!("{:.1}%", o.stats.shed_rate * 100.0)
+    });
+    wrow(&mut wt, "sessions / s", &|o| {
+        format!("{:.0}", o.report.sessions_per_sec)
+    });
+    wrow(&mut wt, "p99 latency [ms]", &|o| {
+        format!("{:.2}", o.stats.p99_ms)
+    });
+    wrow(&mut wt, "SLO (p99 <= SLO?)", &|o| {
+        format!(
+            "{:.0} ms ({})",
+            o.stats.slo_p99_ms,
+            if o.stats.slo_met { "met" } else { "MISSED" }
+        )
+    });
+    wrow(&mut wt, "deepest lane queue", &|o| {
+        o.stats
+            .lane_queue_high_water
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(0)
+            .to_string()
+    });
+    wt.note(
+        "arrivals delivered as split/coalesced byte chunks; token-bucket admission per \
+         device class; bounded per-lane queues shed with a typed Reject frame",
+    );
+    wt.note(
+        "overload run: whole-fleet reconnect storm into shallow queues — queues stay at \
+         the high-water mark and field arithmetic runs only for admitted frames",
+    );
+
     (
-        format!("{}\n{}", t.render(), st.render()),
+        format!("{}\n{}\n{}", t.render(), st.render(), wt.render()),
         summary_json(
             &toy,
             &k163,
@@ -284,7 +424,46 @@ pub fn run_with_json(fast: bool) -> (String, String) {
             &observed,
             &sweep,
             fleet_100k.as_ref(),
+            &streaming,
+            &streaming_overload,
         ),
+    )
+}
+
+/// The JSON object for one streaming run: ingest-side counters, the
+/// latency/SLO verdict, per-lane queue high-water marks, and the full
+/// embedded [`FleetReport`].
+fn streaming_json(o: &StreamingOutcome) -> String {
+    let marks = o
+        .stats
+        .lane_queue_high_water
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"arrivals\":{},\"admitted\":{},\"rate_limited\":{},\"admission_denied\":{},\
+         \"shed\":{},\"shed_rate\":{:.6},\"garbage\":{},\"violations\":{},\
+         \"reject_frames\":{},\"ticks\":{},\"p50_ms\":{:.4},\"p99_ms\":{:.4},\
+         \"max_ms\":{:.4},\"slo_p99_ms\":{},\"slo_met\":{},\
+         \"lane_queue_high_water\":[{marks}],\"sessions_per_sec\":{:.3},\"report\":{}}}",
+        o.stats.arrivals,
+        o.stats.admitted,
+        o.stats.rate_limited,
+        o.stats.admission_denied,
+        o.stats.shed,
+        o.stats.shed_rate,
+        o.stats.garbage,
+        o.stats.violations,
+        o.stats.reject_frames,
+        o.stats.ticks,
+        o.stats.p50_ms,
+        o.stats.p99_ms,
+        o.stats.max_ms,
+        o.stats.slo_p99_ms,
+        o.stats.slo_met,
+        o.report.sessions_per_sec,
+        o.report.to_json(),
     )
 }
 
@@ -337,8 +516,10 @@ fn sweep_json(sweep: &[SweepPoint]) -> String {
 /// path ran on, so a trajectory point is attributable to the exact
 /// compute stack behind it; the `mixed` entry carries the per-profile
 /// breakdown of the heterogeneous run, `thread_sweep` the scaling
-/// trajectory, and `fleet_100k` the ≥100k-device headline run (`null`
-/// in fast mode).
+/// trajectory, `fleet_100k` the ≥100k-device headline run (`null` in
+/// fast mode), and `streaming`/`streaming_overload` the framed-
+/// ingestion runs (sessions/s at the p99 SLO, and graceful-shedding
+/// evidence under a reconnect storm).
 #[allow(clippy::too_many_arguments)]
 fn summary_json(
     toy: &FleetReport,
@@ -349,6 +530,8 @@ fn summary_json(
     observed: &FleetReport,
     sweep: &[SweepPoint],
     fleet_100k: Option<&FleetReport>,
+    streaming: &StreamingOutcome,
+    streaming_overload: &StreamingOutcome,
 ) -> String {
     format!(
         "{{\"experiment\":\"fleet\",\"backend\":\"{}\",\
@@ -357,7 +540,8 @@ fn summary_json(
          \"mixed_observed\":{},\
          \"obs_overhead\":{{\"threads\":{},\"baseline_sessions_per_sec\":{:.3},\
          \"observed_sessions_per_sec\":{:.3},\"overhead_pct\":{:.3}}},\
-         \"thread_sweep\":{},\"fleet_100k\":{}}}",
+         \"thread_sweep\":{},\"fleet_100k\":{},\
+         \"streaming\":{},\"streaming_overload\":{}}}",
         medsec_gf2m::backend::active_backend_name(),
         medsec_ec::server_strategy_name::<medsec_ec::Toy17>(),
         medsec_ec::server_strategy_name::<medsec_ec::K163>(),
@@ -375,6 +559,8 @@ fn summary_json(
         obs_overhead_pct(mixed, observed),
         sweep_json(sweep),
         fleet_100k.map_or("null".to_string(), FleetReport::to_json),
+        streaming_json(streaming),
+        streaming_json(streaming_overload),
     )
 }
 
@@ -426,6 +612,18 @@ mod tests {
         }
         assert!(json.contains("\"scaling_efficiency\":"));
         assert!(json.contains("\"fleet_100k\":null"));
+        // The streaming front-end pair: an SLO-judged run at capacity
+        // and an overload run with graceful-shedding evidence.
+        assert!(report.contains("streaming wire front end"));
+        assert!(report.contains("shed at high-water"));
+        assert!(report.contains("SLO"));
+        assert!(json.contains("\"streaming\":{\"arrivals\":"));
+        assert!(json.contains("\"streaming_overload\":{\"arrivals\":"));
+        assert!(json.contains("\"slo_p99_ms\":50"));
+        assert!(json.contains("\"slo_met\":"));
+        assert!(json.contains("\"shed_rate\":"));
+        assert!(json.contains("\"lane_queue_high_water\":["));
+        assert!(json.contains("\"reject_frames\":"));
         medsec_obs::json::validate(&json).expect("BENCH_fleet summary must parse");
     }
 }

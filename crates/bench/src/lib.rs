@@ -29,6 +29,7 @@ pub mod e7_energy_xover;
 pub mod e8_privacy;
 pub mod e9_registers;
 pub mod fleet_scale;
+pub mod loadgen;
 
 /// All experiment ids in order.
 pub const ALL_EXPERIMENTS: &[&str] = &[

@@ -85,14 +85,15 @@ pub enum Lane {
 macro_rules! with_lane {
     ($lane:expr, $l:ident => $body:expr) => {
         match $lane {
-            Lane::Toy17($l) => $body,
-            Lane::B163($l) => $body,
-            Lane::K163($l) => $body,
-            Lane::K233($l) => $body,
-            Lane::K283($l) => $body,
+            $crate::hub::Lane::Toy17($l) => $body,
+            $crate::hub::Lane::B163($l) => $body,
+            $crate::hub::Lane::K163($l) => $body,
+            $crate::hub::Lane::K233($l) => $body,
+            $crate::hub::Lane::K283($l) => $body,
         }
     };
 }
+pub(crate) use with_lane;
 
 /// The curve-erased serving front-end for one (possibly heterogeneous)
 /// fleet.
@@ -107,17 +108,17 @@ pub struct GatewayHub {
 /// superset of the monomorphized driver's tally: negotiation and
 /// suite-protocol outcomes ride along, plus a per-profile breakdown).
 #[derive(Debug, Default)]
-struct HubTally {
-    forged_rejected: u64,
-    forged_accepted: u64,
-    device_rejections: u64,
-    mismatches: u64,
-    negotiation_rejected: u64,
-    auth_ok: u64,
-    auth_failed: u64,
-    server_energy_j: f64,
+pub(crate) struct HubTally {
+    pub(crate) forged_rejected: u64,
+    pub(crate) forged_accepted: u64,
+    pub(crate) device_rejections: u64,
+    pub(crate) mismatches: u64,
+    pub(crate) negotiation_rejected: u64,
+    pub(crate) auth_ok: u64,
+    pub(crate) auth_failed: u64,
+    pub(crate) server_energy_j: f64,
     /// profile id → (sessions ok, sessions failed).
-    per_profile: HashMap<u8, (u64, u64)>,
+    pub(crate) per_profile: HashMap<u8, (u64, u64)>,
 }
 
 impl HubTally {
@@ -129,7 +130,7 @@ impl HubTally {
         self.per_profile.entry(profile_id).or_default().1 += 1;
     }
 
-    fn merge(&mut self, other: HubTally) {
+    pub(crate) fn merge(&mut self, other: HubTally) {
         self.forged_rejected += other.forged_rejected;
         self.forged_accepted += other.forged_accepted;
         self.device_rejections += other.device_rejections;
@@ -171,7 +172,7 @@ pub fn admit_negotiate(
 
 /// The gateway's wall-power ledger template (same calibrated models as
 /// the devices; it exists to size the rack).
-fn server_ledger() -> EnergyLedger {
+pub(crate) fn server_ledger() -> EnergyLedger {
     EnergyLedger::new(
         EnergyReport::from_totals(86_000, 5.1e-6, 847_500.0),
         RadioModel::first_order_default(),
@@ -261,6 +262,11 @@ impl GatewayHub {
         &self.lanes
     }
 
+    /// (lane, slot-in-lane) of a global device index.
+    pub(crate) fn placement(&self, global: usize) -> (usize, usize) {
+        self.index[global]
+    }
+
     /// Gateway counters summed over every lane.
     pub fn counters(&self) -> GatewayCounters {
         let mut sum = GatewayCounters::default();
@@ -289,7 +295,6 @@ impl GatewayHub {
     /// callers batching several runs stamp the clock themselves and no
     /// hot path ever touches `SystemTime`).
     pub fn run_at(&self, cfg: &FleetConfig, started_unix_ms: u64) -> FleetReport {
-        let total = self.device_count();
         let threads = cfg.threads.max(1);
         // Lane-affine scheduling: one chunked queue per curve lane, so
         // a claimed batch never mixes lanes (the batched crypto paths
@@ -348,6 +353,25 @@ impl GatewayHub {
             }
         }
 
+        self.finalize_report(threads, tally, wall_s, telemetry, started_unix_ms)
+    }
+
+    /// Fold a run's merged [`HubTally`] plus the lanes' post-run state
+    /// (device ledgers, gateway counters, shard occupancy) into a
+    /// [`FleetReport`]. Shared by the batch driver ([`run_at`](Self::run_at))
+    /// and the streaming front end ([`run_streaming`](Self::run_streaming)),
+    /// so both report through one aggregation path. The streaming-only
+    /// fields (`shed_rate`, `admission_rejected`, queue high-water
+    /// marks) are zeroed here; the streaming runtime overwrites them.
+    pub(crate) fn finalize_report(
+        &self,
+        threads: usize,
+        tally: HubTally,
+        wall_s: f64,
+        telemetry: Option<Telemetry>,
+        started_unix_ms: u64,
+    ) -> FleetReport {
+        let total = self.device_count();
         // Device-side energy, aggregated fleet-wide and per profile.
         struct ProfileAgg {
             profile: SecurityProfile,
@@ -434,6 +458,10 @@ impl GatewayHub {
             ph_identified: 0,
             ph_failed: 0,
             forged_rejected: tally.forged_rejected,
+            decode_failures: 0,
+            admission_rejected: 0,
+            shed_rate: 0.0,
+            lane_queue_high_water: Vec::new(),
             wall_s,
             sessions_per_sec: completed as f64 / wall_s,
             frames_per_sec: counters.frames as f64 / wall_s,
@@ -508,7 +536,7 @@ impl GatewayHub {
 /// steady-state serving loop performs no per-batch allocation for the
 /// partition step.
 #[derive(Debug, Default)]
-struct ProtoScratch {
+pub(crate) struct ProtoScratch {
     mutual: Vec<usize>,
     ph: Vec<usize>,
     sym: Vec<usize>,
@@ -633,6 +661,82 @@ fn serve_bucket<C: CurveSpec>(
     }
     obs.end(span, lane_idx, Stage::Admit);
 
+    serve_waves(
+        lane,
+        lane_idx,
+        cfg,
+        rng,
+        server_ledger,
+        tally,
+        scratch,
+        obs,
+        events,
+    );
+}
+
+/// Serve a batch of devices whose Negotiate hellos were already
+/// admitted elsewhere — the streaming front end's entry point: its
+/// admission ladder (token buckets → `admit_negotiate` → bounded lane
+/// queues) runs on the ingest side, so by the time a job reaches a
+/// worker the only thing left is the crypto. `jobs` pairs each
+/// lane-local device slot with its *negotiated* protocol.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn serve_admitted<C: CurveSpec>(
+    lane: &CurveLane<C>,
+    lane_idx: usize,
+    jobs: &[(usize, ProtocolId)],
+    cfg: &FleetConfig,
+    rng: &mut SplitMix64,
+    server_ledger: &mut EnergyLedger,
+    tally: &mut HubTally,
+    scratch: &mut ProtoScratch,
+    obs: &mut WorkerObs,
+    events: Option<&EventLog>,
+) {
+    let span = obs.begin();
+    scratch.clear();
+    for &(idx, proto) in jobs {
+        debug_assert!(
+            idx < lane.devices.len(),
+            "admitted slot {idx} escapes lane {lane_idx}"
+        );
+        match proto {
+            ProtocolId::Mutual => scratch.mutual.push(idx),
+            ProtocolId::Ph => scratch.ph.push(idx),
+            ProtocolId::Symmetric => scratch.sym.push(idx),
+            ProtocolId::Schnorr => scratch.schnorr.push(idx),
+        }
+    }
+    obs.end(span, lane_idx, Stage::Assemble);
+
+    serve_waves(
+        lane,
+        lane_idx,
+        cfg,
+        rng,
+        server_ledger,
+        tally,
+        scratch,
+        obs,
+        events,
+    );
+}
+
+/// The four protocol-family serving waves over a partitioned
+/// [`ProtoScratch`] — the half of `serve_bucket` below admission,
+/// shared with [`serve_admitted`].
+#[allow(clippy::too_many_arguments)]
+fn serve_waves<C: CurveSpec>(
+    lane: &CurveLane<C>,
+    lane_idx: usize,
+    cfg: &FleetConfig,
+    rng: &mut SplitMix64,
+    server_ledger: &mut EnergyLedger,
+    tally: &mut HubTally,
+    scratch: &mut ProtoScratch,
+    obs: &mut WorkerObs,
+    events: Option<&EventLog>,
+) {
     let wave = obs.wave_start();
     let done = serve_mutual(
         lane,

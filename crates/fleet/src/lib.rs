@@ -33,6 +33,13 @@
 //! * [`sim`] — the fleet driver wiring devices ↔ gateway through the
 //!   real `medsec_protocols::wire` codec on `std::thread` scoped
 //!   workers;
+//! * [`streaming`] — the byte-oriented wire front end: each device's
+//!   traffic arrives as arbitrarily split/coalesced byte chunks, is
+//!   reassembled by `medsec-ingest` connection state machines, passes
+//!   token-bucket admission per device class, and is queued into
+//!   bounded per-lane batch queues (shedding with a typed `Reject`
+//!   frame at the high-water mark) before the existing lane scheduler
+//!   serves the admitted batches;
 //! * [`report`] — the aggregated [`FleetReport`]: throughput, energy
 //!   per session, failure counts, shard occupancy.
 //!
@@ -63,6 +70,7 @@ pub mod report;
 pub mod scheduler;
 pub mod shard;
 pub mod sim;
+pub mod streaming;
 mod telemetry;
 
 pub use gateway::{FleetError, Gateway};
@@ -75,3 +83,7 @@ pub use report::{FleetReport, ProfileStats};
 pub use scheduler::{BatchScheduler, LaneBatch, LaneScheduler, LaneWorker, StealStats};
 pub use shard::{SessionPhase, SessionTable};
 pub use sim::{mixed_hospital_wards, run_fleet, run_fleet_on, CurveChoice, FleetConfig, WardSpec};
+pub use streaming::{
+    device_class, Arrival, ClassPolicy, StreamingConfig, StreamingOutcome, StreamingStats,
+    DEVICE_CLASSES,
+};

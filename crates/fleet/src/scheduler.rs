@@ -13,9 +13,15 @@
 //!
 //! [`LaneScheduler`] replaces it with per-lane chunked work queues:
 //!
-//! * each lane's jobs are pre-chunked into fixed `batch_size` chunks
-//!   at construction, so a batch **never crosses a lane** (debug
-//!   asserted on every claim) and chunk boundaries are identical for
+//! * each lane's jobs are pre-chunked at construction by
+//!   [`chunk_plan`] — `batch_size` chunks with a **tapered tail**: the
+//!   final stretch of a big lane is split into geometrically shrinking
+//!   chunks (16,16,16,8,4,2,1,1 for a 64-job tail at `batch_size` 16),
+//!   so the last claims of a drained fleet are shared among workers
+//!   instead of the whole tail serializing behind whoever grabbed the
+//!   final full chunk. A batch still **never crosses a lane** (debug
+//!   asserted on every claim), and because the plan is a pure function
+//!   of (lane size, batch size), chunk boundaries are identical for
 //!   every worker count — batched crypto work is bit-for-bit the same
 //!   at 1 thread and at 16;
 //! * a claim is one `fetch_add` on the lane's chunk cursor — no lock,
@@ -45,16 +51,58 @@ use std::sync::Mutex;
 #[repr(align(128))]
 struct CachePadded<T>(T);
 
-/// One lane's chunked work queue. Chunks are implicit — chunk `i`
-/// covers slots `i*chunk .. min((i+1)*chunk, jobs)` — so the whole
-/// queue is a job count plus one cache-padded claim cursor.
+/// Lanes with at least this many full-size chunks get a tapered tail;
+/// smaller lanes keep plain fixed chunking (their whole queue *is*
+/// tail, and halving it would just shrink every batch's crypto
+/// amortization).
+const TAPER_MIN_CHUNKS: usize = 8;
+
+/// The taper begins once a lane's remaining jobs fit in this many
+/// full-size chunks.
+const TAPER_TAIL_CHUNKS: usize = 4;
+
+/// Chunk-boundary plan for one lane: offsets such that chunk `i`
+/// covers slots `plan[i]..plan[i+1]`.
+///
+/// Small lanes (< [`TAPER_MIN_CHUNKS`] chunks) are fixed-size. Big
+/// lanes emit full `batch_size` chunks until the remainder fits in
+/// [`TAPER_TAIL_CHUNKS`] full chunks, then halve: each tail chunk is
+/// `min(batch_size, max(1, remaining/2))`. The last claims shrink
+/// geometrically (16,16,16,8,4,2,1,1 for a 64-job tail at size 16),
+/// so a drained lane's tail is shared by however many workers are
+/// still hungry instead of serializing behind one. The plan is a pure
+/// function of its arguments — the determinism backbone (bit-identical
+/// batches at every worker count) survives the taper.
+pub fn chunk_plan(jobs: usize, batch_size: usize) -> Vec<usize> {
+    let chunk = batch_size.max(1);
+    let mut starts = vec![0usize];
+    if jobs == 0 {
+        return starts;
+    }
+    let taper = jobs.div_ceil(chunk) >= TAPER_MIN_CHUNKS;
+    let mut pos = 0usize;
+    while pos < jobs {
+        let remaining = jobs - pos;
+        let step = if taper && remaining <= TAPER_TAIL_CHUNKS * chunk {
+            chunk.min((remaining / 2).max(1))
+        } else {
+            chunk.min(remaining)
+        };
+        pos += step;
+        starts.push(pos);
+    }
+    starts
+}
+
+/// One lane's chunked work queue: the precomputed chunk boundaries
+/// ([`chunk_plan`]) plus one cache-padded claim cursor.
 #[derive(Debug)]
 struct LaneQueue {
     /// Jobs (device slots) in this lane.
     jobs: usize,
-    /// Chunk size (the scheduler-wide batch size).
-    chunk: usize,
-    /// Total chunks: `ceil(jobs / chunk)`.
+    /// Chunk start offsets; chunk `i` covers `starts[i]..starts[i+1]`.
+    starts: Box<[usize]>,
+    /// Total chunks: `starts.len() - 1`.
     chunks: usize,
     /// Next unclaimed chunk index. May race past `chunks`; claims
     /// compare against `chunks` so overshoot is harmless.
@@ -104,18 +152,21 @@ pub struct LaneScheduler {
 }
 
 impl LaneScheduler {
-    /// A scheduler over `lane_jobs[l]` jobs per lane, chunked into
-    /// `batch_size` batches (clamped to at least 1).
+    /// A scheduler over `lane_jobs[l]` jobs per lane, chunked by
+    /// [`chunk_plan`] at `batch_size` (clamped to at least 1) with
+    /// tapered ragged tails.
     pub fn new(lane_jobs: &[usize], batch_size: usize) -> Self {
         assert!(!lane_jobs.is_empty(), "scheduler needs at least one lane");
-        let chunk = batch_size.max(1);
         let lanes = lane_jobs
             .iter()
-            .map(|&jobs| LaneQueue {
-                jobs,
-                chunk,
-                chunks: jobs.div_ceil(chunk),
-                head: CachePadded(AtomicUsize::new(0)),
+            .map(|&jobs| {
+                let starts: Box<[usize]> = chunk_plan(jobs, batch_size).into();
+                LaneQueue {
+                    jobs,
+                    chunks: starts.len() - 1,
+                    starts,
+                    head: CachePadded(AtomicUsize::new(0)),
+                }
             })
             .collect();
         Self { lanes }
@@ -141,15 +192,9 @@ impl LaneScheduler {
     pub fn remaining(&self) -> usize {
         self.lanes
             .iter()
-            .enumerate()
-            .map(|(i, q)| {
-                let depth = self.queue_depth(i);
-                if depth == 0 {
-                    0
-                } else {
-                    // The deepest queued chunk may be the ragged tail.
-                    (depth - 1) * q.chunk + (q.jobs - (q.chunks - 1) * q.chunk).min(q.chunk)
-                }
+            .map(|q| {
+                let head = q.head.0.load(Ordering::Relaxed).min(q.chunks);
+                q.jobs - q.starts[head]
             })
             .sum()
     }
@@ -171,8 +216,8 @@ impl LaneScheduler {
             if claimed >= q.chunks {
                 continue; // lost the race for the lane's last chunk
             }
-            let start = claimed * q.chunk;
-            let end = (start + q.chunk).min(q.jobs);
+            let start = q.starts[claimed];
+            let end = q.starts[claimed + 1];
             // The no-lane-crossing contract: a batch is a non-empty
             // slot range strictly inside its lane.
             debug_assert!(
@@ -452,7 +497,9 @@ mod tests {
     fn skewed_lane_is_drained_by_stealing() {
         // The deliberately skewed fleet: one big lane (4096) and one
         // small (64). A worker homed on the small lane drains its 4
-        // chunks, then steals all 256 big-lane chunks whole.
+        // chunks (64 jobs < 8 chunks, so no taper), then steals every
+        // big-lane chunk whole: 252 full chunks plus the 8-chunk
+        // tapered tail = 260 steals.
         let s = LaneScheduler::new(&[4096, 64], 16);
         let mut stats = StealStats::default();
         let mut home_jobs = 0u64;
@@ -467,10 +514,53 @@ mod tests {
             }
         }
         assert_eq!(stats.home_batches, 4);
-        assert_eq!(stats.stolen_batches, 256);
+        assert_eq!(stats.stolen_batches, 260);
         assert_eq!(home_jobs, 64);
         assert_eq!(stolen_jobs, 4096);
         assert_eq!(stats.jobs, 4160);
+    }
+
+    #[test]
+    fn tapered_tail_splits_the_last_chunks() {
+        // ROADMAP item 1 residual: with fixed chunks, the last
+        // `batch_size` jobs of a big lane are one chunk — one worker
+        // serializes the tail while the others idle. The plan halves
+        // the final 4-chunk region instead.
+        let plan = chunk_plan(4096, 16);
+        let sizes: Vec<usize> = plan.windows(2).map(|w| w[1] - w[0]).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 4096);
+        assert_eq!(sizes.len(), 260);
+        assert!(sizes[..252].iter().all(|&c| c == 16));
+        assert_eq!(&sizes[252..], &[16, 16, 16, 8, 4, 2, 1, 1]);
+
+        // Small lanes keep plain fixed chunking — halving a 5-chunk
+        // queue would only shrink batch crypto amortization.
+        assert_eq!(chunk_plan(33, 8), vec![0, 8, 16, 24, 32, 33]);
+        assert_eq!(chunk_plan(0, 8), vec![0]);
+        // Boundary case: exactly TAPER_MIN_CHUNKS chunks tapers.
+        let sizes8: Vec<usize> = chunk_plan(64, 8).windows(2).map(|w| w[1] - w[0]).collect();
+        assert_eq!(sizes8.iter().sum::<usize>(), 64);
+        assert_eq!(&sizes8[..], &[8, 8, 8, 8, 8, 8, 8, 4, 2, 1, 1]);
+    }
+
+    #[test]
+    fn steal_counter_regression_under_taper() {
+        // The steal/home counters stay exact under the tapered plan:
+        // total claims across any worker count equal the plan's chunk
+        // count, and every claim is still a whole plan chunk (so the
+        // counters in `BENCH_fleet.json` remain comparable across
+        // runs). 4096@16 → 260 chunks, 64@16 → 4 chunks.
+        for workers in [1usize, 2, 4, 8] {
+            let s = LaneScheduler::new(&[4096, 64], 16);
+            let stats = s.run_workers(workers, |mut w| {
+                while w.next_batch().is_some() {}
+                w.stats()
+            });
+            let total_batches: u64 = stats.iter().map(StealStats::batches).sum();
+            let total_jobs: u64 = stats.iter().map(|s| s.jobs).sum();
+            assert_eq!(total_batches, 264, "{workers} workers");
+            assert_eq!(total_jobs, 4160, "{workers} workers");
+        }
     }
 
     #[test]

@@ -295,6 +295,10 @@ pub fn run_fleet_on<C: CurveSpec>(cfg: &FleetConfig) -> FleetReport {
         ph_identified: 0,
         ph_failed: 0,
         forged_rejected: tally.forged_rejected,
+        decode_failures: 0,
+        admission_rejected: 0,
+        shed_rate: 0.0,
+        lane_queue_high_water: Vec::new(),
         wall_s,
         sessions_per_sec: completed as f64 / wall_s,
         frames_per_sec: counters.frames as f64 / wall_s,

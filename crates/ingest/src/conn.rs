@@ -1,0 +1,233 @@
+//! Per-connection frame classification: who may say what, when.
+
+use medsec_protocols::wire::{DecodeError, MsgType, RejectReason};
+
+use crate::frame::FrameCursor;
+
+/// Lifecycle of one device-facing connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConnState {
+    /// Nothing admitted yet — only a `Negotiate` hello is legal.
+    #[default]
+    AwaitNegotiate,
+    /// A `Negotiate` was surfaced (admission is the fleet layer's
+    /// call); session traffic and re-negotiation are legal.
+    Ready,
+    /// Fail-closed terminal state: garbage or a protocol violation.
+    Closed,
+}
+
+/// One classified event surfaced by [`Connection::next_ingress`].
+///
+/// The byte slices borrow from the connection's reuse buffer and are
+/// valid until the next `push`/`next_ingress` call — route them (or the
+/// indices derived from them) onward before polling again.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Ingress<'a> {
+    /// A complete `Negotiate` hello: full frame bytes, exactly what
+    /// `admit_negotiate` wants. Admission control (token buckets,
+    /// profile checks) happens *above* this layer — the state machine
+    /// only vouches that the frame was legal to send here.
+    Negotiate(&'a [u8]),
+    /// A complete device→server session frame (telemetry, sigma
+    /// responses, symmetric transcripts), legal only after a
+    /// `Negotiate`.
+    Session(MsgType, &'a [u8]),
+    /// The connection broke the state machine — session traffic before
+    /// any `Negotiate`, or a server-role tag arriving *from* a device.
+    /// The connection is closed; answer with this typed reject.
+    Violation(RejectReason),
+    /// The byte stream failed deframing (`wire::deframe` taxonomy).
+    /// The connection is closed; there is nothing to answer.
+    Garbage(DecodeError),
+}
+
+/// Whether a tag is something a *device* legitimately sends. The wire
+/// codec is direction-agnostic; the connection is not — `ServerHello`
+/// arriving from an implant is an attack or a bug, never traffic.
+fn device_sends(ty: MsgType) -> bool {
+    matches!(
+        ty,
+        MsgType::PhCommit
+            | MsgType::PhResponse
+            | MsgType::Telemetry
+            | MsgType::SymResponse
+            | MsgType::Negotiate
+    )
+}
+
+/// One device-facing connection: an incremental deframer plus the
+/// state machine that decides which complete frames are legal.
+///
+/// Both error paths are terminal ([`ConnState::Closed`]): a medical
+/// gateway does not resynchronize inside a byte stream that has
+/// already lied to it once.
+#[derive(Debug, Default)]
+pub struct Connection {
+    cursor: FrameCursor,
+    state: ConnState,
+}
+
+impl Connection {
+    /// A fresh connection awaiting its `Negotiate`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> ConnState {
+        self.state
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    pub fn pending(&self) -> usize {
+        self.cursor.pending()
+    }
+
+    /// Append one transport read (discarded once closed).
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.state != ConnState::Closed {
+            self.cursor.push(bytes);
+        }
+    }
+
+    /// Classify the next complete frame, if one is buffered.
+    ///
+    /// `None` means "need more bytes". `Violation`/`Garbage` close the
+    /// connection; subsequent calls return `None`.
+    pub fn next_ingress(&mut self) -> Option<Ingress<'_>> {
+        if self.state == ConnState::Closed {
+            return None;
+        }
+        let frame = match self.cursor.next_frame() {
+            Err(e) => {
+                self.state = ConnState::Closed;
+                return Some(Ingress::Garbage(e));
+            }
+            Ok(None) => return None,
+            Ok(Some(f)) => f,
+        };
+        if !device_sends(frame.ty) {
+            self.state = ConnState::Closed;
+            return Some(Ingress::Violation(RejectReason::Protocol));
+        }
+        match (frame.ty, self.state) {
+            // Re-negotiation in Ready is deliberate: the suite seam
+            // promises profile downgrade via one more Negotiate frame.
+            (MsgType::Negotiate, _) => {
+                self.state = ConnState::Ready;
+                Some(Ingress::Negotiate(frame.raw))
+            }
+            (_, ConnState::Ready) => Some(Ingress::Session(frame.ty, frame.payload())),
+            (_, ConnState::AwaitNegotiate) => {
+                self.state = ConnState::Closed;
+                Some(Ingress::Violation(RejectReason::Protocol))
+            }
+            (_, ConnState::Closed) => unreachable!("closed handled above"),
+        }
+    }
+
+    /// Classify stream end: clean, or cut mid-frame ([`DecodeError`]).
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        self.cursor.finish()
+    }
+
+    /// Reset for reuse on a new connection, keeping the buffer.
+    pub fn reset(&mut self) {
+        self.cursor.reset();
+        self.state = ConnState::AwaitNegotiate;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsec_protocols::wire::{encode_negotiate, frame};
+    use medsec_protocols::{CurveId, ProtocolId};
+
+    fn hello() -> Vec<u8> {
+        encode_negotiate(0x32, CurveId::K163, ProtocolId::Mutual).to_vec()
+    }
+
+    #[test]
+    fn negotiate_then_session_traffic() {
+        let mut c = Connection::new();
+        let h = hello();
+        c.push(&h);
+        c.push(&frame(MsgType::Telemetry, b"vitals"));
+        assert_eq!(c.next_ingress(), Some(Ingress::Negotiate(&h[..])));
+        assert_eq!(c.state(), ConnState::Ready);
+        assert_eq!(
+            c.next_ingress(),
+            Some(Ingress::Session(MsgType::Telemetry, b"vitals".as_slice()))
+        );
+        assert_eq!(c.next_ingress(), None);
+        assert!(c.finish().is_ok());
+    }
+
+    #[test]
+    fn session_traffic_before_negotiate_is_a_violation() {
+        let mut c = Connection::new();
+        c.push(&frame(MsgType::Telemetry, b"early"));
+        assert_eq!(
+            c.next_ingress(),
+            Some(Ingress::Violation(RejectReason::Protocol))
+        );
+        assert_eq!(c.state(), ConnState::Closed);
+        // Closed connections discard everything after.
+        c.push(&hello());
+        assert_eq!(c.next_ingress(), None);
+    }
+
+    #[test]
+    fn server_role_tags_from_a_device_are_violations() {
+        for ty in [MsgType::ServerHello, MsgType::SymChallenge, MsgType::Reject] {
+            let mut c = Connection::new();
+            c.push(&hello());
+            assert!(matches!(c.next_ingress(), Some(Ingress::Negotiate(_))));
+            c.push(&frame(ty, &[0u8; 4]));
+            assert_eq!(
+                c.next_ingress(),
+                Some(Ingress::Violation(RejectReason::Protocol)),
+                "tag {ty:?} must not be accepted from a device"
+            );
+            assert_eq!(c.state(), ConnState::Closed);
+        }
+    }
+
+    #[test]
+    fn garbage_closes_fail_closed() {
+        let mut c = Connection::new();
+        c.push(&hello());
+        assert!(matches!(c.next_ingress(), Some(Ingress::Negotiate(_))));
+        c.push(&[0xEE, 0x05, 1, 2]);
+        assert_eq!(
+            c.next_ingress(),
+            Some(Ingress::Garbage(DecodeError::UnknownType(0xEE)))
+        );
+        assert_eq!(c.state(), ConnState::Closed);
+        assert_eq!(c.next_ingress(), None);
+    }
+
+    #[test]
+    fn renegotiation_is_legal_in_ready() {
+        let mut c = Connection::new();
+        let h = hello();
+        c.push(&h);
+        assert!(matches!(c.next_ingress(), Some(Ingress::Negotiate(_))));
+        let downgrade = encode_negotiate(0x11, CurveId::Toy17, ProtocolId::Symmetric).to_vec();
+        c.push(&downgrade);
+        assert_eq!(c.next_ingress(), Some(Ingress::Negotiate(&downgrade[..])));
+        assert_eq!(c.state(), ConnState::Ready);
+    }
+
+    #[test]
+    fn split_negotiate_assembles_across_pushes() {
+        let mut c = Connection::new();
+        let h = hello();
+        c.push(&h[..3]);
+        assert_eq!(c.next_ingress(), None);
+        c.push(&h[3..]);
+        assert_eq!(c.next_ingress(), Some(Ingress::Negotiate(&h[..])));
+    }
+}

@@ -1,0 +1,266 @@
+//! Incremental zero-copy deframing over arbitrary read boundaries.
+
+use medsec_protocols::wire::{DecodeError, MsgType};
+
+/// One complete frame, borrowed from the cursor's buffer.
+///
+/// `raw` is the full wire image (`[tag, len, payload…]`) so admission
+/// paths that re-decode — `decode_negotiate`, `admit_negotiate` — get
+/// the exact bytes the device sent, and `payload()` is the body slice
+/// whole-frame `deframe` would have returned. Nothing is copied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame<'a> {
+    /// Decoded message type of `raw[0]`.
+    pub ty: MsgType,
+    /// The complete frame bytes, header included.
+    pub raw: &'a [u8],
+}
+
+impl<'a> Frame<'a> {
+    /// The frame body (everything after the 2-byte header).
+    pub fn payload(&self) -> &'a [u8] {
+        &self.raw[2..]
+    }
+}
+
+/// An incremental deframer over one connection's byte stream.
+///
+/// Bytes arrive via [`push`](Self::push) in whatever chunks the
+/// transport produced — frames may split across chunks or several may
+/// coalesce into one — and [`next_frame`](Self::next_frame) yields
+/// complete frames as soon as their last byte is buffered, borrowing
+/// the payload straight out of the internal buffer (zero-copy; the
+/// buffer is reused across frames and compacted, never reallocated per
+/// frame once warm).
+///
+/// Classification is bit-compatible with whole-frame
+/// [`deframe`](medsec_protocols::wire::deframe), in the same order it
+/// checks: an unknown tag byte is [`DecodeError::UnknownType`] the
+/// moment both header bytes are visible (the declared length is never
+/// trusted on a frame we already know is garbage), and a stream that
+/// ends mid-header or mid-payload classifies as
+/// [`DecodeError::Truncated`] via [`finish`](Self::finish). The
+/// single-frame `Malformed` (trailing bytes) case does not exist on a
+/// stream — trailing bytes *are* the next frame — which is exactly the
+/// trichotomy the property tests in `tests/deframer_equivalence.rs`
+/// pin.
+///
+/// The cursor **fails closed**: the first error poisons it, every
+/// subsequent call repeats the same error, and pushed bytes are
+/// discarded. A gateway drops the connection; it does not resync inside
+/// a byte stream an attacker controls.
+#[derive(Debug, Default)]
+pub struct FrameCursor {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (bytes of already-yielded frames).
+    pos: usize,
+    poisoned: Option<DecodeError>,
+}
+
+impl FrameCursor {
+    /// A fresh cursor with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one transport read. Bytes pushed after the cursor is
+    /// poisoned are discarded — the connection is already dead.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.poisoned.is_some() {
+            return;
+        }
+        // Compact before growing: once the consumed prefix dominates
+        // the buffer, slide the live tail down so a long-lived
+        // connection's buffer stays at (roughly) one frame of capacity
+        // instead of growing with total bytes ever received.
+        if self.pos > 0 && self.pos >= self.buf.len() - self.pos {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet yielded as part of a complete frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether a previous call already classified this stream as
+    /// garbage (and if so, how).
+    pub fn poisoned(&self) -> Option<&DecodeError> {
+        self.poisoned.as_ref()
+    }
+
+    /// Yield the next complete frame, if one is fully buffered.
+    ///
+    /// `Ok(None)` means "need more bytes" — never an error: an
+    /// incomplete frame has no trustworthy content to classify.
+    /// `Err(_)` poisons the cursor permanently.
+    pub fn next_frame(&mut self) -> Result<Option<Frame<'_>>, DecodeError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        let pending = &self.buf[self.pos..];
+        if pending.len() < 2 {
+            return Ok(None);
+        }
+        // Same order as `wire::deframe`: the tag is judged before the
+        // declared length is believed.
+        let ty = match MsgType::from_u8(pending[0]) {
+            Some(ty) => ty,
+            None => return Err(self.poison(DecodeError::UnknownType(pending[0]))),
+        };
+        let frame_len = 2 + pending[1] as usize;
+        if pending.len() < frame_len {
+            return Ok(None);
+        }
+        let start = self.pos;
+        self.pos += frame_len;
+        Ok(Some(Frame {
+            ty,
+            raw: &self.buf[start..start + frame_len],
+        }))
+    }
+
+    /// Classify the residue once the transport signals end-of-stream.
+    ///
+    /// A clean stream (no buffered residue) is `Ok`; a stream cut
+    /// mid-header or mid-payload is [`DecodeError::Truncated`], exactly
+    /// as whole-frame `deframe` classifies a short capture. (A residue
+    /// with an unknown tag can only be observed here if `next_frame`
+    /// was never polled; it classifies identically.)
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        let pending = &self.buf[self.pos..];
+        if pending.is_empty() {
+            return Ok(());
+        }
+        if pending.len() >= 2 && MsgType::from_u8(pending[0]).is_none() {
+            return Err(DecodeError::UnknownType(pending[0]));
+        }
+        Err(DecodeError::Truncated)
+    }
+
+    /// Reset for reuse on a new connection: keeps the allocation,
+    /// clears contents and poison.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.pos = 0;
+        self.poisoned = None;
+    }
+
+    fn poison(&mut self, e: DecodeError) -> DecodeError {
+        self.poisoned = Some(e.clone());
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsec_protocols::wire::{encode_negotiate, frame};
+    use medsec_protocols::{CurveId, ProtocolId};
+
+    #[test]
+    fn whole_frame_in_one_push() {
+        let f = frame(MsgType::Telemetry, b"hello");
+        let mut c = FrameCursor::new();
+        c.push(&f);
+        let got = c.next_frame().unwrap().unwrap();
+        assert_eq!(got.ty, MsgType::Telemetry);
+        assert_eq!(got.payload(), b"hello");
+        assert!(c.next_frame().unwrap().is_none());
+        assert!(c.finish().is_ok());
+    }
+
+    #[test]
+    fn frame_split_byte_by_byte() {
+        let f = encode_negotiate(0x32, CurveId::K163, ProtocolId::Mutual);
+        let mut c = FrameCursor::new();
+        for (i, b) in f.iter().enumerate() {
+            assert!(c.next_frame().unwrap().is_none(), "premature at byte {i}");
+            c.push(&[*b]);
+        }
+        let got = c.next_frame().unwrap().unwrap();
+        assert_eq!(got.ty, MsgType::Negotiate);
+        assert_eq!(got.raw, &f[..]);
+        assert!(c.finish().is_ok());
+    }
+
+    #[test]
+    fn coalesced_frames_come_out_in_order() {
+        let a = frame(MsgType::Telemetry, b"one");
+        let b = frame(MsgType::SymResponse, b"two!");
+        let mut joined = a.to_vec();
+        joined.extend_from_slice(&b);
+        let mut c = FrameCursor::new();
+        c.push(&joined);
+        assert_eq!(c.next_frame().unwrap().unwrap().payload(), b"one");
+        assert_eq!(c.next_frame().unwrap().unwrap().payload(), b"two!");
+        assert!(c.next_frame().unwrap().is_none());
+        assert!(c.finish().is_ok());
+    }
+
+    #[test]
+    fn unknown_tag_poisons_permanently() {
+        let mut c = FrameCursor::new();
+        c.push(&[0xEE, 0x00]);
+        assert_eq!(c.next_frame(), Err(DecodeError::UnknownType(0xEE)));
+        // The error repeats; pushed bytes are discarded.
+        c.push(&frame(MsgType::Telemetry, b"late"));
+        assert_eq!(c.next_frame(), Err(DecodeError::UnknownType(0xEE)));
+        assert_eq!(c.finish(), Err(DecodeError::UnknownType(0xEE)));
+    }
+
+    #[test]
+    fn unknown_tag_needs_both_header_bytes() {
+        // One garbage byte alone is indistinguishable from a cut
+        // header — only when the header is complete is it classified.
+        let mut c = FrameCursor::new();
+        c.push(&[0xEE]);
+        assert!(c.next_frame().unwrap().is_none());
+        assert_eq!(c.finish(), Err(DecodeError::Truncated));
+        c.push(&[0x00]);
+        assert_eq!(c.next_frame(), Err(DecodeError::UnknownType(0xEE)));
+    }
+
+    #[test]
+    fn truncated_residue_classifies_at_finish() {
+        let f = frame(MsgType::Telemetry, b"abcdef");
+        let mut c = FrameCursor::new();
+        c.push(&f[..4]);
+        assert!(c.next_frame().unwrap().is_none());
+        assert_eq!(c.pending(), 4);
+        assert_eq!(c.finish(), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn reset_reuses_the_buffer() {
+        let mut c = FrameCursor::new();
+        c.push(&[0xEE, 0x00]);
+        assert!(c.next_frame().is_err());
+        c.reset();
+        assert!(c.poisoned().is_none());
+        c.push(&frame(MsgType::Telemetry, b"ok"));
+        assert_eq!(c.next_frame().unwrap().unwrap().payload(), b"ok");
+    }
+
+    #[test]
+    fn compaction_bounds_buffer_growth() {
+        let f = frame(MsgType::Telemetry, &[0xAB; 32]);
+        let mut c = FrameCursor::new();
+        for _ in 0..10_000 {
+            c.push(&f);
+            assert!(c.next_frame().unwrap().is_some());
+        }
+        // A long-lived connection's buffer stays at frame scale, not
+        // total-bytes-received scale.
+        assert!(
+            c.buf.capacity() < 16 * f.len(),
+            "buffer grew to {} bytes over a 10k-frame connection",
+            c.buf.capacity()
+        );
+    }
+}

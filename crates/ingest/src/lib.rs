@@ -1,0 +1,57 @@
+//! Streaming wire front end for the hospital gateway.
+//!
+//! Everything below the fleet layer — and everything the paper
+//! measures — speaks *complete* frames: `wire::deframe` takes one
+//! frame's bytes and classifies them exactly. A real gateway does not
+//! receive complete frames; it receives byte chunks from a radio or a
+//! socket, cut wherever the transport felt like cutting them, with
+//! frames split and coalesced across read boundaries and hostile bytes
+//! interleaved by whoever is in radio range of a hospital. This crate
+//! is the layer between those two worlds, and it is deliberately
+//! crypto-free: nothing here touches field arithmetic, so every byte an
+//! attacker makes us process costs us parsing, not scalar
+//! multiplications.
+//!
+//! Three pieces, stacked in the order a byte travels them:
+//!
+//! * [`FrameCursor`] — an incremental zero-copy deframer over a reused
+//!   per-connection buffer. It yields exactly the frames whole-frame
+//!   [`medsec_protocols::wire::deframe`] would have accepted, reaches
+//!   the exact same [`DecodeError`] classification on garbage (pinned
+//!   by property tests over arbitrary read-boundary splits), and fails
+//!   closed: after one bad byte the cursor is poisoned and the
+//!   connection is done.
+//! * [`Connection`] — a per-connection state machine classifying
+//!   complete frames by role and state: a `Negotiate` hello admits a
+//!   device, session traffic flows only after one, server-role tags
+//!   arriving *from* a device are protocol violations answered with a
+//!   typed [`RejectReason`] frame.
+//! * [`AdmissionControl`] + [`BoundedLaneQueue`] — explicit
+//!   backpressure: per-device-class token buckets gate how fast
+//!   Negotiates may even reach `admit_negotiate`, and bounded per-lane
+//!   queues shed load (typed `QueueFull` reject, high-water marks
+//!   recorded) instead of growing without bound when the serving side
+//!   falls behind.
+//!
+//! The fleet layer (`medsec_fleet::streaming`) owns the other half of
+//! the story: pulling admitted work from the queues into the
+//! `LaneScheduler` workers and booking ingest timing through the
+//! `medsec-obs` seams. This crate has no fleet dependency — the seam is
+//! plain data (class indices, lane indices, generic queue items).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bucket;
+mod conn;
+mod frame;
+mod queue;
+
+pub use bucket::{AdmissionControl, ClassPolicy, TokenBucket};
+pub use conn::{ConnState, Connection, Ingress};
+pub use frame::{Frame, FrameCursor};
+pub use queue::{BoundedLaneQueue, Push};
+
+// Re-exported so ingest callers name the wire taxonomy without a
+// second protocols import path.
+pub use medsec_protocols::wire::{DecodeError, MsgType, RejectReason};

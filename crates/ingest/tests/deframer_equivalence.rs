@@ -1,0 +1,198 @@
+//! Satellite pin: the incremental deframer and whole-frame
+//! `wire::deframe` are the same classifier.
+//!
+//! For an arbitrary byte stream delivered across arbitrary read
+//! boundaries, exactly one of three relations holds against
+//! `deframe(whole)` — and the properties below check whichever one the
+//! cursor's outcome selects, so every generated stream is a test of
+//! the equivalence, not just the happy path:
+//!
+//! 1. the cursor errors before yielding any frame ⇒ same
+//!    `DecodeError` as `deframe(whole)` (unknown tags), or the stream
+//!    ends mid-frame and `finish()` classifies `Truncated` exactly as
+//!    `deframe` classifies the short capture;
+//! 2. the cursor yields exactly one frame and a clean finish ⇒
+//!    `deframe(whole)` accepts, with identical type and payload;
+//! 3. the cursor yields a frame and *then* anything else (more frames,
+//!    garbage, a truncated tail) ⇒ `deframe(whole)` is `Malformed` —
+//!    single-frame decoding calls trailing bytes smuggled suffix data,
+//!    while the stream cursor correctly reads them as the next frame.
+
+use medsec_ingest::{DecodeError, FrameCursor, MsgType};
+use medsec_protocols::wire::{deframe, frame};
+use proptest::prelude::*;
+
+/// All tag bytes `MsgType::from_u8` accepts.
+const VALID_TAGS: [u8; 9] = [0x01, 0x02, 0x03, 0x10, 0x11, 0x12, 0x13, 0x20, 0x21];
+
+/// Frames yielded by one incremental pass: (tag, owned payload).
+type YieldedFrames = Vec<(MsgType, Vec<u8>)>;
+
+/// Feed `bytes` into a cursor as chunks cut at `cuts` (fractions of the
+/// length), polling for frames after every push, then classify the
+/// residue. Returns the yielded frames (owned) and the terminal
+/// outcome: `Ok(())` clean end, `Err(e)` the first error (from a poll
+/// or from `finish`).
+fn run_stream(bytes: &[u8], cuts: &[usize]) -> (YieldedFrames, Result<(), DecodeError>) {
+    let mut boundaries: Vec<usize> = cuts.iter().map(|c| c % (bytes.len() + 1)).collect();
+    boundaries.push(0);
+    boundaries.push(bytes.len());
+    boundaries.sort_unstable();
+    boundaries.dedup();
+
+    let mut cursor = FrameCursor::new();
+    let mut frames = Vec::new();
+    for win in boundaries.windows(2) {
+        cursor.push(&bytes[win[0]..win[1]]);
+        loop {
+            match cursor.next_frame() {
+                Ok(Some(f)) => frames.push((f.ty, f.payload().to_vec())),
+                Ok(None) => break,
+                Err(e) => return (frames, Err(e)),
+            }
+        }
+    }
+    (frames, cursor.finish())
+}
+
+/// Check the trichotomy for one (stream, split) pair.
+fn assert_equivalent(bytes: &[u8], cuts: &[usize]) {
+    let (frames, outcome) = run_stream(bytes, cuts);
+    let whole = deframe(bytes);
+    match (frames.len(), &outcome) {
+        // Case 1: no frame ever completed — identical classification.
+        (0, Err(e)) => assert_eq!(
+            whole.as_ref().err(),
+            Some(e),
+            "error divergence on {bytes:02x?}"
+        ),
+        (0, Ok(())) => assert!(
+            bytes.is_empty() && whole == Err(DecodeError::Truncated),
+            "a clean frameless stream must be the empty stream"
+        ),
+        // Case 2: exactly one frame, clean end — deframe accepts it.
+        (1, Ok(())) => {
+            let (ty, payload) = whole.expect("cursor accepted, deframe must too");
+            assert_eq!(frames[0].0, ty);
+            assert_eq!(frames[0].1, payload, "payload divergence on {bytes:02x?}");
+        }
+        // Case 3: a frame plus anything else — the single-frame
+        // decoder calls the whole capture Malformed (trailing bytes).
+        (_, _) => assert_eq!(
+            whole,
+            Err(DecodeError::Malformed),
+            "multi-frame stream {bytes:02x?} must be Malformed as one frame"
+        ),
+    }
+}
+
+/// A byte stream biased toward interesting structure: valid tags,
+/// small lengths, and raw noise in proportions that exercise all three
+/// trichotomy arms.
+fn arb_stream() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop::sample::select(vec![
+            // Raw noise (includes invalid tags).
+            0x00u8, 0xEE, 0xFF, 0x7A, // Valid tags, likely to start plausible frames.
+            0x01, 0x11, 0x20, 0x21, // Small numbers, likely to be believable lengths.
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x06,
+        ]),
+        0..24,
+    )
+}
+
+/// A concatenation of 1–5 genuinely valid frames.
+fn arb_valid_frames() -> impl Strategy<Value = (Vec<u8>, Vec<(u8, Vec<u8>)>)> {
+    prop::collection::vec(
+        (
+            prop::sample::select(VALID_TAGS.to_vec()),
+            prop::collection::vec(any::<u8>(), 0..12),
+        ),
+        1..6,
+    )
+    .prop_map(|specs| {
+        let mut stream = Vec::new();
+        for (tag, payload) in &specs {
+            let ty = MsgType::from_u8(*tag).expect("valid tag set");
+            stream.extend_from_slice(&frame(ty, payload));
+        }
+        (stream, specs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The trichotomy holds for arbitrary (mostly hostile) streams
+    /// under arbitrary read boundaries.
+    #[test]
+    fn stream_matches_whole_frame_classification(
+        bytes in arb_stream(),
+        cuts in prop::collection::vec(any::<usize>(), 0..6),
+    ) {
+        assert_equivalent(&bytes, &cuts);
+    }
+
+    /// N valid concatenated frames come out as exactly those N frames,
+    /// in order, for every way the transport slices the stream.
+    #[test]
+    fn valid_frames_reassemble_exactly(
+        spec in arb_valid_frames(),
+        cuts in prop::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let (stream, specs) = spec;
+        let (frames, outcome) = run_stream(&stream, &cuts);
+        prop_assert_eq!(outcome, Ok(()));
+        prop_assert_eq!(frames.len(), specs.len());
+        for ((got_ty, got_payload), (tag, payload)) in frames.iter().zip(&specs) {
+            prop_assert_eq!(*got_ty as u8, *tag);
+            prop_assert_eq!(got_payload, payload);
+        }
+    }
+
+    /// Valid frames followed by garbage: every leading frame is
+    /// delivered, then the exact `UnknownType` poisons the stream —
+    /// regardless of where the reads were cut.
+    #[test]
+    fn garbage_after_valid_frames_classifies_exactly(
+        spec in arb_valid_frames(),
+        bad_tag in any::<u8>(),
+        tail in prop::collection::vec(any::<u8>(), 1..8),
+        cuts in prop::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let (mut stream, specs) = spec;
+        prop_assume!(MsgType::from_u8(bad_tag).is_none());
+        stream.push(bad_tag);
+        stream.extend_from_slice(&tail);
+        let (frames, outcome) = run_stream(&stream, &cuts);
+        prop_assert_eq!(frames.len(), specs.len());
+        prop_assert_eq!(outcome, Err(DecodeError::UnknownType(bad_tag)));
+    }
+
+    /// A stream cut mid-frame delivers the complete prefix frames and
+    /// classifies the tail as Truncated — the same verdict whole-frame
+    /// deframe gives a short capture, and never an UnsupportedVersion
+    /// or Malformed guessed from partial payload bytes.
+    #[test]
+    fn truncated_tails_classify_as_truncated(
+        spec in arb_valid_frames(),
+        cut_back in 1usize..8,
+        cuts in prop::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let (stream, specs) = spec;
+        prop_assume!(cut_back < stream.len());
+        // The cut must land strictly inside a frame — trimming whole
+        // trailing frames would just be a shorter valid stream.
+        let mut boundary = 0usize;
+        let mut boundaries = vec![0usize];
+        for (_, payload) in &specs {
+            boundary += 2 + payload.len();
+            boundaries.push(boundary);
+        }
+        prop_assume!(!boundaries.contains(&(stream.len() - cut_back)));
+        let cut = &stream[..stream.len() - cut_back];
+        let (frames, outcome) = run_stream(cut, &cuts);
+        prop_assert!(frames.len() < specs.len());
+        prop_assert_eq!(outcome, Err(DecodeError::Truncated));
+    }
+}

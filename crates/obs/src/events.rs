@@ -38,10 +38,17 @@ pub enum EventKind {
     IdCollision = 4,
     /// The field backend was resolved for a serving run.
     BackendSelected = 5,
+    /// The ingestion layer shed an arrival because its lane queue
+    /// passed the high-water mark (detail = queue depth at shed time).
+    LoadShed = 6,
+    /// The ingestion layer turned an arrival away before crypto work:
+    /// rate limiting or a failed `admit_negotiate` (detail = the
+    /// `RejectReason` byte sent back on the wire).
+    AdmissionReject = 7,
 }
 
 /// Number of event kinds.
-pub const EVENT_KINDS: usize = 6;
+pub const EVENT_KINDS: usize = 8;
 
 /// Every kind, discriminant order.
 pub const ALL_EVENT_KINDS: [EventKind; EVENT_KINDS] = [
@@ -51,6 +58,8 @@ pub const ALL_EVENT_KINDS: [EventKind; EVENT_KINDS] = [
     EventKind::NegotiateRejected,
     EventKind::IdCollision,
     EventKind::BackendSelected,
+    EventKind::LoadShed,
+    EventKind::AdmissionReject,
 ];
 
 impl EventKind {
@@ -63,6 +72,8 @@ impl EventKind {
             EventKind::NegotiateRejected => "negotiate_rejected",
             EventKind::IdCollision => "id_collision",
             EventKind::BackendSelected => "backend_selected",
+            EventKind::LoadShed => "load_shed",
+            EventKind::AdmissionReject => "admission_reject",
         }
     }
 

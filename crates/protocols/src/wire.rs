@@ -38,6 +38,11 @@ pub enum MsgType {
     /// Device → gateway: versioned profile negotiation hello
     /// (profile id ‖ curve id ‖ protocol id).
     Negotiate = 0x20,
+    /// Gateway → device: typed rejection (admission denied, rate
+    /// limited, queue full, protocol violation). One reason byte — the
+    /// device learns *why* it was turned away without the gateway
+    /// spending another frame's worth of radio energy on prose.
+    Reject = 0x21,
 }
 
 impl MsgType {
@@ -52,6 +57,7 @@ impl MsgType {
             0x12 => MsgType::SymChallenge,
             0x13 => MsgType::SymResponse,
             0x20 => MsgType::Negotiate,
+            0x21 => MsgType::Reject,
             _ => return None,
         })
     }
@@ -248,6 +254,67 @@ pub fn decode_negotiate(bytes: &[u8]) -> Result<NegotiateFrame, DecodeError> {
     })
 }
 
+/// Why a gateway turned a frame away before (or instead of) serving it.
+///
+/// Carried as the single payload byte of a [`MsgType::Reject`] frame.
+/// The ingestion layer emits these *before* any field arithmetic runs,
+/// so an attacker flooding the gateway buys rejections at radio cost,
+/// not at crypto cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RejectReason {
+    /// The device class exhausted its token-bucket rate allowance.
+    RateLimited = 0x01,
+    /// `admit_negotiate` refused the profile (unknown, mismatched
+    /// curve, or not provisioned on this gateway).
+    AdmissionDenied = 0x02,
+    /// The target lane's batch queue passed its high-water mark —
+    /// load was shed to protect the latency SLO.
+    QueueFull = 0x03,
+    /// The connection violated the protocol state machine (session
+    /// traffic before a Negotiate, or a server-role frame from a
+    /// device).
+    Protocol = 0x04,
+}
+
+impl RejectReason {
+    /// Parse a reason byte back into its variant.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0x01 => RejectReason::RateLimited,
+            0x02 => RejectReason::AdmissionDenied,
+            0x03 => RejectReason::QueueFull,
+            0x04 => RejectReason::Protocol,
+            _ => return None,
+        })
+    }
+
+    /// Stable snake_case name (report/JSON labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectReason::RateLimited => "rate_limited",
+            RejectReason::AdmissionDenied => "admission_denied",
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::Protocol => "protocol",
+        }
+    }
+}
+
+/// Encode a typed rejection: `[0x21, 1, reason]`.
+pub fn encode_reject(reason: RejectReason) -> Bytes {
+    frame(MsgType::Reject, &[reason as u8])
+}
+
+/// Decode a typed rejection. Wrong type, wrong payload size, or an
+/// unknown reason byte are all [`DecodeError::Malformed`].
+pub fn decode_reject(bytes: &[u8]) -> Result<RejectReason, DecodeError> {
+    let (ty, payload) = deframe(bytes)?;
+    if ty != MsgType::Reject || payload.len() != 1 {
+        return Err(DecodeError::Malformed);
+    }
+    RejectReason::from_u8(payload[0]).ok_or(DecodeError::Malformed)
+}
+
 /// Decode a scalar message.
 pub fn decode_scalar<C: CurveSpec>(ty: MsgType, bytes: &[u8]) -> Result<Scalar<C>, DecodeError> {
     let (got, payload) = deframe(bytes)?;
@@ -396,6 +463,30 @@ mod tests {
         // Wrong frame type fails closed.
         let other = frame(MsgType::Telemetry, &[1, 2, 3, 4]);
         assert_eq!(decode_negotiate(&other), Err(DecodeError::Malformed));
+    }
+
+    #[test]
+    fn reject_round_trip_and_rejections() {
+        for reason in [
+            RejectReason::RateLimited,
+            RejectReason::AdmissionDenied,
+            RejectReason::QueueFull,
+            RejectReason::Protocol,
+        ] {
+            let f = encode_reject(reason);
+            // 3 bytes on the air: tag, len, reason.
+            assert_eq!(f.len(), 3);
+            assert_eq!(decode_reject(&f).unwrap(), reason);
+        }
+        // Unknown reason byte fails closed.
+        let bad = frame(MsgType::Reject, &[0x7F]);
+        assert_eq!(decode_reject(&bad), Err(DecodeError::Malformed));
+        // Wrong payload width fails closed.
+        let wide = frame(MsgType::Reject, &[0x01, 0x01]);
+        assert_eq!(decode_reject(&wide), Err(DecodeError::Malformed));
+        // Wrong frame type fails closed.
+        let other = frame(MsgType::Telemetry, &[0x01]);
+        assert_eq!(decode_reject(&other), Err(DecodeError::Malformed));
     }
 
     #[test]

@@ -45,6 +45,11 @@ pub use medsec_protocols as protocols;
 /// Security pyramid, design-space exploration, chip façade.
 pub use medsec_core as core;
 
+/// Streaming wire front end: incremental deframing over arbitrary
+/// read boundaries, connection state machines, token-bucket admission
+/// control and bounded lane queues with load shedding.
+pub use medsec_ingest as ingest;
+
 /// Hospital-gateway fleet serving layer: sharded sessions, batched
 /// crypto, throughput/energy reports.
 pub use medsec_fleet as fleet;
