@@ -14,7 +14,7 @@
 //!   "the chip randomizes the internal points representation by using a
 //!   random Z coordinate in each execution" (§7).
 
-use medsec_gf2m::Element;
+use medsec_gf2m::{ct, Element};
 
 use crate::curve::{CurveSpec, Point};
 use crate::scalar::Scalar;
@@ -193,6 +193,10 @@ pub fn ladder_x_only_bits<C: CurveSpec>(
         // Exceptional cases (a ladder leg at infinity) only occur when a
         // scalar prefix hits 0 or −1 mod n — negligible on 163-bit curves
         // but reachable on the toy curve's exhaustive small-scalar tests.
+        // They sit outside the ct region below on purpose: `is_zero` on a
+        // blinded Z is public (Z = 0 iff the point is O, independent of
+        // the random representative), and the x-only formulas cannot
+        // represent O, so a uniform schedule is impossible here.
         if z1.is_zero() {
             // R = O (so Q = P by the ladder invariant).
             if bit {
@@ -213,15 +217,21 @@ pub fn ladder_x_only_bits<C: CurveSpec>(
             // else: R ← R+O = R and Q ← 2O = O — nothing changes.
             continue;
         }
-        if bit {
-            let (ax, az) = madd::<C>(x1, z1, x2, z2, px);
-            let (dx, dz) = mdouble::<C>(x2, z2);
-            (x1, z1, x2, z2) = (ax, az, dx, dz);
-        } else {
-            let (ax, az) = madd::<C>(x2, z2, x1, z1, px);
-            let (dx, dz) = mdouble::<C>(x1, z1);
-            (x2, z2, x1, z1) = (ax, az, dx, dz);
-        }
+        // lint: ct-begin — branch-free per-bit schedule. The key bit
+        // only steers masked limb swaps (gf2m::ct); the madd/mdouble
+        // call pattern and memory trace are identical for both bit
+        // values, and because madd is symmetric under exchanging its
+        // two legs (`a·b` and `(a+b)²` commute) the outputs are
+        // byte-identical to the historical branching schedule — see
+        // tests/ladder_ct_identity.rs.
+        ct::ct_swap(bit, &mut x1, &mut x2);
+        ct::ct_swap(bit, &mut z1, &mut z2);
+        let (ax, az) = madd::<C>(x1, z1, x2, z2, px);
+        let (dx, dz) = mdouble::<C>(x1, z1);
+        (x1, z1, x2, z2) = (dx, dz, ax, az);
+        ct::ct_swap(bit, &mut x1, &mut x2);
+        ct::ct_swap(bit, &mut z1, &mut z2);
+        // lint: ct-end
     }
 
     LadderState { x1, z1, x2, z2 }

@@ -512,12 +512,16 @@ impl GatewayHub {
         let mut obs = WorkerObs::new(events.is_some(), self.lanes.len());
         let mut scratch = ProtoScratch::default();
 
+        // lint: hot-path — the wave loop claims and serves batches until
+        // the fleet drains; per-wave state (rng, ledger, scratch, obs)
+        // is allocated once above and reused across every batch.
         while let Some(batch) = w.next_batch() {
             with_lane!(&self.lanes[batch.lane], l => serve_bucket(
                 l, batch.lane, batch.slots.clone(), cfg, &mut rng, &mut ledger,
                 &mut tally, &mut scratch, &mut obs, events,
             ));
         }
+        // lint: hot-path-end
 
         tally.server_energy_j = ledger.total();
         // Scheduler telemetry rides the existing recorder seam: how

@@ -203,6 +203,9 @@ impl LaneScheduler {
     /// the home lane first, then cyclically probing the other lanes
     /// (whole-chunk steals). `None` means every lane is drained.
     pub fn next_batch(&self, home: usize, stats: &mut StealStats) -> Option<LaneBatch> {
+        // lint: hot-path — the claim loop runs once per batch on every
+        // worker; it must stay allocation-free (lane cursors and chunk
+        // tables are laid out at build time).
         let n = self.lanes.len();
         for probe in 0..n {
             let lane = (home + probe) % n;
@@ -240,6 +243,7 @@ impl LaneScheduler {
             });
         }
         None
+        // lint: hot-path-end
     }
 
     /// Greedy proportional home-lane assignment for `workers` workers:

@@ -143,25 +143,32 @@ impl Planes {
 /// the process-wide selected backend's `mul_batch`. All three buffers
 /// must have the same length.
 pub fn mul_planes<F: FieldSpec>(out: &mut Planes, a: &Planes, b: &Planes) {
+    // lint: hot-path — SoA kernels run once per wave per field op;
+    // `Planes::reset` reuses the output allocation.
     assert_eq!(a.len(), b.len());
     out.reset(a.len());
     ActiveBackend::mul_batch::<F>(out.data_mut(), a.data(), b.data());
+    // lint: hot-path-end
 }
 
 /// Batched squaring over [`Planes`]: `out[i] = a[i]^2` via the selected
 /// backend's `sqr_batch`.
 pub fn sqr_planes<F: FieldSpec>(out: &mut Planes, a: &Planes) {
+    // lint: hot-path
     out.reset(a.len());
     ActiveBackend::sqr_batch::<F>(out.data_mut(), a.data());
+    // lint: hot-path-end
 }
 
 /// Batched addition (XOR in characteristic 2): `dst[i] += src[i]`.
 /// Field-agnostic — addition never mixes planes.
 pub fn add_planes(dst: &mut Planes, src: &Planes) {
+    // lint: hot-path
     assert_eq!(dst.len(), src.len());
     for (d, s) in dst.data.iter_mut().zip(&src.data) {
         *d ^= *s;
     }
+    // lint: hot-path-end
 }
 
 /// Batched sparse-polynomial reduction, plane-major: `prod` holds
@@ -177,6 +184,8 @@ pub fn add_planes(dst: &mut Planes, src: &Planes) {
 /// per-element scalar pass instead — correctness everywhere, vector
 /// speed where the field shape allows.
 pub fn reduce_planes(prod: &mut [u64], out: &mut [u64], reduction: &[usize]) {
+    // lint: hot-path — plane folds work in caller-owned buffers; the
+    // refolding fallback uses a fixed stack array per element.
     let n = out.len() / LIMBS;
     debug_assert_eq!(out.len(), LIMBS * n);
     debug_assert_eq!(prod.len(), PROD_LIMBS * n);
@@ -263,6 +272,7 @@ pub fn reduce_planes(prod: &mut [u64], out: &mut [u64], reduction: &[usize]) {
         }
     }
     out.copy_from_slice(&prod[..LIMBS * n]);
+    // lint: hot-path-end
 }
 
 #[cfg(test)]

@@ -1,0 +1,145 @@
+//! Constant-time building blocks: masked selects/swaps over limb
+//! arrays and field elements, and an accumulate-OR byte comparison.
+//!
+//! This module is the single audited home for data-dependent selection
+//! in the workspace. The protected Montgomery ladder (`medsec-ec`) and
+//! the MAC tag comparison (`medsec-lwc`) route through these helpers
+//! instead of branching on secrets; `medsec-lint`'s `ct-*` rules
+//! forbid branchy constructs everywhere else in ct-pinned modules and
+//! allowlist exactly this file.
+//!
+//! Every helper follows the same discipline: derive an all-ones/
+//! all-zeros mask from the secret condition with `wrapping_neg`, pass
+//! it through [`core::hint::black_box`] so the optimizer cannot
+//! convert the masked arithmetic back into a branch, then combine with
+//! XOR/AND only. No helper here branches, indexes, or early-returns on
+//! its secret inputs.
+
+use crate::field::{Element, FieldSpec};
+use core::hint::black_box;
+
+/// Expand a secret boolean into an all-ones (`true`) or all-zeros
+/// (`false`) 64-bit mask, opaque to the optimizer.
+#[inline]
+#[must_use]
+pub fn ct_mask_u64(c: bool) -> u64 {
+    black_box((c as u64).wrapping_neg())
+}
+
+/// Return `a` when `c` is `true`, `b` otherwise, without branching.
+#[inline]
+#[must_use]
+pub fn ct_select_u64(c: bool, a: u64, b: u64) -> u64 {
+    let mask = ct_mask_u64(c);
+    b ^ (mask & (a ^ b))
+}
+
+/// Swap `a[i]` and `b[i]` for every limb when `c` is `true`; leave
+/// both untouched when `false`. Always performs the identical sequence
+/// of loads, XORs and stores either way.
+///
+/// The two slices must have equal length; that length is public.
+#[inline]
+pub fn ct_swap_limbs(c: bool, a: &mut [u64], b: &mut [u64]) {
+    debug_assert_eq!(a.len(), b.len());
+    let mask = ct_mask_u64(c);
+    for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+        let t = mask & (*x ^ *y);
+        *x ^= t;
+        *y ^= t;
+    }
+}
+
+/// Constant-time equality over byte strings of equal (public) length.
+/// Accumulates the OR of all byte differences and compares once at the
+/// end, so timing reveals only the length — never the position of the
+/// first mismatch.
+///
+/// Returns `false` immediately only on a length mismatch, which is
+/// public information (wire frames carry explicit lengths).
+#[must_use]
+pub fn ct_eq_bytes(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    black_box(diff) == 0
+}
+
+/// Branch-free element select: `a` when `c` is `true`, else `b`.
+#[inline]
+#[must_use]
+pub fn ct_select<F: FieldSpec>(c: bool, a: &Element<F>, b: &Element<F>) -> Element<F> {
+    let mut out = *b;
+    let mask = ct_mask_u64(c);
+    for (o, (x, y)) in out
+        .limbs_mut()
+        .iter_mut()
+        .zip(a.limbs().iter().zip(b.limbs().iter()))
+    {
+        *o = y ^ (mask & (x ^ y));
+    }
+    out
+}
+
+/// Branch-free element swap: exchange `a` and `b` when `c` is `true`.
+/// This is the ladder's cswap: the key bit steers which projective leg
+/// feeds the madd/mdouble schedule, with an identical memory-access
+/// pattern for both bit values.
+#[inline]
+pub fn ct_swap<F: FieldSpec>(c: bool, a: &mut Element<F>, b: &mut Element<F>) {
+    ct_swap_limbs(c, a.limbs_mut(), b.limbs_mut());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::F163;
+
+    #[test]
+    fn mask_is_all_or_nothing() {
+        assert_eq!(ct_mask_u64(true), u64::MAX);
+        assert_eq!(ct_mask_u64(false), 0);
+    }
+
+    #[test]
+    fn select_u64_matches_branch() {
+        assert_eq!(ct_select_u64(true, 7, 9), 7);
+        assert_eq!(ct_select_u64(false, 7, 9), 9);
+    }
+
+    #[test]
+    fn swap_limbs_matches_branch() {
+        let mut a = [1u64, 2, 3];
+        let mut b = [9u64, 8, 7];
+        ct_swap_limbs(false, &mut a, &mut b);
+        assert_eq!((a, b), ([1, 2, 3], [9, 8, 7]));
+        ct_swap_limbs(true, &mut a, &mut b);
+        assert_eq!((a, b), ([9, 8, 7], [1, 2, 3]));
+    }
+
+    #[test]
+    fn eq_bytes_semantics() {
+        assert!(ct_eq_bytes(b"abcd", b"abcd"));
+        assert!(!ct_eq_bytes(b"abcd", b"abce"));
+        assert!(!ct_eq_bytes(b"abcd", b"zbcd"));
+        assert!(!ct_eq_bytes(b"abcd", b"abc"));
+        assert!(ct_eq_bytes(b"", b""));
+    }
+
+    #[test]
+    fn element_select_and_swap() {
+        let a = Element::<F163>::from_u64(0xdead_beef);
+        let b = Element::<F163>::from_u64(0x1234_5678);
+        assert_eq!(ct_select(true, &a, &b), a);
+        assert_eq!(ct_select(false, &a, &b), b);
+        let (mut x, mut y) = (a, b);
+        ct_swap(false, &mut x, &mut y);
+        assert_eq!((x, y), (a, b));
+        ct_swap(true, &mut x, &mut y);
+        assert_eq!((x, y), (b, a));
+    }
+}

@@ -122,6 +122,13 @@ impl<F: FieldSpec> Element<F> {
         &self.limbs
     }
 
+    /// Mutably borrow the raw limbs (crate-internal: used by the
+    /// constant-time helpers in [`crate::ct`], which preserve the
+    /// reduced-form invariant by only exchanging whole elements).
+    pub(crate) fn limbs_mut(&mut self) -> &mut [u64; LIMBS] {
+        &mut self.limbs
+    }
+
     /// Parse from a big-endian hex string (no `0x` prefix required).
     ///
     /// # Errors

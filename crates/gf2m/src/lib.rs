@@ -55,6 +55,7 @@ pub mod batch;
 pub mod bitslice;
 pub mod cache;
 pub mod clmul;
+pub mod ct;
 pub mod digit_serial;
 pub mod invclock;
 mod multisquare;

@@ -177,6 +177,9 @@ mod x86 {
     }
 
     /// Lane-wise left shift by a runtime count.
+    ///
+    /// # Safety
+    /// Caller must have detected `avx512f` + `vpclmulqdq`.
     #[inline]
     #[target_feature(enable = "avx512f,vpclmulqdq")]
     unsafe fn sll(v: __m512i, count: usize) -> __m512i {
@@ -184,6 +187,9 @@ mod x86 {
     }
 
     /// Lane-wise right shift by a runtime count.
+    ///
+    /// # Safety
+    /// Caller must have detected `avx512f` + `vpclmulqdq`.
     #[inline]
     #[target_feature(enable = "avx512f,vpclmulqdq")]
     unsafe fn srl(v: __m512i, count: usize) -> __m512i {

@@ -1,0 +1,404 @@
+//! A comment- and string-aware Rust token stream.
+//!
+//! This is not a full Rust lexer — it is exactly enough of one for the
+//! rule engine: identifiers (keywords included), numeric/char/string
+//! literals (plain, raw, byte), lifetimes, comments (line, doc, nested
+//! block) and multi-character punctuation. The crucial properties the
+//! rules rely on:
+//!
+//! * text inside string literals and comments never produces code
+//!   tokens (so a rule fixture embedded in a test's string literal is
+//!   invisible to the workspace scan);
+//! * comments are preserved as their own tokens, in stream order and
+//!   with line numbers, because region markers (`// lint: ct-begin`)
+//!   and `// SAFETY:` justifications *are* comments;
+//! * every token carries its 1-based source line for diagnostics.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`if`, `unsafe`, `Vec`, `_`, …).
+    Ident(String),
+    /// Numeric literal (integers and the digit parts of floats).
+    Num,
+    /// String, raw-string, byte-string or char literal (content dropped).
+    Str,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Punctuation; multi-character operators the rules care about
+    /// (`&&`, `||`, `::`, `=>`, `..`, `/=`, `%=`, `->`) arrive as one
+    /// token, everything else as single characters.
+    Punct(&'static str),
+    /// A comment (line, doc or block); `text` is the raw comment body.
+    Comment(String),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokKind,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+}
+
+/// Multi-character punctuation preserved as single tokens, longest
+/// first so `..=` wins over `..` and `..` over `.`.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "&&", "||", "::", "=>", "->", "..", "/=", "%=", "<<", ">>", "==", "!=", "<=", ">=",
+    "+=", "-=", "*=", "&=", "|=", "^=",
+];
+
+/// Lex `src` into a token stream. Unterminated literals are tolerated
+/// (the rest of the file becomes one literal token) — the linter must
+/// never panic on the code it checks.
+pub fn lex(src: &str) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = bytes.len();
+
+    // Advance over `len` bytes, counting newlines.
+    macro_rules! advance {
+        ($from:expr, $to:expr) => {{
+            for k in $from..$to.min(n) {
+                if bytes[k] == b'\n' {
+                    line += 1;
+                }
+            }
+            i = $to.min(n);
+        }};
+    }
+
+    while i < n {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            if c == b'\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        let start_line = line;
+        // Comments.
+        if c == b'/' && i + 1 < n && bytes[i + 1] == b'/' {
+            let end = src[i..].find('\n').map(|o| i + o).unwrap_or(n);
+            toks.push(Token {
+                kind: TokKind::Comment(src[i..end].to_string()),
+                line: start_line,
+            });
+            advance!(i, end);
+            continue;
+        }
+        if c == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+            // Nested block comments, per Rust.
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if bytes[j] == b'/' && j + 1 < n && bytes[j + 1] == b'*' {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j] == b'*' && j + 1 < n && bytes[j + 1] == b'/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            toks.push(Token {
+                kind: TokKind::Comment(src[i..j].to_string()),
+                line: start_line,
+            });
+            advance!(i, j);
+            continue;
+        }
+        // Raw strings / raw byte strings: r"…", r#"…"#, br##"…"##…
+        if c == b'r' || c == b'b' {
+            if let Some(end) = raw_string_end(src, i) {
+                toks.push(Token {
+                    kind: TokKind::Str,
+                    line: start_line,
+                });
+                advance!(i, end);
+                continue;
+            }
+        }
+        // Byte string b"…" / byte char b'…'.
+        if c == b'b' && i + 1 < n && (bytes[i + 1] == b'"' || bytes[i + 1] == b'\'') {
+            let end = if bytes[i + 1] == b'"' {
+                quoted_end(bytes, i + 1, b'"')
+            } else {
+                quoted_end(bytes, i + 1, b'\'')
+            };
+            toks.push(Token {
+                kind: TokKind::Str,
+                line: start_line,
+            });
+            advance!(i, end);
+            continue;
+        }
+        // Identifiers and keywords.
+        if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 {
+            let mut j = i + 1;
+            while j < n
+                && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric() || bytes[j] >= 0x80)
+            {
+                j += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Ident(src[i..j].to_string()),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers (underscores and hex/bin suffixes ride along; `.` is
+        // left as punctuation, which is fine for every rule here).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric()) {
+                j += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Num,
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Strings.
+        if c == b'"' {
+            let end = quoted_end(bytes, i, b'"');
+            toks.push(Token {
+                kind: TokKind::Str,
+                line: start_line,
+            });
+            advance!(i, end);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            if i + 1 < n && bytes[i + 1] == b'\\' {
+                let end = quoted_end(bytes, i, b'\'');
+                toks.push(Token {
+                    kind: TokKind::Str,
+                    line: start_line,
+                });
+                advance!(i, end);
+                continue;
+            }
+            // `'x'` is a char literal; `'ident` (no closing quote right
+            // after one code point) is a lifetime.
+            let rest = &src[i + 1..];
+            let mut chars = rest.char_indices();
+            if let Some((_, first)) = chars.next() {
+                let after = chars.next().map(|(o, _)| i + 1 + o).unwrap_or(n);
+                if (first == '_' || first.is_alphanumeric() || first as u32 >= 0x80)
+                    && after < n
+                    && bytes[after] == b'\''
+                {
+                    toks.push(Token {
+                        kind: TokKind::Str,
+                        line: start_line,
+                    });
+                    advance!(i, after + 1);
+                    continue;
+                }
+                if first == '_' || first.is_alphabetic() {
+                    let mut j = i + 1;
+                    while j < n
+                        && (bytes[j] == b'_'
+                            || bytes[j].is_ascii_alphanumeric()
+                            || bytes[j] >= 0x80)
+                    {
+                        j += 1;
+                    }
+                    toks.push(Token {
+                        kind: TokKind::Lifetime,
+                        line: start_line,
+                    });
+                    i = j;
+                    continue;
+                }
+                // Something like `'}'` — a char literal of punctuation.
+                let end = quoted_end(bytes, i, b'\'');
+                toks.push(Token {
+                    kind: TokKind::Str,
+                    line: start_line,
+                });
+                advance!(i, end);
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        // Multi-character punctuation.
+        let rest = &src[i..];
+        if let Some(op) = MULTI_PUNCT.iter().find(|op| rest.starts_with(**op)) {
+            toks.push(Token {
+                kind: TokKind::Punct(op),
+                line: start_line,
+            });
+            i += op.len();
+            continue;
+        }
+        // Single-character punctuation.
+        toks.push(Token {
+            kind: TokKind::Punct(single_punct(c)),
+            line: start_line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// End offset (exclusive) of a `quote`-delimited literal starting at
+/// `start` (which holds the opening quote), honouring `\` escapes.
+fn quoted_end(bytes: &[u8], start: usize, quote: u8) -> usize {
+    let mut j = start + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            c if c == quote => return j + 1,
+            _ => j += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// If `src[i..]` starts a raw (byte) string (`r"`, `r#"`, `br##"` …),
+/// return its end offset; `None` if this is not a raw string.
+fn raw_string_end(src: &str, i: usize) -> Option<usize> {
+    let bytes = src.as_bytes();
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'"' {
+        return None;
+    }
+    // Find the closing `"` followed by `hashes` hashes.
+    let closer: String = format!("\"{}", "#".repeat(hashes));
+    match src[j + 1..].find(&closer) {
+        Some(off) => Some(j + 1 + off + closer.len()),
+        None => Some(src.len()),
+    }
+}
+
+/// Intern single-character punctuation as static strings so `Punct`
+/// comparisons are cheap `&str` equality everywhere in the rules.
+fn single_punct(c: u8) -> &'static str {
+    match c {
+        b'{' => "{",
+        b'}' => "}",
+        b'(' => "(",
+        b')' => ")",
+        b'[' => "[",
+        b']' => "]",
+        b';' => ";",
+        b',' => ",",
+        b':' => ":",
+        b'.' => ".",
+        b'=' => "=",
+        b'<' => "<",
+        b'>' => ">",
+        b'&' => "&",
+        b'|' => "|",
+        b'^' => "^",
+        b'+' => "+",
+        b'-' => "-",
+        b'*' => "*",
+        b'/' => "/",
+        b'%' => "%",
+        b'!' => "!",
+        b'?' => "?",
+        b'#' => "#",
+        b'@' => "@",
+        b'$' => "$",
+        b'~' => "~",
+        _ => "·",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let toks = kinds("let s = \"if unsafe { Instant::now() }\"; // if match");
+        assert!(toks.iter().all(|t| !matches!(
+            t,
+            TokKind::Ident(w) if w == "if" || w == "unsafe" || w == "Instant"
+        )));
+        assert!(toks.iter().any(|t| matches!(t, TokKind::Comment(_))));
+    }
+
+    #[test]
+    fn raw_strings_do_not_escape() {
+        // The backslash before the quote is literal in a raw string.
+        let toks = kinds(r####"let s = r#"a \ " b"#; let t = 5;"####);
+        let idents: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match t {
+                TokKind::Ident(w) => Some(w.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, ["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = toks
+            .iter()
+            .filter(|t| matches!(t, TokKind::Lifetime))
+            .count();
+        let chars = toks.iter().filter(|t| matches!(t, TokKind::Str)).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn multi_punct_is_single_tokens() {
+        let toks = kinds("a && b || c => d :: e / f");
+        assert!(toks.contains(&TokKind::Punct("&&")));
+        assert!(toks.contains(&TokKind::Punct("||")));
+        assert!(toks.contains(&TokKind::Punct("=>")));
+        assert!(toks.contains(&TokKind::Punct("::")));
+        assert!(toks.contains(&TokKind::Punct("/")));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_literals() {
+        let toks = lex("let a = \"x\ny\";\nlet b = 1;");
+        let b = toks
+            .iter()
+            .find(|t| matches!(&t.kind, TokKind::Ident(w) if w == "b"))
+            .unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ let x = 1;");
+        assert!(matches!(&toks[0], TokKind::Comment(c) if c.contains("inner")));
+        assert!(toks.contains(&TokKind::Ident("let".into())));
+    }
+}

@@ -1,0 +1,33 @@
+//! CLI entry point: `cargo run -p medsec-lint` from anywhere inside
+//! the workspace. Prints one `file:line: [rule-id] message` per
+//! diagnostic and exits non-zero if any fire.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let start = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let Some(root) = medsec_lint::find_root(&start) else {
+        eprintln!("medsec-lint: no lint.toml found above {}", start.display());
+        return ExitCode::FAILURE;
+    };
+    let manifest = match medsec_lint::load_manifest(&root) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("medsec-lint: bad manifest: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let diags = medsec_lint::check_workspace(&root, &manifest);
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!("medsec-lint: workspace clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("medsec-lint: {} diagnostic(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,191 @@
+//! The checked-in lint manifest (`lint.toml`).
+//!
+//! We parse exactly the TOML subset the manifest uses — `[section]`
+//! headers, `key = [ "a", "b" ]` string arrays (multi-line allowed)
+//! and `#` comments — so the linter stays dependency-free. Unknown
+//! sections or keys are an error: a typo in the manifest must not
+//! silently disable a rule.
+
+/// Parsed manifest: every field is a list of workspace-relative paths
+/// (forward slashes). A path ending in `/` (or naming a directory)
+/// matches everything under it; otherwise it must match the file
+/// exactly.
+#[derive(Debug, Default, Clone)]
+pub struct Manifest {
+    /// Files that must contain at least one `// lint: ct-begin` region
+    /// and are checked for secret-dependent constructs inside it.
+    pub ct_modules: Vec<String>,
+    /// Files allowed to implement the constant-time primitives
+    /// themselves (the `gf2m::ct` module).
+    pub ct_allow: Vec<String>,
+    /// Files allowed to contain `unsafe`.
+    pub unsafe_allow: Vec<String>,
+    /// Files/directories allowed to read wall clocks.
+    pub determinism_allow: Vec<String>,
+    /// Wire-format modules checked for fail-open catch-all arms.
+    pub wire_modules: Vec<String>,
+    /// Files that must contain at least one `// lint: hot-path` region
+    /// and are checked for allocation/inversion inside it.
+    pub hotpath_modules: Vec<String>,
+}
+
+impl Manifest {
+    /// Parse the manifest text. Errors carry a line number.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let mut m = Manifest::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let name = rest
+                    .strip_suffix(']')
+                    .ok_or_else(|| format!("line {}: unterminated section header", idx + 1))?;
+                section = name.trim().to_string();
+                match section.as_str() {
+                    "ct" | "unsafe" | "determinism" | "wire" | "hotpath" => {}
+                    other => return Err(format!("line {}: unknown section [{other}]", idx + 1)),
+                }
+                continue;
+            }
+            let (key, mut value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+                .ok_or_else(|| format!("line {}: expected `key = [...]`", idx + 1))?;
+            // Multi-line arrays: keep consuming lines until the `]`.
+            while !value.ends_with(']') {
+                let (_, next) = lines
+                    .next()
+                    .ok_or_else(|| format!("line {}: unterminated array for `{key}`", idx + 1))?;
+                value.push(' ');
+                value.push_str(strip_comment(next).trim());
+            }
+            let items = parse_array(&value)
+                .map_err(|e| format!("line {}: {e} in value for `{key}`", idx + 1))?;
+            let slot = match (section.as_str(), key.as_str()) {
+                ("ct", "modules") => &mut m.ct_modules,
+                ("ct", "allow") => &mut m.ct_allow,
+                ("unsafe", "allow") => &mut m.unsafe_allow,
+                ("determinism", "allow") => &mut m.determinism_allow,
+                ("wire", "modules") => &mut m.wire_modules,
+                ("hotpath", "modules") => &mut m.hotpath_modules,
+                (s, k) => {
+                    return Err(format!(
+                        "line {}: unknown key `{k}` in section [{s}]",
+                        idx + 1
+                    ))
+                }
+            };
+            slot.extend(items);
+        }
+        Ok(m)
+    }
+
+    /// Does `rel` (workspace-relative, forward slashes) match any entry
+    /// in `list`? Entries match exactly or as a directory prefix.
+    pub fn matches(rel: &str, list: &[String]) -> bool {
+        list.iter().any(|entry| {
+            let e = entry.trim_end_matches('/');
+            rel == e || rel.starts_with(&format!("{e}/"))
+        })
+    }
+}
+
+/// Drop a trailing `#` comment (the manifest holds no `#` inside
+/// strings, so a plain scan is enough — but we still skip `#` inside
+/// quotes to be safe).
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse `[ "a", "b" ]` into its items.
+fn parse_array(value: &str) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or("expected a [...] array")?;
+    let mut items = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let item = part
+            .strip_prefix('"')
+            .and_then(|p| p.strip_suffix('"'))
+            .ok_or("expected a quoted string")?;
+        items.push(item.to_string());
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_sections() {
+        let m = Manifest::parse(
+            r#"
+# lint manifest
+[ct]
+modules = ["crates/ec/src/ladder.rs", "crates/lwc/src/mac.rs"]
+allow = ["crates/gf2m/src/ct.rs"]
+
+[unsafe]
+allow = [
+    "crates/gf2m/src/clmul.rs",   # carries SAFETY comments
+    "crates/gf2m/src/vpclmul.rs",
+]
+
+[determinism]
+allow = ["crates/obs/"]
+
+[wire]
+modules = ["crates/protocols/src/wire.rs"]
+
+[hotpath]
+modules = ["crates/gf2m/src/batch.rs"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(m.ct_modules.len(), 2);
+        assert_eq!(m.unsafe_allow.len(), 2);
+        assert_eq!(m.determinism_allow, ["crates/obs/"]);
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let err = Manifest::parse("[ct]\nmodles = [\"x\"]\n").unwrap_err();
+        assert!(err.contains("unknown key"));
+    }
+
+    #[test]
+    fn unknown_section_is_an_error() {
+        assert!(Manifest::parse("[cargo]\n").is_err());
+    }
+
+    #[test]
+    fn prefix_matching() {
+        let list = vec![
+            "crates/obs/".to_string(),
+            "crates/gf2m/src/ct.rs".to_string(),
+        ];
+        assert!(Manifest::matches("crates/obs/src/ring.rs", &list));
+        assert!(Manifest::matches("crates/gf2m/src/ct.rs", &list));
+        assert!(!Manifest::matches("crates/gf2m/src/ct_extra.rs", &list));
+        assert!(!Manifest::matches("crates/obs2/src/x.rs", &list));
+    }
+}

@@ -40,14 +40,12 @@ pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
 /// to software verifiers too — an early-exit memcmp is a classic remote
 /// timing oracle).
 pub fn verify_tag(expected: &[u8], actual: &[u8]) -> bool {
-    if expected.len() != actual.len() {
-        return false;
-    }
-    let mut diff = 0u8;
-    for (a, b) in expected.iter().zip(actual) {
-        diff |= a ^ b;
-    }
-    diff == 0
+    // lint: ct-begin — tag comparison routes through the audited
+    // accumulate-OR compare in gf2m::ct (length mismatch is public:
+    // frames carry explicit lengths).
+    let ok = medsec_gf2m::ct::ct_eq_bytes(expected, actual);
+    // lint: ct-end
+    ok
 }
 
 fn dbl(block: &[u8; 16]) -> [u8; 16] {

@@ -114,7 +114,11 @@ impl<C: CurveSpec> Device<C> {
         let verify_bytes = |ledger: &mut EnergyLedger| -> bool {
             ledger.symmetric("AES-128", &Aes128::hw_profile(), 3);
             let expect = aes_cmac(&self.pairing.auth_key, eph_bytes);
-            verify_tag(&expect, &mac)
+            // lint: ct-begin — secret-dependent compare; branch on the
+            // (public) outcome happens at the call site.
+            let ok = verify_tag(&expect, &mac);
+            // lint: ct-end
+            ok
         };
 
         match self.ordering {
@@ -193,7 +197,11 @@ impl<C: CurveSpec> Device<C> {
             // One CMAC over the compressed point: 3 AES blocks.
             ledger.symmetric("AES-128", &Aes128::hw_profile(), 3);
             let expect = aes_cmac(&self.pairing.auth_key, &hello.ephemeral.compress());
-            verify_tag(&expect, &hello.mac)
+            // lint: ct-begin — secret-dependent compare; branch on the
+            // (public) outcome happens at the call site.
+            let ok = verify_tag(&expect, &hello.mac);
+            // lint: ct-end
+            ok
         };
 
         match self.ordering {
@@ -319,7 +327,11 @@ pub fn open_telemetry<C: CurveSpec>(
     mac_input.extend_from_slice(ct);
     let expect = hmac_sha256(mac_key, &mac_input);
     ledger.symmetric("SHA-256", &sha256_hw_profile(), 2);
-    if !verify_tag(&expect[..16], tag) {
+    // lint: ct-begin — secret-dependent compare runs to completion
+    // before the (public) accept/reject decision below.
+    let tag_ok = verify_tag(&expect[..16], tag);
+    // lint: ct-end
+    if !tag_ok {
         return None;
     }
     let enc_key: [u8; 16] = session_key[..16].try_into().expect("16 bytes");

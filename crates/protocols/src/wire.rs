@@ -97,10 +97,16 @@ impl std::error::Error for DecodeError {}
 /// Panics if the payload exceeds 255 bytes (nothing in these protocols
 /// does; a µW radio wouldn't either).
 pub fn frame(ty: MsgType, payload: &[u8]) -> Bytes {
-    assert!(payload.len() <= 255, "payload too large for 1-byte length");
+    // A checked conversion, not `as`: a silently truncated length byte
+    // would frame the first `len % 256` bytes as valid and smuggle the
+    // rest, so oversize payloads must die here.
+    let len: u8 = payload
+        .len()
+        .try_into()
+        .expect("payload too large for 1-byte length");
     let mut b = BytesMut::with_capacity(2 + payload.len());
     b.put_u8(ty as u8);
-    b.put_u8(payload.len() as u8);
+    b.put_u8(len);
     b.put_slice(payload);
     b.freeze()
 }
@@ -381,6 +387,19 @@ mod tests {
         let (ty, payload) = deframe(&f).unwrap();
         assert_eq!(ty, MsgType::PhChallenge);
         assert_eq!(payload, b"abc");
+    }
+
+    #[test]
+    fn frame_length_boundary() {
+        // 255 bytes is the largest representable payload...
+        let f = frame(MsgType::PhChallenge, &[0xA5; 255]);
+        let (_, payload) = deframe(&f).unwrap();
+        assert_eq!(payload.len(), 255);
+        // ...and 256 must die loudly, never truncate to `256 % 256 = 0`
+        // (a truncated length byte would reframe the payload bytes as
+        // smuggled suffix data on the wire).
+        let oversize = std::panic::catch_unwind(|| frame(MsgType::PhChallenge, &[0xA5; 256]));
+        assert!(oversize.is_err());
     }
 
     #[test]

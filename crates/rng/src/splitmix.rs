@@ -26,12 +26,19 @@ impl SplitMix64 {
     }
 
     /// Next 64 uniformly distributed bits.
+    ///
+    /// The draw is straight-line arithmetic: when this generator feeds
+    /// the ladder's projective-Z blinding, the time of a draw must not
+    /// depend on the state that becomes the blinding value.
     pub fn next_u64(&mut self) -> u64 {
+        // lint: ct-begin — state mixing is add/xor/shift/mul only.
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+        let out = z ^ (z >> 31);
+        // lint: ct-end
+        out
     }
 
     /// Uniform `f64` in `[0, 1)`.

@@ -1,0 +1,174 @@
+//! Wall-clock fixed-vs-random probes over the `gf2m::ct` helpers.
+//!
+//! The cost-model study in [`crate::timing`] proves the *architecture*
+//! is constant-time; this module spot-checks that the *software*
+//! constant-time primitives the ladder and MAC verifiers now route
+//! through ([`medsec_gf2m::ct`]) don't regress into data-dependent
+//! execution on the host either — e.g. an "optimized" early-exit
+//! compare or a compiler turning a masked swap back into a branch.
+//!
+//! Measurements are medians over many batches, and verdicts use loose
+//! ratio bounds: the goal is to catch an order-of-magnitude early-exit
+//! regression robustly on shared CI hardware, not to certify
+//! cycle-accuracy.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use medsec_ec::{ladder, CoordinateBlinding, CurveSpec, Scalar, K163};
+use medsec_gf2m::ct::{ct_eq_bytes, ct_swap_limbs};
+use medsec_rng::SplitMix64;
+
+/// Outcome of one fixed-vs-random probe: median per-batch latency of
+/// the two input classes and their ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct CtProbe {
+    /// Median batch latency, class A (e.g. equal tags), nanoseconds.
+    pub median_a_ns: u64,
+    /// Median batch latency, class B (e.g. first-byte mismatch), ns.
+    pub median_b_ns: u64,
+    /// `max(a,b) / min(a,b)` — 1.0 is perfectly flat.
+    pub ratio: f64,
+}
+
+impl CtProbe {
+    fn from_samples(mut a: Vec<u64>, mut b: Vec<u64>) -> CtProbe {
+        a.sort_unstable();
+        b.sort_unstable();
+        let ma = a[a.len() / 2].max(1);
+        let mb = b[b.len() / 2].max(1);
+        CtProbe {
+            median_a_ns: ma,
+            median_b_ns: mb,
+            ratio: ma.max(mb) as f64 / ma.min(mb) as f64,
+        }
+    }
+}
+
+/// Probe [`ct_eq_bytes`] with equal tags (class A) versus tags that
+/// differ in the **first** byte (class B) — the case an early-exit
+/// compare would finish ~16× faster.
+pub fn probe_ct_eq_bytes(batches: usize, per_batch: usize) -> CtProbe {
+    let mut rng = SplitMix64::new(0xC7_E0);
+    let mut tag = [0u8; 16];
+    for byte in tag.iter_mut() {
+        *byte = rng.next_u64() as u8;
+    }
+    let equal = tag;
+    let mut first_diff = tag;
+    first_diff[0] ^= 0xFF;
+
+    let mut sink = 0u32;
+    let mut run = |other: [u8; 16]| -> Vec<u64> {
+        (0..batches)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..per_batch {
+                    sink =
+                        sink.wrapping_add(ct_eq_bytes(black_box(&tag), black_box(&other)) as u32);
+                }
+                t0.elapsed().as_nanos() as u64
+            })
+            .collect()
+    };
+    let a = run(equal);
+    let b = run(first_diff);
+    black_box(sink);
+    CtProbe::from_samples(a, b)
+}
+
+/// Probe [`ct_swap_limbs`] with the condition always-false (class A)
+/// versus always-true (class B): a branchy swap would do no stores in
+/// one class and ten per call in the other.
+pub fn probe_ct_swap_limbs(batches: usize, per_batch: usize) -> CtProbe {
+    let mut rng = SplitMix64::new(0x5A_B5);
+    let mut x = [0u64; 5];
+    let mut y = [0u64; 5];
+    for limb in x.iter_mut().chain(y.iter_mut()) {
+        *limb = rng.next_u64();
+    }
+    let mut run = |cond: bool| -> Vec<u64> {
+        (0..batches)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..per_batch {
+                    ct_swap_limbs(black_box(cond), black_box(&mut x), black_box(&mut y));
+                }
+                t0.elapsed().as_nanos() as u64
+            })
+            .collect()
+    };
+    let a = run(false);
+    let b = run(true);
+    black_box((x, y));
+    CtProbe::from_samples(a, b)
+}
+
+/// Fixed-vs-random **scalar** pass over the cswap ladder itself:
+/// class A runs one fixed scalar repeatedly, class B a fresh random
+/// scalar per run. With the masked-swap schedule the two classes must
+/// take statistically indistinguishable time; a secret-dependent
+/// branch (or a swap count leaking into latency) splits them.
+pub fn probe_ladder_fixed_vs_random(runs: usize) -> CtProbe {
+    let gx = K163::generator().x().expect("generator is affine");
+    let mut rng = SplitMix64::new(0x001A_DDE4);
+    let fixed = Scalar::<K163>::random_nonzero(rng.as_fn());
+
+    let time_one = |k: &Scalar<K163>| -> u64 {
+        let bits = k.ladder_bits();
+        let t0 = Instant::now();
+        let st = ladder::ladder_x_only_bits::<K163>(
+            black_box(&bits),
+            gx,
+            CoordinateBlinding::Disabled,
+            || 0,
+        );
+        black_box(st);
+        t0.elapsed().as_nanos() as u64
+    };
+    let a: Vec<u64> = (0..runs).map(|_| time_one(&fixed)).collect();
+    let b: Vec<u64> = (0..runs)
+        .map(|_| {
+            let k = Scalar::<K163>::random_nonzero(rng.as_fn());
+            time_one(&k)
+        })
+        .collect();
+    CtProbe::from_samples(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Loose bound: an early-exit compare on a first-byte mismatch is
+    // ~16x faster; noise on shared runners is well under 3x once we
+    // take medians over enough batches.
+    const MAX_RATIO: f64 = 3.0;
+
+    #[test]
+    fn ct_eq_bytes_is_flat_fixed_vs_random() {
+        let probe = probe_ct_eq_bytes(64, 4096);
+        assert!(
+            probe.ratio < MAX_RATIO,
+            "ct_eq_bytes timing split {probe:?}"
+        );
+    }
+
+    #[test]
+    fn ct_swap_limbs_is_flat_across_conditions() {
+        let probe = probe_ct_swap_limbs(64, 4096);
+        assert!(
+            probe.ratio < MAX_RATIO,
+            "ct_swap_limbs timing split {probe:?}"
+        );
+    }
+
+    #[test]
+    fn ladder_latency_is_flat_fixed_vs_random_scalar() {
+        let probe = probe_ladder_fixed_vs_random(24);
+        assert!(
+            probe.ratio < MAX_RATIO,
+            "ladder fixed-vs-random timing split {probe:?}"
+        );
+    }
+}

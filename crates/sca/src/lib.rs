@@ -22,6 +22,7 @@
 
 mod acquire;
 mod cpa;
+pub mod ct_probe;
 mod spa;
 pub mod stats;
 mod timing;
